@@ -1,0 +1,11 @@
+"""Ablation: dict vs red-black-tree Level-1 backends."""
+
+
+def test_ablation_backend(run_experiment):
+    result = run_experiment("ablation_backend", scale=0.5, evaluations=12)
+    data = result.data
+
+    # The two backends must agree exactly on results.
+    assert data["identical_results"] is True
+    # Both produce sane throughput; the dict fast path should not lose.
+    assert data["dict"]["throughput"] >= data["tree"]["throughput"] * 0.8

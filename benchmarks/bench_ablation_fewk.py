@@ -1,0 +1,43 @@
+"""Ablation: few-k budget split — top-k fraction sweep on the tail error.
+
+DESIGN.md §5.3: the paper fixes k_t from the sub-window tail estimate and
+gives the rest to k_s.  This sweep varies the top-k fraction directly,
+confirming the error/space knee that Table 3 summarises at two points.
+"""
+
+import numpy as np
+
+from repro.core import FewKConfig, QLOVEConfig
+from repro.evalkit.runner import run_accuracy
+from repro.streaming import CountWindow
+from repro.workloads import generate_netmon
+
+WINDOW = CountWindow(size=32_768, period=2_048)
+PHI = 0.999
+FRACTIONS = (0.05, 0.1, 0.25, 0.5, 1.0)
+
+
+def test_ablation_fewk_split(benchmark):
+    values = generate_netmon(WINDOW.size + 15 * WINDOW.period, seed=0)
+
+    def sweep():
+        results = {}
+        baseline = run_accuracy("qlove", values, WINDOW, [PHI])
+        results["none"] = baseline.errors.mean_value_error(PHI)
+        for fraction in FRACTIONS:
+            config = QLOVEConfig(fewk=FewKConfig(topk_fraction=fraction))
+            report = run_accuracy("qlove", values, WINDOW, [PHI], config=config)
+            results[fraction] = report.errors.mean_value_error(PHI)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"{'fraction':>9}  VE% Q{PHI}")
+    for label, error in results.items():
+        print(f"{label!s:>9}  {100 * error:.2f}")
+
+    # The knee: by fraction 0.5 the error is near the full-budget optimum,
+    # and every fraction >= 0.25 beats the no-few-k baseline.
+    assert results[0.5] <= results["none"]
+    assert results[0.25] <= results["none"]
+    assert abs(results[0.5] - results[1.0]) < max(0.02, results[1.0])

@@ -1,0 +1,15 @@
+"""Section 5.3: few-k cache size vs throughput penalty."""
+
+
+def test_fewk_throughput(run_experiment):
+    result = run_experiment("fewk_throughput", scale=0.25, evaluations=25)
+    data = result.data
+
+    none = data["none"]
+    small = data["fraction 0.2"]
+    full = data["fraction 1.0"]
+    # Few-k merging costs throughput, more so with a bigger cache (paper:
+    # 21.2% penalty at fraction 1, 9.0% at 0.2).  Generous margins: tiny
+    # absolute differences on a fast container are noisy.
+    assert full <= none * 1.05
+    assert small >= full * 0.95

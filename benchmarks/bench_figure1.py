@@ -1,0 +1,15 @@
+"""Figure 1: the NetMon histogram and its published anchors."""
+
+
+def test_figure1(run_experiment):
+    result = run_experiment("figure1", scale=1.0)
+    # Paper anchors: Q0.5 = 798, >90% below 1,247, Q0.99 = 1,874, long tail.
+    assert 700 < result.data["q50"] < 900
+    assert 1000 < result.data["q90"] < 1500
+    assert 1400 < result.data["q99"] < 2700
+    assert result.data["max"] > 20_000
+    # Figure-1 shape: the modal bin sits in the sub-2,000us body and the
+    # tail bins are sparse.
+    counts = result.data["counts"]
+    assert counts.index(max(counts)) <= 3
+    assert max(counts[-5:]) < max(counts) / 100

@@ -1,0 +1,15 @@
+"""Figure 4: throughput — QLOVE vs CMQS(eps sweep) vs Exact."""
+
+
+def test_figure4(run_experiment):
+    result = run_experiment("figure4", scale=0.25, evaluations=40)
+    data = result.data
+
+    # Paper shape: QLOVE fastest; CMQS at tight epsilon slower than Exact.
+    assert data["QLOVE"] > data["Exact"]
+    assert data["CMQS(1x)"] < data["Exact"]
+    # Loosening epsilon recovers CMQS throughput (1x -> 10x direction).
+    assert data["CMQS(10x)"] >= data["CMQS(1x)"]
+    # All policies made progress.
+    for label, rate in data.items():
+        assert rate > 0, label

@@ -1,0 +1,21 @@
+"""Figure 5: scalability — throughput vs window size on Normal/Uniform."""
+
+
+def test_figure5(run_experiment):
+    result = run_experiment("figure5", scale=0.1, evaluations=20)
+
+    for dataset in ("Normal", "Uniform"):
+        series = result.data[dataset]
+        sizes = sorted(series)
+        smallest, largest = sizes[0], sizes[-1]
+
+        # QLOVE stays roughly flat across window sizes (paper: "consistent
+        # throughput for all window sizes").
+        qlove_rates = [series[s]["qlove"] for s in sizes]
+        assert max(qlove_rates) / min(qlove_rates) < 3.0, dataset
+
+        # Exact degrades once windows slide; the QLOVE advantage grows.
+        ratio_small = series[smallest]["qlove"] / series[smallest]["exact"]
+        ratio_large = series[largest]["qlove"] / series[largest]["exact"]
+        assert ratio_large > ratio_small, dataset
+        assert ratio_large > 1.5, dataset

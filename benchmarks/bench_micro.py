@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the hot kernels underlying the experiments.
+
+These time the per-element costs that explain the macro throughput
+numbers: Level-1 accumulation for QLOVE (quantize + frequency map), tree
+insert/remove for Exact, GK insert for CMQS, and KLL insert for Random.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import QLOVEPolicy
+from repro.datastructures import RedBlackTree
+from repro.sketches import GKSummary, KLLSketch
+from repro.streaming import CountWindow
+from repro.workloads import generate_netmon
+
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def netmon_values():
+    return generate_netmon(N, seed=0).tolist()
+
+
+def test_qlove_accumulate(benchmark, netmon_values):
+    window = CountWindow(size=N, period=N)
+    policy = QLOVEPolicy([0.5, 0.999], window)
+
+    def run():
+        accumulate = policy.accumulate
+        for v in netmon_values:
+            accumulate(v)
+        policy.seal_subwindow()
+        policy.expire_subwindow()
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_rbtree_insert_remove(benchmark, netmon_values):
+    def run():
+        tree = RedBlackTree()
+        for v in netmon_values:
+            tree.insert(v)
+        for v in netmon_values:
+            tree.remove(v)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_gk_insert(benchmark, netmon_values):
+    def run():
+        sketch = GKSummary(0.01)
+        for v in netmon_values:
+            sketch.insert(v)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_gk_capacity_insert(benchmark, netmon_values):
+    def run():
+        sketch = GKSummary(0.01, capacity=1300)
+        for v in netmon_values:
+            sketch.insert(v)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_kll_insert(benchmark, netmon_values):
+    def run():
+        sketch = KLLSketch(128)
+        for v in netmon_values:
+            sketch.insert(v)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_numpy_exact_oracle(benchmark):
+    values = generate_netmon(131_072, seed=0)
+
+    def run():
+        ordered = np.sort(values)
+        return ordered[[65_535, 117_964, 129_770, 130_940]]
+
+    benchmark.pedantic(run, rounds=5, iterations=1)

@@ -1,0 +1,13 @@
+"""Section 5.4: data-skewness study on the Pareto dataset."""
+
+
+def test_pareto(run_experiment):
+    result = run_experiment("pareto", scale=0.25, evaluations=16)
+    data = result.data
+
+    # Paper: QLOVE 4.00% at Q0.999 vs AM 29.22% and Random 35.17%.
+    assert data["qlove"][0.999] < data["am"][0.999]
+    assert data["qlove"][0.999] < data["random"][0.999]
+    assert data["qlove"][0.999] < 0.15
+    # Non-high quantiles remain accurate for QLOVE even under heavy skew.
+    assert data["qlove"][0.5] < 0.02

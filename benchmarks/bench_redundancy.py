@@ -1,0 +1,16 @@
+"""Section 5.4: data-redundancy (low-precision) throughput study."""
+
+
+def test_redundancy(run_experiment):
+    result = run_experiment("redundancy", scale=0.5, evaluations=20)
+    data = result.data
+
+    # Low-precision derivation helps on the tree substrate; the paper's
+    # headline gains (1.8x-4.6x) are muted but present in pure Python.
+    speedups = [payload["speedup"] for payload in data.values()]
+    assert all(s > 0.85 for s in speedups)
+    assert sum(speedups) / len(speedups) > 1.15
+    # NetMon (integer, heavy redundancy after truncation) shows a clear
+    # effect on both policies.
+    assert data["exact/NetMon/tumbling"]["speedup"] > 1.2
+    assert data["qlove/NetMon/sliding"]["speedup"] > 1.2

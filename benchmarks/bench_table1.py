@@ -1,0 +1,28 @@
+"""Table 1: accuracy and space of QLOVE vs the four baselines."""
+
+QMONITOR = (0.5, 0.9, 0.99, 0.999)
+
+
+def test_table1(run_experiment):
+    result = run_experiment("table1", scale=0.25, evaluations=16)
+    data = result.data
+
+    # Paper headline: QLOVE's tail value error beats the rank-error
+    # baselines (CMQS/AM/Random) by a wide margin.
+    qlove_tail = data["qlove"]["value_error"][0.999]
+    for baseline in ("cmqs", "am", "random"):
+        assert qlove_tail < data[baseline]["value_error"][0.999], baseline
+
+    # Non-high quantiles are sub-1% for QLOVE (paper: 0.10 / 0.06%).
+    assert data["qlove"]["value_error"][0.5] < 0.01
+    assert data["qlove"]["value_error"][0.9] < 0.01
+
+    # Rank errors of the deterministic baselines stay within eps = 0.02.
+    for baseline in ("cmqs", "am"):
+        for phi in QMONITOR:
+            assert data[baseline]["rank_error"][phi] <= 0.02, (baseline, phi)
+
+    # Space: QLOVE's observed footprint is far below CMQS/AM (paper: 3,340
+    # vs 31,194 / 36,253).
+    assert data["qlove"]["observed_space"] < data["cmqs"]["observed_space"] / 4
+    assert data["qlove"]["observed_space"] < data["am"]["observed_space"] / 4

@@ -1,0 +1,18 @@
+"""Table 2: value error vs period size without few-k merging."""
+
+
+def test_table2(run_experiment):
+    result = run_experiment("table2", scale=0.25, evaluations=16)
+    data = result.data
+    periods = sorted(data[0.5], reverse=True)
+    largest, smallest = periods[0], periods[-1]
+
+    # Paper shape: medians flat and tiny across all periods.
+    for period in periods:
+        assert data[0.5][period] < 0.01, period
+        assert data[0.9][period] < 0.02, period
+
+    # The 0.999-quantile degrades sharply as periods shrink (statistical
+    # inefficiency: paper 1.82% at 64K -> 18.93% at 1K).
+    assert data[0.999][smallest] > data[0.999][largest]
+    assert data[0.999][smallest] > 0.05

@@ -1,0 +1,18 @@
+"""Table 4: sample-k merging under injected bursty traffic."""
+
+
+def test_table4(run_experiment):
+    result = run_experiment("table4", scale=0.5, evaluations=16)
+    data = result.data
+    periods = sorted(data[0.0])
+
+    for period in periods:
+        damaged = data[0.0][period][0.999]
+        repaired = data[0.5][period][0.999]
+        # Paper shape: bursts damage Q0.999 badly without samples (44-55%)
+        # and the 0.5 fraction repairs most of it (1.5-1.75%).
+        assert damaged > 0.05, period
+        assert repaired < damaged, period
+    # At the larger period the repair is strong (paper: 44.1% -> 1.75%).
+    big = max(periods)
+    assert data[0.5][big][0.999] < data[0.0][big][0.999] / 2

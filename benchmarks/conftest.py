@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Every paper table/figure has one module here.  Each benchmark runs the
+corresponding experiment from :mod:`repro.evalkit.experiments` once
+(``benchmark.pedantic`` — the experiments are seconds-long composites, not
+microseconds kernels), prints the regenerated table, and asserts the
+paper's qualitative shape (who wins, direction of trends).  Scales are
+reduced from paper size so the full suite stays in minutes; run
+``python -m repro <name> --scale 1.0`` for paper-size numbers.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment once under pytest-benchmark and print its report."""
+
+    def _run(name, **kwargs):
+        from repro.evalkit.experiments import get_experiment
+
+        result = benchmark.pedantic(
+            lambda: get_experiment(name)(**kwargs), rounds=1, iterations=1
+        )
+        print()
+        print(result.render())
+        return result
+
+    return _run

@@ -1,0 +1,50 @@
+"""Theorem 1 in action: the CLT error bound across quantiles.
+
+Shows why QLOVE's Level-2 averaging is trustworthy for dense quantiles
+and why the bound widens in the sparse tail (the paper's motivation for
+few-k merging): for each phi, the observed |y_a - y_e| is compared to
+the probabilistic bound computed from the data's density at that
+quantile.
+
+Run:  python examples/error_bound_demo.py
+"""
+
+import numpy as np
+
+from repro.core import error_bound_from_data
+from repro.evalkit import exact_quantile
+from repro.workloads import generate_netmon
+
+N_SUB = 8
+SUBWINDOW = 16_384
+PHIS = [0.25, 0.5, 0.75, 0.9, 0.99, 0.999]
+
+
+def level2_estimate(values: np.ndarray, phi: float) -> float:
+    """Mean of per-sub-window exact quantiles (QLOVE's Level 2)."""
+    chunks = values.reshape(N_SUB, SUBWINDOW)
+    return float(np.mean([exact_quantile(chunk, phi) for chunk in chunks]))
+
+
+def main() -> None:
+    values = generate_netmon(N_SUB * SUBWINDOW, seed=5)
+    print(f"window: {N_SUB} sub-windows x {SUBWINDOW:,} elements "
+          f"(NetMon-like)\n")
+    print(f"{'phi':>6}  {'exact':>9}  {'level2':>9}  {'|error|':>8}  "
+          f"{'bound(95%)':>10}  within")
+    for phi in PHIS:
+        exact = exact_quantile(values, phi)
+        estimate = level2_estimate(values, phi)
+        error = abs(estimate - exact)
+        bound = error_bound_from_data(values, phi, N_SUB, SUBWINDOW)
+        ok = "yes" if error <= bound else "NO"
+        print(f"{phi:>6}  {exact:>9.0f}  {estimate:>9.1f}  {error:>8.1f}  "
+              f"{bound:>10.1f}  {ok}")
+
+    print("\nThe bound scales with 1 / (sqrt(n m) f(p_phi)): high density at")
+    print("the median keeps it tight; the sparse tail blows it up, which is")
+    print("exactly where QLOVE switches to few-k merging (Section 4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Side-by-side comparison of every sliding-window quantile policy.
+
+Streams the same heavy-tailed telemetry through QLOVE, Exact, CMQS, AM,
+Random and Moment, then prints the accuracy/space/throughput trade-off —
+a miniature Table 1 + Figure 4 for your own data.
+
+Run:  python examples/sketch_comparison.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import CountWindow, make_policy
+from repro.evalkit import run_accuracy
+from repro.evalkit.throughput import measure_throughput
+from repro.workloads import generate_netmon
+
+PHIS = [0.5, 0.99, 0.999]
+WINDOW = CountWindow(size=32_768, period=4_096)
+STREAM = 131_072
+
+POLICIES = [
+    ("qlove", {}),
+    ("exact", {}),
+    ("cmqs", {"epsilon": 0.02}),
+    ("am", {"epsilon": 0.02}),
+    ("random", {"epsilon": 0.02, "seed": 0}),
+    ("moment", {"k": 12}),
+]
+
+
+def main() -> None:
+    values = generate_netmon(STREAM, seed=0)
+    print(f"dataset: {STREAM:,} NetMon-like RTTs; window {WINDOW.size:,} "
+          f"/ period {WINDOW.period:,}\n")
+    header = (f"{'policy':<8}" + "".join(f"  VE%Q{phi:<6}" for phi in PHIS)
+              + f"  {'space':>8}  {'M ev/s':>7}")
+    print(header)
+    print("-" * len(header))
+    for name, params in POLICIES:
+        started = time.perf_counter()
+        report = run_accuracy(name, values, WINDOW, PHIS, **params)
+        del started
+        throughput = measure_throughput(
+            lambda name=name, params=params: make_policy(name, PHIS, WINDOW, **params),
+            values,
+            WINDOW,
+        )
+        errors = "".join(
+            f"  {report.value_error_percent(phi):>9.2f}" for phi in PHIS
+        )
+        print(f"{name:<8}{errors}  {report.observed_space:>8,}  "
+              f"{throughput.million_events_per_second:>7.3f}")
+
+    print("\nReading guide: QLOVE should dominate the tail (VE% Q0.999) at a")
+    print("fraction of Exact's space; CMQS/AM bound rank error, which is why")
+    print("their tail *value* error inflates on skewed telemetry.")
+
+
+if __name__ == "__main__":
+    main()

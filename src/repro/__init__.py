@@ -1,0 +1,70 @@
+"""QLOVE: Approximate Quantiles for Datacenter Telemetry Monitoring.
+
+A from-scratch reproduction of Lim et al. (ICDE 2020).  The package
+provides:
+
+- :mod:`repro.core` — the QLOVE algorithm (two-level quantile
+  approximation, value compression, few-k merging, CLT error bound);
+- :mod:`repro.streaming` — a Trill-like incremental streaming engine;
+- :mod:`repro.sketches` — Exact and the four compared baselines
+  (CMQS, AM, Random, Moment);
+- :mod:`repro.workloads` — NetMon/Search-style telemetry generators and
+  the synthetic datasets of the evaluation;
+- :mod:`repro.evalkit` — metrics, runners and per-table experiment
+  definitions regenerating the paper's results.
+
+Quickstart::
+
+    from repro import QLOVEPolicy, CountWindow, Query, StreamEngine, value_stream
+    from repro.sketches.base import PolicyOperator
+
+    window = CountWindow(size=100_000, period=10_000)
+    policy = QLOVEPolicy([0.5, 0.99], window)
+    query = Query(value_stream(values)).windowed_by(window).aggregate(
+        PolicyOperator(policy))
+    for result in StreamEngine().run(query):
+        print(result.result)
+"""
+
+from repro.core import FewKConfig, QLOVEConfig, QLOVEPolicy
+from repro.sketches import (
+    AMPolicy,
+    CMQSPolicy,
+    ExactPolicy,
+    MomentPolicy,
+    PolicyOperator,
+    RandomPolicy,
+    available_policies,
+    make_policy,
+)
+from repro.streaming import (
+    CountWindow,
+    Event,
+    Query,
+    StreamEngine,
+    TimeWindow,
+    value_stream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AMPolicy",
+    "CMQSPolicy",
+    "CountWindow",
+    "Event",
+    "ExactPolicy",
+    "FewKConfig",
+    "MomentPolicy",
+    "PolicyOperator",
+    "QLOVEConfig",
+    "QLOVEPolicy",
+    "Query",
+    "RandomPolicy",
+    "StreamEngine",
+    "TimeWindow",
+    "available_policies",
+    "make_policy",
+    "value_stream",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` — forwards to the benchmark CLI."""
+
+import sys
+
+from repro.evalkit.cli import main
+
+sys.exit(main())

@@ -1,0 +1,58 @@
+"""Burst detection: is the current tail stochastically larger than before?
+
+"To detect bursty traffic, we identify if the sampled largest values in
+the current sub-window are distributionally different and stochastically
+larger than those in the adjacent former sub-window.  We use an existing
+methodology for it [22]" (Section 4.3) — [22] is the Mann–Whitney U test.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.stats import mann_whitney_u
+
+
+class BurstDetector:
+    """One-sided Mann–Whitney comparison of consecutive sub-window tails."""
+
+    __slots__ = ("alpha", "min_samples", "_previous", "_bursty")
+
+    def __init__(self, alpha: float = 0.05, min_samples: int = 3) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        if min_samples < 2:
+            raise ValueError("min_samples must be at least 2")
+        self.alpha = alpha
+        self.min_samples = min_samples
+        self._previous: Optional[Sequence[float]] = None
+        self._bursty = False
+
+    @property
+    def bursty(self) -> bool:
+        """Verdict after the most recent :meth:`observe` call."""
+        return self._bursty
+
+    def observe(self, tail_samples: Sequence[float]) -> bool:
+        """Feed the sealed sub-window's tail samples; return burst verdict.
+
+        The first sub-window (no predecessor) and under-sampled tails are
+        never flagged — bursts are detected, not presumed.
+        """
+        previous = self._previous
+        self._previous = tuple(tail_samples)
+        if (
+            previous is None
+            or len(previous) < self.min_samples
+            or len(tail_samples) < self.min_samples
+        ):
+            self._bursty = False
+            return False
+        outcome = mann_whitney_u(tail_samples, previous, alternative="greater")
+        self._bursty = outcome.rejects_at(self.alpha)
+        return self._bursty
+
+    def reset(self) -> None:
+        """Forget history (stream restart)."""
+        self._previous = None
+        self._bursty = False

@@ -1,0 +1,139 @@
+"""Configuration objects for the QLOVE policy.
+
+Defaults follow the paper: three-significant-digit value compression, the
+dict frequency-map backend, top-k merging switched on automatically when a
+quantile is statistically inefficient (``P (1 - phi) < T_s`` with
+``T_s = 10``), and Mann–Whitney burst detection at the 5% level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.streaming.windows import CountWindow
+
+
+@dataclass(frozen=True)
+class FewKConfig:
+    """Few-k merging knobs (Section 4).
+
+    Parameters
+    ----------
+    ts_threshold:
+        ``T_s``: top-k merging activates for quantile phi when the expected
+        number of tail data points per sub-window ``P (1 - phi)`` falls
+        below this ("We set Ts as 10", Section 4.3).
+    topk_fraction:
+        Per-sub-window top-k cache as a fraction of the exact-guarantee
+        size ``N (1 - phi)`` (the "fraction" axis of Table 3).  ``None``
+        selects the paper's automatic rule ``k_t = ceil(P (1 - phi))``.
+    samplek_fraction:
+        Per-sub-window sample count as a fraction of ``N (1 - phi)``
+        (Table 4's "fraction"); 0 disables sample-k merging.
+    budget:
+        Optional total window budget ``B`` in retained values.  When set it
+        overrides the fractions: each sub-window gets ``k = B / (N / P)``,
+        split ``k_t = ceil(P (1 - phi))`` with the remainder to ``k_s``
+        ("QLOVE assigns all the remaining budget for ks", Section 4.2).
+    burst_detection / burst_alpha:
+        Enable the Mann–Whitney comparison of the current sub-window's
+        sampled tail against the previous sub-window's, at this level.
+    """
+
+    ts_threshold: int = 10
+    topk_fraction: Optional[float] = None
+    samplek_fraction: float = 0.0
+    budget: Optional[int] = None
+    burst_detection: bool = True
+    burst_alpha: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.ts_threshold < 0:
+            raise ValueError("ts_threshold must be non-negative")
+        if self.topk_fraction is not None and not 0.0 <= self.topk_fraction <= 1.0:
+            raise ValueError("topk_fraction must be in [0, 1]")
+        if not 0.0 <= self.samplek_fraction <= 1.0:
+            raise ValueError("samplek_fraction must be in [0, 1]")
+        if self.budget is not None and self.budget < 0:
+            raise ValueError("budget must be non-negative")
+        if not 0.0 < self.burst_alpha < 1.0:
+            raise ValueError("burst_alpha must be in (0, 1)")
+
+    # ------------------------------------------------------------------
+    # Budget resolution (Section 4.2)
+    # ------------------------------------------------------------------
+    def resolve_kt(self, phi: float, window: CountWindow) -> int:
+        """Per-sub-window top-k cache size ``k_t`` for quantile ``phi``."""
+        exact_need = exact_tail_size(phi, window.size)
+        if self.budget is not None:
+            per_subwindow = self.budget // window.subwindow_count
+            return min(exact_tail_size(phi, window.period), per_subwindow)
+        if self.topk_fraction is not None:
+            return int(math.ceil(round(self.topk_fraction * exact_need, 9)))
+        return exact_tail_size(phi, window.period)
+
+    def resolve_ks(self, phi: float, window: CountWindow) -> int:
+        """Per-sub-window sample count ``k_s`` for quantile ``phi``."""
+        exact_need = exact_tail_size(phi, window.size)
+        if self.budget is not None:
+            per_subwindow = self.budget // window.subwindow_count
+            return max(0, per_subwindow - self.resolve_kt(phi, window))
+        return int(math.ceil(round(self.samplek_fraction * exact_need, 9)))
+
+    def topk_active(self, phi: float, window: CountWindow) -> bool:
+        """Whether top-k merging is on for ``phi``.
+
+        Section 4.3: top-k switches on exactly for the quantiles that suffer
+        statistical inefficiency, i.e. ``P (1 - phi) < T_s``; the fraction /
+        budget knobs only size the cache, they never widen the trigger.
+        """
+        return round(window.period * (1.0 - phi), 9) < self.ts_threshold
+
+    def samplek_active(self, phi: float, window: CountWindow) -> bool:
+        """Whether sample-k merging is on for ``phi``."""
+        return self.resolve_ks(phi, window) > 0
+
+
+def exact_tail_size(phi: float, window_size: int) -> int:
+    """Number of largest values that pin down the exact phi-quantile.
+
+    The paper writes this as ``N (1 - phi)``; with the rank convention
+    r = ceil(phi N) (1-based from the smallest), the quantile element is the
+    ``N - ceil(phi N) + 1``-th largest, which equals ``ceil(N (1 - phi))``
+    except when ``phi N`` is an integer, where one more value is needed.
+    (For the paper's 128K = 131,072-element window at phi = 0.999 this gives
+    the 132 entries quoted in Section 5.3.)  Products are rounded to 9
+    decimals first so binary float fuzz cannot shift the ceiling.
+    """
+    if window_size <= 0:
+        raise ValueError("window_size must be positive")
+    bottom_rank = max(1, math.ceil(round(phi * window_size, 9)))
+    return max(1, window_size - bottom_rank + 1)
+
+
+@dataclass(frozen=True)
+class QLOVEConfig:
+    """Top-level QLOVE configuration.
+
+    ``quantize_digits=None`` disables value compression; ``backend``
+    selects the Level-1 frequency-map implementation (``"dict"`` fast path
+    or the paper's ``"tree"``); ``fewk=None`` disables few-k merging
+    entirely (the Section 5.2 configuration).
+    """
+
+    quantize_digits: Optional[int] = 3
+    backend: str = "dict"
+    fewk: Optional[FewKConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("dict", "tree"):
+            raise ValueError(f"backend must be 'dict' or 'tree', got {self.backend!r}")
+        if self.quantize_digits is not None and self.quantize_digits < 1:
+            raise ValueError("quantize_digits must be >= 1 or None")
+
+    @classmethod
+    def with_fewk(cls, **fewk_kwargs: object) -> "QLOVEConfig":
+        """Convenience: default config with few-k merging enabled."""
+        return cls(fewk=FewKConfig(**fewk_kwargs))  # type: ignore[arg-type]

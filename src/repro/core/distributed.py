@@ -1,0 +1,101 @@
+"""Distributed aggregation of QLOVE states (the paper's Section 7 outlook).
+
+"Although the evaluation is based on single machine, our quantile design
+can deliver better aggregate throughput while using a fewer number of
+machines in distributed computing."  QLOVE's state makes this nearly
+free: Level 2 is a per-quantile (sum, count) pair — mergeable by
+addition — and the few-k tails are value lists — mergeable by
+concatenation.  A coordinator can therefore combine the states of N
+independent nodes, each monitoring its own shard of the telemetry, into
+a fleet-wide quantile estimate without moving raw data.
+
+This module implements that coordinator::
+
+    nodes = [QLOVEPolicy(phis, window, config) for _ in range(4)]
+    ... each node streams its own probes ...
+    estimates = merge_node_estimates(nodes)
+
+The merged Level-2 estimate is the mean of *all* live sub-window
+quantiles across the fleet (equivalent to a single node that saw every
+sub-window); few-k merging runs over the union of the nodes' retained
+tails, and a burst on any node puts the fleet in burst mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.fewk import SOURCE_LEVEL2, SOURCE_SAMPLEK, SOURCE_TOPK, FewKMerger
+from repro.core.qlove import QLOVEPolicy
+
+
+def _validate_fleet(nodes: Sequence[QLOVEPolicy]) -> None:
+    if not nodes:
+        raise ValueError("need at least one node")
+    first = nodes[0]
+    for node in nodes[1:]:
+        if node.phis != first.phis:
+            raise ValueError("all nodes must track the same quantiles")
+        if node.window != first.window:
+            raise ValueError("all nodes must use the same window shape")
+
+
+def merge_level2(nodes: Sequence[QLOVEPolicy]) -> Dict[float, float]:
+    """Fleet-wide Level-2 estimate: mean over all nodes' sub-window quantiles.
+
+    Exactly what a single QLOVE instance would compute had it sealed every
+    node's sub-windows itself — Level-2 state composes by addition.
+    """
+    _validate_fleet(nodes)
+    results: Dict[float, float] = {}
+    for phi in nodes[0].phis:
+        total = 0.0
+        count = 0
+        for node in nodes:
+            aggregator = node._level2
+            count_node = aggregator.live_subwindows(phi)
+            if count_node:
+                total += aggregator.result(phi) * count_node
+                count += count_node
+        if count == 0:
+            raise ValueError("no sealed sub-windows anywhere in the fleet")
+        results[phi] = total / count
+    return results
+
+
+def merge_node_estimates(nodes: Sequence[QLOVEPolicy]) -> Dict[float, float]:
+    """Fleet-wide estimates with few-k merging over the union of tails.
+
+    For each quantile with an active few-k pipeline (all nodes share the
+    configuration, so activation agrees), the coordinator pools every
+    node's live sub-window summaries: top-k merging sees the union of the
+    cached largest values, sample-k merging the union of the samples, and
+    the fleet counts as bursty while any node's window is bursty.
+    """
+    _validate_fleet(nodes)
+    results = merge_level2(nodes)
+    reference = nodes[0]
+    pooled = [s for node in nodes for s in node._summaries]
+    for phi, ref_merger in reference._mergers.items():
+        merger = FewKMerger(phi, reference.window, ref_merger.config)
+        bursty = any(node._mergers[phi].window_bursty for node in nodes)
+        if merger.samplek_enabled and bursty:
+            value = merger.samplek_estimate(pooled)
+            if value is not None:
+                merger.last_source = SOURCE_SAMPLEK
+                results[phi] = value
+                continue
+        if merger.topk_enabled:
+            value = merger.topk_estimate(pooled)
+            if value is not None:
+                merger.last_source = SOURCE_TOPK
+                results[phi] = value
+                continue
+        merger.last_source = SOURCE_LEVEL2
+    return results
+
+
+def fleet_space_variables(nodes: Sequence[QLOVEPolicy]) -> int:
+    """Total observed state across the fleet (what a coordinator stores
+    transiently is bounded by the same quantity)."""
+    return sum(node.space_variables() for node in nodes)

@@ -1,0 +1,149 @@
+"""Few-k merging: repairing high quantiles from retained tail values.
+
+Section 4: each sub-window contributes a small number of its largest
+values; the window-level answer for a high quantile is drawn from the
+merged tails instead of the Level-2 average when (i) the quantile is
+statistically inefficient (top-k merging) or (ii) bursty traffic was
+detected (sample-k merging, prioritised).
+
+Both pipelines are "standing": the summaries always carry the configured
+tail material, and the outcome selection happens at query time
+(Section 4.3 "Selecting outcomes").
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Iterable, Optional, Sequence
+
+from repro.core.burst import BurstDetector
+from repro.core.config import FewKConfig, exact_tail_size
+from repro.core.summary import SubWindowSummary
+from repro.streaming.windows import CountWindow
+
+#: Result-provenance labels, exposed for diagnostics and experiments.
+SOURCE_LEVEL2 = "level2"
+SOURCE_TOPK = "topk"
+SOURCE_SAMPLEK = "samplek"
+
+
+class FewKMerger:
+    """Few-k pipelines for a single high quantile ``phi``."""
+
+    def __init__(self, phi: float, window: CountWindow, config: FewKConfig) -> None:
+        self.phi = phi
+        self.window = window
+        self.config = config
+        self.topk_enabled = config.topk_active(phi, window)
+        self.kt = config.resolve_kt(phi, window) if self.topk_enabled else 0
+        self.ks = config.resolve_ks(phi, window)
+        self.samplek_enabled = self.ks > 0
+        self._detector: Optional[BurstDetector] = None
+        if self.samplek_enabled and config.burst_detection:
+            self._detector = BurstDetector(alpha=config.burst_alpha)
+        # Burst flags aligned with the live summaries: the window is treated
+        # as bursty while *any* live sub-window tripped the detector, since
+        # an old burst keeps dominating the tail until it expires.
+        self._burst_flags: Deque[bool] = deque()
+        self.last_source = SOURCE_LEVEL2
+
+    @property
+    def relevant(self) -> bool:
+        """Whether this merger can ever override the Level-2 estimate."""
+        return self.topk_enabled or self.samplek_enabled
+
+    # ------------------------------------------------------------------
+    # Lifecycle mirroring the policy's sub-window events
+    # ------------------------------------------------------------------
+    def on_seal(self, summary: SubWindowSummary) -> None:
+        """Observe a sealed sub-window (feeds the burst detector)."""
+        flag = False
+        if self._detector is not None:
+            samples = summary.samples.get(self.phi, ())
+            if samples:
+                flag = self._detector.observe(samples)
+        self._burst_flags.append(flag)
+
+    def on_expire(self) -> None:
+        """Forget the oldest sub-window's burst flag."""
+        if self._burst_flags:
+            self._burst_flags.popleft()
+
+    @property
+    def window_bursty(self) -> bool:
+        """True while any live sub-window is flagged as bursty."""
+        return any(self._burst_flags)
+
+    # ------------------------------------------------------------------
+    # The two merging pipelines
+    # ------------------------------------------------------------------
+    def topk_estimate(self, summaries: Iterable[SubWindowSummary]) -> Optional[float]:
+        """Top-k merging: N(1-phi)-th largest of the merged caches."""
+        merged: list[float] = []
+        total = 0
+        for summary in summaries:
+            merged.extend(summary.topk.get(self.phi, ()))
+            total += summary.count
+        if not merged or total == 0:
+            return None
+        merged.sort(reverse=True)
+        rank = exact_tail_size(self.phi, total)
+        return merged[min(rank, len(merged)) - 1]
+
+    def samplek_estimate(self, summaries: Iterable[SubWindowSummary]) -> Optional[float]:
+        """Sample-k merging: read the target rank off the merged samples.
+
+        Each retained sample stands for ``1/alpha`` original tail values
+        (alpha = k_s / N(1-phi)); scanning the merged samples by their
+        representation weights until ``N(1-phi)`` tail values are covered
+        is the weighted form of the paper's "alpha N(1-phi)-th largest
+        value" rule, exact for any sampling interval.
+        """
+        merged: list[tuple[float, int]] = []
+        total = 0
+        for summary in summaries:
+            samples = summary.samples.get(self.phi, ())
+            weights = summary.sample_weights.get(self.phi, ())
+            merged.extend(zip(samples, weights))
+            total += summary.count
+        if not merged or total == 0:
+            return None
+        merged.sort(key=lambda pair: pair[0], reverse=True)
+        target = exact_tail_size(self.phi, total)
+        covered = 0.0
+        previous_value: Optional[float] = None
+        for value, weight in merged:
+            reached = covered + weight
+            if reached >= target:
+                if previous_value is None or weight == 0:
+                    return value
+                # Interpolate within the block the target rank falls into:
+                # a sample is the smallest of the ranks it represents, so the
+                # value at a fractional in-block rank lies between this
+                # sample and the previous (larger) one.
+                fraction = (target - covered) / weight
+                return previous_value + (value - previous_value) * fraction
+            covered = reached
+            previous_value = value
+        return merged[-1][0]
+
+    # ------------------------------------------------------------------
+    # Outcome selection (Section 4.3)
+    # ------------------------------------------------------------------
+    def estimate(
+        self, summaries: Sequence[SubWindowSummary], level2_value: float
+    ) -> float:
+        """Pick among sample-k, top-k and Level-2 for this evaluation."""
+        if self.samplek_enabled and self.window_bursty:
+            value = self.samplek_estimate(summaries)
+            if value is not None:
+                self.last_source = SOURCE_SAMPLEK
+                return value
+        if self.topk_enabled:
+            value = self.topk_estimate(summaries)
+            if value is not None:
+                self.last_source = SOURCE_TOPK
+                return value
+        self.last_source = SOURCE_LEVEL2
+        return level2_value

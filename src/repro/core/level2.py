@@ -1,0 +1,62 @@
+"""Level 2: sliding aggregation of sub-window quantile summaries.
+
+"The logic for aggregating all sub-window summaries is almost identical to
+the incremental evaluation for the average ...  to answer l specified
+quantiles, there are l instances of the average's state (i.e., sum and
+count)" (Section 3.1).  Accumulate and deaccumulate are two additions per
+quantile; compute is one division — the static-cost Level-2 stage that
+gives QLOVE its scalability.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from repro.core.summary import SubWindowSummary
+
+
+class Level2Aggregator:
+    """Per-quantile running (sum, count) over live sub-window summaries."""
+
+    __slots__ = ("_phis", "_sums", "_counts")
+
+    def __init__(self, phis: Sequence[float]) -> None:
+        self._phis = tuple(phis)
+        self._sums: Dict[float, float] = {phi: 0.0 for phi in self._phis}
+        self._counts: Dict[float, int] = {phi: 0 for phi in self._phis}
+
+    def accumulate(self, summary: SubWindowSummary) -> None:
+        """Fold a newly sealed sub-window's quantiles into the averages.
+
+        Empty summaries (count 0) carry no quantiles and are skipped, so
+        idle periods in time-based windows do not drag the average.
+        """
+        for phi, value in summary.quantiles.items():
+            self._sums[phi] += value
+            self._counts[phi] += 1
+
+    def deaccumulate(self, summary: SubWindowSummary) -> None:
+        """Remove an expiring sub-window's quantiles from the averages."""
+        for phi, value in summary.quantiles.items():
+            self._sums[phi] -= value
+            self._counts[phi] -= 1
+
+    def result(self, phi: float) -> float:
+        """Aggregated estimate ``y_a = mean(y_i)`` for one quantile."""
+        count = self._counts[phi]
+        if count == 0:
+            return math.nan
+        return self._sums[phi] / count
+
+    def results(self) -> Dict[float, float]:
+        """Aggregated estimates for every configured quantile."""
+        return {phi: self.result(phi) for phi in self._phis}
+
+    def live_subwindows(self, phi: float) -> int:
+        """Number of non-empty summaries currently aggregated for ``phi``."""
+        return self._counts[phi]
+
+    def space_variables(self) -> int:
+        """Two accumulators (sum, count) per quantile."""
+        return 2 * len(self._phis)

@@ -1,0 +1,141 @@
+"""Level 1: in-flight sub-window state and sealed summaries.
+
+During a sub-window, QLOVE keeps data in the compressed
+``{(value, frequency)}`` form of Algorithm 1; at the period boundary the
+sub-window is sealed into a :class:`SubWindowSummary` holding
+
+- the element count,
+- the *exact* sub-window quantile for every configured phi (the Level-2
+  inputs ``y_i``), and
+- the few-k tail material per high quantile: the ``k_t`` largest values
+  (top-k merging) and ``k_s`` interval samples of the ``N (1 - phi)``
+  largest values (sample-k merging).
+
+All raw values are then discarded — "Once a sub-window completes, all
+values are discarded after they are used to compute the summary"
+(Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.compression import Quantizer
+from repro.core.config import FewKConfig, exact_tail_size
+from repro.datastructures import make_frequency_map
+from repro.datastructures.sampling import interval_sample, sample_weights
+from repro.streaming.windows import CountWindow
+
+
+@dataclass(frozen=True)
+class SubWindowSummary:
+    """Immutable summary of one completed sub-window."""
+
+    count: int
+    quantiles: Mapping[float, float]
+    #: phi -> k_t largest values, descending (top-k merging input).
+    topk: Mapping[float, Tuple[float, ...]] = field(default_factory=dict)
+    #: phi -> k_s interval samples of the N(1-phi) largest, descending.
+    samples: Mapping[float, Tuple[float, ...]] = field(default_factory=dict)
+    #: phi -> per-sample representation counts (parallel to ``samples``);
+    #: derivable from the sampling plan, so not counted as stored space.
+    sample_weights: Mapping[float, Tuple[int, ...]] = field(default_factory=dict)
+
+    def space_variables(self) -> int:
+        """Variables retained by this summary."""
+        tail = sum(len(v) for v in self.topk.values())
+        tail += sum(len(v) for v in self.samples.values())
+        return len(self.quantiles) + tail
+
+
+class SubWindowBuilder:
+    """Accumulates one sub-window and seals it into a summary."""
+
+    def __init__(
+        self,
+        phis: Sequence[float],
+        window: CountWindow,
+        quantizer: Quantizer,
+        fewk: FewKConfig | None = None,
+        backend: str = "dict",
+    ) -> None:
+        self._phis = tuple(phis)
+        self._window = window
+        self._quantizer = quantizer
+        self._backend = backend
+        self._map = make_frequency_map(backend)
+        # Telemetry values recur heavily (the paper's redundancy insight),
+        # so quantization is memoised: the common case is one dict hit
+        # instead of log10/floor arithmetic.  Bounded to keep memory sane
+        # on adversarial streams.
+        self._quantize_cache: dict[float, float] = {}
+        self._quantize_cache_limit = 262_144
+        # Pre-resolve per-phi tail requirements so seal() is cheap.
+        self._tail_plan: List[Tuple[float, int, int]] = []
+        if fewk is not None:
+            for phi in self._phis:
+                kt = fewk.resolve_kt(phi, window) if fewk.topk_active(phi, window) else 0
+                ks = fewk.resolve_ks(phi, window)
+                if kt > 0 or ks > 0:
+                    self._tail_plan.append((phi, kt, ks))
+
+    @property
+    def count(self) -> int:
+        """Elements accumulated into the in-flight sub-window."""
+        return self._map.total
+
+    @property
+    def unique_count(self) -> int:
+        """Distinct (quantized) values currently stored."""
+        return self._map.unique_count
+
+    def add(self, value: float) -> None:
+        """Accumulate one element (quantized per the compression config)."""
+        cache = self._quantize_cache
+        quantized = cache.get(value)
+        if quantized is None:
+            quantized = self._quantizer(value)
+            if len(cache) < self._quantize_cache_limit:
+                cache[value] = quantized
+        self._map.add(quantized)
+
+    def space_variables(self) -> int:
+        """In-flight state: {value, count} per unique element."""
+        return 2 * self._map.unique_count
+
+    def seal(self) -> SubWindowSummary:
+        """Summarise and reset the in-flight sub-window.
+
+        Empty sub-windows (possible with time-based windows) seal into a
+        count-0 summary with no quantiles; Level 2 skips them.
+        """
+        count = self._map.total
+        if count == 0:
+            summary = SubWindowSummary(count=0, quantiles={})
+        else:
+            values = self._map.quantiles(list(self._phis))
+            quantiles = dict(zip(self._phis, values))
+            topk: Dict[float, Tuple[float, ...]] = {}
+            samples: Dict[float, Tuple[float, ...]] = {}
+            weights: Dict[float, Tuple[int, ...]] = {}
+            for phi, kt, ks in self._tail_plan:
+                if kt > 0:
+                    topk[phi] = tuple(self._map.top_values(kt))
+                if ks > 0:
+                    population = exact_tail_size(phi, self._window.size)
+                    # A sub-window shorter than the tail population (tiny
+                    # periods) samples whatever it holds.
+                    ranked = self._map.top_values(population)
+                    ks_effective = min(ks, len(ranked))
+                    samples[phi] = tuple(interval_sample(ranked, ks_effective))
+                    weights[phi] = tuple(sample_weights(len(ranked), ks_effective))
+            summary = SubWindowSummary(
+                count=count,
+                quantiles=quantiles,
+                topk=topk,
+                samples=samples,
+                sample_weights=weights,
+            )
+        self._map = make_frequency_map(self._backend)
+        return summary

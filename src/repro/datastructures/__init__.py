@@ -1,0 +1,41 @@
+"""Ordered and bounded data structures used by QLOVE and the baselines.
+
+The paper's Level-1 state is a red-black tree keyed by element value with a
+frequency attribute per node (Section 3.1).  This subpackage provides:
+
+- :class:`~repro.datastructures.rbtree.RedBlackTree` — a from-scratch
+  Guibas–Sedgewick red-black tree augmented with subtree frequency sums so
+  order statistics are O(log n).
+- :class:`~repro.datastructures.frequency_map.TreeFrequencyMap` and
+  :class:`~repro.datastructures.frequency_map.DictFrequencyMap` — the two
+  interchangeable ``{value, count}`` summary backends.
+- :class:`~repro.datastructures.topk.TopKKeeper` — bounded keeper of the k
+  largest values, used by few-k merging (Section 4).
+- :mod:`~repro.datastructures.sampling` — interval sampling on ranked values,
+  the sample-k primitive.
+- :class:`~repro.datastructures.reservoir.ReservoirSampler` — uniform
+  reservoir sampling, used by the Random baseline.
+"""
+
+from repro.datastructures.frequency_map import (
+    DictFrequencyMap,
+    FrequencyMap,
+    TreeFrequencyMap,
+    make_frequency_map,
+)
+from repro.datastructures.rbtree import RedBlackTree
+from repro.datastructures.reservoir import ReservoirSampler
+from repro.datastructures.sampling import interval_sample, sample_ranks
+from repro.datastructures.topk import TopKKeeper
+
+__all__ = [
+    "DictFrequencyMap",
+    "FrequencyMap",
+    "RedBlackTree",
+    "ReservoirSampler",
+    "TopKKeeper",
+    "TreeFrequencyMap",
+    "interval_sample",
+    "make_frequency_map",
+    "sample_ranks",
+]

@@ -1,0 +1,455 @@
+"""Red-black tree keyed by value with per-node frequency counts.
+
+This is the Level-1 state structure from Section 3.1 of the paper: incoming
+elements are kept in a compressed ``{(value, frequency)}`` form, ordered by
+value so that quantiles can be answered by an in-order traversal without a
+sort.  The tree follows the classic Guibas–Sedgewick / CLRS formulation with
+a shared NIL sentinel, and is additionally augmented with subtree frequency
+sums (``weight``) so the r-th smallest element can also be located in
+O(log n) — used by the Exact baseline and by property tests.
+
+Frequencies make this a compressed multiset: inserting a duplicate key only
+increments a counter, which is the data-redundancy optimisation the paper
+relies on for both space and throughput (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+_RED = 0
+_BLACK = 1
+
+
+class _Node:
+    """Internal tree node: ``key`` is the element value, ``count`` its frequency."""
+
+    __slots__ = ("key", "count", "weight", "color", "left", "right", "parent")
+
+    def __init__(self, key: float, count: int, nil: "_Node") -> None:
+        self.key = key
+        self.count = count
+        self.weight = count  # subtree frequency sum (self included)
+        self.color = _RED
+        self.left = nil
+        self.right = nil
+        self.parent = nil
+
+
+class RedBlackTree:
+    """Ordered map from value to frequency with O(log n) order statistics.
+
+    The public surface mirrors what Algorithm 1 in the paper needs:
+
+    - :meth:`insert` — ``Accumulate``: add ``count`` occurrences of ``key``.
+    - :meth:`remove` — ``Deaccumulate``: drop ``count`` occurrences, deleting
+      the node once its frequency reaches zero (Exact baseline, Section 5.1).
+    - :meth:`items` — sorted in-order traversal of ``(value, frequency)``.
+    - :meth:`select` — value at 1-based rank r among all (weighted) elements.
+    - :meth:`rank_of` — number of elements strictly smaller than a value.
+    """
+
+    __slots__ = ("_nil", "_root", "_unique", "_total")
+
+    def __init__(self) -> None:
+        nil = _Node.__new__(_Node)
+        nil.key = 0.0
+        nil.count = 0
+        nil.weight = 0
+        nil.color = _BLACK
+        nil.left = nil
+        nil.right = nil
+        nil.parent = nil
+        self._nil = nil
+        self._root = nil
+        self._unique = 0
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    # Size accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of unique keys in the tree."""
+        return self._unique
+
+    @property
+    def total(self) -> int:
+        """Total number of elements counting frequencies."""
+        return self._total
+
+    def __bool__(self) -> bool:
+        return self._unique > 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, key: float) -> int:
+        """Return the frequency of ``key`` (0 when absent)."""
+        node = self._find(key)
+        return node.count if node is not self._nil else 0
+
+    def __contains__(self, key: float) -> bool:
+        return self._find(key) is not self._nil
+
+    def min_key(self) -> float:
+        """Smallest key; raises ``KeyError`` on an empty tree."""
+        if self._root is self._nil:
+            raise KeyError("min_key() on empty tree")
+        return self._minimum(self._root).key
+
+    def max_key(self) -> float:
+        """Largest key; raises ``KeyError`` on an empty tree."""
+        if self._root is self._nil:
+            raise KeyError("max_key() on empty tree")
+        return self._maximum(self._root).key
+
+    def items(self) -> Iterator[Tuple[float, int]]:
+        """Yield ``(key, frequency)`` pairs in increasing key order.
+
+        Iterative in-order traversal; safe for the large sub-windows used in
+        benchmarks where recursion would exhaust the stack.
+        """
+        nil = self._nil
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not nil:
+            while node is not nil:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.count
+            node = node.right
+
+    def items_descending(self) -> Iterator[Tuple[float, int]]:
+        """Yield ``(key, frequency)`` pairs in decreasing key order."""
+        nil = self._nil
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not nil:
+            while node is not nil:
+                stack.append(node)
+                node = node.right
+            node = stack.pop()
+            yield node.key, node.count
+            node = node.left
+
+    def select(self, rank: int) -> float:
+        """Value at 1-based ``rank`` among all elements (with frequencies).
+
+        ``select(1)`` is the minimum, ``select(total)`` the maximum.
+        """
+        if rank < 1 or rank > self._total:
+            raise IndexError(f"rank {rank} out of range 1..{self._total}")
+        node = self._root
+        while True:
+            left_weight = node.left.weight
+            if rank <= left_weight:
+                node = node.left
+            elif rank <= left_weight + node.count:
+                return node.key
+            else:
+                rank -= left_weight + node.count
+                node = node.right
+
+    def rank_of(self, key: float) -> int:
+        """Number of elements strictly smaller than ``key``."""
+        node = self._root
+        nil = self._nil
+        below = 0
+        while node is not nil:
+            if key < node.key:
+                node = node.left
+            elif key > node.key:
+                below += node.left.weight + node.count
+                node = node.right
+            else:
+                return below + node.left.weight
+        return below
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, key: float, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``key`` (Accumulate)."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        nil = self._nil
+        parent = nil
+        node = self._root
+        while node is not nil:
+            parent = node
+            if key < node.key:
+                node = node.left
+            elif key > node.key:
+                node = node.right
+            else:
+                node.count += count
+                self._total += count
+                self._update_weights_upward(node)
+                return
+        fresh = _Node(key, count, nil)
+        fresh.parent = parent
+        if parent is nil:
+            self._root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        self._unique += 1
+        self._total += count
+        self._update_weights_upward(fresh)
+        self._insert_fixup(fresh)
+
+    def remove(self, key: float, count: int = 1) -> None:
+        """Drop ``count`` occurrences of ``key`` (Deaccumulate).
+
+        Deletes the node when its frequency reaches zero, as the Exact
+        baseline in Section 5.1 does.  Raises ``KeyError`` if the key is
+        absent or holds fewer than ``count`` occurrences.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        node = self._find(key)
+        if node is self._nil:
+            raise KeyError(key)
+        if node.count < count:
+            raise KeyError(f"key {key!r} has only {node.count} occurrences")
+        if node.count > count:
+            node.count -= count
+            self._total -= count
+            self._update_weights_upward(node)
+            return
+        self._total -= count
+        self._unique -= 1
+        self._delete_node(node)
+
+    def clear(self) -> None:
+        """Discard all entries."""
+        self._root = self._nil
+        self._unique = 0
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    # Internals — CLRS red-black machinery with weight maintenance
+    # ------------------------------------------------------------------
+    def _find(self, key: float) -> _Node:
+        node = self._root
+        nil = self._nil
+        while node is not nil:
+            if key < node.key:
+                node = node.left
+            elif key > node.key:
+                node = node.right
+            else:
+                return node
+        return nil
+
+    def _minimum(self, node: _Node) -> _Node:
+        while node.left is not self._nil:
+            node = node.left
+        return node
+
+    def _maximum(self, node: _Node) -> _Node:
+        while node.right is not self._nil:
+            node = node.right
+        return node
+
+    def _update_weights_upward(self, node: _Node) -> None:
+        nil = self._nil
+        while node is not nil:
+            node.weight = node.count + node.left.weight + node.right.weight
+            node = node.parent
+
+    def _rotate_left(self, x: _Node) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not self._nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+        y.weight = x.weight
+        x.weight = x.count + x.left.weight + x.right.weight
+
+    def _rotate_right(self, x: _Node) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not self._nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+        y.weight = x.weight
+        x.weight = x.count + x.left.weight + x.right.weight
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent.color == _RED:
+            grand = z.parent.parent
+            if z.parent is grand.left:
+                uncle = grand.right
+                if uncle.color == _RED:
+                    z.parent.color = _BLACK
+                    uncle.color = _BLACK
+                    grand.color = _RED
+                    z = grand
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = _BLACK
+                    z.parent.parent.color = _RED
+                    self._rotate_right(z.parent.parent)
+            else:
+                uncle = grand.left
+                if uncle.color == _RED:
+                    z.parent.color = _BLACK
+                    uncle.color = _BLACK
+                    grand.color = _RED
+                    z = grand
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = _BLACK
+                    z.parent.parent.color = _RED
+                    self._rotate_left(z.parent.parent)
+        self._root.color = _BLACK
+
+    def _transplant(self, u: _Node, v: _Node) -> None:
+        if u.parent is self._nil:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _delete_node(self, z: _Node) -> None:
+        nil = self._nil
+        y = z
+        y_original_color = y.color
+        if z.left is nil:
+            x = z.right
+            self._transplant(z, z.right)
+            fix_from: Optional[_Node] = x.parent
+        elif z.right is nil:
+            x = z.left
+            self._transplant(z, z.left)
+            fix_from = x.parent
+        else:
+            y = self._minimum(z.right)
+            y_original_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+                fix_from = y
+            else:
+                fix_from = y.parent
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        if fix_from is not None:
+            self._update_weights_upward(fix_from)
+        if y_original_color == _BLACK:
+            self._delete_fixup(x)
+
+    def _delete_fixup(self, x: _Node) -> None:
+        while x is not self._root and x.color == _BLACK:
+            if x is x.parent.left:
+                w = x.parent.right
+                if w.color == _RED:
+                    w.color = _BLACK
+                    x.parent.color = _RED
+                    self._rotate_left(x.parent)
+                    w = x.parent.right
+                if w.left.color == _BLACK and w.right.color == _BLACK:
+                    w.color = _RED
+                    x = x.parent
+                else:
+                    if w.right.color == _BLACK:
+                        w.left.color = _BLACK
+                        w.color = _RED
+                        self._rotate_right(w)
+                        w = x.parent.right
+                    w.color = x.parent.color
+                    x.parent.color = _BLACK
+                    w.right.color = _BLACK
+                    self._rotate_left(x.parent)
+                    x = self._root
+            else:
+                w = x.parent.left
+                if w.color == _RED:
+                    w.color = _BLACK
+                    x.parent.color = _RED
+                    self._rotate_right(x.parent)
+                    w = x.parent.left
+                if w.right.color == _BLACK and w.left.color == _BLACK:
+                    w.color = _RED
+                    x = x.parent
+                else:
+                    if w.left.color == _BLACK:
+                        w.right.color = _BLACK
+                        w.color = _RED
+                        self._rotate_left(w)
+                        w = x.parent.left
+                    w.color = x.parent.color
+                    x.parent.color = _BLACK
+                    w.left.color = _BLACK
+                    self._rotate_right(x.parent)
+                    x = self._root
+        x.color = _BLACK
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by tests; not on hot paths)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Validate red-black and weight invariants; raises ``AssertionError``.
+
+        Checks: root is black, no red node has a red child, every root-to-nil
+        path has the same black height, keys are strictly increasing in-order,
+        and every ``weight`` equals the subtree frequency sum.
+        """
+        nil = self._nil
+        if self._root.color != _BLACK:
+            raise AssertionError("root must be black")
+
+        def walk(node: _Node) -> Tuple[int, int]:
+            if node is nil:
+                return 1, 0
+            if node.color == _RED:
+                if node.left.color == _RED or node.right.color == _RED:
+                    raise AssertionError("red node with red child")
+            if node.left is not nil and node.left.key >= node.key:
+                raise AssertionError("left child key not smaller")
+            if node.right is not nil and node.right.key <= node.key:
+                raise AssertionError("right child key not larger")
+            lh, lw = walk(node.left)
+            rh, rw = walk(node.right)
+            if lh != rh:
+                raise AssertionError("black-height mismatch")
+            weight = lw + rw + node.count
+            if node.weight != weight:
+                raise AssertionError(
+                    f"weight mismatch at {node.key}: {node.weight} != {weight}"
+                )
+            return lh + (1 if node.color == _BLACK else 0), weight
+
+        _, total = walk(self._root)
+        if total != self._total:
+            raise AssertionError("total count mismatch")

@@ -1,0 +1,68 @@
+"""Uniform reservoir sampling (Vitter's Algorithm R).
+
+Used by the Random baseline (Luo et al. [21]) to keep a bounded uniform
+sample of a sub-window, and available as a general substrate utility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+
+class ReservoirSampler:
+    """Keep a uniform sample of at most ``capacity`` values from a stream.
+
+    Each offered value ends up in the reservoir with probability
+    ``capacity / seen`` after ``seen`` offers, independent of arrival order.
+    A seeded :class:`random.Random` can be injected for reproducibility.
+    """
+
+    __slots__ = ("_capacity", "_sample", "_seen", "_rng")
+
+    def __init__(
+        self,
+        capacity: int,
+        values: Iterable[float] = (),
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._sample: List[float] = []
+        self._seen = 0
+        self._rng = rng if rng is not None else random.Random()
+        for value in values:
+            self.offer(value)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained values."""
+        return self._capacity
+
+    @property
+    def seen(self) -> int:
+        """Number of values offered so far."""
+        return self._seen
+
+    def __len__(self) -> int:
+        return len(self._sample)
+
+    def offer(self, value: float) -> None:
+        """Offer one value to the reservoir."""
+        self._seen += 1
+        if len(self._sample) < self._capacity:
+            self._sample.append(value)
+            return
+        slot = self._rng.randrange(self._seen)
+        if slot < self._capacity:
+            self._sample[slot] = value
+
+    def values(self) -> List[float]:
+        """Copy of the current sample (unordered)."""
+        return list(self._sample)
+
+    def clear(self) -> None:
+        """Reset the reservoir and the seen counter."""
+        self._sample = []
+        self._seen = 0

@@ -1,0 +1,73 @@
+"""Bounded keeper of the k largest stream values.
+
+Few-k merging (Section 4) caches, per sub-window, the ``k`` largest raw
+values seen so far.  A min-heap of size ``k`` gives O(log k) per arrival and
+O(1) rejection of values below the current k-th largest, which is the common
+case on telemetry streams where tail values are rare.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List
+
+
+class TopKKeeper:
+    """Maintain the ``k`` largest values offered so far (with duplicates).
+
+    ``k = 0`` is a valid degenerate keeper that retains nothing, used when a
+    few-k pipeline is disabled for a quantile.
+    """
+
+    __slots__ = ("_k", "_heap")
+
+    def __init__(self, k: int, values: Iterable[float] = ()) -> None:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self._k = k
+        self._heap: List[float] = []
+        for value in values:
+            self.offer(value)
+
+    @property
+    def k(self) -> int:
+        """Capacity of the keeper."""
+        return self._k
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._heap)
+
+    def offer(self, value: float) -> bool:
+        """Consider ``value``; return True if it was retained."""
+        if self._k == 0:
+            return False
+        heap = self._heap
+        if len(heap) < self._k:
+            heapq.heappush(heap, value)
+            return True
+        if value <= heap[0]:
+            return False
+        heapq.heapreplace(heap, value)
+        return True
+
+    def threshold(self) -> float:
+        """Smallest retained value; raises ``IndexError`` when empty."""
+        if not self._heap:
+            raise IndexError("threshold() on empty keeper")
+        return self._heap[0]
+
+    def values_descending(self) -> List[float]:
+        """Retained values, largest first."""
+        return sorted(self._heap, reverse=True)
+
+    def merge(self, other: "TopKKeeper") -> None:
+        """Fold another keeper's retained values into this one."""
+        for value in other:
+            self.offer(value)
+
+    def clear(self) -> None:
+        """Drop all retained values (capacity unchanged)."""
+        self._heap = []

@@ -1,0 +1,37 @@
+"""Evaluation harness: metrics, runners and the paper's experiments.
+
+- :mod:`~repro.evalkit.metrics` — the paper's metrics (Section 5.1):
+  average relative value error, normalised rank error e', space in
+  variables.
+- :mod:`~repro.evalkit.runner` — drives any policy through the streaming
+  engine against the exact oracle and accumulates per-quantile errors.
+- :mod:`~repro.evalkit.throughput` — single-threaded elements/second.
+- :mod:`~repro.evalkit.reporting` — fixed-width/markdown table rendering.
+- :mod:`~repro.evalkit.experiments` — one module per paper table/figure;
+  see DESIGN.md §4 for the experiment index.
+- :mod:`~repro.evalkit.cli` — ``python -m repro <experiment>``.
+"""
+
+from repro.evalkit.metrics import (
+    ErrorAccumulator,
+    exact_quantile,
+    exact_quantiles,
+    rank_error,
+    relative_value_error,
+)
+from repro.evalkit.reporting import Table
+from repro.evalkit.runner import AccuracyReport, run_accuracy
+from repro.evalkit.throughput import ThroughputResult, measure_throughput
+
+__all__ = [
+    "AccuracyReport",
+    "ErrorAccumulator",
+    "Table",
+    "ThroughputResult",
+    "exact_quantile",
+    "exact_quantiles",
+    "measure_throughput",
+    "rank_error",
+    "relative_value_error",
+    "run_accuracy",
+]

@@ -1,0 +1,77 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro table1 --scale 0.25
+    python -m repro figure5 --seed 7
+    python -m repro all --scale 0.125
+    qlove-bench table4            # console-script alias
+
+``--scale`` multiplies the paper's window/period sizes (1.0 = paper
+size); smaller scales run proportionally faster with the same shapes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.evalkit.experiments import available_experiments, get_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="qlove-bench",
+        description="Regenerate the QLOVE paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=available_experiments() + ["all"],
+        help="experiment to run ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiplier on the paper's window/period sizes (default 1.0)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+    parser.add_argument(
+        "--markdown", action="store_true", help="render tables as markdown"
+    )
+    return parser
+
+
+def run_one(name: str, scale: float, seed: int, markdown: bool) -> None:
+    """Execute one experiment and print its report."""
+    runner = get_experiment(name)
+    started = time.perf_counter()
+    result = runner(scale=scale, seed=seed)
+    elapsed = time.perf_counter() - started
+    if markdown:
+        print(f"\n## {result.name}\n")
+        if result.notes:
+            print(result.notes + "\n")
+        for table in result.tables:
+            print(table.render_markdown())
+            print()
+    else:
+        print()
+        print(result.render())
+    print(f"\n[{name} completed in {elapsed:.1f}s]")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    names = available_experiments() if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_one(name, scale=args.scale, seed=args.seed, markdown=args.markdown)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

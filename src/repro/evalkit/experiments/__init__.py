@@ -1,0 +1,29 @@
+"""Experiment definitions: one module per paper table/figure.
+
+Each experiment exposes ``run(scale=1.0, seed=0, **overrides)`` returning
+an :class:`~repro.evalkit.experiments.common.ExperimentResult`.  ``scale``
+multiplies the paper's window/period/stream sizes so the same experiment
+runs full-size for EXPERIMENTS.md or quickly inside pytest benchmarks.
+
+Index (see DESIGN.md §4):
+
+========================  =====================================
+``figure1``               NetMon histogram (Figure 1)
+``table1``                accuracy + space, five policies (Table 1)
+``figure4``               throughput vs CMQS/Exact (Figure 4)
+``figure5``               scalability vs window size (Figure 5)
+``table2``                error vs period, no few-k (Table 2)
+``table3``                top-k merging fractions (Table 3)
+``table4``                sample-k under bursts (Table 4)
+``table5``                AR(1) non-i.i.d. robustness (Table 5)
+``redundancy``            low-precision throughput gain (§5.4)
+``pareto``                skewed-data value error (§5.4)
+``fewk_throughput``       few-k cache size vs throughput (§5.3)
+``ablation_backend``      dict vs red-black-tree Level-1 state
+========================  =====================================
+"""
+
+from repro.evalkit.experiments.common import ExperimentResult
+from repro.evalkit.experiments.registry import available_experiments, get_experiment
+
+__all__ = ["ExperimentResult", "available_experiments", "get_experiment"]

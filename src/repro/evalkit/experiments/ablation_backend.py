@@ -1,0 +1,83 @@
+"""Ablation: Level-1 state backend — dict fast path vs red-black tree.
+
+DESIGN.md §5.1: the paper's Level-1 state is a red-black tree; we provide
+an equivalent hash-map backend.  Results must be identical; throughput
+differs (CPython dicts vs pointer-chasing trees).  This ablation
+quantifies the gap so the backend choice in the headline benches is
+transparent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core import QLOVEConfig
+from repro.evalkit.experiments.common import (
+    QMONITOR_PHIS,
+    ExperimentResult,
+    describe_scale,
+    scaled,
+    stream_length,
+)
+from repro.evalkit.reporting import Table
+from repro.evalkit.runner import run_accuracy
+from repro.evalkit.throughput import measure_throughput
+from repro.sketches.registry import make_policy
+from repro.streaming.windows import CountWindow
+from repro.workloads import generate_netmon
+
+PAPER_WINDOW = 65_536
+PAPER_PERIOD = 8_192
+
+
+def run(scale: float = 1.0, seed: int = 0, evaluations: int = 16) -> ExperimentResult:
+    """Compare the two frequency-map backends on identical streams."""
+    period = scaled(PAPER_PERIOD, scale)
+    n_sub = max(2, scaled(PAPER_WINDOW, scale) // period)
+    window = CountWindow(size=n_sub * period, period=period)
+    values = generate_netmon(stream_length(window, evaluations), seed=seed)
+
+    table = Table(
+        f"Backend ablation (NetMon, window={window.size}, period={period})",
+        ["Backend", "M ev/s", "VE% Q0.999", "peak space"],
+    )
+    data: Dict[str, Dict[str, float]] = {}
+    estimates = {}
+    for backend in ("dict", "tree"):
+        config = QLOVEConfig(backend=backend)
+        throughput = measure_throughput(
+            lambda config=config: make_policy(
+                "qlove", QMONITOR_PHIS, window, config=config
+            ),
+            values,
+            window,
+        )
+        report = run_accuracy("qlove", values, window, QMONITOR_PHIS, config=config)
+        estimates[backend] = report
+        data[backend] = {
+            "throughput": throughput.million_events_per_second,
+            "value_error_999": report.errors.mean_value_error(0.999),
+            "space": report.observed_space,
+        }
+        table.add_row(
+            backend,
+            f"{throughput.million_events_per_second:.3f}",
+            f"{100 * report.errors.mean_value_error(0.999):.2f}",
+            str(report.observed_space),
+        )
+
+    identical = all(
+        abs(
+            estimates["dict"].errors.mean_value_error(phi)
+            - estimates["tree"].errors.mean_value_error(phi)
+        )
+        < 1e-12
+        for phi in QMONITOR_PHIS
+    )
+    notes = describe_scale(scale) + (
+        "\nBackends produce identical estimates: " + ("yes" if identical else "NO")
+    )
+    data["identical_results"] = identical
+    return ExperimentResult(
+        name="ablation_backend", tables=[table], data=data, notes=notes
+    )

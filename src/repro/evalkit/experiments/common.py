@@ -1,0 +1,75 @@
+"""Shared infrastructure for experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.evalkit.reporting import Table
+from repro.streaming.windows import CountWindow
+
+#: The paper's standard quantile set (the Qmonitor query).
+QMONITOR_PHIS = (0.5, 0.9, 0.99, 0.999)
+
+#: Paper-size anchors; experiments scale these down via the `scale` knob.
+PAPER_WINDOW = 131_072  # "128K"
+PAPER_PERIOD = 16_384  # "16K"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment produces.
+
+    ``tables`` render like the paper's tables; ``data`` holds the raw
+    numbers keyed by series name for programmatic checks (benchmarks and
+    EXPERIMENTS.md assertions); ``notes`` records scaling substitutions.
+    """
+
+    name: str
+    tables: List[Table] = field(default_factory=list)
+    data: Dict[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Full plain-text report."""
+        parts = [f"=== {self.name} ==="]
+        if self.notes:
+            parts.append(self.notes)
+        parts.extend(table.render() for table in self.tables)
+        return "\n\n".join(parts)
+
+
+def scaled(size: int, scale: float, minimum: int = 64) -> int:
+    """Scale a paper size, keeping it positive and round."""
+    return max(minimum, int(round(size * scale)))
+
+
+def scaled_window(window: int, period: int, scale: float) -> CountWindow:
+    """Scale a window/period pair, preserving integer sub-window alignment."""
+    p = scaled(period, scale)
+    n_sub = max(1, round(window / period))
+    return CountWindow(size=p * n_sub, period=p)
+
+
+def stream_length(window: CountWindow, evaluations: int) -> int:
+    """Elements needed for ``evaluations`` full-window query evaluations."""
+    if evaluations < 1:
+        raise ValueError("evaluations must be at least 1")
+    return window.size + (evaluations - 1) * window.period
+
+
+def percent(value: float, digits: int = 2) -> str:
+    """Format a fraction as the paper's percent cells."""
+    if value != value:
+        return "NA"
+    return f"{100.0 * value:.{digits}f}"
+
+
+def describe_scale(scale: float) -> str:
+    """Human note about the size substitution in play."""
+    if scale == 1.0:
+        return "Paper-size windows."
+    return (
+        f"Scaled reproduction: window/period sizes multiplied by {scale:g} "
+        "(pure-Python substrate; shapes and ratios are the comparison target)."
+    )

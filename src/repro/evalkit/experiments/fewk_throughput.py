@@ -1,0 +1,68 @@
+"""Section 5.3 few-k throughput study: cache fraction vs throughput.
+
+"With all entries cached (i.e., fraction of 1), we see 21.2% throughput
+penalty compared to QLOVE without few-k merging.  At a smaller fraction
+of 0.2 ... throughput penalty is recovered to 9.0%."  NetMon, 1K period
+(the paper's most resource-demanding query).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core import FewKConfig, QLOVEConfig
+from repro.evalkit.experiments.common import (
+    ExperimentResult,
+    describe_scale,
+    scaled,
+    stream_length,
+)
+from repro.evalkit.reporting import Table
+from repro.evalkit.throughput import measure_throughput
+from repro.sketches.registry import make_policy
+from repro.streaming.windows import CountWindow
+from repro.workloads import generate_netmon
+
+PAPER_WINDOW = 131_072
+PAPER_PERIOD = 1_024
+PHI = 0.999
+FRACTIONS = (0.2, 1.0)
+
+
+def run(scale: float = 1.0, seed: int = 0, evaluations: int = 30) -> ExperimentResult:
+    """Measure the few-k cache's throughput penalty."""
+    period = scaled(PAPER_PERIOD, scale)
+    n_sub = max(2, scaled(PAPER_WINDOW, scale) // period)
+    window = CountWindow(size=n_sub * period, period=period)
+    values = generate_netmon(stream_length(window, evaluations), seed=seed)
+
+    configs = [("none", QLOVEConfig())]
+    configs += [
+        (f"fraction {f}", QLOVEConfig(fewk=FewKConfig(topk_fraction=f)))
+        for f in FRACTIONS
+    ]
+    table = Table(
+        f"Few-k throughput (NetMon, window={window.size}, period={period}, "
+        f"Q{PHI})",
+        ["Few-k cache", "M ev/s", "penalty vs none"],
+    )
+    data: Dict[str, float] = {}
+    baseline = None
+    outcomes = []
+    for label, config in configs:
+        outcome = measure_throughput(
+            lambda config=config: make_policy("qlove", [0.5, PHI], window, config=config),
+            values,
+            window,
+        )
+        outcomes.append((label, outcome))
+        data[label] = outcome.million_events_per_second
+        if label == "none":
+            baseline = outcome.events_per_second
+    for label, outcome in outcomes:
+        penalty = 1.0 - outcome.events_per_second / baseline if baseline else float("nan")
+        table.add_row(label, f"{outcome.million_events_per_second:.3f}", f"{100 * penalty:.1f}%")
+
+    return ExperimentResult(
+        name="fewk_throughput", tables=[table], data=data, notes=describe_scale(scale)
+    )

@@ -1,0 +1,53 @@
+"""Experiment registry for the CLI and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.evalkit.experiments import (
+    ablation_backend,
+    fewk_throughput,
+    figure1,
+    figure4,
+    figure5,
+    pareto,
+    redundancy,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.evalkit.experiments.common import ExperimentResult
+
+ExperimentFn = Callable[..., ExperimentResult]
+
+_EXPERIMENTS: Dict[str, ExperimentFn] = {
+    "figure1": figure1.run,
+    "table1": table1.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "redundancy": redundancy.run,
+    "pareto": pareto.run,
+    "fewk_throughput": fewk_throughput.run,
+    "ablation_backend": ablation_backend.run,
+}
+
+
+def available_experiments() -> list[str]:
+    """Names accepted by :func:`get_experiment`."""
+    return sorted(_EXPERIMENTS)
+
+
+def get_experiment(name: str) -> ExperimentFn:
+    """Look up an experiment's ``run`` function by name."""
+    try:
+        return _EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; available: {available_experiments()}"
+        ) from None

@@ -1,0 +1,87 @@
+"""Table 1: accuracy and space of the five approximation algorithms.
+
+NetMon, 16K window period, 128K window size; QLOVE's few-k merging
+disabled (Section 5.2 compares the base algorithm); epsilon = 0.02 for
+CMQS / AM / Random and K = 12 for Moment, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.evalkit.experiments.common import (
+    PAPER_PERIOD,
+    PAPER_WINDOW,
+    QMONITOR_PHIS,
+    ExperimentResult,
+    describe_scale,
+    percent,
+    scaled_window,
+    stream_length,
+)
+from repro.evalkit.reporting import Table
+from repro.evalkit.runner import AccuracyReport, run_accuracy
+from repro.workloads import generate_netmon
+
+EPSILON = 0.02
+MOMENT_K = 12
+
+POLICY_PARAMS: Dict[str, Dict[str, object]] = {
+    "qlove": {},
+    "cmqs": {"epsilon": EPSILON},
+    "am": {"epsilon": EPSILON},
+    "random": {"epsilon": EPSILON, "seed": 0},
+    "moment": {"k": MOMENT_K},
+}
+
+
+def run(scale: float = 1.0, seed: int = 0, evaluations: int = 20) -> ExperimentResult:
+    """Regenerate Table 1."""
+    window = scaled_window(PAPER_WINDOW, PAPER_PERIOD, scale)
+    values = generate_netmon(stream_length(window, evaluations), seed=seed)
+
+    reports: Dict[str, AccuracyReport] = {}
+    for name, params in POLICY_PARAMS.items():
+        reports[name] = run_accuracy(name, values, window, QMONITOR_PHIS, **params)
+
+    table = Table(
+        f"Table 1: accuracy and space (NetMon, window={window.size}, "
+        f"period={window.period}, eps={EPSILON}, K={MOMENT_K})",
+        [
+            "Policy",
+            "e'Q0.5",
+            "e'Q0.9",
+            "e'Q0.99",
+            "e'Q0.999",
+            "VE%Q0.5",
+            "VE%Q0.9",
+            "VE%Q0.99",
+            "VE%Q0.999",
+            "Analytical",
+            "Observed",
+        ],
+    )
+    data: Dict[str, object] = {}
+    for name, report in reports.items():
+        table.add_row(
+            name.upper(),
+            *(f"{report.rank_error(phi):.4f}" for phi in QMONITOR_PHIS),
+            *(percent(report.errors.mean_value_error(phi)) for phi in QMONITOR_PHIS),
+            str(report.analytical_space) if report.analytical_space else "NA",
+            str(report.observed_space),
+        )
+        data[name] = {
+            "rank_error": {phi: report.rank_error(phi) for phi in QMONITOR_PHIS},
+            "value_error": {
+                phi: report.errors.mean_value_error(phi) for phi in QMONITOR_PHIS
+            },
+            "observed_space": report.observed_space,
+            "analytical_space": report.analytical_space,
+        }
+
+    return ExperimentResult(
+        name="table1",
+        tables=[table],
+        data=data,
+        notes=describe_scale(scale),
+    )

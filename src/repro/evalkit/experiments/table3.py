@@ -1,0 +1,75 @@
+"""Table 3: top-k merging — error (and space) vs cache fraction.
+
+NetMon, 128K window, Q0.999; per-sub-window top-k cache sized as a
+fraction of the exact-guarantee tail (the paper's 132 entries), swept
+over periods 8K..1K.  Shape: fraction 0.5 nearly optimal; fraction 0.1
+lands around the 5% error target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core import FewKConfig, QLOVEConfig
+from repro.evalkit.experiments.common import (
+    PAPER_WINDOW,
+    ExperimentResult,
+    describe_scale,
+    percent,
+    scaled,
+    stream_length,
+)
+from repro.evalkit.reporting import Table
+from repro.evalkit.runner import run_accuracy
+from repro.streaming.windows import CountWindow
+from repro.workloads import generate_netmon
+
+PAPER_PERIODS = (8_192, 4_096, 2_048, 1_024)
+FRACTIONS = (0.1, 0.5)
+PHI = 0.999
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 0,
+    evaluations: int = 16,
+    periods: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    """Regenerate Table 3 (plus a no-few-k reference row)."""
+    window_size = scaled(PAPER_WINDOW, scale)
+    period_list = [scaled(p, scale) for p in (periods or PAPER_PERIODS)]
+    table = Table(
+        f"Table 3: Q0.999 value error %% (and tail-cache space) by top-k "
+        f"fraction, window={window_size}",
+        ["Fraction"] + [str(p) for p in period_list],
+    )
+    data: Dict[object, Dict[int, Dict[str, float]]] = {}
+
+    def one_run(period: int, config: QLOVEConfig):
+        n_sub = max(1, window_size // period)
+        window = CountWindow(size=n_sub * period, period=period)
+        values = generate_netmon(stream_length(window, evaluations), seed=seed)
+        report = run_accuracy("qlove", values, window, [PHI], config=config)
+        if config.fewk is not None:
+            cache = config.fewk.resolve_kt(PHI, window) * window.subwindow_count
+        else:
+            cache = 0
+        return report.errors.mean_value_error(PHI), cache
+
+    rows = [("none", QLOVEConfig())]
+    rows += [
+        (fraction, QLOVEConfig(fewk=FewKConfig(topk_fraction=fraction)))
+        for fraction in FRACTIONS
+    ]
+    for label, config in rows:
+        cells = []
+        data[label] = {}
+        for period in period_list:
+            error, cache = one_run(period, config)
+            data[label][period] = {"error": error, "cache": cache}
+            cells.append(f"{percent(error)} ({cache:,})")
+        table.add_row(str(label), *cells)
+
+    return ExperimentResult(
+        name="table3", tables=[table], data=data, notes=describe_scale(scale)
+    )

@@ -1,0 +1,118 @@
+"""The paper's evaluation metrics (Section 5.1).
+
+- **Average relative value error** (%):
+  ``(1/n) sum |a_i - b_i| / b_i * 100`` over query evaluations, where
+  ``a_i`` is the estimate and ``b_i`` the exact value.
+- **Rank error** e': ``(1/n) sum |r - r'_i| / N`` where ``r`` is the exact
+  target rank and ``r'_i`` the rank of the returned value.
+- **Space**: number of variables held in memory (policies report this via
+  ``space_variables()`` / ``peak_space_variables()``).
+
+All exact quantiles use the paper's rank convention: the phi-quantile of N
+sorted elements is the element of 1-based rank ``ceil(phi N)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+
+def exact_quantile(values: Sequence[float], phi: float) -> float:
+    """Exact phi-quantile of ``values`` (rank ``ceil(phi N)``)."""
+    return exact_quantiles(values, [phi])[0]
+
+
+def exact_quantiles(values: Sequence[float], phis: Sequence[float]) -> List[float]:
+    """Exact quantiles of ``values`` for several phis (one sort)."""
+    ordered = np.sort(np.asarray(values, dtype=np.float64))
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("exact_quantiles() on empty data")
+    out = []
+    for phi in phis:
+        if not 0.0 < phi <= 1.0:
+            raise ValueError(f"phi must be in (0, 1], got {phi}")
+        rank = max(1, math.ceil(round(phi * n, 9)))
+        out.append(float(ordered[rank - 1]))
+    return out
+
+
+def relative_value_error(estimate: float, truth: float) -> float:
+    """``|a - b| / b`` (dimensionless; multiply by 100 for the paper's %)."""
+    if truth == 0.0:
+        raise ValueError("exact value is zero; relative error undefined")
+    return abs(estimate - truth) / abs(truth)
+
+
+def rank_error(sorted_window: np.ndarray, estimate: float, phi: float) -> float:
+    """Normalised rank distance ``|r - r'| / N`` of an estimate.
+
+    ``sorted_window`` must be sorted ascending.  When the estimate's value
+    occurs in the window, the closest matching rank is used (duplicates
+    give the estimate the benefit of the doubt, as the paper's e' does).
+    """
+    n = len(sorted_window)
+    if n == 0:
+        raise ValueError("rank_error() on empty window")
+    target = max(1, math.ceil(round(phi * n, 9)))
+    lo = int(np.searchsorted(sorted_window, estimate, side="left")) + 1
+    hi = int(np.searchsorted(sorted_window, estimate, side="right"))
+    if lo <= target <= hi:
+        return 0.0
+    distance = min(abs(target - lo), abs(target - hi))
+    return distance / n
+
+
+class ErrorAccumulator:
+    """Accumulates per-evaluation value and rank errors per quantile."""
+
+    def __init__(self, phis: Sequence[float]) -> None:
+        self.phis = tuple(phis)
+        self._value_errors: Dict[float, List[float]] = defaultdict(list)
+        self._rank_errors: Dict[float, List[float]] = defaultdict(list)
+        self.evaluations = 0
+
+    def observe(
+        self,
+        estimates: Mapping[float, float],
+        window_values: np.ndarray,
+    ) -> None:
+        """Record one query evaluation against the exact window content."""
+        ordered = np.sort(np.asarray(window_values, dtype=np.float64))
+        n = len(ordered)
+        self.evaluations += 1
+        for phi in self.phis:
+            rank = max(1, math.ceil(round(phi * n, 9)))
+            truth = float(ordered[rank - 1])
+            estimate = estimates[phi]
+            self._value_errors[phi].append(relative_value_error(estimate, truth))
+            self._rank_errors[phi].append(rank_error(ordered, estimate, phi))
+
+    def mean_value_error(self, phi: float) -> float:
+        """Average relative value error (fraction, not %)."""
+        errors = self._value_errors[phi]
+        if not errors:
+            return math.nan
+        return float(np.mean(errors))
+
+    def mean_rank_error(self, phi: float) -> float:
+        """Average normalised rank error e'."""
+        errors = self._rank_errors[phi]
+        if not errors:
+            return math.nan
+        return float(np.mean(errors))
+
+    def max_rank_error(self, phi: float) -> float:
+        """Worst normalised rank error across evaluations."""
+        errors = self._rank_errors[phi]
+        if not errors:
+            return math.nan
+        return float(np.max(errors))
+
+    def value_error_percent(self, phi: float) -> float:
+        """Average relative value error in percent (the paper's unit)."""
+        return 100.0 * self.mean_value_error(phi)

@@ -1,0 +1,77 @@
+"""Plain-text and markdown table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class Table:
+    """A fixed-width table mirroring the paper's result layout."""
+
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are stringified (floats pre-format upstream)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def _widths(self) -> List[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Aligned plain-text rendering."""
+        widths = self._widths()
+        lines = [self.title]
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Compact float formatting for table cells."""
+    if value != value:  # NaN
+        return "NA"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e16 or abs(value) < 10 ** (-digits - 1):
+        return f"{value:.{digits}e}"
+    return f"{value:,.{digits}f}"
+
+
+def ascii_histogram(
+    counts: Sequence[int], edges: Sequence[float], width: int = 50
+) -> str:
+    """Render histogram bin counts as horizontal ASCII bars (Figure 1)."""
+    if len(counts) + 1 != len(edges):
+        raise ValueError("edges must have one more entry than counts")
+    peak = max(counts) if counts else 1
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * max(0, round(width * count / peak)) if peak else ""
+        lines.append(f"{edges[i]:>10,.0f}-{edges[i + 1]:<10,.0f} |{bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Accuracy runner: drive a policy over a stream against the exact oracle.
+
+For every period boundary (after the first full window) the policy's
+estimates are compared with numpy-exact quantiles of the same window
+content; errors accumulate into an :class:`AccuracyReport` carrying the
+paper's three metric families (value error, rank error, space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.evalkit.metrics import ErrorAccumulator
+from repro.sketches.base import PolicyOperator, QuantilePolicy
+from repro.sketches.registry import make_policy
+from repro.streaming import Query, StreamEngine, value_stream
+from repro.streaming.windows import CountWindow
+
+
+@dataclass
+class AccuracyReport:
+    """Per-quantile accuracy and space of one policy run."""
+
+    policy: str
+    window: CountWindow
+    phis: tuple
+    errors: ErrorAccumulator
+    observed_space: int
+    analytical_space: Optional[int]
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def value_error_percent(self, phi: float) -> float:
+        """Average relative value error in %, as the paper reports."""
+        return self.errors.value_error_percent(phi)
+
+    def rank_error(self, phi: float) -> float:
+        """Average normalised rank error e'."""
+        return self.errors.mean_rank_error(phi)
+
+    @property
+    def evaluations(self) -> int:
+        """Number of query evaluations measured."""
+        return self.errors.evaluations
+
+
+def run_policy(
+    policy: QuantilePolicy,
+    values: np.ndarray,
+    window: CountWindow,
+) -> ErrorAccumulator:
+    """Stream ``values`` through ``policy`` and accumulate errors."""
+    accumulator = ErrorAccumulator(policy.phis)
+    query = (
+        Query(value_stream(values))
+        .windowed_by(window)
+        .aggregate(PolicyOperator(policy))
+    )
+    arr = np.asarray(values, dtype=np.float64)
+    for result in StreamEngine().run(query):
+        end = int(result.end)
+        accumulator.observe(result.result, arr[end - window.size : end])
+    return accumulator
+
+
+def run_accuracy(
+    policy_name: str,
+    values: np.ndarray,
+    window: CountWindow,
+    phis: Sequence[float],
+    **policy_params: object,
+) -> AccuracyReport:
+    """Build a policy by name, run it, and report accuracy and space."""
+    policy = make_policy(policy_name, phis, window, **policy_params)
+    errors = run_policy(policy, values, window)
+    analytical_params: Dict[str, object] = dict(policy_params)
+    if policy_name == "qlove":
+        analytical_params = {"num_phis": len(phis)}
+    try:
+        analytical = type(policy).analytical_space(window, **analytical_params)
+    except TypeError:
+        analytical = type(policy).analytical_space(window)
+    return AccuracyReport(
+        policy=policy_name,
+        window=window,
+        phis=policy.phis,
+        errors=errors,
+        observed_space=policy.peak_space_variables(),
+        analytical_space=analytical,
+        params=dict(policy_params),
+    )

@@ -1,0 +1,47 @@
+"""Sliding-window quantile policies: Exact and the four baselines.
+
+Every algorithm compared in Section 5 implements the same
+:class:`~repro.sketches.base.QuantilePolicy` lifecycle, driven by the
+streaming engine at sub-window granularity:
+
+- :class:`~repro.sketches.exact.ExactPolicy` — exact quantiles via a
+  frequency map with per-element deaccumulation (the paper's "Exact").
+- :class:`~repro.sketches.cmqs.CMQSPolicy` — Lin et al. 2004, a GK summary
+  per sub-window, combined at query time ("CMQS").
+- :class:`~repro.sketches.am.AMPolicy` — Arasu & Manku 2004, dyadic blocks
+  of GK summaries ("AM").
+- :class:`~repro.sketches.random_sketch.RandomPolicy` — sampling-based
+  sketch in the spirit of Luo et al. 2016 (KLL-style compactors,
+  "Random").
+- :class:`~repro.sketches.moments.MomentPolicy` — mergeable moment-based
+  sketch ("Moment").
+
+QLOVE itself lives in :mod:`repro.core` and registers into the same
+factory, so experiments can instantiate any policy by name via
+:func:`make_policy`.
+"""
+
+from repro.sketches.am import AMPolicy
+from repro.sketches.base import PolicyOperator, QuantilePolicy
+from repro.sketches.cmqs import CMQSPolicy
+from repro.sketches.exact import ExactPolicy
+from repro.sketches.gk import GKSummary
+from repro.sketches.kll import KLLSketch
+from repro.sketches.moments import MomentPolicy, MomentSolver
+from repro.sketches.random_sketch import RandomPolicy
+from repro.sketches.registry import available_policies, make_policy
+
+__all__ = [
+    "AMPolicy",
+    "CMQSPolicy",
+    "ExactPolicy",
+    "GKSummary",
+    "KLLSketch",
+    "MomentPolicy",
+    "MomentSolver",
+    "PolicyOperator",
+    "QuantilePolicy",
+    "RandomPolicy",
+    "available_policies",
+    "make_policy",
+]

@@ -1,0 +1,123 @@
+"""The common contract for sliding-window quantile policies.
+
+All policies in the paper's comparison (QLOVE, Exact, CMQS, AM, Random,
+Moment) answer a fixed set of quantiles over a count-based sliding window
+processed in period-aligned sub-windows.  :class:`QuantilePolicy` captures
+that lifecycle; :class:`PolicyOperator` adapts any policy to the streaming
+engine's :class:`~repro.streaming.operator.SubWindowOperator` so the same
+``Qmonitor``-style query can swap algorithms.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, Dict, Optional, Sequence
+
+from repro.streaming.event import Event
+from repro.streaming.operator import SubWindowOperator
+from repro.streaming.windows import CountWindow
+
+
+def validate_phis(phis: Sequence[float]) -> tuple[float, ...]:
+    """Check and canonicalise a quantile list (sorted, unique, in (0, 1])."""
+    if not phis:
+        raise ValueError("at least one quantile is required")
+    for phi in phis:
+        if not 0.0 < phi <= 1.0:
+            raise ValueError(f"phi must be in (0, 1], got {phi}")
+    unique = sorted(set(float(p) for p in phis))
+    return tuple(unique)
+
+
+class QuantilePolicy(ABC):
+    """A streaming algorithm answering fixed quantiles over a sliding window.
+
+    Lifecycle (driven once per element / period by the engine)::
+
+        accumulate(v) ... accumulate(v)    # elements of one sub-window
+        seal_subwindow()                   # period boundary
+        expire_subwindow()                 # oldest sub-window leaves window
+        query()                            # {phi: estimate}
+
+    Policies know the window shape at construction so they can size their
+    per-sub-window state (a point the paper stresses: the quantiles to
+    compute are fixed throughout the temporal window).
+    """
+
+    #: Short identifier used in experiment configs and reports.
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, phis: Sequence[float], window: CountWindow) -> None:
+        self.phis = validate_phis(phis)
+        self.window = window
+        self._peak_space = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def accumulate(self, value: float) -> None:
+        """Fold one element of the in-flight sub-window into the state."""
+
+    @abstractmethod
+    def seal_subwindow(self) -> None:
+        """Close the in-flight sub-window at a period boundary."""
+
+    @abstractmethod
+    def expire_subwindow(self) -> None:
+        """Drop the oldest sealed sub-window from the window state."""
+
+    @abstractmethod
+    def query(self) -> Dict[float, float]:
+        """Estimate every configured quantile for the current window."""
+
+    # ------------------------------------------------------------------
+    # Space accounting (paper metric: "number of variables")
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def space_variables(self) -> int:
+        """Observed number of stored variables right now."""
+
+    def record_space(self) -> None:
+        """Sample the current footprint into the peak tracker.
+
+        Policies call this at the top of ``seal_subwindow`` — the moment the
+        in-flight state is fullest — so ``peak_space_variables`` reflects the
+        footprint the paper's "Observed" space column measures.
+        """
+        space = self.space_variables()
+        if space > self._peak_space:
+            self._peak_space = space
+
+    def peak_space_variables(self) -> int:
+        """Largest footprint observed so far (at least the current one)."""
+        return max(self._peak_space, self.space_variables())
+
+    @classmethod
+    def analytical_space(cls, window: CountWindow, **params: float) -> Optional[int]:
+        """Theoretical space bound in variables; None when not defined."""
+        return None
+
+
+class PolicyOperator(SubWindowOperator[Dict[float, float]]):
+    """Adapter: run any :class:`QuantilePolicy` inside the streaming engine.
+
+    This is the ``Aggregate(c => c.Quantile(...))`` stage of the paper's
+    ``Qmonitor`` query; the result of each evaluation is the policy's
+    ``{phi: estimate}`` mapping.
+    """
+
+    def __init__(self, policy: QuantilePolicy) -> None:
+        self.policy = policy
+
+    def accumulate(self, event: Event) -> None:
+        self.policy.accumulate(event.value)
+
+    def seal_subwindow(self) -> None:
+        self.policy.seal_subwindow()
+
+    def expire_subwindow(self) -> None:
+        self.policy.expire_subwindow()
+
+    def compute_result(self) -> Dict[float, float]:
+        return self.policy.query()

@@ -1,0 +1,124 @@
+"""KLL-style compactor sketch: the randomized sampling building block.
+
+The "Random" baseline [21] (Luo et al., "Quantiles over Data Streams:
+Experimental Comparisons, New Analyses, and Further Improvements") bounds
+rank error with constant probability using random sampling.  We implement
+the compactor hierarchy that the modern form of that algorithm uses: level
+``h`` holds items each representing ``2^h`` stream elements; when a level
+overflows, a random half of its sorted items is promoted to the next
+level.  Expected rank error is O(n / k) with the capacity schedule below.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+
+class KLLSketch:
+    """Randomized mergeable quantile sketch (compactor hierarchy)."""
+
+    __slots__ = ("k", "_compactors", "_n", "_rng", "_max_size")
+
+    #: Capacity decay per level (top level has capacity k, lower levels
+    #: k * C^depth, never below 2), as in the KLL paper.
+    _DECAY = 2.0 / 3.0
+
+    def __init__(self, k: int, rng: Optional[random.Random] = None) -> None:
+        if k < 4:
+            raise ValueError(f"k must be at least 4, got {k}")
+        self.k = k
+        self._compactors: List[List[float]] = [[]]
+        self._n = 0
+        self._rng = rng if rng is not None else random.Random()
+        self._max_size = self._capacity_total()
+
+    # ------------------------------------------------------------------
+    # Size accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of stream elements summarised."""
+        return self._n
+
+    def item_count(self) -> int:
+        """Retained items across all levels."""
+        return sum(len(level) for level in self._compactors)
+
+    def space_variables(self) -> int:
+        """Stored variables: one value per retained item."""
+        return self.item_count()
+
+    def _capacity(self, level: int) -> int:
+        depth = len(self._compactors) - 1 - level
+        return max(2, int(math.ceil(self.k * (self._DECAY**depth))))
+
+    def _capacity_total(self) -> int:
+        return sum(self._capacity(h) for h in range(len(self._compactors)))
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, value: float) -> None:
+        """Add one element to the sketch."""
+        self._compactors[0].append(value)
+        self._n += 1
+        if self.item_count() > self._max_size:
+            self._compress()
+
+    def _compress(self) -> None:
+        for level, items in enumerate(self._compactors):
+            if len(items) > self._capacity(level):
+                if level + 1 == len(self._compactors):
+                    self._compactors.append([])
+                    self._max_size = self._capacity_total()
+                items.sort()
+                offset = self._rng.randrange(2)
+                promoted = items[offset::2]
+                self._compactors[level + 1].extend(promoted)
+                items.clear()
+                if self.item_count() <= self._max_size:
+                    return
+
+    def merge(self, other: "KLLSketch") -> None:
+        """Fold another sketch into this one (same-level concatenation)."""
+        while len(self._compactors) < len(other._compactors):
+            self._compactors.append([])
+            self._max_size = self._capacity_total()
+        for level, items in enumerate(other._compactors):
+            self._compactors[level].extend(items)
+        self._n += other._n
+        while self.item_count() > self._max_size:
+            before = self.item_count()
+            self._compress()
+            if self.item_count() == before:
+                break
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def weighted_items(self) -> List[Tuple[float, int]]:
+        """``(value, weight)`` pairs; weight of level ``h`` items is 2^h."""
+        out: List[Tuple[float, int]] = []
+        for level, items in enumerate(self._compactors):
+            weight = 1 << level
+            out.extend((value, weight) for value in items)
+        return out
+
+    def query(self, phi: float) -> float:
+        """Estimate the phi-quantile of the summarised stream."""
+        if not 0.0 < phi <= 1.0:
+            raise ValueError(f"phi must be in (0, 1], got {phi}")
+        if self._n == 0:
+            raise ValueError("query() on an empty sketch")
+        items = self.weighted_items()
+        items.sort(key=lambda pair: pair[0])
+        total = sum(weight for _, weight in items)
+        rank = max(1, math.ceil(phi * total))
+        running = 0
+        for value, weight in items:
+            running += weight
+            if running >= rank:
+                return value
+        return items[-1][0]

@@ -1,0 +1,372 @@
+"""Moment — the mergeable moment-based quantile sketch baseline.
+
+"Moment Sketch is an algorithm using mergeable moment-based quantile
+sketches to predict the original data distribution from moment statistics
+summary" (Section 5.1).  Each sub-window keeps ``(count, min, max,
+S_1..S_K)`` where ``S_j`` is the j-th power sum; window state is the
+element-wise sum of live sub-windows (trivially mergeable *and*
+deaccumulatable — the one baseline where sliding windows are cheap).
+
+Quantile inversion from moments is done by :class:`MomentSolver`:
+
+- ``"quadrature"`` (default): Golub–Welsch — build the Jacobi matrix from
+  standardized Hankel moments, take its eigen-decomposition to obtain a
+  discrete distribution with ~K/2 support points, and invert a
+  piecewise-linear CDF through those points.
+- ``"maxent"``: maximum-entropy density ``exp(sum_j lambda_j T_j(y))`` on
+  the standardized support, fit with damped Newton iterations (the method
+  the original Moment Sketch paper uses); falls back to quadrature when
+  the solve fails to converge.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sketches.base import QuantilePolicy
+from repro.streaming.windows import CountWindow
+
+
+class MomentState:
+    """Power-sum accumulator for one sub-window (or a whole window).
+
+    Keeps power sums of both the raw values and their natural logs (the
+    original Moment Sketch does the same): heavy-tailed telemetry spans
+    orders of magnitude, which crushes raw standardized moments into a
+    sliver of [-1, 1]; solving in log space restores conditioning.  Log
+    registers deactivate permanently if any non-positive value arrives.
+    """
+
+    __slots__ = ("k", "count", "minimum", "maximum", "sums", "log_sums", "log_valid")
+
+    def __init__(self, k: int) -> None:
+        if k < 2:
+            raise ValueError(f"k must be at least 2, got {k}")
+        self.k = k
+        self.count = 0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.sums = np.zeros(k, dtype=np.float64)
+        self.log_sums = np.zeros(k, dtype=np.float64)
+        self.log_valid = True
+
+    def add(self, value: float) -> None:
+        """Accumulate one element (powers computed iteratively)."""
+        self.count += 1
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        sums = self.sums
+        power = 1.0
+        for j in range(self.k):
+            power *= value
+            sums[j] += power
+        if self.log_valid:
+            if value <= 0.0:
+                self.log_valid = False
+            else:
+                log_value = math.log(value)
+                log_sums = self.log_sums
+                power = 1.0
+                for j in range(self.k):
+                    power *= log_value
+                    log_sums[j] += power
+
+    def add_batch(self, values: np.ndarray) -> None:
+        """Vectorised accumulation of many elements."""
+        if values.size == 0:
+            return
+        self.count += int(values.size)
+        self.minimum = min(self.minimum, float(values.min()))
+        self.maximum = max(self.maximum, float(values.max()))
+        power = np.ones_like(values, dtype=np.float64)
+        for j in range(self.k):
+            power = power * values
+            self.sums[j] += float(power.sum())
+        if self.log_valid:
+            if float(values.min()) <= 0.0:
+                self.log_valid = False
+            else:
+                logs = np.log(values)
+                power = np.ones_like(logs)
+                for j in range(self.k):
+                    power = power * logs
+                    self.log_sums[j] += float(power.sum())
+
+    def merge(self, other: "MomentState") -> None:
+        """Add another state's registers (mergeability)."""
+        self.count += other.count
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        self.sums += other.sums
+        self.log_sums += other.log_sums
+        self.log_valid = self.log_valid and other.log_valid
+
+    def log_view(self) -> "MomentState":
+        """A state whose *raw* registers are the log-domain registers."""
+        if not self.log_valid:
+            raise ValueError("log registers are invalid (non-positive values)")
+        view = MomentState(self.k)
+        view.count = self.count
+        view.minimum = math.log(self.minimum)
+        view.maximum = math.log(self.maximum)
+        view.sums = self.log_sums.copy()
+        view.log_valid = False
+        return view
+
+    def space_variables(self) -> int:
+        """count + min + max + K raw power sums + K log power sums."""
+        return 3 + 2 * self.k
+
+
+class MomentSolver:
+    """Invert quantiles from a power-sum summary."""
+
+    def __init__(self, method: str = "quadrature", grid_size: int = 512) -> None:
+        if method not in ("quadrature", "maxent"):
+            raise ValueError(f"unknown method {method!r}")
+        self.method = method
+        self.grid_size = grid_size
+
+    # ------------------------------------------------------------------
+    # Standardization
+    # ------------------------------------------------------------------
+    @staticmethod
+    def standardized_moments(state: MomentState, limit: Optional[int] = None) -> np.ndarray:
+        """Moments of y = (x - c) / s on [-1, 1]; returns [m_0..m_K].
+
+        Uses the binomial expansion of (x - c)^j over the raw power sums,
+        which keeps high-order moments numerically tame even when raw
+        values are in the thousands (telemetry microseconds).
+        """
+        k = state.k if limit is None else min(limit, state.k)
+        n = state.count
+        if n == 0:
+            raise ValueError("no data accumulated")
+        lo, hi = state.minimum, state.maximum
+        if hi == lo:
+            moments = np.zeros(k + 1)
+            moments[0] = 1.0
+            return moments
+        center = 0.5 * (hi + lo)
+        scale = 0.5 * (hi - lo)
+        raw = np.concatenate(([float(n)], state.sums[:k]))  # S_0..S_k
+        moments = np.empty(k + 1, dtype=np.float64)
+        moments[0] = 1.0
+        for j in range(1, k + 1):
+            acc = 0.0
+            for i in range(j + 1):
+                acc += math.comb(j, i) * raw[i] * (-center) ** (j - i)
+            moments[j] = acc / (n * scale**j)
+        return np.clip(moments, -1.0, 1.0)
+
+    # ------------------------------------------------------------------
+    # Quadrature path (Golub–Welsch)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _gauss_quadrature(moments: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Support points and weights of a discrete moment-matched law.
+
+        Returns nodes in standardized coordinates and probability weights.
+        Degrades the number of nodes until the Hankel matrix is positive
+        definite (discrete inputs with few distinct values need fewer
+        nodes than the moment budget allows).
+        """
+        max_p = (len(moments) - 1 + 1) // 2  # nodes p need moments m_0..m_{2p-1}
+        for p in range(max_p, 0, -1):
+            hankel = np.empty((p + 1, p + 1))
+            for i in range(p + 1):
+                for j in range(p + 1):
+                    idx = i + j
+                    hankel[i, j] = moments[idx] if idx < len(moments) else 0.0
+            try:
+                upper = np.linalg.cholesky(hankel).T
+            except np.linalg.LinAlgError:
+                # Exactly-p-atomic data makes the (p+1)x(p+1) matrix
+                # singular at the *correct* p; a tiny ridge recovers the
+                # atoms instead of degrading to fewer nodes.
+                ridge = 1e-10 * max(1.0, float(np.trace(hankel)))
+                try:
+                    upper = np.linalg.cholesky(hankel + ridge * np.eye(p + 1)).T
+                except np.linalg.LinAlgError:
+                    continue
+            if np.any(np.diag(upper) < 1e-12):
+                continue
+            alpha = np.empty(p)
+            beta = np.empty(max(0, p - 1))
+            for j in range(p):
+                term = upper[j, j + 1] / upper[j, j]
+                prev = upper[j - 1, j] / upper[j - 1, j - 1] if j > 0 else 0.0
+                alpha[j] = term - prev
+            for j in range(1, p):
+                beta[j - 1] = upper[j, j] / upper[j - 1, j - 1]
+            jacobi = np.diag(alpha)
+            if p > 1:
+                jacobi += np.diag(beta, 1) + np.diag(beta, -1)
+            nodes, vectors = np.linalg.eigh(jacobi)
+            weights = vectors[0, :] ** 2
+            weights = weights / weights.sum()
+            return nodes, weights
+        raise np.linalg.LinAlgError("no positive-definite Hankel truncation")
+
+    def _quantiles_quadrature(
+        self, state: MomentState, phis: Sequence[float]
+    ) -> List[float]:
+        moments = self.standardized_moments(state)
+        nodes, weights = self._gauss_quadrature(moments)
+        order = np.argsort(nodes)
+        nodes, weights = nodes[order], weights[order]
+        # Piecewise-linear CDF through the mass midpoints (mass w_i at node
+        # x_i contributes cum_{i-1} + w_i/2 there), anchored at the true
+        # extremes — the standard inversion for an atomic moment match.
+        cumulative = np.cumsum(weights)
+        midpoints = cumulative - weights / 2.0
+        xs = np.concatenate(([-1.0], nodes, [1.0]))
+        cdf = np.concatenate(([0.0], midpoints, [1.0]))
+        cdf = np.maximum.accumulate(cdf)
+        center = 0.5 * (state.maximum + state.minimum)
+        scale = 0.5 * (state.maximum - state.minimum)
+        out = []
+        for phi in phis:
+            y = float(np.interp(phi, cdf, xs))
+            out.append(center + scale * y)
+        return out
+
+    # ------------------------------------------------------------------
+    # Maximum-entropy path
+    # ------------------------------------------------------------------
+    def _quantiles_maxent(self, state: MomentState, phis: Sequence[float]) -> List[float]:
+        moments = self.standardized_moments(state)
+        k = len(moments) - 1
+        grid = np.linspace(-1.0, 1.0, self.grid_size)
+        dy = grid[1] - grid[0]
+        # Chebyshev basis values on the grid and target Chebyshev moments.
+        basis = np.polynomial.chebyshev.chebvander(grid, k)  # (G, k+1)
+        power_vander = np.vander(grid, k + 1, increasing=True)
+        # Solve for the power->chebyshev change of basis via least squares on
+        # the grid (exact for polynomials of degree <= k).
+        transform, *_ = np.linalg.lstsq(power_vander, basis, rcond=None)
+        targets = moments @ transform  # E[T_j(y)] for j = 0..k
+        lam = np.zeros(k + 1)
+        lam[0] = math.log(0.5)  # start from the uniform density on [-1, 1]
+        converged = False
+        for _ in range(60):
+            density = np.exp(np.clip(basis @ lam, -700, 700))
+            estimate = (basis * (density * dy)[:, None]).sum(axis=0)
+            gradient = estimate - targets
+            if np.max(np.abs(gradient)) < 1e-9:
+                converged = True
+                break
+            hessian = basis.T @ (basis * (density * dy)[:, None])
+            hessian += 1e-10 * np.eye(k + 1)
+            try:
+                step = np.linalg.solve(hessian, gradient)
+            except np.linalg.LinAlgError:
+                break
+            max_step = np.max(np.abs(step))
+            if max_step > 3.0:
+                step *= 3.0 / max_step  # damping
+            lam -= step
+            if not np.all(np.isfinite(lam)):
+                break
+        if not converged:
+            return self._quantiles_quadrature(state, phis)
+        density = np.exp(np.clip(basis @ lam, -700, 700))
+        cdf = np.cumsum(density) * dy
+        if cdf[-1] <= 0 or not np.all(np.isfinite(cdf)):
+            return self._quantiles_quadrature(state, phis)
+        cdf /= cdf[-1]
+        center = 0.5 * (state.maximum + state.minimum)
+        scale = 0.5 * (state.maximum - state.minimum)
+        out = []
+        for phi in phis:
+            y = float(np.interp(phi, cdf, grid))
+            out.append(center + scale * y)
+        return out
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    #: Dynamic range beyond which the log domain conditions better.
+    _LOG_DOMAIN_RATIO = 100.0
+
+    def quantiles(self, state: MomentState, phis: Sequence[float]) -> List[float]:
+        """Estimate quantiles; falls back to (min, mean, max) interpolation."""
+        if state.count == 0:
+            raise ValueError("quantiles() on an empty state")
+        if state.maximum == state.minimum:
+            return [state.minimum for _ in phis]
+        use_log = (
+            state.log_valid
+            and state.minimum > 0.0
+            and state.maximum / state.minimum > self._LOG_DOMAIN_RATIO
+        )
+        solve_state = state.log_view() if use_log else state
+        try:
+            if self.method == "maxent":
+                solved = self._quantiles_maxent(solve_state, phis)
+            else:
+                solved = self._quantiles_quadrature(solve_state, phis)
+        except np.linalg.LinAlgError:
+            # Last resort: linear CDF between the known extremes.
+            lo, hi = state.minimum, state.maximum
+            return [lo + phi * (hi - lo) for phi in phis]
+        if use_log:
+            return [float(np.exp(v)) for v in solved]
+        return solved
+
+
+class MomentPolicy(QuantilePolicy):
+    """Moment sketch per sub-window; window state is the register sum."""
+
+    name = "moment"
+
+    def __init__(
+        self,
+        phis: Sequence[float],
+        window: CountWindow,
+        k: int = 12,
+        method: str = "maxent",
+    ) -> None:
+        super().__init__(phis, window)
+        self.k = k
+        self._solver = MomentSolver(method=method)
+        self._in_flight = MomentState(k)
+        self._sealed: Deque[MomentState] = deque()
+
+    def accumulate(self, value: float) -> None:
+        self._in_flight.add(value)
+
+    def seal_subwindow(self) -> None:
+        self.record_space()
+        self._sealed.append(self._in_flight)
+        self._in_flight = MomentState(self.k)
+
+    def expire_subwindow(self) -> None:
+        if not self._sealed:
+            raise RuntimeError("expire_subwindow() with no sealed sub-window")
+        self._sealed.popleft()
+
+    def query(self) -> Dict[float, float]:
+        if not self._sealed:
+            raise ValueError("query() before any sealed sub-window")
+        window_state = MomentState(self.k)
+        for state in self._sealed:
+            window_state.merge(state)
+        values = self._solver.quantiles(window_state, self.phis)
+        return dict(zip(self.phis, values))
+
+    def space_variables(self) -> int:
+        # Every state costs the same (3 + 2k), so no per-state walk needed.
+        return (len(self._sealed) + 1) * self._in_flight.space_variables()
+
+    @classmethod
+    def analytical_space(
+        cls, window: CountWindow, k: int = 12, **params: float
+    ) -> Optional[int]:
+        return (3 + 2 * k) * window.subwindow_count

@@ -1,0 +1,93 @@
+"""Random — the sampling-based sliding-window baseline (Luo et al. [21]).
+
+One randomized :class:`~repro.sketches.kll.KLLSketch` is built per
+sub-window; expired sub-windows drop their sketch wholesale and a window
+query merges the weighted items of the live sketches.  Rank error is
+bounded by ``eps * N`` with constant probability, matching the paper's
+description of Random as "a state of the art using sampling to bound rank
+error with constant probabilities".
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.sketches.base import QuantilePolicy
+from repro.sketches.gk import interpolated_rank_value
+from repro.sketches.kll import KLLSketch
+from repro.streaming.windows import CountWindow
+
+
+def _k_for_epsilon(epsilon: float) -> int:
+    """Compactor capacity delivering ~epsilon expected rank error.
+
+    KLL's expected rank error is ~ c / k with c around 1; doubling gives
+    headroom so empirical error stays below epsilon with good probability.
+    """
+    return max(8, int(math.ceil(2.0 / epsilon)))
+
+
+class RandomPolicy(QuantilePolicy):
+    """Per-sub-window KLL sketches combined at query time."""
+
+    name = "random"
+
+    def __init__(
+        self,
+        phis: Sequence[float],
+        window: CountWindow,
+        epsilon: float = 0.02,
+        seed: Optional[int] = 0,
+    ) -> None:
+        super().__init__(phis, window)
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self._k = _k_for_epsilon(epsilon)
+        self._rng = random.Random(seed)
+        self._in_flight = KLLSketch(self._k, rng=self._rng)
+        self._sealed: Deque[KLLSketch] = deque()
+        self._sealed_space = 0
+
+    def accumulate(self, value: float) -> None:
+        self._in_flight.insert(value)
+
+    def seal_subwindow(self) -> None:
+        self.record_space()
+        self._sealed.append(self._in_flight)
+        self._sealed_space += self._in_flight.space_variables()
+        self._in_flight = KLLSketch(self._k, rng=self._rng)
+
+    def expire_subwindow(self) -> None:
+        if not self._sealed:
+            raise RuntimeError("expire_subwindow() with no sealed sub-window")
+        self._sealed_space -= self._sealed.popleft().space_variables()
+
+    def query(self) -> Dict[float, float]:
+        if not self._sealed:
+            raise ValueError("query() before any sealed sub-window")
+        items: List[Tuple[float, int]] = []
+        for sketch in self._sealed:
+            items.extend(sketch.weighted_items())
+        items.sort(key=lambda pair: pair[0])
+        weight_total = sum(weight for _, weight in items)
+        results: Dict[float, float] = {}
+        for phi in self.phis:
+            rank = max(1, math.ceil(round(phi * weight_total, 9)))
+            results[phi] = interpolated_rank_value(items, rank)
+        return results
+
+    def space_variables(self) -> int:
+        return self._sealed_space + self._in_flight.space_variables()
+
+    @classmethod
+    def analytical_space(
+        cls, window: CountWindow, epsilon: float = 0.02, **params: float
+    ) -> Optional[int]:
+        """Sum over sub-windows of the KLL capacity schedule (~3k per sketch)."""
+        k = _k_for_epsilon(epsilon)
+        per_sketch = int(math.ceil(3 * k))
+        return per_sketch * window.subwindow_count

@@ -1,0 +1,65 @@
+"""Policy factory: instantiate any compared algorithm by name.
+
+Experiments and benchmarks refer to policies by the names used in the
+paper's tables: ``qlove``, ``exact``, ``cmqs``, ``am``, ``random``,
+``moment``.  QLOVE lives in :mod:`repro.core` and is imported lazily to
+keep the dependency direction core -> sketches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.sketches.am import AMPolicy
+from repro.sketches.base import QuantilePolicy
+from repro.sketches.cmqs import CMQSPolicy
+from repro.sketches.exact import ExactPolicy
+from repro.sketches.moments import MomentPolicy
+from repro.sketches.random_sketch import RandomPolicy
+from repro.streaming.windows import CountWindow
+
+PolicyFactory = Callable[..., QuantilePolicy]
+
+
+def _qlove_factory(
+    phis: Sequence[float], window: CountWindow, **params: object
+) -> QuantilePolicy:
+    from repro.core.qlove import QLOVEPolicy
+
+    return QLOVEPolicy(phis, window, **params)  # type: ignore[arg-type]
+
+
+_REGISTRY: Dict[str, PolicyFactory] = {
+    "exact": ExactPolicy,
+    "cmqs": CMQSPolicy,
+    "am": AMPolicy,
+    "random": RandomPolicy,
+    "moment": MomentPolicy,
+    "qlove": _qlove_factory,
+}
+
+
+def available_policies() -> list[str]:
+    """Names accepted by :func:`make_policy`."""
+    return sorted(_REGISTRY)
+
+
+def make_policy(
+    name: str,
+    phis: Sequence[float],
+    window: CountWindow,
+    **params: object,
+) -> QuantilePolicy:
+    """Instantiate a policy by its paper name with algorithm parameters.
+
+    ``params`` are forwarded to the policy constructor (e.g.
+    ``epsilon=0.02`` for CMQS/AM/Random, ``k=12`` for Moment, few-k
+    settings for QLOVE).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        ) from None
+    return factory(phis, window, **params)

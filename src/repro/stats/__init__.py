@@ -1,0 +1,18 @@
+"""Statistical utilities implemented from scratch.
+
+- :mod:`~repro.stats.normal` — standard-normal CDF/PPF used by the CLT
+  error bound (Theorem 1).
+- :mod:`~repro.stats.mannwhitney` — the Mann–Whitney U test [22] used by
+  QLOVE's burst detector (Section 4.3).
+"""
+
+from repro.stats.mannwhitney import MannWhitneyResult, mann_whitney_u
+from repro.stats.normal import normal_cdf, normal_pdf, normal_ppf
+
+__all__ = [
+    "MannWhitneyResult",
+    "mann_whitney_u",
+    "normal_cdf",
+    "normal_pdf",
+    "normal_ppf",
+]

@@ -1,0 +1,96 @@
+"""Mann–Whitney U test — "a test of whether one of two random variables is
+stochastically larger than the other" [22].
+
+QLOVE's burst detector (Section 4.3) asks whether the sampled largest
+values of the current sub-window are stochastically larger than those of
+the previous sub-window.  We implement the rank-sum form with midrank tie
+handling and the normal approximation with tie correction, which is
+appropriate for the sample sizes few-k produces (tens of values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.stats.normal import normal_cdf
+
+_ALTERNATIVES = ("two-sided", "greater", "less")
+
+
+@dataclass(frozen=True, slots=True)
+class MannWhitneyResult:
+    """Outcome of a Mann–Whitney U test."""
+
+    u_statistic: float  # U of the first sample
+    z_score: float
+    p_value: float
+
+    def rejects_at(self, alpha: float) -> bool:
+        """True when the null (no stochastic ordering) is rejected."""
+        return self.p_value < alpha
+
+
+def _midranks(pooled: Sequence[float]) -> tuple[list[float], float]:
+    """Midranks of the pooled sample and the tie-correction sum T.
+
+    T = sum over tie groups of (t^3 - t), used in the variance correction.
+    """
+    order = sorted(range(len(pooled)), key=lambda i: pooled[i])
+    ranks = [0.0] * len(pooled)
+    tie_sum = 0.0
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and pooled[order[j + 1]] == pooled[order[i]]:
+            j += 1
+        midrank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = midrank
+        t = j - i + 1
+        if t > 1:
+            tie_sum += t**3 - t
+        i = j + 1
+    return ranks, tie_sum
+
+
+def mann_whitney_u(
+    x: Sequence[float],
+    y: Sequence[float],
+    alternative: str = "greater",
+) -> MannWhitneyResult:
+    """Test whether ``x`` is stochastically larger than ``y``.
+
+    ``alternative="greater"`` (the burst-detection direction) rejects when
+    x's values tend to exceed y's.  Uses the normal approximation with tie
+    correction and a 0.5 continuity correction.
+    """
+    if alternative not in _ALTERNATIVES:
+        raise ValueError(f"alternative must be one of {_ALTERNATIVES}")
+    n1, n2 = len(x), len(y)
+    if n1 == 0 or n2 == 0:
+        raise ValueError("both samples must be non-empty")
+    pooled = list(x) + list(y)
+    ranks, tie_sum = _midranks(pooled)
+    rank_sum_x = sum(ranks[:n1])
+    u_x = rank_sum_x - n1 * (n1 + 1) / 2.0
+    mean_u = n1 * n2 / 2.0
+    n = n1 + n2
+    variance = n1 * n2 / 12.0 * ((n + 1) - tie_sum / (n * (n - 1)))
+    if variance <= 0.0:
+        # All pooled values identical: no evidence of any ordering.
+        return MannWhitneyResult(u_statistic=u_x, z_score=0.0, p_value=1.0)
+    sd = variance**0.5
+    if alternative == "greater":
+        z = (u_x - mean_u - 0.5) / sd
+        p = 1.0 - normal_cdf(z)
+    elif alternative == "less":
+        z = (u_x - mean_u + 0.5) / sd
+        p = normal_cdf(z)
+    else:
+        z = (u_x - mean_u) / sd
+        shift = 0.5 if z < 0 else -0.5
+        z_corrected = (u_x - mean_u + shift) / sd
+        p = 2.0 * (1.0 - normal_cdf(abs(z_corrected)))
+        p = min(1.0, p)
+    return MannWhitneyResult(u_statistic=u_x, z_score=z, p_value=p)

@@ -1,0 +1,55 @@
+"""A Trill-like incremental streaming engine (Section 2 of the paper).
+
+The paper implements QLOVE inside the Trill streaming analytics engine; the
+only properties it relies on are (i) the incremental-evaluation operator
+contract ``InitialState / Accumulate / Deaccumulate / ComputeResult`` and
+(ii) count- or time-based tumbling and sliding windows evaluated once per
+period.  This subpackage provides exactly that contract:
+
+- :mod:`~repro.streaming.event` — timestamped stream elements.
+- :mod:`~repro.streaming.windows` — tumbling/sliding window specifications.
+- :mod:`~repro.streaming.operator` — the operator ABCs (per-element and
+  sub-window-granular).
+- :mod:`~repro.streaming.aggregates` — reference operators (count, sum,
+  mean, min/max, variance) including the paper's running-average example.
+- :mod:`~repro.streaming.query` — LINQ-like query builder
+  (``window().where().select().aggregate()``).
+- :mod:`~repro.streaming.engine` — the single-threaded execution loop.
+- :mod:`~repro.streaming.sources` — adapters turning arrays/iterables into
+  event streams.
+"""
+
+from repro.streaming.aggregates import (
+    CountOperator,
+    MaxOperator,
+    MeanOperator,
+    MinOperator,
+    SumOperator,
+    VarianceOperator,
+)
+from repro.streaming.engine import StreamEngine, WindowResult
+from repro.streaming.event import Event
+from repro.streaming.operator import IncrementalOperator, SubWindowOperator
+from repro.streaming.query import Query
+from repro.streaming.sources import events_from_values, merge_sources, value_stream
+from repro.streaming.windows import CountWindow, TimeWindow
+
+__all__ = [
+    "CountOperator",
+    "CountWindow",
+    "Event",
+    "IncrementalOperator",
+    "MaxOperator",
+    "MeanOperator",
+    "MinOperator",
+    "Query",
+    "StreamEngine",
+    "SubWindowOperator",
+    "SumOperator",
+    "TimeWindow",
+    "VarianceOperator",
+    "WindowResult",
+    "events_from_values",
+    "merge_sources",
+    "value_stream",
+]

@@ -1,0 +1,176 @@
+"""Reference incremental operators.
+
+These exercise the :class:`~repro.streaming.operator.IncrementalOperator`
+contract and give downstream users the usual aggregation vocabulary.  The
+``MeanOperator`` is the paper's worked example (Section 2)::
+
+    InitialState: () => S = {Count: 0, Sum: 0}
+    Accumulate:   (S, E) => {S.Count + 1, S.Sum + E.Value}
+    Deaccumulate: (S, E) => {S.Count - 1, S.Sum - E.Value}
+    ComputeResult: S => S.Sum / S.Count
+
+Min/Max cannot be deaccumulated from constant state (removing the current
+minimum requires knowing the runner-up), so they keep a frequency map — the
+same trick the Exact quantile baseline uses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.datastructures import FrequencyMap, make_frequency_map
+from repro.streaming.event import Event
+from repro.streaming.operator import IncrementalOperator
+
+
+@dataclass(slots=True)
+class _CountState:
+    count: int = 0
+
+
+class CountOperator(IncrementalOperator[_CountState, int]):
+    """Number of events in the window."""
+
+    def initial_state(self) -> _CountState:
+        return _CountState()
+
+    def accumulate(self, state: _CountState, event: Event) -> _CountState:
+        state.count += 1
+        return state
+
+    def deaccumulate(self, state: _CountState, event: Event) -> _CountState:
+        state.count -= 1
+        return state
+
+    def compute_result(self, state: _CountState) -> int:
+        return state.count
+
+
+@dataclass(slots=True)
+class _SumState:
+    total: float = 0.0
+
+
+class SumOperator(IncrementalOperator[_SumState, float]):
+    """Sum of event values in the window."""
+
+    def initial_state(self) -> _SumState:
+        return _SumState()
+
+    def accumulate(self, state: _SumState, event: Event) -> _SumState:
+        state.total += event.value
+        return state
+
+    def deaccumulate(self, state: _SumState, event: Event) -> _SumState:
+        state.total -= event.value
+        return state
+
+    def compute_result(self, state: _SumState) -> float:
+        return state.total
+
+
+@dataclass(slots=True)
+class _MeanState:
+    count: int = 0
+    total: float = 0.0
+
+
+class MeanOperator(IncrementalOperator[_MeanState, float]):
+    """Arithmetic mean — the incremental-evaluation example of Section 2."""
+
+    def initial_state(self) -> _MeanState:
+        return _MeanState()
+
+    def accumulate(self, state: _MeanState, event: Event) -> _MeanState:
+        state.count += 1
+        state.total += event.value
+        return state
+
+    def deaccumulate(self, state: _MeanState, event: Event) -> _MeanState:
+        state.count -= 1
+        state.total -= event.value
+        return state
+
+    def compute_result(self, state: _MeanState) -> float:
+        if state.count == 0:
+            return math.nan
+        return state.total / state.count
+
+
+@dataclass(slots=True)
+class _VarianceState:
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+
+
+class VarianceOperator(IncrementalOperator[_VarianceState, float]):
+    """Population variance via deaccumulatable power sums."""
+
+    def initial_state(self) -> _VarianceState:
+        return _VarianceState()
+
+    def accumulate(self, state: _VarianceState, event: Event) -> _VarianceState:
+        state.count += 1
+        state.total += event.value
+        state.total_sq += event.value * event.value
+        return state
+
+    def deaccumulate(self, state: _VarianceState, event: Event) -> _VarianceState:
+        state.count -= 1
+        state.total -= event.value
+        state.total_sq -= event.value * event.value
+        return state
+
+    def compute_result(self, state: _VarianceState) -> float:
+        if state.count == 0:
+            return math.nan
+        mean = state.total / state.count
+        # Guard tiny negative values from floating-point cancellation.
+        return max(0.0, state.total_sq / state.count - mean * mean)
+
+
+@dataclass(slots=True)
+class _ExtremumState:
+    values: FrequencyMap = field(default_factory=lambda: make_frequency_map("dict"))
+
+
+class MinOperator(IncrementalOperator[_ExtremumState, float]):
+    """Minimum over the window, deaccumulatable via a frequency map."""
+
+    def initial_state(self) -> _ExtremumState:
+        return _ExtremumState()
+
+    def accumulate(self, state: _ExtremumState, event: Event) -> _ExtremumState:
+        state.values.add(event.value)
+        return state
+
+    def deaccumulate(self, state: _ExtremumState, event: Event) -> _ExtremumState:
+        state.values.discard(event.value)
+        return state
+
+    def compute_result(self, state: _ExtremumState) -> float:
+        if state.values.total == 0:
+            return math.nan
+        return next(iter(state.values.items_sorted()))[0]
+
+
+class MaxOperator(IncrementalOperator[_ExtremumState, float]):
+    """Maximum over the window, deaccumulatable via a frequency map."""
+
+    def initial_state(self) -> _ExtremumState:
+        return _ExtremumState()
+
+    def accumulate(self, state: _ExtremumState, event: Event) -> _ExtremumState:
+        state.values.add(event.value)
+        return state
+
+    def deaccumulate(self, state: _ExtremumState, event: Event) -> _ExtremumState:
+        state.values.discard(event.value)
+        return state
+
+    def compute_result(self, state: _ExtremumState) -> float:
+        if state.values.total == 0:
+            return math.nan
+        return next(iter(state.values.items_descending()))[0]

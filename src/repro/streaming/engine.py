@@ -1,0 +1,253 @@
+"""Single-threaded execution loop for streaming queries.
+
+The engine drives events from a query's source through its ``where`` /
+``select`` stages into the aggregation operator, evaluating once per window
+period.  It implements the incremental-evaluation semantics of Section 2:
+
+- **Tumbling windows** never call ``deaccumulate``: state is discarded and
+  rebuilt each period ("the query accumulates all data of a period on an
+  initialized state, computes a result, and simply discards the state").
+- **Sliding windows** with a per-element operator keep the in-window events
+  buffered so each expiring element can be deaccumulated.
+- **Sub-window operators** (QLOVE and the sketch baselines) are driven at
+  sub-window granularity: the engine never buffers raw events for them, it
+  only signals period boundaries (``seal_subwindow``) and window slides
+  (``expire_subwindow``) — this is precisely where QLOVE's throughput
+  advantage over per-element deaccumulation comes from.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Generic, Iterable, Iterator, Optional, TypeVar, Union
+
+from repro.streaming.event import Event
+from repro.streaming.operator import IncrementalOperator, SubWindowOperator
+from repro.streaming.query import Query
+from repro.streaming.windows import CountWindow, TimeWindow
+
+R = TypeVar("R")
+
+
+@dataclass(frozen=True, slots=True)
+class WindowResult(Generic[R]):
+    """One query evaluation.
+
+    ``index`` numbers evaluations from 0; ``window_count`` is the number of
+    (post-filter) elements the evaluation saw; ``end`` is the position (for
+    count windows) or timestamp (for time windows) of the window's end.
+    """
+
+    index: int
+    window_count: int
+    end: float
+    result: R
+
+
+class StreamEngine:
+    """Executes :class:`~repro.streaming.query.Query` objects.
+
+    Parameters
+    ----------
+    emit_partial:
+        When True, evaluations are also emitted while the very first window
+        is still filling (the paper's plots measure steady state, so the
+        default is False: the first emission happens once a full window of
+        elements has been seen).
+    """
+
+    def __init__(self, emit_partial: bool = False) -> None:
+        self._emit_partial = emit_partial
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, query: Query) -> Iterator[WindowResult]:
+        """Lazily evaluate ``query``, yielding one result per period."""
+        query = query.validated()
+        spec = query.window_spec
+        operator = query.operator
+        if isinstance(spec, CountWindow):
+            if isinstance(operator, SubWindowOperator):
+                return self._run_count_subwindow(query, spec, operator)
+            return self._run_count_incremental(query, spec, operator)
+        if isinstance(spec, TimeWindow):
+            if isinstance(operator, SubWindowOperator):
+                return self._run_time_subwindow(query, spec, operator)
+            return self._run_time_incremental(query, spec, operator)
+        raise TypeError(f"unsupported window spec: {spec!r}")
+
+    def run_to_list(self, query: Query) -> list[WindowResult]:
+        """Eagerly evaluate ``query`` and collect all results."""
+        return list(self.run(query))
+
+    # ------------------------------------------------------------------
+    # Count-based windows
+    # ------------------------------------------------------------------
+    def _filtered(self, query: Query) -> Iterator[Event]:
+        for event in query.source:
+            processed = query.apply_event_pipeline(event)
+            if processed is not None:
+                yield processed
+
+    def _run_count_subwindow(
+        self, query: Query, spec: CountWindow, operator: SubWindowOperator
+    ) -> Iterator[WindowResult]:
+        n_sub = spec.subwindow_count
+        in_flight = 0
+        sealed = 0
+        seen = 0
+        index = 0
+        for event in self._filtered(query):
+            operator.accumulate(event)
+            in_flight += 1
+            seen += 1
+            if in_flight < spec.period:
+                continue
+            operator.seal_subwindow()
+            in_flight = 0
+            sealed += 1
+            if sealed > n_sub:
+                operator.expire_subwindow()
+                sealed -= 1
+            if sealed == n_sub or self._emit_partial:
+                yield WindowResult(
+                    index=index,
+                    window_count=sealed * spec.period,
+                    end=float(seen),
+                    result=operator.compute_result(),
+                )
+                index += 1
+
+    def _run_count_incremental(
+        self, query: Query, spec: CountWindow, operator: IncrementalOperator
+    ) -> Iterator[WindowResult]:
+        state = operator.initial_state()
+        buffer: Optional[deque[Event]] = deque() if spec.is_sliding else None
+        in_period = 0
+        seen = 0
+        index = 0
+        for event in self._filtered(query):
+            state = operator.accumulate(state, event)
+            if buffer is not None:
+                buffer.append(event)
+            in_period += 1
+            seen += 1
+            if in_period < spec.period:
+                continue
+            in_period = 0
+            if buffer is None:
+                # Tumbling: evaluate and discard state, no deaccumulation.
+                yield WindowResult(
+                    index=index,
+                    window_count=spec.period,
+                    end=float(seen),
+                    result=operator.compute_result(state),
+                )
+                index += 1
+                state = operator.initial_state()
+                continue
+            while len(buffer) > spec.size:
+                state = operator.deaccumulate(state, buffer.popleft())
+            if len(buffer) == spec.size or self._emit_partial:
+                yield WindowResult(
+                    index=index,
+                    window_count=len(buffer),
+                    end=float(seen),
+                    result=operator.compute_result(state),
+                )
+                index += 1
+
+    # ------------------------------------------------------------------
+    # Time-based windows
+    # ------------------------------------------------------------------
+    def _run_time_subwindow(
+        self, query: Query, spec: TimeWindow, operator: SubWindowOperator
+    ) -> Iterator[WindowResult]:
+        n_sub = spec.subwindow_count
+        current_slot: Optional[int] = None
+        sealed = 0
+        last_ts = float("-inf")
+        counts: deque[int] = deque()
+        in_flight = 0
+        index = 0
+        for event in self._filtered(query):
+            if event.timestamp < last_ts:
+                raise ValueError(
+                    "time-windowed streams must be timestamp-ordered: "
+                    f"{event.timestamp} after {last_ts}"
+                )
+            last_ts = event.timestamp
+            slot = spec.subwindow_index(event.timestamp)
+            if current_slot is None:
+                current_slot = slot
+            while slot > current_slot:
+                # Seal the finished interval (possibly empty) and any gaps.
+                operator.seal_subwindow()
+                counts.append(in_flight)
+                in_flight = 0
+                sealed += 1
+                if sealed > n_sub:
+                    operator.expire_subwindow()
+                    counts.popleft()
+                    sealed -= 1
+                if sealed == n_sub or self._emit_partial:
+                    yield WindowResult(
+                        index=index,
+                        window_count=sum(counts),
+                        end=(current_slot + 1) * spec.period,
+                        result=operator.compute_result(),
+                    )
+                    index += 1
+                current_slot += 1
+            operator.accumulate(event)
+            in_flight += 1
+
+    def _run_time_incremental(
+        self, query: Query, spec: TimeWindow, operator: IncrementalOperator
+    ) -> Iterator[WindowResult]:
+        state = operator.initial_state()
+        buffer: deque[Event] = deque()
+        current_slot: Optional[int] = None
+        slots_seen = 0
+        last_ts = float("-inf")
+        index = 0
+        for event in self._filtered(query):
+            if event.timestamp < last_ts:
+                raise ValueError(
+                    "time-windowed streams must be timestamp-ordered: "
+                    f"{event.timestamp} after {last_ts}"
+                )
+            last_ts = event.timestamp
+            slot = spec.subwindow_index(event.timestamp)
+            if current_slot is None:
+                current_slot = slot
+            while slot > current_slot:
+                boundary = (current_slot + 1) * spec.period
+                horizon = boundary - spec.size
+                while buffer and buffer[0].timestamp < horizon:
+                    state = operator.deaccumulate(state, buffer.popleft())
+                slots_seen += 1
+                if slots_seen >= spec.subwindow_count or self._emit_partial:
+                    yield WindowResult(
+                        index=index,
+                        window_count=len(buffer),
+                        end=boundary,
+                        result=operator.compute_result(state),
+                    )
+                    index += 1
+                current_slot += 1
+            state = operator.accumulate(state, event)
+            buffer.append(event)
+
+
+def run_query(
+    source: Iterable[Event],
+    window: Union[CountWindow, TimeWindow],
+    operator: Union[IncrementalOperator, SubWindowOperator],
+    emit_partial: bool = False,
+) -> list[WindowResult]:
+    """One-shot convenience wrapper: build, run and collect a query."""
+    query = Query(source).windowed_by(window).aggregate(operator)
+    return StreamEngine(emit_partial=emit_partial).run_to_list(query)

@@ -1,0 +1,36 @@
+"""Stream elements: a value with a timestamp and telemetry metadata.
+
+"Each element e has its value associated with a timestamp t that captures
+the order of e's occurrence" (Section 2).  The ``error_code`` field mirrors
+the ``Where(e => e.errorCode != 0)`` predicate of the paper's ``Qmonitor``
+query, and ``source`` identifies the emitting probe (e.g. a server pair in
+the Pingmesh-like datacenter simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Event:
+    """One immutable telemetry measurement.
+
+    Ordering compares ``(timestamp, value)`` so heterogeneous sources can be
+    merged with ``heapq.merge``; metadata fields are excluded from ordering.
+    """
+
+    timestamp: float
+    value: float
+    error_code: int = field(default=0, compare=False)
+    source: Optional[str] = field(default=None, compare=False)
+
+    def with_value(self, value: float) -> "Event":
+        """Copy of this event carrying a projected value (``Select``)."""
+        return replace(self, value=value)
+
+    @property
+    def is_error(self) -> bool:
+        """True when the probe reported a failure code."""
+        return self.error_code != 0

@@ -1,0 +1,91 @@
+"""Incremental-evaluation operator contracts (Section 2).
+
+Two granularities are supported:
+
+- :class:`IncrementalOperator` — the verbatim Trill contract.  The engine
+  calls ``accumulate`` for each arriving event and ``deaccumulate`` for each
+  expiring event; tumbling windows skip deaccumulation entirely and reset
+  state instead, exactly as the paper describes ("the tumbling-window query
+  is implemented with a smaller set of functions without Deaccumulate").
+
+- :class:`SubWindowOperator` — the granularity QLOVE introduces: operators
+  that summarise whole sub-windows and expire a sub-window at a time
+  ("QLOVE can deaccumulate an entire expiring sub-window at a time with low
+  cost", Section 6).  The engine never buffers raw events for these.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generic, TypeVar
+
+from repro.streaming.event import Event
+
+S = TypeVar("S")
+R = TypeVar("R")
+
+
+class IncrementalOperator(ABC, Generic[S, R]):
+    """Per-element incremental operator: the four-function Trill contract.
+
+    State objects may be mutated in place; each method returns the state to
+    keep the functional signature of the paper's pseudocode
+    (``Accumulate: (S, E) => S``).
+    """
+
+    @abstractmethod
+    def initial_state(self) -> S:
+        """Return a fresh, empty state."""
+
+    @abstractmethod
+    def accumulate(self, state: S, event: Event) -> S:
+        """Fold a newly arrived event into the state."""
+
+    @abstractmethod
+    def deaccumulate(self, state: S, event: Event) -> S:
+        """Remove an expiring event from the state.
+
+        Only invoked for sliding windows; tumbling windows discard state.
+        """
+
+    @abstractmethod
+    def compute_result(self, state: S) -> R:
+        """Produce the query result from the current state."""
+
+
+class SubWindowOperator(ABC, Generic[R]):
+    """Sub-window-granular operator (QLOVE's two-level processing).
+
+    Lifecycle driven by the engine, per Figure 2 of the paper::
+
+        accumulate(e) ... accumulate(e)   # in-flight sub-window fills up
+        seal_subwindow()                  # period boundary: summarise
+        [expire_subwindow()]              # once > N/P summaries are live
+        compute_result()                  # answer for the current window
+
+    Implementations keep whatever per-sub-window summaries they need
+    (quantile vectors for QLOVE, sketches for CMQS/Random/Moment, raw
+    buffers for Exact) and must expire their own oldest summary.
+    """
+
+    @abstractmethod
+    def accumulate(self, event: Event) -> None:
+        """Fold an event into the in-flight sub-window."""
+
+    @abstractmethod
+    def seal_subwindow(self) -> None:
+        """Close the in-flight sub-window and start a new one."""
+
+    @abstractmethod
+    def expire_subwindow(self) -> None:
+        """Drop the oldest sealed sub-window from the window state."""
+
+    @abstractmethod
+    def compute_result(self) -> R:
+        """Produce the query result over all live sub-windows."""
+
+    def reset(self) -> None:
+        """Discard all state (used when a stream is restarted)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support reset()"
+        )

@@ -1,0 +1,106 @@
+"""LINQ-like query builder mirroring the paper's ``Qmonitor`` query.
+
+The paper's monitoring query (Section 5.1)::
+
+    Qmonitor = Stream
+        .Window(windowSize, period)
+        .Where(e => e.errorCode != 0)
+        .Aggregate(c => c.Quantile(0.5, 0.9, 0.99, 0.999))
+
+translates to::
+
+    query = (Query(stream)
+             .window(window_size, period)
+             .where(lambda e: e.error_code != 0)
+             .aggregate(QuantileAggregate([0.5, 0.9, 0.99, 0.999])))
+    for result in StreamEngine().run(query):
+        ...
+
+``Query`` objects are immutable; every builder method returns a new query,
+so partially built queries can be shared and specialised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional, Tuple, Union
+
+from repro.streaming.event import Event
+from repro.streaming.operator import IncrementalOperator, SubWindowOperator
+from repro.streaming.windows import CountWindow, TimeWindow
+
+Predicate = Callable[[Event], bool]
+Projector = Callable[[Event], float]
+WindowSpec = Union[CountWindow, TimeWindow]
+Operator = Union[IncrementalOperator, SubWindowOperator]
+
+
+@dataclass(frozen=True)
+class Query:
+    """Immutable streaming query specification."""
+
+    source: Iterable[Event]
+    window_spec: Optional[WindowSpec] = None
+    predicates: Tuple[Predicate, ...] = field(default=())
+    projectors: Tuple[Projector, ...] = field(default=())
+    operator: Optional[Operator] = None
+
+    # ------------------------------------------------------------------
+    # Builder methods
+    # ------------------------------------------------------------------
+    def window(
+        self,
+        size: Union[int, float],
+        period: Optional[Union[int, float]] = None,
+        *,
+        time_based: bool = False,
+    ) -> "Query":
+        """Scope evaluation to the last ``size`` elements (or seconds).
+
+        ``period`` defaults to ``size`` (a tumbling window).  Pass
+        ``time_based=True`` for a :class:`TimeWindow` over timestamps.
+        """
+        if period is None:
+            period = size
+        spec: WindowSpec
+        if time_based:
+            spec = TimeWindow(size=float(size), period=float(period))
+        else:
+            spec = CountWindow(size=int(size), period=int(period))
+        return replace(self, window_spec=spec)
+
+    def windowed_by(self, spec: WindowSpec) -> "Query":
+        """Scope evaluation with a pre-built window specification."""
+        return replace(self, window_spec=spec)
+
+    def where(self, predicate: Predicate) -> "Query":
+        """Keep only events satisfying ``predicate`` (applied in order)."""
+        return replace(self, predicates=self.predicates + (predicate,))
+
+    def select(self, projector: Projector) -> "Query":
+        """Map the event value through ``projector`` before aggregation."""
+        return replace(self, projectors=self.projectors + (projector,))
+
+    def aggregate(self, operator: Operator) -> "Query":
+        """Attach the aggregation operator evaluated once per period."""
+        return replace(self, operator=operator)
+
+    # ------------------------------------------------------------------
+    # Validation / execution helpers
+    # ------------------------------------------------------------------
+    def validated(self) -> "Query":
+        """Return self after checking the query is runnable."""
+        if self.window_spec is None:
+            raise ValueError("query has no window(); call .window(size, period)")
+        if self.operator is None:
+            raise ValueError("query has no aggregate(); call .aggregate(op)")
+        return self
+
+    def apply_event_pipeline(self, event: Event) -> Optional[Event]:
+        """Run ``where``/``select`` stages; None when filtered out."""
+        for predicate in self.predicates:
+            if not predicate(event):
+                return None
+        for projector in self.projectors:
+            event = event.with_value(projector(event))
+        return event

@@ -1,0 +1,75 @@
+"""Adapters turning raw values and datasets into event streams.
+
+Telemetry arrives at the engine as :class:`~repro.streaming.event.Event`
+objects.  These helpers wrap numpy arrays, Python iterables and multiple
+concurrent probes (merged by timestamp) into event iterators.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.streaming.event import Event
+
+
+def value_stream(
+    values: Iterable[float],
+    start: float = 0.0,
+    dt: float = 1.0,
+    error_code: int = 0,
+    source: Optional[str] = None,
+) -> Iterator[Event]:
+    """Wrap plain values into events with evenly spaced timestamps.
+
+    The default spacing of one time unit per element makes count windows and
+    time windows coincide, which simplifies cross-checking the two engines.
+    """
+    timestamp = start
+    for value in values:
+        yield Event(
+            timestamp=timestamp, value=float(value), error_code=error_code, source=source
+        )
+        timestamp += dt
+
+
+def events_from_values(
+    values: Sequence[float],
+    timestamps: Optional[Sequence[float]] = None,
+    error_codes: Optional[Sequence[int]] = None,
+    source: Optional[str] = None,
+) -> list[Event]:
+    """Materialise an event list from parallel value/timestamp sequences."""
+    if timestamps is not None and len(timestamps) != len(values):
+        raise ValueError("timestamps must align with values")
+    if error_codes is not None and len(error_codes) != len(values):
+        raise ValueError("error_codes must align with values")
+    events = []
+    for i, value in enumerate(values):
+        events.append(
+            Event(
+                timestamp=float(timestamps[i]) if timestamps is not None else float(i),
+                value=float(value),
+                error_code=int(error_codes[i]) if error_codes is not None else 0,
+                source=source,
+            )
+        )
+    return events
+
+
+def merge_sources(*streams: Iterable[Event]) -> Iterator[Event]:
+    """Merge timestamp-ordered event streams into one ordered stream.
+
+    Models a monitoring pipeline ingesting many probes at once ("a large
+    stream of data may originate from different sources to be processed by
+    a streaming engine", Section 6).  Each input must itself be ordered.
+    """
+    return heapq.merge(*streams)
+
+
+def map_values(
+    stream: Iterable[Event], transform: Callable[[float], float]
+) -> Iterator[Event]:
+    """Apply a value transform to every event (e.g. unit conversion)."""
+    for event in stream:
+        yield event.with_value(transform(event.value))

@@ -1,0 +1,109 @@
+"""Window specifications for the two windowing models of Section 2.
+
+A window has a *size* (how much data a query evaluation sees) and a *period*
+(how often the query evaluates).  Tumbling windows have size == period;
+sliding windows have size > period.  Sub-windows — the unit QLOVE summarises
+— are always aligned with the period ("the size of each sub-window is
+aligned with window period", Section 3.1), so a sliding window spans exactly
+``size / period`` sub-windows and the engine requires that ratio to be an
+integer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CountWindow:
+    """Count-based window: evaluate every ``period`` elements over the last
+    ``size`` elements.
+
+    This is the windowing model used throughout the paper's evaluation
+    (e.g. "16K window period and 128K window size").
+    """
+
+    size: int
+    period: int
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.size < self.period:
+            raise ValueError("window size must be at least the period")
+        if self.size % self.period != 0:
+            raise ValueError(
+                "window size must be a multiple of the period so sub-windows "
+                f"align (got size={self.size}, period={self.period})"
+            )
+
+    @property
+    def is_tumbling(self) -> bool:
+        """True when size == period (no overlap between evaluations)."""
+        return self.size == self.period
+
+    @property
+    def is_sliding(self) -> bool:
+        """True when size > period (elements live across evaluations)."""
+        return self.size > self.period
+
+    @property
+    def subwindow_count(self) -> int:
+        """Number of sub-windows n = N / P covered by one full window."""
+        return self.size // self.period
+
+    @classmethod
+    def tumbling(cls, size: int) -> "CountWindow":
+        """Convenience constructor for a tumbling window."""
+        return cls(size=size, period=size)
+
+
+@dataclass(frozen=True, slots=True)
+class TimeWindow:
+    """Time-based window: evaluate every ``period`` seconds over the last
+    ``size`` seconds of events.
+
+    "Our work can be applied to windows defined by time parameters, e.g.,
+    evaluate the query every one minute for the elements seen last one
+    hour" (Section 2).  Sub-windows are the half-open timestamp intervals
+    ``[k * period, (k + 1) * period)``.
+    """
+
+    size: float
+    period: float
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.size < self.period:
+            raise ValueError("window size must be at least the period")
+        ratio = self.size / self.period
+        if abs(ratio - round(ratio)) > 1e-9:
+            raise ValueError(
+                "window size must be a multiple of the period so sub-windows "
+                f"align (got size={self.size}, period={self.period})"
+            )
+
+    @property
+    def is_tumbling(self) -> bool:
+        """True when size == period."""
+        return self.size == self.period
+
+    @property
+    def is_sliding(self) -> bool:
+        """True when size > period."""
+        return self.size > self.period
+
+    @property
+    def subwindow_count(self) -> int:
+        """Number of period-length intervals covered by one full window."""
+        return round(self.size / self.period)
+
+    def subwindow_index(self, timestamp: float) -> int:
+        """Index of the period interval containing ``timestamp``."""
+        return int(timestamp // self.period)
+
+    @classmethod
+    def tumbling(cls, size: float) -> "TimeWindow":
+        """Convenience constructor for a tumbling window."""
+        return cls(size=size, period=size)

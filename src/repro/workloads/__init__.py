@@ -1,0 +1,55 @@
+"""Workload generators: the datasets of the paper's evaluation (Section 5).
+
+The two proprietary datasets are replaced by synthetic generators
+calibrated to every statistic the paper publishes about them (see
+DESIGN.md §3 for the substitution argument):
+
+- :func:`~repro.workloads.netmon.generate_netmon` — datacenter RTTs:
+  lognormal body (median ~798 us, >90% below ~1,247 us) with a Pareto tail
+  reaching ~74,265 us, values in integer microseconds (high redundancy).
+- :func:`~repro.workloads.search.generate_search` — ISN response times
+  with the 200 ms SLA truncation that concentrates density in the tail.
+
+Fully synthetic datasets follow the paper's specifications directly:
+
+- :mod:`~repro.workloads.synthetic` — Normal(1e6, 5e4), Uniform(90, 110)
+  and the Pareto dataset (Q0.5 = 20, Q0.999 = 10,000).
+- :mod:`~repro.workloads.ar1` — AR(1) streams with configurable psi.
+- :mod:`~repro.workloads.bursts` — burst injection and the E1–E4 tail
+  placement patterns of Figure 3.
+- :mod:`~repro.workloads.precision` — low-precision derivation (Section
+  5.4 data-redundancy study).
+- :mod:`~repro.workloads.datacenter` — a Pingmesh-like probe simulator
+  emitting timestamped events with sources and error codes.
+"""
+
+from repro.workloads.ar1 import generate_ar1
+from repro.workloads.bursts import BurstPattern, inject_bursts, pattern_window
+from repro.workloads.datacenter import Datacenter, DatacenterConfig, Incident
+from repro.workloads.netmon import generate_netmon
+from repro.workloads.precision import reduce_precision
+from repro.workloads.registry import available_datasets, get_dataset
+from repro.workloads.search import generate_search
+from repro.workloads.synthetic import (
+    generate_normal,
+    generate_pareto,
+    generate_uniform,
+)
+
+__all__ = [
+    "BurstPattern",
+    "Datacenter",
+    "DatacenterConfig",
+    "Incident",
+    "available_datasets",
+    "generate_ar1",
+    "generate_netmon",
+    "generate_normal",
+    "generate_pareto",
+    "generate_search",
+    "generate_uniform",
+    "get_dataset",
+    "inject_bursts",
+    "pattern_window",
+    "reduce_precision",
+]

@@ -1,0 +1,56 @@
+"""AR(1) streams for the non-i.i.d. robustness study (Table 5).
+
+"We generate a non-i.i.d. dataset from an AR(1) model with coefficient
+psi in {0.1, ..., 0.9}, where psi represents the correlation between a
+data point and its next data point.  Data points in the dataset are
+identically and normally distributed, with a mean of 1 million and a
+standard deviation of 50 thousand" (Section 5.4).
+
+The innovation variance is scaled by ``1 - psi^2`` so the *marginal*
+distribution stays N(mean, std^2) for every psi; psi = 0 reduces to the
+i.i.d. normal dataset.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+
+def generate_ar1(
+    size: int,
+    psi: float,
+    mean: float = 1e6,
+    std: float = 5e4,
+    seed: Optional[int] = 0,
+) -> np.ndarray:
+    """Generate an AR(1) stream with marginal N(mean, std^2)."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    if not -1.0 < psi < 1.0:
+        raise ValueError(f"psi must be in (-1, 1), got {psi}")
+    if std <= 0:
+        raise ValueError("std must be positive")
+    rng = np.random.default_rng(seed)
+    innovations = rng.normal(0.0, std * math.sqrt(1.0 - psi * psi), size=size)
+    # Start from the stationary distribution so the whole stream is marginal
+    # N(0, std^2) without a burn-in.
+    innovations[0] = rng.normal(0.0, std)
+    centered = _ar1_filter(innovations, psi)
+    return centered + mean
+
+
+def _ar1_filter(innovations: np.ndarray, psi: float) -> np.ndarray:
+    """x_t = psi * x_{t-1} + innovations_t, vectorised when scipy exists."""
+    try:
+        from scipy.signal import lfilter
+    except ImportError:
+        out = np.empty_like(innovations)
+        previous = 0.0
+        for t, eps in enumerate(innovations):
+            previous = psi * previous + eps
+            out[t] = previous
+        return out
+    return lfilter([1.0], [1.0, -psi], innovations)

@@ -1,0 +1,96 @@
+"""Burst injection and the tail placement patterns of Figure 3.
+
+Two tools:
+
+- :func:`inject_bursts` — the Section 5.3 experiment: "in the window size
+  N and the quantile phi, we increase the values of the top N(1-phi)
+  elements in every (N/P)-th sub-window of size P by 10x".
+- :class:`BurstPattern` / :func:`pattern_window` — the E1–E4 example
+  layouts of Figure 3: one window's worth of data whose top-M values are
+  concentrated in one sub-window (E1), two (E2), half of them (E3) or
+  spread evenly (E4).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import exact_tail_size
+from repro.streaming.windows import CountWindow
+
+
+def inject_bursts(
+    values: np.ndarray,
+    window: CountWindow,
+    phi: float = 0.999,
+    factor: float = 10.0,
+    every: Optional[int] = None,
+) -> np.ndarray:
+    """Scale the top ``N(1-phi)`` values of periodic sub-windows by ``factor``.
+
+    ``every`` selects how many sub-windows apart bursts occur; the default
+    ``N / P`` makes the burst "appear just once in every evaluation of the
+    sliding window" as in the paper's setup.  Returns a copy.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    out = np.asarray(values, dtype=np.float64).copy()
+    period = window.period
+    stride = (every if every is not None else window.subwindow_count) * period
+    if stride <= 0:
+        raise ValueError("burst stride must be positive")
+    need = exact_tail_size(phi, window.size)
+    for start in range(0, len(out) - period + 1, stride):
+        chunk = out[start : start + period]
+        k = min(need, len(chunk))
+        top_idx = np.argpartition(chunk, len(chunk) - k)[-k:]
+        chunk[top_idx] *= factor
+    return out
+
+
+class BurstPattern(enum.Enum):
+    """How a window's largest values spread over sub-windows (Figure 3)."""
+
+    E1 = 1  # all top values in a single sub-window (extreme burst)
+    E2 = 2  # concentrated in two sub-windows
+    E3 = 3  # concentrated in half of the sub-windows
+    E4 = 4  # spread completely evenly
+
+
+def pattern_window(
+    pattern: BurstPattern,
+    window: CountWindow,
+    phi: float = 0.999,
+    base_scale: float = 1000.0,
+    tail_scale: float = 100_000.0,
+    seed: Optional[int] = 0,
+) -> np.ndarray:
+    """One window of data whose top values follow a Figure-3 pattern.
+
+    The window holds ``N`` uniform body values plus ``M = N(1-phi)`` tail
+    values placed according to ``pattern``; returns the concatenated
+    sub-windows in stream order.
+    """
+    rng = np.random.default_rng(seed)
+    n_sub = window.subwindow_count
+    n = window.size
+    tail_count = exact_tail_size(phi, n)
+    body = rng.uniform(0.5 * base_scale, base_scale, size=n)
+    tail_values = rng.uniform(0.9 * tail_scale, tail_scale, size=tail_count)
+    if pattern is BurstPattern.E1:
+        hosts = [0] * tail_count
+    elif pattern is BurstPattern.E2:
+        hosts = [i % 2 for i in range(tail_count)]
+    elif pattern is BurstPattern.E3:
+        half = max(1, n_sub // 2)
+        hosts = [i % half for i in range(tail_count)]
+    else:
+        hosts = [i % n_sub for i in range(tail_count)]
+    out = body.reshape(n_sub, window.period)
+    for value, host in zip(tail_values, hosts):
+        slot = rng.integers(0, window.period)
+        out[host, slot] = value
+    return out.reshape(-1)

@@ -1,0 +1,201 @@
+"""A Pingmesh-like datacenter probe simulator.
+
+The paper's motivating deployment (Guo et al., "Pingmesh" [14]) measures
+RTTs between every pair of servers and streams them into the monitoring
+system.  This module simulates that substrate end to end: a datacenter
+topology (pods > racks > servers), a latency model whose locality tiers
+and heavy tail match the NetMon shape, failure codes, and operational
+incidents (congestion events that inflate latencies of a pod for a time
+span — the "bursty traffic" QLOVE's sample-k merging targets).
+
+The simulator emits :class:`~repro.streaming.event.Event` objects with
+timestamps, ``source`` strings like ``"pod0/rack2/srv05->pod1/rack0/srv11"``
+and non-zero ``error_code`` for dropped probes, so the paper's ``Qmonitor``
+query runs against it unmodified.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.streaming.event import Event
+
+#: Error codes emitted by probes.
+OK = 0
+TIMEOUT = 1
+UNREACHABLE = 2
+
+
+@dataclass(frozen=True)
+class DatacenterConfig:
+    """Topology and latency model parameters.
+
+    Latency tiers are lognormal medians in microseconds; the heavy tail is
+    a Pareto mixture shared by all tiers (network queues misbehave the
+    same way everywhere).
+    """
+
+    pods: int = 4
+    racks_per_pod: int = 4
+    servers_per_rack: int = 8
+    intra_rack_median_us: float = 250.0
+    intra_pod_median_us: float = 550.0
+    cross_pod_median_us: float = 900.0
+    jitter_sigma: float = 0.25
+    tail_probability: float = 0.01
+    tail_scale_us: float = 2_000.0
+    tail_shape: float = 1.1
+    tail_cap_us: float = 100_000.0
+    drop_probability: float = 0.002
+    timeout_us: float = 1_000_000.0
+
+    def __post_init__(self) -> None:
+        if min(self.pods, self.racks_per_pod, self.servers_per_rack) < 1:
+            raise ValueError("topology dimensions must be positive")
+        if self.pods * self.racks_per_pod * self.servers_per_rack < 2:
+            raise ValueError("need at least two servers to probe")
+
+
+@dataclass(frozen=True)
+class Incident:
+    """A congestion incident: probes touching ``pod`` slow down.
+
+    Active for timestamps in ``[start, end)``; latencies of affected
+    probes are multiplied by ``factor`` — the bursty-traffic generator.
+    """
+
+    pod: int
+    start: float
+    end: float
+    factor: float = 10.0
+
+    def affects(self, timestamp: float, src_pod: int, dst_pod: int) -> bool:
+        """Whether a probe between the given pods is hit at ``timestamp``."""
+        if not self.start <= timestamp < self.end:
+            return False
+        return self.pod in (src_pod, dst_pod)
+
+
+class Datacenter:
+    """Synthesises a stream of pingmesh probe results."""
+
+    def __init__(
+        self,
+        config: Optional[DatacenterConfig] = None,
+        incidents: Optional[List[Incident]] = None,
+        seed: Optional[int] = 0,
+    ) -> None:
+        self.config = config if config is not None else DatacenterConfig()
+        self.incidents = list(incidents) if incidents is not None else []
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def server_count(self) -> int:
+        """Total servers in the datacenter."""
+        cfg = self.config
+        return cfg.pods * cfg.racks_per_pod * cfg.servers_per_rack
+
+    def server_name(self, index: int) -> str:
+        """Human-readable location of a server index."""
+        cfg = self.config
+        per_pod = cfg.racks_per_pod * cfg.servers_per_rack
+        pod, rest = divmod(index, per_pod)
+        rack, srv = divmod(rest, cfg.servers_per_rack)
+        return f"pod{pod}/rack{rack}/srv{srv:02d}"
+
+    def _locate(self, index: int) -> Tuple[int, int]:
+        """(pod, rack) of a server index."""
+        cfg = self.config
+        per_pod = cfg.racks_per_pod * cfg.servers_per_rack
+        pod, rest = divmod(index, per_pod)
+        return pod, rest // cfg.servers_per_rack
+
+    # ------------------------------------------------------------------
+    # Latency model
+    # ------------------------------------------------------------------
+    def _base_median(self, a: int, b: int) -> Tuple[float, int, int]:
+        """Latency tier for a server pair; returns (median, pod_a, pod_b)."""
+        cfg = self.config
+        pod_a, rack_a = self._locate(a)
+        pod_b, rack_b = self._locate(b)
+        if pod_a != pod_b:
+            return cfg.cross_pod_median_us, pod_a, pod_b
+        if rack_a != rack_b:
+            return cfg.intra_pod_median_us, pod_a, pod_b
+        return cfg.intra_rack_median_us, pod_a, pod_b
+
+    def _sample_rtt(self, timestamp: float, a: int, b: int) -> float:
+        cfg = self.config
+        median, pod_a, pod_b = self._base_median(a, b)
+        rtt = float(
+            self._rng.lognormal(mean=math.log(median), sigma=cfg.jitter_sigma)
+        )
+        if self._rng.random() < cfg.tail_probability:
+            tail = cfg.tail_scale_us * (1.0 + float(self._rng.pareto(cfg.tail_shape)))
+            rtt = min(max(rtt, tail), cfg.tail_cap_us)
+        for incident in self.incidents:
+            if incident.affects(timestamp, pod_a, pod_b):
+                rtt = min(rtt * incident.factor, cfg.tail_cap_us)
+        return float(round(rtt))
+
+    # ------------------------------------------------------------------
+    # Probe stream
+    # ------------------------------------------------------------------
+    def probe_stream(
+        self,
+        count: int,
+        probes_per_second: float = 100_000.0,
+        start: float = 0.0,
+    ) -> Iterator[Event]:
+        """Yield ``count`` probe events with increasing timestamps.
+
+        Each event measures a uniformly random server pair; dropped probes
+        carry a non-zero ``error_code`` and the timeout as their value,
+        matching how real probers report losses.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if probes_per_second <= 0:
+            raise ValueError("probes_per_second must be positive")
+        cfg = self.config
+        dt = 1.0 / probes_per_second
+        timestamp = start
+        n = self.server_count
+        for _ in range(count):
+            a = int(self._rng.integers(0, n))
+            b = int(self._rng.integers(0, n - 1))
+            if b >= a:
+                b += 1
+            source = f"{self.server_name(a)}->{self.server_name(b)}"
+            if self._rng.random() < cfg.drop_probability:
+                code = TIMEOUT if self._rng.random() < 0.5 else UNREACHABLE
+                yield Event(
+                    timestamp=timestamp,
+                    value=cfg.timeout_us,
+                    error_code=code,
+                    source=source,
+                )
+            else:
+                yield Event(
+                    timestamp=timestamp,
+                    value=self._sample_rtt(timestamp, a, b),
+                    error_code=OK,
+                    source=source,
+                )
+            timestamp += dt
+
+    def rtt_array(self, count: int, **kwargs: float) -> np.ndarray:
+        """Values of ``count`` successful probes as a numpy array."""
+        values = [
+            event.value
+            for event in self.probe_stream(count, **kwargs)
+            if event.error_code == OK
+        ]
+        return np.asarray(values, dtype=np.float64)

@@ -1,0 +1,48 @@
+"""Dataset registry: instantiate any evaluation dataset by name.
+
+The experiment definitions refer to datasets by the names the paper uses
+(``netmon``, ``search``, ``normal``, ``uniform``, ``pareto``, ``ar1``).
+AR(1) accepts the coefficient via ``psi``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.workloads.ar1 import generate_ar1
+from repro.workloads.netmon import generate_netmon
+from repro.workloads.search import generate_search
+from repro.workloads.synthetic import generate_normal, generate_pareto, generate_uniform
+
+_GENERATORS: Dict[str, Callable[..., np.ndarray]] = {
+    "netmon": generate_netmon,
+    "search": generate_search,
+    "normal": generate_normal,
+    "uniform": generate_uniform,
+    "pareto": generate_pareto,
+    "ar1": generate_ar1,
+}
+
+
+def available_datasets() -> list[str]:
+    """Names accepted by :func:`get_dataset`."""
+    return sorted(_GENERATORS)
+
+
+def get_dataset(
+    name: str, size: int, seed: Optional[int] = 0, **params: float
+) -> np.ndarray:
+    """Generate dataset ``name`` with ``size`` elements.
+
+    Extra ``params`` are forwarded to the generator (e.g. ``psi=0.8`` for
+    ``ar1``, ``tail_weight`` for ``netmon``).
+    """
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        ) from None
+    return generator(size, seed=seed, **params)

@@ -1,0 +1,41 @@
+"""Search: synthetic web-search ISN response times with SLA truncation.
+
+The real Search dataset measures query response time of an index serving
+node in microseconds.  The paper's footnote 1 is the key structural fact:
+"Search ISN limits query execution to take up to the pre-defined response
+time SLA, e.g., 200 ms.  The queries terminated by the SLA are
+concentrated on Q0.9 and above, incurring high density in the tail of
+data distribution" — which is why all Search value errors stay below 1%.
+
+We model the untruncated response time as a lognormal (median 40 ms,
+sigma 0.75) and clamp it to the 200 ms SLA, so a few percent of queries
+pile up exactly at the cap; values are integer microseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+_MEDIAN_US = 40_000.0
+_SIGMA = 0.75
+_SLA_US = 200_000.0
+_FLOOR_US = 1_000.0
+
+
+def generate_search(
+    size: int,
+    seed: Optional[int] = 0,
+    sla_us: float = _SLA_US,
+) -> np.ndarray:
+    """Generate ``size`` ISN response times (integer us), clamped at the SLA."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    if sla_us <= 0:
+        raise ValueError("sla_us must be positive")
+    rng = np.random.default_rng(seed)
+    raw = rng.lognormal(mean=math.log(_MEDIAN_US), sigma=_SIGMA, size=size)
+    values = np.clip(np.round(raw), _FLOOR_US, sla_us)
+    return values.astype(np.float64)

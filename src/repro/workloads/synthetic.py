@@ -1,0 +1,68 @@
+"""Fully synthetic datasets specified directly by the paper (Section 5).
+
+- Normal: "a normal distribution, with a mean of 1 million and a standard
+  deviation of 50 thousand" (scalability study, Figure 5a).
+- Uniform: "a uniform distribution ranging from 90 to 110" (Figure 5b);
+  continuous values, so virtually every element is unique — the
+  low-redundancy stress case for Exact.
+- Pareto: "integers from a skewed, heavy-tailed Pareto distribution, with
+  Q0.5 of 20, Q0.999 of 10,000, and the max of 1.1 billion" (Section
+  5.4).  Those anchors pin shape alpha = 1 and scale x_m = 10:
+  Q(phi) = x_m (1 - phi)^(-1/alpha) gives Q0.5 = 20 and Q0.999 = 10,000,
+  and the expected maximum of ~1e8 samples is ~1e9.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+PARETO_SCALE = 10.0
+PARETO_SHAPE = 1.0
+PARETO_CAP = 1.1e9
+
+
+def generate_normal(
+    size: int,
+    mean: float = 1e6,
+    std: float = 5e4,
+    seed: Optional[int] = 0,
+) -> np.ndarray:
+    """Normal dataset of the scalability study."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    if std <= 0:
+        raise ValueError("std must be positive")
+    rng = np.random.default_rng(seed)
+    return rng.normal(mean, std, size=size)
+
+
+def generate_uniform(
+    size: int,
+    low: float = 90.0,
+    high: float = 110.0,
+    seed: Optional[int] = 0,
+) -> np.ndarray:
+    """Uniform dataset of the scalability study (continuous floats)."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    if high <= low:
+        raise ValueError("high must exceed low")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, size=size)
+
+
+def generate_pareto(size: int, seed: Optional[int] = 0) -> np.ndarray:
+    """Pareto dataset of the skewness study (integer values, capped).
+
+    Inverse-CDF sampling of Pareto(x_m = 10, alpha = 1), rounded to
+    integers and capped at 1.1e9 (the paper's observed maximum).
+    """
+    if size <= 0:
+        raise ValueError("size must be positive")
+    rng = np.random.default_rng(seed)
+    u = rng.random(size)
+    u = np.maximum(u, 1e-12)  # avoid division blow-up beyond the cap anyway
+    values = PARETO_SCALE / np.power(u, 1.0 / PARETO_SHAPE)
+    return np.minimum(np.round(values), PARETO_CAP).astype(np.float64)

@@ -1,0 +1,57 @@
+"""Shared test helpers: policy drivers and exact oracles."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sketches.base import PolicyOperator
+from repro.streaming import CountWindow, Query, StreamEngine, value_stream
+
+
+def exact_quantile(window_values, phi):
+    """Paper rank convention: element of rank ceil(phi * N), 1-based."""
+    ordered = np.sort(np.asarray(window_values, dtype=float))
+    rank = max(1, math.ceil(phi * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+def rank_error(window_values, estimate, phi):
+    """Normalised rank distance |r - r'| / N of an estimate (paper's e')."""
+    ordered = np.sort(np.asarray(window_values, dtype=float))
+    n = len(ordered)
+    target = max(1, math.ceil(phi * n))
+    lo = int(np.searchsorted(ordered, estimate, side="left")) + 1
+    hi = int(np.searchsorted(ordered, estimate, side="right"))
+    if lo <= target <= hi:
+        return 0.0
+    distance = min(abs(target - lo), abs(target - hi))
+    return distance / n
+
+
+def drive_policy(policy, values, window: CountWindow):
+    """Run a policy through the streaming engine over raw values.
+
+    Returns (results, window_slices): per evaluation, the policy's
+    {phi: estimate} dict and the numpy array of the exact window content.
+    """
+    query = Query(value_stream(values)).windowed_by(window).aggregate(PolicyOperator(policy))
+    results = []
+    slices = []
+    arr = np.asarray(values, dtype=float)
+    for res in StreamEngine().run(query):
+        end = int(res.end)
+        results.append(res.result)
+        slices.append(arr[end - window.size : end])
+    return results, slices
+
+
+@pytest.fixture(scope="session")
+def heavy_tailed_values():
+    """A NetMon-like heavy-tailed integer stream for sketch tests."""
+    rng = np.random.default_rng(42)
+    body = rng.lognormal(mean=6.7, sigma=0.35, size=20_000)
+    tail_mask = rng.random(20_000) < 0.01
+    tail = rng.pareto(1.5, size=20_000) * 5_000 + 2_000
+    values = np.where(tail_mask, tail, body)
+    return np.round(values).astype(float)

@@ -1,0 +1,241 @@
+"""Unit tests for QLOVE's internal components: summary, level2, fewk, burst."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BurstDetector,
+    FewKConfig,
+    Level2Aggregator,
+    Quantizer,
+    SubWindowBuilder,
+)
+from repro.core.config import exact_tail_size
+from repro.core.fewk import FewKMerger
+from repro.core.summary import SubWindowSummary
+from repro.streaming import CountWindow
+
+WINDOW = CountWindow(size=10000, period=1000)
+
+
+def build_summary(values, phis=(0.5,), fewk=None, window=WINDOW):
+    builder = SubWindowBuilder(phis, window, Quantizer(None), fewk)
+    for v in values:
+        builder.add(v)
+    return builder.seal()
+
+
+class TestSubWindowBuilder:
+    def test_seal_computes_exact_quantiles(self):
+        values = [float(v) for v in range(1, 101)]
+        summary = build_summary(values, phis=(0.5, 0.9))
+        assert summary.count == 100
+        assert summary.quantiles[0.5] == 50.0
+        assert summary.quantiles[0.9] == 90.0
+
+    def test_seal_resets_builder(self):
+        builder = SubWindowBuilder((0.5,), WINDOW, Quantizer(None), None)
+        builder.add(1.0)
+        builder.seal()
+        assert builder.count == 0
+
+    def test_empty_seal(self):
+        builder = SubWindowBuilder((0.5,), WINDOW, Quantizer(None), None)
+        summary = builder.seal()
+        assert summary.count == 0
+        assert summary.quantiles == {}
+
+    def test_quantization_applied(self):
+        builder = SubWindowBuilder((0.5,), WINDOW, Quantizer(3), None)
+        builder.add(74265.0)
+        summary = builder.seal()
+        assert summary.quantiles[0.5] == 74200.0
+
+    def test_topk_tail_collected(self):
+        fewk = FewKConfig(topk_fraction=0.5)  # kt = 0.5 * tail size
+        values = [float(v) for v in range(1, 1001)]
+        summary = build_summary(values, phis=(0.999,), fewk=fewk)
+        # Tail size = 10000 - ceil(0.999 * 10000) + 1 = 11; kt = ceil(5.5) = 6.
+        kt = fewk.resolve_kt(0.999, WINDOW)
+        assert kt == 6
+        assert summary.topk[0.999] == (1000.0, 999.0, 998.0, 997.0, 996.0, 995.0)
+
+    def test_sample_tail_interval(self):
+        fewk = FewKConfig(samplek_fraction=0.5, burst_detection=False)
+        values = [float(v) for v in range(1, 1001)]
+        summary = build_summary(values, phis=(0.999,), fewk=fewk)
+        # Tail population = 11 largest (1000..990); ks = 6 -> block-end
+        # interval sampling picks 0-based ranks [1, 3, 5, 7, 9, 10].
+        assert summary.samples[0.999] == (999.0, 997.0, 995.0, 993.0, 991.0, 990.0)
+        assert summary.sample_weights[0.999] == (2, 2, 2, 2, 2, 1)
+
+    def test_space_variables(self):
+        builder = SubWindowBuilder((0.5,), WINDOW, Quantizer(None), None)
+        for v in [1.0, 1.0, 2.0]:
+            builder.add(v)
+        assert builder.space_variables() == 4  # 2 unique x {value, count}
+
+
+class TestLevel2:
+    def test_mean_aggregation(self):
+        agg = Level2Aggregator([0.5])
+        for q in (10.0, 20.0, 30.0):
+            agg.accumulate(SubWindowSummary(count=1, quantiles={0.5: q}))
+        assert agg.result(0.5) == 20.0
+
+    def test_deaccumulate(self):
+        agg = Level2Aggregator([0.5])
+        s1 = SubWindowSummary(count=1, quantiles={0.5: 10.0})
+        s2 = SubWindowSummary(count=1, quantiles={0.5: 30.0})
+        agg.accumulate(s1)
+        agg.accumulate(s2)
+        agg.deaccumulate(s1)
+        assert agg.result(0.5) == 30.0
+
+    def test_empty_summaries_skipped(self):
+        agg = Level2Aggregator([0.5])
+        agg.accumulate(SubWindowSummary(count=1, quantiles={0.5: 10.0}))
+        agg.accumulate(SubWindowSummary(count=0, quantiles={}))
+        assert agg.result(0.5) == 10.0
+        assert agg.live_subwindows(0.5) == 1
+
+    def test_no_data_is_nan(self):
+        agg = Level2Aggregator([0.5])
+        assert np.isnan(agg.result(0.5))
+
+    def test_space(self):
+        assert Level2Aggregator([0.5, 0.9, 0.99]).space_variables() == 6
+
+
+class TestExactTailSize:
+    def test_paper_example(self):
+        # The paper quotes 132 entries for its 131,072-element window at
+        # phi = 0.999 (Section 5.3).
+        assert exact_tail_size(0.999, 131072) == 132
+
+    def test_integer_phi_n_needs_one_extra(self):
+        # phi * N integer: rank ceil(phi N) from the bottom is the
+        # (N(1-phi) + 1)-th largest.
+        assert exact_tail_size(0.999, 16000) == 17
+        assert exact_tail_size(0.5, 10) == 6
+
+    def test_minimum_one(self):
+        assert exact_tail_size(0.9999999, 100) == 1
+
+    def test_invalid_window(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            exact_tail_size(0.5, 0)
+
+
+class TestFewKMerger:
+    def make_summaries(
+        self, tails_per_subwindow, phi=0.999, count=1000, weights=None
+    ):
+        summaries = []
+        for tail in tails_per_subwindow:
+            ordered = tuple(sorted(tail, reverse=True))
+            tail_weights = weights if weights is not None else (1,) * len(ordered)
+            summaries.append(
+                SubWindowSummary(
+                    count=count,
+                    quantiles={phi: 1.0},
+                    topk={phi: ordered},
+                    samples={phi: ordered},
+                    sample_weights={phi: tuple(tail_weights)},
+                )
+            )
+        return summaries
+
+    def test_topk_estimate_even_spread(self):
+        # E4 of Figure 3: the global largest values spread evenly; even a
+        # small k per sub-window recovers a near-exact answer.
+        window = CountWindow(size=10000, period=1000)
+        merger = FewKMerger(0.999, window, FewKConfig(topk_fraction=0.1))
+        tails = [[1000.0 - i] for i in range(10)]  # one top value each
+        summaries = self.make_summaries(tails)
+        estimate = merger.topk_estimate(summaries)
+        # Tail rank = 11 but only 10 values retained -> the smallest, 991.
+        assert estimate == 991.0
+
+    def test_topk_estimate_bursty_concentration(self):
+        # E1 of Figure 3: all largest values in one sub-window; k=1 per
+        # sub-window misses them and underestimates.
+        window = CountWindow(size=10000, period=1000)
+        merger = FewKMerger(0.999, window, FewKConfig(topk_fraction=0.1))
+        tails = [[1000.0]] + [[10.0]] * 9
+        summaries = self.make_summaries(tails)
+        estimate = merger.topk_estimate(summaries)
+        assert estimate == 10.0  # the last retained value
+
+    def test_samplek_rank_scaling(self):
+        window = CountWindow(size=10000, period=1000)
+        config = FewKConfig(samplek_fraction=0.5, burst_detection=False)
+        merger = FewKMerger(0.999, window, config)
+        assert merger.ks == 6  # ceil(0.5 * tail size 11)
+        tails = [[100.0, 90.0, 80.0, 70.0, 60.0, 50.0]] * 10
+        # Weights for population 11 sampled at 6: [2, 2, 2, 2, 2, 1].
+        summaries = self.make_summaries(tails, count=1000, weights=(2, 2, 2, 2, 2, 1))
+        # Target tail rank = 11; merged scan covers 2 per 100.0-sample, so
+        # the 6th copy of 100.0 reaches 12 >= 11.
+        assert merger.samplek_estimate(summaries) == 100.0
+
+    def test_estimate_prefers_samplek_on_burst(self):
+        window = CountWindow(size=10000, period=1000)
+        config = FewKConfig(topk_fraction=0.5, samplek_fraction=0.5)
+        merger = FewKMerger(0.999, window, config)
+        merger._burst_flags.append(True)
+        tails = [[50.0] * 5] * 10
+        summaries = self.make_summaries(tails)
+        merger.estimate(summaries, level2_value=1.0)
+        assert merger.last_source == "samplek"
+
+    def test_estimate_falls_back_to_level2(self):
+        window = CountWindow(size=10000, period=5000)  # P(1-phi)=5 < 10
+        config = FewKConfig(burst_detection=False)
+        merger = FewKMerger(0.999, window, config)
+        value = merger.estimate([], level2_value=42.0)
+        assert value == 42.0
+        assert merger.last_source == "level2"
+
+
+class TestBurstDetector:
+    def test_first_observation_never_bursty(self):
+        detector = BurstDetector()
+        assert detector.observe([100.0, 90.0, 80.0, 70.0]) is False
+
+    def test_detects_shift(self):
+        detector = BurstDetector(alpha=0.05)
+        calm = [float(100 + i) for i in range(15)]
+        burst = [float(1000 + i) for i in range(15)]
+        detector.observe(calm)
+        assert detector.observe(burst) is True
+
+    def test_no_false_positive_on_steady_traffic(self):
+        rng = np.random.default_rng(3)
+        detector = BurstDetector(alpha=0.01)
+        flags = []
+        previous = rng.normal(100, 10, size=20)
+        detector.observe(previous)
+        for _ in range(50):
+            current = rng.normal(100, 10, size=20)
+            flags.append(detector.observe(current))
+        assert sum(flags) <= 3
+
+    def test_under_sampled_not_flagged(self):
+        detector = BurstDetector(min_samples=3)
+        detector.observe([1.0, 2.0, 3.0])
+        assert detector.observe([100.0]) is False
+
+    def test_reset(self):
+        detector = BurstDetector()
+        detector.observe([1.0, 2.0, 3.0, 4.0])
+        detector.reset()
+        assert detector.observe([100.0, 200.0, 300.0, 400.0]) is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstDetector(alpha=0.0)
+        with pytest.raises(ValueError):
+            BurstDetector(min_samples=1)

@@ -1,0 +1,120 @@
+"""Value compression: significant-digit quantization."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Quantizer, quantize_array, quantize_significant
+
+
+class TestQuantizeSignificant:
+    def test_paper_examples(self):
+        # NetMon latencies from the paper, kept to 3 significant digits.
+        assert quantize_significant(74265.0) == 74200.0
+        assert quantize_significant(1247.0) == 1240.0
+        assert quantize_significant(1874.0) == 1870.0
+
+    def test_small_values_pass_through(self):
+        assert quantize_significant(798.0) == 798.0
+        assert quantize_significant(7.0) == 7.0
+        assert quantize_significant(999.0) == 999.0
+
+    def test_zero_and_nonfinite(self):
+        assert quantize_significant(0.0) == 0.0
+        assert math.isnan(quantize_significant(float("nan")))
+        assert quantize_significant(float("inf")) == float("inf")
+
+    def test_negative_values(self):
+        assert quantize_significant(-74265.0) == -74200.0
+
+    def test_digits_parameter(self):
+        assert quantize_significant(74265.0, digits=1) == 70000.0
+        assert quantize_significant(74265.0, digits=5) == 74265.0
+
+    def test_invalid_digits(self):
+        with pytest.raises(ValueError):
+            quantize_significant(1.0, digits=0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.floats(min_value=1.0, max_value=1e12))
+    def test_property_relative_error_below_1pct(self, value):
+        q = quantize_significant(value, digits=3)
+        # Truncation never adds more than one unit in the last kept digit;
+        # the tiny negative slack absorbs binary representation of decimals
+        # (e.g. 1.9 quantizes to the float nearest 1.90).
+        assert -1e-12 <= (value - q) / value < 0.01
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=1.0, max_value=1e9))
+    def test_property_idempotent(self, value):
+        q = quantize_significant(value, digits=3)
+        assert quantize_significant(q, digits=3) == q
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.floats(min_value=1.0, max_value=1e9),
+        st.floats(min_value=1.0, max_value=1e9),
+    )
+    def test_property_monotone(self, a, b):
+        qa = quantize_significant(a, digits=3)
+        qb = quantize_significant(b, digits=3)
+        if a <= b:
+            assert qa <= qb
+
+
+class TestQuantizeArray:
+    def test_matches_scalar(self):
+        values = np.array([74265.0, 1247.0, 798.0, 0.0, -5555.0])
+        expected = np.array([quantize_significant(v) for v in values])
+        np.testing.assert_array_equal(quantize_array(values), expected)
+
+    def test_empty(self):
+        out = quantize_array(np.array([]))
+        assert out.size == 0
+
+    def test_all_zero(self):
+        np.testing.assert_array_equal(quantize_array(np.zeros(5)), np.zeros(5))
+
+    def test_large_random_agreement(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(1, 1e7, size=5000)
+        fast = quantize_array(values)
+        slow = np.array([quantize_significant(float(v)) for v in values])
+        np.testing.assert_allclose(fast, slow, rtol=0, atol=0)
+
+    def test_invalid_digits(self):
+        with pytest.raises(ValueError):
+            quantize_array(np.array([1.0]), digits=0)
+
+
+class TestQuantizer:
+    def test_enabled(self):
+        q = Quantizer(3)
+        assert q.enabled
+        assert q(74265.0) == 74200.0
+
+    def test_disabled(self):
+        q = Quantizer(None)
+        assert not q.enabled
+        assert q(74265.123) == 74265.123
+
+    def test_apply_array(self):
+        q = Quantizer(2)
+        np.testing.assert_array_equal(
+            q.apply(np.array([1234.0])), np.array([1200.0])
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Quantizer(0)
+
+    def test_increases_redundancy(self):
+        # The whole point: quantization shrinks the unique-value set.
+        rng = np.random.default_rng(2)
+        values = rng.lognormal(6.7, 0.35, size=50_000)
+        raw_unique = len(np.unique(values))
+        quantized_unique = len(np.unique(quantize_array(values)))
+        assert quantized_unique < raw_unique / 20

@@ -1,0 +1,95 @@
+"""Theorem 1: CLT error bound evaluation and empirical coverage."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import clt_error_bound, density_at_quantile, error_bound_from_data
+from repro.core.level2 import Level2Aggregator
+from repro.core.summary import SubWindowSummary
+
+
+class TestCltErrorBound:
+    def test_formula(self):
+        # alpha=5% -> z = 1.96; eb = 2 * 1.96 * sqrt(phi(1-phi)) / (sqrt(nm) f).
+        eb = clt_error_bound(0.5, n_subwindows=10, subwindow_size=1000, density=0.01)
+        expected = 2 * 1.959964 * 0.5 / (math.sqrt(10_000) * 0.01)
+        assert eb == pytest.approx(expected, rel=1e-4)
+
+    def test_tighter_with_more_data(self):
+        a = clt_error_bound(0.5, 10, 1000, density=0.01)
+        b = clt_error_bound(0.5, 10, 100000, density=0.01)
+        assert b < a
+
+    def test_wider_in_sparse_tail(self):
+        # Same shape, lower density at the tail -> wider bound, the paper's
+        # core observation about high quantiles.
+        dense = clt_error_bound(0.5, 10, 1000, density=0.01)
+        sparse = clt_error_bound(0.999, 10, 1000, density=0.00001)
+        assert sparse > dense
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clt_error_bound(0.0, 10, 10, 0.1)
+        with pytest.raises(ValueError):
+            clt_error_bound(0.5, 0, 10, 0.1)
+        with pytest.raises(ValueError):
+            clt_error_bound(0.5, 10, 10, 0.0)
+        with pytest.raises(ValueError):
+            clt_error_bound(0.5, 10, 10, 0.1, alpha=1.5)
+
+
+class TestDensityEstimate:
+    def test_uniform_density(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.0, 100.0, size=200_000)
+        # True density = 1/100 everywhere.
+        assert density_at_quantile(values, 0.5) == pytest.approx(0.01, rel=0.1)
+
+    def test_normal_density_at_median(self):
+        rng = np.random.default_rng(1)
+        sigma = 50.0
+        values = rng.normal(0.0, sigma, size=200_000)
+        truth = 1.0 / (sigma * math.sqrt(2 * math.pi))
+        assert density_at_quantile(values, 0.5) == pytest.approx(truth, rel=0.1)
+
+    def test_duplicate_heavy_widens_bandwidth(self):
+        values = np.repeat([1.0, 2.0, 3.0], 1000).astype(float)
+        d = density_at_quantile(values, 0.5)
+        assert d > 0
+
+    def test_constant_raises(self):
+        with pytest.raises(ValueError):
+            density_at_quantile(np.ones(100), 0.5)
+
+    def test_too_few_values_raises(self):
+        with pytest.raises(ValueError):
+            density_at_quantile([1.0, 2.0], 0.5)
+
+
+class TestEmpiricalCoverage:
+    @pytest.mark.parametrize("phi", [0.5, 0.9, 0.99])
+    def test_bound_covers_aggregation_error(self, phi):
+        """|y_a - y_e| <= eb should hold in ~95%+ of trials (paper reports
+        empirical probability 1 across psi and phi)."""
+        rng = np.random.default_rng(7)
+        n, m = 8, 2000
+        trials = 60
+        covered = 0
+        for _ in range(trials):
+            data = rng.normal(1e6, 5e4, size=n * m)
+            agg = Level2Aggregator([phi])
+            for i in range(n):
+                chunk = np.sort(data[i * m : (i + 1) * m])
+                rank = max(1, math.ceil(phi * m))
+                agg.accumulate(
+                    SubWindowSummary(count=m, quantiles={phi: float(chunk[rank - 1])})
+                )
+            y_a = agg.result(phi)
+            ordered = np.sort(data)
+            y_e = float(ordered[max(1, math.ceil(phi * len(data))) - 1])
+            eb = error_bound_from_data(data, phi, n, m)
+            if abs(y_a - y_e) <= eb:
+                covered += 1
+        assert covered / trials >= 0.90

@@ -1,0 +1,253 @@
+"""QLOVE policy behaviour: Level-2 accuracy, few-k repairs, space, config."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import FewKConfig, QLOVEConfig, QLOVEPolicy
+from repro.core.fewk import SOURCE_LEVEL2, SOURCE_SAMPLEK, SOURCE_TOPK
+from repro.streaming import CountWindow
+
+from tests.conftest import drive_policy, exact_quantile
+
+
+def netmon_like(n, seed=0):
+    """Heavy-tailed integer latencies resembling NetMon."""
+    rng = np.random.default_rng(seed)
+    body = rng.lognormal(mean=6.7, sigma=0.35, size=n)
+    tail_mask = rng.random(n) < 0.005
+    tail = rng.pareto(1.3, size=n) * 4000 + 3000
+    return np.round(np.where(tail_mask, tail, body)).astype(float)
+
+
+def mean_rel_error(results, slices, phi):
+    errors = []
+    for est, window_values in zip(results, slices):
+        truth = exact_quantile(window_values, phi)
+        errors.append(abs(est[phi] - truth) / truth)
+    return float(np.mean(errors))
+
+
+class TestLevel2Accuracy:
+    def test_median_error_below_1pct(self):
+        window = CountWindow(size=32000, period=4000)
+        values = netmon_like(96000, seed=1)
+        policy = QLOVEPolicy([0.5, 0.9], window)
+        results, slices = drive_policy(policy, values, window)
+        assert mean_rel_error(results, slices, 0.5) < 0.01
+        assert mean_rel_error(results, slices, 0.9) < 0.01
+
+    def test_normal_data_very_accurate(self):
+        window = CountWindow(size=16000, period=2000)
+        rng = np.random.default_rng(3)
+        values = rng.normal(1e6, 5e4, size=48000)
+        policy = QLOVEPolicy([0.5, 0.9, 0.99], window)
+        results, slices = drive_policy(policy, values, window)
+        for phi in [0.5, 0.9, 0.99]:
+            assert mean_rel_error(results, slices, phi) < 0.005
+
+    def test_high_quantile_degrades_with_small_period(self):
+        # Table 2's statistical-inefficiency effect: Q0.999 error grows as
+        # periods shrink while Q0.5 stays flat.
+        values = netmon_like(64000, seed=4)
+        errors = {}
+        for period in (8000, 1000):
+            window = CountWindow(size=16000, period=period)
+            policy = QLOVEPolicy([0.5, 0.999], window)
+            results, slices = drive_policy(policy, values, window)
+            errors[period] = (
+                mean_rel_error(results, slices, 0.5),
+                mean_rel_error(results, slices, 0.999),
+            )
+        assert errors[1000][0] < 0.01  # median unaffected
+        assert errors[1000][1] > errors[8000][1]  # tail degrades
+
+    def test_tumbling_window(self):
+        window = CountWindow.tumbling(8000)
+        values = netmon_like(32000, seed=5)
+        policy = QLOVEPolicy([0.5], window)
+        results, slices = drive_policy(policy, values, window)
+        # One sub-window per window -> Level 2 mean of one exact quantile;
+        # only quantization error remains (< 1%).
+        for est, window_values in zip(results, slices):
+            truth = exact_quantile(window_values, 0.5)
+            assert abs(est[0.5] - truth) / truth < 0.01
+
+
+class TestFewKTopK:
+    def test_topk_repairs_statistical_inefficiency(self):
+        values = netmon_like(64000, seed=6)
+        window = CountWindow(size=16000, period=1000)
+        plain = QLOVEPolicy([0.999], window)
+        repaired = QLOVEPolicy(
+            [0.999], window, QLOVEConfig(fewk=FewKConfig(topk_fraction=0.5))
+        )
+        res_plain, slices = drive_policy(plain, values, window)
+        res_rep, _ = drive_policy(repaired, values, window)
+        err_plain = mean_rel_error(res_plain, slices, 0.999)
+        err_rep = mean_rel_error(res_rep, slices, 0.999)
+        assert err_rep < err_plain
+        assert err_rep < 0.02
+
+    def test_topk_full_fraction_is_exact_up_to_quantization(self):
+        values = netmon_like(48000, seed=7)
+        window = CountWindow(size=16000, period=2000)
+        policy = QLOVEPolicy(
+            [0.999],
+            window,
+            QLOVEConfig(fewk=FewKConfig(topk_fraction=1.0)),
+        )
+        results, slices = drive_policy(policy, values, window)
+        for est, window_values in zip(results, slices):
+            truth = exact_quantile(window_values, 0.999)
+            assert abs(est[0.999] - truth) / truth < 0.01  # quantization only
+
+    def test_auto_rule_triggers_below_ts(self):
+        window = CountWindow(size=16000, period=1000)  # P(1-.999)=1 < 10
+        config = QLOVEConfig(fewk=FewKConfig())
+        policy = QLOVEPolicy([0.5, 0.999], window, config)
+        assert 0.999 in policy._mergers
+        assert policy._mergers[0.999].topk_enabled
+        # Median is dense: P(1-.5)=500 >= 10, no merger needed.
+        assert 0.5 not in policy._mergers
+
+    def test_source_reporting(self):
+        values = netmon_like(32000, seed=8)
+        window = CountWindow(size=16000, period=1000)
+        policy = QLOVEPolicy(
+            [0.5, 0.999], window, QLOVEConfig(fewk=FewKConfig(topk_fraction=0.2))
+        )
+        drive_policy(policy, values, window)
+        sources = policy.result_sources()
+        assert sources[0.5] == SOURCE_LEVEL2
+        assert sources[0.999] == SOURCE_TOPK
+
+
+class TestFewKSampleK:
+    @staticmethod
+    def inject_burst(values, window, phi=0.999, factor=10.0):
+        """Paper's Section 5.3 burst: scale the top N(1-phi) values of every
+        (N/P)-th sub-window by ``factor``."""
+        out = np.array(values, dtype=float)
+        n_sub = window.subwindow_count
+        period = window.period
+        need = int(math.ceil(window.size * (1 - phi)))
+        for start in range(0, len(out) - period + 1, period * n_sub):
+            chunk = out[start : start + period]
+            top_idx = np.argsort(chunk)[-need:]
+            chunk[top_idx] *= factor
+        return out
+
+    def test_burst_damages_level2_and_samplek_repairs(self):
+        window = CountWindow(size=16000, period=2000)
+        base = netmon_like(64000, seed=9)
+        values = self.inject_burst(base, window)
+        plain = QLOVEPolicy([0.999], window)
+        repaired = QLOVEPolicy(
+            [0.999],
+            window,
+            QLOVEConfig(fewk=FewKConfig(samplek_fraction=0.5)),
+        )
+        res_plain, slices = drive_policy(plain, values, window)
+        res_rep, _ = drive_policy(repaired, values, window)
+        err_plain = mean_rel_error(res_plain, slices, 0.999)
+        err_rep = mean_rel_error(res_rep, slices, 0.999)
+        assert err_plain > 0.10  # burst blows up the Level-2 estimate
+        assert err_rep < err_plain / 2
+
+    def test_samplek_used_when_burst_detected(self):
+        window = CountWindow(size=16000, period=2000)
+        base = netmon_like(48000, seed=10)
+        values = self.inject_burst(base, window)
+        policy = QLOVEPolicy(
+            [0.999],
+            window,
+            QLOVEConfig(fewk=FewKConfig(samplek_fraction=0.5)),
+        )
+        results, _ = drive_policy(policy, values, window)
+        assert results  # ran
+        merger = policy._mergers[0.999]
+        assert merger.samplek_enabled
+        assert policy.result_sources()[0.999] in (SOURCE_SAMPLEK, SOURCE_LEVEL2)
+
+    def test_no_burst_no_samplek_override(self):
+        window = CountWindow(size=16000, period=2000)
+        values = netmon_like(48000, seed=11)
+        policy = QLOVEPolicy(
+            [0.9],
+            window,
+            QLOVEConfig(fewk=FewKConfig(samplek_fraction=0.3, burst_alpha=0.01)),
+        )
+        results, slices = drive_policy(policy, values, window)
+        # Calm traffic: the estimate should stay the accurate Level-2 one.
+        assert mean_rel_error(results, slices, 0.9) < 0.01
+
+
+class TestSpace:
+    def test_space_far_below_exact(self):
+        window = CountWindow(size=32000, period=4000)
+        values = netmon_like(64000, seed=12)
+        policy = QLOVEPolicy([0.5, 0.9, 0.99, 0.999], window)
+        drive_policy(policy, values, window)
+        # Quantized heavy-tailed data: in-flight unique values are a small
+        # fraction of the sub-window, summaries are l * n_sub.
+        assert policy.peak_space_variables() < window.period
+        assert policy.peak_space_variables() < 3 * window.size / 10
+
+    def test_quantization_shrinks_space(self):
+        window = CountWindow(size=16000, period=4000)
+        values = netmon_like(32000, seed=13) + np.random.default_rng(0).random(32000)
+        compressed = QLOVEPolicy([0.5], window, QLOVEConfig(quantize_digits=3))
+        raw = QLOVEPolicy([0.5], window, QLOVEConfig(quantize_digits=None))
+        drive_policy(compressed, values, window)
+        drive_policy(raw, values, window)
+        assert compressed.peak_space_variables() < raw.peak_space_variables() / 5
+
+    def test_analytical_space(self):
+        window = CountWindow(size=128000, period=16000)
+        bound = QLOVEPolicy.analytical_space(window, num_phis=4)
+        assert bound == 4 * 8 + 2 * 16000
+
+
+class TestConfigValidation:
+    def test_bad_backend(self):
+        with pytest.raises(ValueError):
+            QLOVEConfig(backend="btree")
+
+    def test_bad_digits(self):
+        with pytest.raises(ValueError):
+            QLOVEConfig(quantize_digits=0)
+
+    def test_bad_fractions(self):
+        with pytest.raises(ValueError):
+            FewKConfig(topk_fraction=1.5)
+        with pytest.raises(ValueError):
+            FewKConfig(samplek_fraction=-0.1)
+        with pytest.raises(ValueError):
+            FewKConfig(burst_alpha=0.0)
+
+    def test_with_fewk_helper(self):
+        config = QLOVEConfig.with_fewk(topk_fraction=0.1)
+        assert config.fewk is not None
+        assert config.fewk.topk_fraction == 0.1
+
+    def test_tree_backend_equivalent(self):
+        window = CountWindow(size=8000, period=2000)
+        values = netmon_like(16000, seed=14)
+        res_dict, _ = drive_policy(
+            QLOVEPolicy([0.5, 0.99], window, QLOVEConfig(backend="dict")), values, window
+        )
+        res_tree, _ = drive_policy(
+            QLOVEPolicy([0.5, 0.99], window, QLOVEConfig(backend="tree")), values, window
+        )
+        assert res_dict == res_tree
+
+    def test_query_before_seal_raises(self):
+        policy = QLOVEPolicy([0.5], CountWindow(100, 10))
+        with pytest.raises(ValueError):
+            policy.query()
+
+    def test_expire_without_seal_raises(self):
+        with pytest.raises(RuntimeError):
+            QLOVEPolicy([0.5], CountWindow(100, 10)).expire_subwindow()

@@ -1,0 +1,166 @@
+"""Tests for both frequency-map backends against a shared contract."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures import DictFrequencyMap, TreeFrequencyMap, make_frequency_map
+
+BACKENDS = [TreeFrequencyMap, DictFrequencyMap]
+
+
+@pytest.fixture(params=BACKENDS, ids=["tree", "dict"])
+def fmap(request):
+    return request.param()
+
+
+class TestContract:
+    def test_empty(self, fmap):
+        assert fmap.total == 0
+        assert fmap.unique_count == 0
+        assert list(fmap.items_sorted()) == []
+
+    def test_add_and_totals(self, fmap):
+        fmap.add(3.0)
+        fmap.add(3.0)
+        fmap.add(7.0, count=5)
+        assert fmap.total == 7
+        assert fmap.unique_count == 2
+
+    def test_add_rejects_nonpositive(self, fmap):
+        with pytest.raises(ValueError):
+            fmap.add(1.0, count=0)
+
+    def test_discard(self, fmap):
+        fmap.add(3.0, count=4)
+        fmap.discard(3.0, count=3)
+        assert fmap.total == 1
+        fmap.discard(3.0)
+        assert fmap.total == 0
+        assert fmap.unique_count == 0
+
+    def test_discard_missing_raises(self, fmap):
+        with pytest.raises(KeyError):
+            fmap.discard(9.0)
+
+    def test_discard_undercount_raises(self, fmap):
+        fmap.add(9.0)
+        with pytest.raises(KeyError):
+            fmap.discard(9.0, count=2)
+
+    def test_items_sorted_order(self, fmap):
+        for v in [5.0, 1.0, 3.0, 1.0]:
+            fmap.add(v)
+        assert list(fmap.items_sorted()) == [(1.0, 2), (3.0, 1), (5.0, 1)]
+        assert list(fmap.items_descending()) == [(5.0, 1), (3.0, 1), (1.0, 2)]
+
+    def test_value_at_rank(self, fmap):
+        fmap.add(10.0, count=2)
+        fmap.add(20.0, count=1)
+        assert fmap.value_at_rank(1) == 10.0
+        assert fmap.value_at_rank(2) == 10.0
+        assert fmap.value_at_rank(3) == 20.0
+        with pytest.raises(IndexError):
+            fmap.value_at_rank(0)
+        with pytest.raises(IndexError):
+            fmap.value_at_rank(4)
+
+    def test_quantile_rank_convention(self, fmap):
+        # 10 elements 1..10: phi-quantile is element of rank ceil(phi*10).
+        for v in range(1, 11):
+            fmap.add(float(v))
+        assert fmap.quantile(0.5) == 5.0
+        assert fmap.quantile(0.51) == 6.0
+        assert fmap.quantile(1.0) == 10.0
+        assert fmap.quantile(0.05) == 1.0
+
+    def test_quantiles_multi_single_pass(self, fmap):
+        for v in range(1, 101):
+            fmap.add(float(v))
+        got = fmap.quantiles([0.99, 0.5, 0.9])
+        assert got == [99.0, 50.0, 90.0]
+
+    def test_quantiles_empty_raises(self, fmap):
+        with pytest.raises(ValueError):
+            fmap.quantile(0.5)
+
+    def test_quantiles_invalid_phi(self, fmap):
+        fmap.add(1.0)
+        with pytest.raises(ValueError):
+            fmap.quantile(0.0)
+        with pytest.raises(ValueError):
+            fmap.quantile(1.5)
+
+    def test_top_values(self, fmap):
+        for v in [1.0, 9.0, 9.0, 5.0, 7.0]:
+            fmap.add(v)
+        assert fmap.top_values(3) == [9.0, 9.0, 7.0]
+        assert fmap.top_values(0) == []
+        assert fmap.top_values(10) == [9.0, 9.0, 7.0, 5.0, 1.0]
+
+    def test_clear(self, fmap):
+        fmap.extend([1.0, 2.0, 3.0])
+        fmap.clear()
+        assert fmap.total == 0
+        assert list(fmap.items_sorted()) == []
+
+    def test_readd_after_full_discard(self, fmap):
+        fmap.add(2.0)
+        fmap.discard(2.0)
+        fmap.add(2.0)
+        assert list(fmap.items_sorted()) == [(2.0, 1)]
+
+
+class TestFactory:
+    def test_make_frequency_map(self):
+        assert isinstance(make_frequency_map("tree"), TreeFrequencyMap)
+        assert isinstance(make_frequency_map("dict"), DictFrequencyMap)
+
+    def test_make_frequency_map_unknown(self):
+        with pytest.raises(ValueError):
+            make_frequency_map("btree")
+
+
+class TestBackendsAgree:
+    def test_random_workload_identical_results(self):
+        rng = random.Random(11)
+        tree, dct = TreeFrequencyMap(), DictFrequencyMap()
+        live: list[float] = []
+        for _ in range(3000):
+            v = float(rng.randrange(200))
+            tree.add(v)
+            dct.add(v)
+            live.append(v)
+            if len(live) > 1000:
+                old = live.pop(0)
+                tree.discard(old)
+                dct.discard(old)
+        assert list(tree.items_sorted()) == list(dct.items_sorted())
+        phis = [0.5, 0.9, 0.99, 0.999]
+        assert tree.quantiles(phis) == dct.quantiles(phis)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200),
+    st.floats(min_value=0.01, max_value=1.0),
+)
+def test_property_quantile_matches_sorted_rank(values, phi):
+    expected_sorted = sorted(float(v) for v in values)
+    rank = max(1, math.ceil(phi * len(values)))
+    expected = expected_sorted[rank - 1]
+    for backend in BACKENDS:
+        fmap = backend(float(v) for v in values)
+        assert fmap.quantile(phi) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=150))
+def test_property_backends_agree(values):
+    tree = TreeFrequencyMap(float(v) for v in values)
+    dct = DictFrequencyMap(float(v) for v in values)
+    assert list(tree.items_sorted()) == list(dct.items_sorted())
+    assert tree.total == dct.total == len(values)

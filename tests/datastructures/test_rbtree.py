@@ -1,0 +1,228 @@
+"""Unit and property tests for the red-black tree substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures import RedBlackTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = RedBlackTree()
+        assert len(tree) == 0
+        assert tree.total == 0
+        assert not tree
+        assert list(tree.items()) == []
+
+    def test_single_insert(self):
+        tree = RedBlackTree()
+        tree.insert(5.0)
+        assert len(tree) == 1
+        assert tree.total == 1
+        assert tree.get(5.0) == 1
+        assert 5.0 in tree
+
+    def test_duplicate_inserts_compress(self):
+        tree = RedBlackTree()
+        for _ in range(10):
+            tree.insert(3.0)
+        assert len(tree) == 1
+        assert tree.total == 10
+        assert tree.get(3.0) == 10
+
+    def test_insert_with_count(self):
+        tree = RedBlackTree()
+        tree.insert(1.0, count=7)
+        assert tree.total == 7
+        assert tree.get(1.0) == 7
+
+    def test_insert_rejects_nonpositive_count(self):
+        tree = RedBlackTree()
+        with pytest.raises(ValueError):
+            tree.insert(1.0, count=0)
+        with pytest.raises(ValueError):
+            tree.insert(1.0, count=-3)
+
+    def test_items_sorted(self):
+        tree = RedBlackTree()
+        for v in [5, 1, 9, 3, 7]:
+            tree.insert(float(v))
+        assert [k for k, _ in tree.items()] == [1.0, 3.0, 5.0, 7.0, 9.0]
+
+    def test_items_descending(self):
+        tree = RedBlackTree()
+        for v in [5, 1, 9, 3, 7]:
+            tree.insert(float(v))
+        assert [k for k, _ in tree.items_descending()] == [9.0, 7.0, 5.0, 3.0, 1.0]
+
+    def test_min_max(self):
+        tree = RedBlackTree()
+        for v in [5, 1, 9]:
+            tree.insert(float(v))
+        assert tree.min_key() == 1.0
+        assert tree.max_key() == 9.0
+
+    def test_min_max_empty_raises(self):
+        tree = RedBlackTree()
+        with pytest.raises(KeyError):
+            tree.min_key()
+        with pytest.raises(KeyError):
+            tree.max_key()
+
+    def test_clear(self):
+        tree = RedBlackTree()
+        for v in range(100):
+            tree.insert(float(v))
+        tree.clear()
+        assert len(tree) == 0
+        assert tree.total == 0
+
+
+class TestRemoval:
+    def test_remove_decrements_frequency(self):
+        tree = RedBlackTree()
+        tree.insert(4.0, count=3)
+        tree.remove(4.0)
+        assert tree.get(4.0) == 2
+        assert tree.total == 2
+
+    def test_remove_deletes_node_at_zero(self):
+        tree = RedBlackTree()
+        tree.insert(4.0, count=2)
+        tree.remove(4.0, count=2)
+        assert 4.0 not in tree
+        assert len(tree) == 0
+
+    def test_remove_missing_raises(self):
+        tree = RedBlackTree()
+        with pytest.raises(KeyError):
+            tree.remove(1.0)
+
+    def test_remove_undercount_raises(self):
+        tree = RedBlackTree()
+        tree.insert(1.0, count=2)
+        with pytest.raises(KeyError):
+            tree.remove(1.0, count=5)
+
+    def test_remove_nonpositive_count_raises(self):
+        tree = RedBlackTree()
+        tree.insert(1.0)
+        with pytest.raises(ValueError):
+            tree.remove(1.0, count=0)
+
+    def test_interleaved_insert_remove(self):
+        tree = RedBlackTree()
+        rng = random.Random(7)
+        shadow: dict[float, int] = {}
+        for _ in range(2000):
+            key = float(rng.randrange(50))
+            if rng.random() < 0.6 or shadow.get(key, 0) == 0:
+                tree.insert(key)
+                shadow[key] = shadow.get(key, 0) + 1
+            else:
+                tree.remove(key)
+                shadow[key] -= 1
+                if shadow[key] == 0:
+                    del shadow[key]
+            if _ % 200 == 0:
+                tree.check_invariants()
+        assert dict(tree.items()) == shadow
+        tree.check_invariants()
+
+
+class TestOrderStatistics:
+    def test_select_simple(self):
+        tree = RedBlackTree()
+        for v in [10, 20, 30]:
+            tree.insert(float(v))
+        assert tree.select(1) == 10.0
+        assert tree.select(2) == 20.0
+        assert tree.select(3) == 30.0
+
+    def test_select_with_frequencies(self):
+        tree = RedBlackTree()
+        tree.insert(1.0, count=3)
+        tree.insert(2.0, count=2)
+        assert [tree.select(r) for r in range(1, 6)] == [1.0, 1.0, 1.0, 2.0, 2.0]
+
+    def test_select_out_of_range(self):
+        tree = RedBlackTree()
+        tree.insert(1.0)
+        with pytest.raises(IndexError):
+            tree.select(0)
+        with pytest.raises(IndexError):
+            tree.select(2)
+
+    def test_rank_of(self):
+        tree = RedBlackTree()
+        tree.insert(1.0, count=3)
+        tree.insert(2.0, count=2)
+        tree.insert(5.0, count=1)
+        assert tree.rank_of(1.0) == 0
+        assert tree.rank_of(2.0) == 3
+        assert tree.rank_of(5.0) == 5
+        assert tree.rank_of(3.0) == 5  # absent key: strictly-smaller count
+        assert tree.rank_of(0.5) == 0
+
+    def test_select_matches_sorted_list(self):
+        rng = random.Random(3)
+        values = [float(rng.randrange(100)) for _ in range(500)]
+        tree = RedBlackTree()
+        for v in values:
+            tree.insert(v)
+        expected = sorted(values)
+        for rank in range(1, len(values) + 1):
+            assert tree.select(rank) == expected[rank - 1]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=300))
+def test_property_inorder_is_sorted_multiset(values):
+    tree = RedBlackTree()
+    for v in values:
+        tree.insert(float(v))
+    tree.check_invariants()
+    flattened = []
+    for key, count in tree.items():
+        flattened.extend([key] * count)
+    assert flattened == sorted(float(v) for v in values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=30)),
+        max_size=400,
+    )
+)
+def test_property_invariants_under_mixed_ops(ops):
+    tree = RedBlackTree()
+    shadow: dict[float, int] = {}
+    for is_insert, raw in ops:
+        key = float(raw)
+        if is_insert or shadow.get(key, 0) == 0:
+            tree.insert(key)
+            shadow[key] = shadow.get(key, 0) + 1
+        else:
+            tree.remove(key)
+            shadow[key] -= 1
+            if shadow[key] == 0:
+                del shadow[key]
+    tree.check_invariants()
+    assert tree.total == sum(shadow.values())
+    assert len(tree) == len(shadow)
+    assert dict(tree.items()) == shadow
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=1, max_size=200))
+def test_property_select_agrees_with_sorted(values):
+    tree = RedBlackTree()
+    for v in values:
+        tree.insert(v)
+    expected = sorted(values)
+    for rank in (1, len(values) // 2 + 1, len(values)):
+        assert tree.select(rank) == expected[rank - 1]

@@ -1,0 +1,108 @@
+"""Tests for interval sampling and the reservoir sampler."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures import ReservoirSampler, interval_sample, sample_ranks
+from repro.datastructures.sampling import sample_weights
+
+
+class TestSampleRanks:
+    def test_every_other(self):
+        # "for i = 2, we select all even ranked values" (1-based evens).
+        assert sample_ranks(10, 5) == [1, 3, 5, 7, 9]
+
+    def test_ends_at_last_rank(self):
+        for pop in (1, 7, 100):
+            for k in range(1, pop + 1):
+                assert sample_ranks(pop, k)[-1] == pop - 1
+
+    def test_k_at_least_population(self):
+        assert sample_ranks(4, 9) == [0, 1, 2, 3]
+        assert sample_ranks(4, 4) == [0, 1, 2, 3]
+
+    def test_zero_cases(self):
+        assert sample_ranks(0, 5) == []
+        assert sample_ranks(5, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            sample_ranks(-1, 2)
+        with pytest.raises(ValueError):
+            sample_ranks(2, -1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=1, max_value=500), st.integers(min_value=1, max_value=500))
+    def test_property_count_and_bounds(self, population, k):
+        ranks = sample_ranks(population, k)
+        assert len(ranks) == min(k, population)
+        assert all(0 <= r < population for r in ranks)
+        assert ranks == sorted(set(ranks))
+
+
+class TestSampleWeights:
+    def test_even_interval(self):
+        # population 10, k 5: each sample stands for its block of 2.
+        assert sample_weights(10, 5) == [2, 2, 2, 2, 2]
+
+    def test_uneven_interval(self):
+        weights = sample_weights(11, 6)
+        assert weights == [2, 2, 2, 2, 2, 1]
+        assert sum(weights) == 11
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=1, max_value=400), st.integers(min_value=1, max_value=400))
+    def test_property_weights_partition_population(self, population, k):
+        weights = sample_weights(population, k)
+        assert sum(weights) == population
+        assert all(w >= 1 for w in weights)
+
+
+class TestIntervalSample:
+    def test_samples_descending_ranked(self):
+        ranked = [100.0, 90.0, 80.0, 70.0, 60.0, 50.0]
+        assert interval_sample(ranked, 3) == [90.0, 70.0, 50.0]
+
+    def test_sample_all(self):
+        ranked = [3.0, 2.0, 1.0]
+        assert interval_sample(ranked, 10) == ranked
+
+
+class TestReservoir:
+    def test_under_capacity_keeps_all(self):
+        sampler = ReservoirSampler(10, [1.0, 2.0, 3.0])
+        assert sorted(sampler.values()) == [1.0, 2.0, 3.0]
+        assert sampler.seen == 3
+
+    def test_capacity_bound(self):
+        sampler = ReservoirSampler(5, (float(i) for i in range(100)))
+        assert len(sampler) == 5
+        assert sampler.seen == 100
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(0)
+
+    def test_clear(self):
+        sampler = ReservoirSampler(3, [1.0, 2.0])
+        sampler.clear()
+        assert len(sampler) == 0
+        assert sampler.seen == 0
+
+    def test_uniformity(self):
+        # Each of 20 values should appear in the 5-slot reservoir about
+        # 5/20 = 25% of the time over many trials.
+        counts: Counter = Counter()
+        trials = 4000
+        for seed in range(trials):
+            sampler = ReservoirSampler(5, rng=random.Random(seed))
+            for v in range(20):
+                sampler.offer(float(v))
+            counts.update(sampler.values())
+        for v in range(20):
+            frequency = counts[float(v)] / trials
+            assert 0.18 < frequency < 0.32, f"value {v} frequency {frequency}"

@@ -1,0 +1,78 @@
+"""Tests for the bounded top-k keeper."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures import TopKKeeper
+
+
+class TestTopK:
+    def test_keeps_largest(self):
+        keeper = TopKKeeper(3, [1.0, 9.0, 5.0, 7.0, 2.0])
+        assert keeper.values_descending() == [9.0, 7.0, 5.0]
+
+    def test_under_capacity(self):
+        keeper = TopKKeeper(10, [3.0, 1.0])
+        assert keeper.values_descending() == [3.0, 1.0]
+        assert len(keeper) == 2
+
+    def test_zero_capacity(self):
+        keeper = TopKKeeper(0)
+        assert keeper.offer(5.0) is False
+        assert keeper.values_descending() == []
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(ValueError):
+            TopKKeeper(-1)
+
+    def test_offer_reports_retention(self):
+        keeper = TopKKeeper(2, [5.0, 6.0])
+        assert keeper.offer(1.0) is False
+        assert keeper.offer(9.0) is True
+        assert keeper.values_descending() == [9.0, 6.0]
+
+    def test_duplicates_retained(self):
+        keeper = TopKKeeper(3, [4.0, 4.0, 4.0, 1.0])
+        assert keeper.values_descending() == [4.0, 4.0, 4.0]
+
+    def test_threshold(self):
+        keeper = TopKKeeper(2, [1.0, 5.0, 3.0])
+        assert keeper.threshold() == 3.0
+
+    def test_threshold_empty_raises(self):
+        with pytest.raises(IndexError):
+            TopKKeeper(2).threshold()
+
+    def test_merge(self):
+        a = TopKKeeper(3, [1.0, 2.0, 3.0])
+        b = TopKKeeper(3, [10.0, 0.5])
+        a.merge(b)
+        assert a.values_descending() == [10.0, 3.0, 2.0]
+
+    def test_clear_preserves_capacity(self):
+        keeper = TopKKeeper(2, [1.0, 2.0])
+        keeper.clear()
+        assert len(keeper) == 0
+        assert keeper.k == 2
+        keeper.offer(7.0)
+        assert keeper.values_descending() == [7.0]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=200),
+    st.integers(min_value=0, max_value=20),
+)
+def test_property_matches_sorted_slice(values, k):
+    keeper = TopKKeeper(k, values)
+    assert keeper.values_descending() == sorted(values, reverse=True)[:k]
+
+
+def test_streaming_equivalence_large():
+    rng = random.Random(5)
+    values = [rng.gauss(0, 100) for _ in range(5000)]
+    keeper = TopKKeeper(50, values)
+    assert keeper.values_descending() == sorted(values, reverse=True)[:50]

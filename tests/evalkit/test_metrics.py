@@ -1,0 +1,98 @@
+"""Metrics: exact quantiles, value/rank errors, accumulator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evalkit import (
+    ErrorAccumulator,
+    exact_quantile,
+    exact_quantiles,
+    rank_error,
+    relative_value_error,
+)
+
+
+class TestExactQuantiles:
+    def test_rank_convention(self):
+        values = list(range(1, 11))
+        assert exact_quantile(values, 0.5) == 5
+        assert exact_quantile(values, 0.51) == 6
+        assert exact_quantile(values, 1.0) == 10
+
+    def test_multi_single_sort(self):
+        values = list(range(100, 0, -1))
+        assert exact_quantiles(values, [0.99, 0.5]) == [99.0, 50.0]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            exact_quantiles([], [0.5])
+
+    def test_invalid_phi(self):
+        with pytest.raises(ValueError):
+            exact_quantile([1.0], 0.0)
+
+    def test_no_float_fuzz_on_integer_products(self):
+        # 16000 * 0.999 must rank 15984, not 15985.
+        values = list(range(1, 16001))
+        assert exact_quantile(values, 0.999) == 15984
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=300),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_property_matches_sorted_index(self, values, phi):
+        got = exact_quantile(values, phi)
+        ordered = sorted(values)
+        rank = max(1, math.ceil(round(phi * len(values), 9)))
+        assert got == ordered[rank - 1]
+
+
+class TestErrors:
+    def test_relative_value_error(self):
+        assert relative_value_error(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_value_error(90.0, 100.0) == pytest.approx(0.1)
+
+    def test_relative_value_error_zero_truth(self):
+        with pytest.raises(ValueError):
+            relative_value_error(1.0, 0.0)
+
+    def test_rank_error_exact_hit(self):
+        window = np.arange(1.0, 101.0)
+        assert rank_error(window, 50.0, 0.5) == 0.0
+
+    def test_rank_error_distance(self):
+        window = np.arange(1.0, 101.0)
+        # Estimate 60 for the median: rank 60 vs 50 -> 10/100.
+        assert rank_error(window, 60.0, 0.5) == pytest.approx(0.1)
+
+    def test_rank_error_duplicates_take_closest(self):
+        window = np.array([1.0] * 50 + [2.0] * 50)
+        # 1.0 occupies ranks 1..50; target rank 50 -> error 0.
+        assert rank_error(window, 1.0, 0.5) == 0.0
+
+    def test_rank_error_empty(self):
+        with pytest.raises(ValueError):
+            rank_error(np.array([]), 1.0, 0.5)
+
+
+class TestAccumulator:
+    def test_accumulates_means(self):
+        acc = ErrorAccumulator([0.5])
+        window = np.arange(1.0, 101.0)
+        acc.observe({0.5: 50.0}, window)  # exact
+        acc.observe({0.5: 55.0}, window)  # 10% value error
+        assert acc.evaluations == 2
+        assert acc.mean_value_error(0.5) == pytest.approx(0.05)
+        assert acc.value_error_percent(0.5) == pytest.approx(5.0)
+        assert acc.mean_rank_error(0.5) == pytest.approx(0.025)
+        assert acc.max_rank_error(0.5) == pytest.approx(0.05)
+
+    def test_empty_is_nan(self):
+        acc = ErrorAccumulator([0.5])
+        assert math.isnan(acc.mean_value_error(0.5))
+        assert math.isnan(acc.mean_rank_error(0.5))

@@ -1,0 +1,150 @@
+"""Runner, throughput harness, reporting, CLI and experiment registry."""
+
+import numpy as np
+import pytest
+
+from repro.evalkit import Table, measure_throughput, run_accuracy
+from repro.evalkit.cli import build_parser, main
+from repro.evalkit.experiments import available_experiments, get_experiment
+from repro.evalkit.reporting import ascii_histogram, format_float
+from repro.sketches.registry import make_policy
+from repro.streaming import CountWindow
+
+
+class TestRunAccuracy:
+    def test_exact_policy_zero_error(self):
+        rng = np.random.default_rng(0)
+        window = CountWindow(size=2000, period=500)
+        values = rng.uniform(0, 1e6, size=6000)
+        report = run_accuracy("exact", values, window, [0.5, 0.99])
+        assert report.evaluations == 9
+        assert report.value_error_percent(0.5) == 0.0
+        assert report.rank_error(0.99) == 0.0
+        assert report.observed_space > 0
+        assert report.analytical_space == 3 * window.size
+
+    def test_qlove_low_error(self):
+        rng = np.random.default_rng(1)
+        window = CountWindow(size=4000, period=1000)
+        values = rng.normal(1e6, 5e4, size=12000)
+        report = run_accuracy("qlove", values, window, [0.5])
+        assert report.value_error_percent(0.5) < 1.0
+        assert report.policy == "qlove"
+
+
+class TestThroughput:
+    def test_measures_positive_rate(self):
+        rng = np.random.default_rng(2)
+        window = CountWindow(size=1000, period=500)
+        values = rng.uniform(0, 100, size=5000)
+        result = measure_throughput(
+            lambda: make_policy("qlove", [0.5], window), values, window
+        )
+        assert result.events_per_second > 0
+        assert result.elements == 5000
+        assert result.evaluations == 9
+        assert result.million_events_per_second == pytest.approx(
+            result.events_per_second / 1e6
+        )
+
+    def test_invalid_repeats(self):
+        window = CountWindow(size=100, period=100)
+        with pytest.raises(ValueError):
+            measure_throughput(
+                lambda: make_policy("qlove", [0.5], window),
+                np.ones(100),
+                window,
+                repeats=0,
+            )
+
+
+class TestReporting:
+    def test_table_render(self):
+        table = Table("Demo", ["a", "bb"])
+        table.add_row(1, 2.5)
+        text = table.render()
+        assert "Demo" in text
+        assert "a" in text and "bb" in text
+        assert "1" in text and "2.5" in text
+
+    def test_table_wrong_arity(self):
+        table = Table("Demo", ["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_table_markdown(self):
+        table = Table("Demo", ["x"])
+        table.add_row("v")
+        md = table.render_markdown()
+        assert "| x |" in md
+        assert "| v |" in md
+
+    def test_format_float(self):
+        assert format_float(float("nan")) == "NA"
+        assert format_float(0.0) == "0"
+        assert format_float(1234.5, 0) == "1,234"
+        assert format_float(1e-9) == "1.00e-09"
+
+    def test_ascii_histogram(self):
+        text = ascii_histogram([5, 10], [0.0, 1.0, 2.0])
+        assert text.count("\n") == 1
+        assert "10" in text
+
+    def test_ascii_histogram_validation(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([1], [0.0])
+
+
+class TestExperimentRegistry:
+    def test_all_experiments_registered(self):
+        names = available_experiments()
+        for expected in [
+            "figure1",
+            "table1",
+            "figure4",
+            "figure5",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "redundancy",
+            "pareto",
+            "fewk_throughput",
+            "ablation_backend",
+        ]:
+            assert expected in names
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            get_experiment("table99")
+
+    def test_figure1_runs_small(self):
+        result = get_experiment("figure1")(scale=0.05)
+        assert result.name == "figure1"
+        assert result.tables
+        assert result.data["q50"] > 0
+
+    def test_table1_runs_tiny(self):
+        result = get_experiment("table1")(scale=0.02, evaluations=3)
+        assert "qlove" in result.data
+        assert result.data["qlove"]["observed_space"] > 0
+
+
+class TestCli:
+    def test_parser_accepts_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--scale", "0.5"])
+        assert args.experiment == "table1"
+        assert args.scale == 0.5
+
+    def test_main_runs_figure1(self, capsys):
+        code = main(["figure1", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        assert "Q0.5" in out
+
+    def test_main_markdown(self, capsys):
+        code = main(["figure1", "--scale", "0.05", "--markdown"])
+        assert code == 0
+        assert "|" in capsys.readouterr().out

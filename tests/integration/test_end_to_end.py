@@ -1,0 +1,190 @@
+"""End-to-end scenarios across the full stack.
+
+These combine the datacenter simulator, the streaming engine, the Qmonitor
+query pipeline and the QLOVE policy — the complete system the paper
+deploys, exercised the way a user would.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    CountWindow,
+    FewKConfig,
+    PolicyOperator,
+    QLOVEConfig,
+    QLOVEPolicy,
+    Query,
+    StreamEngine,
+    TimeWindow,
+    make_policy,
+)
+from repro.evalkit import exact_quantile
+from repro.streaming.sources import merge_sources, value_stream
+from repro.workloads import (
+    BurstPattern,
+    Datacenter,
+    DatacenterConfig,
+    Incident,
+    pattern_window,
+)
+
+
+class TestQmonitorPipeline:
+    """The paper's query over the simulated datacenter."""
+
+    def test_filtered_quantiles_over_probe_stream(self):
+        datacenter = Datacenter(DatacenterConfig(drop_probability=0.01), seed=0)
+        window = CountWindow(size=8000, period=2000)
+        policy = QLOVEPolicy([0.5, 0.99], window)
+        query = (
+            Query(datacenter.probe_stream(20_000, probes_per_second=1e6))
+            .where(lambda e: e.error_code == 0)
+            .windowed_by(window)
+            .aggregate(PolicyOperator(policy))
+        )
+        results = StreamEngine().run_to_list(query)
+        assert len(results) >= 5
+        for result in results:
+            # Sane RTT quantiles: sub-millisecond median, bounded tail.
+            assert 100 < result.result[0.5] < 2000
+            assert result.result[0.99] < 100_000
+            assert result.result[0.5] <= result.result[0.99]
+
+    def test_incident_visible_in_tail_quantile(self):
+        config = DatacenterConfig(tail_probability=0.0, drop_probability=0.0)
+        incident = Incident(pod=0, start=0.01, end=1.0, factor=20.0)
+        calm = Datacenter(config, seed=1)
+        stormy = Datacenter(config, incidents=[incident], seed=1)
+        window = CountWindow.tumbling(5000)
+
+        def p99_series(dc):
+            policy = QLOVEPolicy([0.99], window)
+            query = (
+                Query(dc.probe_stream(15_000, probes_per_second=1e6))
+                .windowed_by(window)
+                .aggregate(PolicyOperator(policy))
+            )
+            return [r.result[0.99] for r in StreamEngine().run(query)]
+
+        calm_p99 = p99_series(calm)
+        storm_p99 = p99_series(stormy)
+        assert max(storm_p99) > 2 * max(calm_p99)
+
+
+class TestTimeWindowedQLOVE:
+    def test_time_windows_with_idle_gaps(self):
+        # Events only in alternating seconds; empty sub-windows must seal
+        # without breaking Level 2.
+        events = []
+        rng = np.random.default_rng(2)
+        for second in range(0, 20, 2):
+            stamps = np.sort(rng.uniform(second, second + 1, size=500))
+            for t in stamps:
+                events.append((float(t), float(rng.normal(1000, 100))))
+        from repro.streaming import Event
+
+        stream = [Event(t, v) for t, v in events]
+        window = TimeWindow(size=4.0, period=1.0)
+        policy = QLOVEPolicy([0.5], window)
+        query = Query(stream).windowed_by(window).aggregate(PolicyOperator(policy))
+        results = StreamEngine(emit_partial=True).run_to_list(query)
+        assert results
+        for result in results:
+            if result.window_count > 0:
+                assert 800 < result.result[0.5] < 1200
+
+
+class TestMultiSourceIngest:
+    def test_merged_probes_from_many_sources(self):
+        # Three probes with interleaved timestamps feeding one query.
+        rng = np.random.default_rng(3)
+        streams = [
+            value_stream(rng.normal(1000, 50, size=2000), start=i * 0.3, dt=1.0, source=f"probe{i}")
+            for i in range(3)
+        ]
+        window = CountWindow(size=3000, period=1000)
+        policy = QLOVEPolicy([0.5], window)
+        query = (
+            Query(merge_sources(*streams))
+            .windowed_by(window)
+            .aggregate(PolicyOperator(policy))
+        )
+        results = StreamEngine().run_to_list(query)
+        assert len(results) == 4
+        for result in results:
+            assert abs(result.result[0.5] - 1000) < 20
+
+
+class TestFigure3Patterns:
+    """Few-k behaviour across the paper's E1-E4 tail placements."""
+
+    @pytest.mark.parametrize("pattern", list(BurstPattern))
+    def test_topk_full_budget_exact_for_even_spread(self, pattern):
+        window = CountWindow(size=10_000, period=1_000)
+        values = pattern_window(pattern, window, phi=0.999, seed=4)
+        config = QLOVEConfig(
+            quantize_digits=None, fewk=FewKConfig(topk_fraction=1.0)
+        )
+        policy = QLOVEPolicy([0.999], window, config)
+        for i, v in enumerate(values):
+            policy.accumulate(float(v))
+            if (i + 1) % window.period == 0:
+                policy.seal_subwindow()
+        truth = exact_quantile(values, 0.999)
+        estimate = policy.query()[0.999]
+        # Full-budget top-k is exact for every placement pattern (E1-E4).
+        assert estimate == pytest.approx(truth)
+
+    def test_small_k_ranks_patterns_by_difficulty(self):
+        # With k=1 per sub-window: "E1 performing the worst, followed by
+        # E2, and then E3" (Section 4.1); E4 stays exact.
+        window = CountWindow(size=10_000, period=1_000)
+        errors = {}
+        for pattern in BurstPattern:
+            values = pattern_window(pattern, window, phi=0.999, seed=5)
+            config = QLOVEConfig(
+                quantize_digits=None,
+                fewk=FewKConfig(topk_fraction=1.0 / 11.0),  # k_t = 1
+            )
+            policy = QLOVEPolicy([0.999], window, config)
+            for i, v in enumerate(values):
+                policy.accumulate(float(v))
+                if (i + 1) % window.period == 0:
+                    policy.seal_subwindow()
+            truth = exact_quantile(values, 0.999)
+            estimate = policy.query()[0.999]
+            errors[pattern] = abs(estimate - truth) / truth
+        assert errors[BurstPattern.E1] >= errors[BurstPattern.E3]
+        assert errors[BurstPattern.E1] >= errors[BurstPattern.E4]
+        assert errors[BurstPattern.E4] < 0.15
+
+
+class TestPolicyAgreementEndToEnd:
+    def test_all_policies_bounded_error_on_smooth_data(self):
+        # Every policy should track a well-behaved stream's median within
+        # a few percent end-to-end through the engine.
+        rng = np.random.default_rng(6)
+        values = rng.normal(1e6, 5e4, size=24_000)
+        window = CountWindow(size=8000, period=2000)
+        for name, params in [
+            ("qlove", {}),
+            ("exact", {}),
+            ("cmqs", {"epsilon": 0.05}),
+            ("am", {"epsilon": 0.05}),
+            ("random", {"epsilon": 0.05, "seed": 0}),
+            ("moment", {"k": 8}),
+        ]:
+            policy = make_policy(name, [0.5], window, **params)
+            query = (
+                Query(value_stream(values))
+                .windowed_by(window)
+                .aggregate(PolicyOperator(policy))
+            )
+            for result in StreamEngine().run(query):
+                end = int(result.end)
+                truth = exact_quantile(values[end - window.size : end], 0.5)
+                err = abs(result.result[0.5] - truth) / truth
+                assert err < 0.03, (name, err)

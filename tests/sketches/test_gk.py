@@ -1,0 +1,176 @@
+"""GK summary: deterministic rank-error guarantee and combination."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.gk import GKSummary, combined_quantile, merge_summaries
+
+
+def max_rank_error(values, summary, phis):
+    ordered = np.sort(np.asarray(values, dtype=float))
+    n = len(ordered)
+    worst = 0.0
+    for phi in phis:
+        estimate = summary.query(phi)
+        target = max(1, math.ceil(phi * n))
+        lo = int(np.searchsorted(ordered, estimate, side="left")) + 1
+        hi = int(np.searchsorted(ordered, estimate, side="right"))
+        if lo <= target <= hi:
+            continue
+        worst = max(worst, min(abs(target - lo), abs(target - hi)) / n)
+    return worst
+
+
+class TestGKBasics:
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            GKSummary(0.0)
+        with pytest.raises(ValueError):
+            GKSummary(1.0)
+
+    def test_empty_query_raises(self):
+        with pytest.raises(ValueError):
+            GKSummary(0.1).query(0.5)
+
+    def test_invalid_phi(self):
+        s = GKSummary(0.1)
+        s.insert(1.0)
+        with pytest.raises(ValueError):
+            s.query(0.0)
+
+    def test_single_value(self):
+        s = GKSummary(0.1)
+        s.insert(42.0)
+        assert s.query(0.5) == 42.0
+        assert s.n == 1
+
+    def test_extremes_preserved(self):
+        s = GKSummary(0.05)
+        rng = random.Random(1)
+        values = [rng.uniform(0, 1000) for _ in range(5000)]
+        for v in values:
+            s.insert(v)
+        items = [v for v, _ in s.weighted_items()]
+        assert min(items) == min(values)
+        assert max(items) == max(values)
+
+    def test_weight_conservation(self):
+        s = GKSummary(0.05)
+        for v in range(1000):
+            s.insert(float(v))
+        assert sum(w for _, w in s.weighted_items()) == 1000
+
+    def test_compression_bounds_space(self):
+        s = GKSummary(0.02)
+        rng = random.Random(2)
+        for _ in range(20000):
+            s.insert(rng.gauss(0, 1))
+        # Far fewer tuples than elements; generous constant-factor bound.
+        assert s.tuple_count < 20000 / 10
+        assert s.tuple_count < 8 * GKSummary.analytical_tuples(0.02, 20000)
+
+    def test_weighted_insert(self):
+        s = GKSummary(0.1)
+        s.insert(5.0, weight=10)
+        s.insert(1.0, weight=10)
+        assert s.n == 20
+        assert s.query(0.25) == 1.0
+        assert s.query(0.75) == 5.0
+
+    def test_weighted_insert_invalid(self):
+        with pytest.raises(ValueError):
+            GKSummary(0.1).insert(1.0, weight=0)
+
+
+class TestGKGuarantee:
+    @pytest.mark.parametrize("epsilon", [0.01, 0.02, 0.05, 0.1])
+    def test_rank_error_bounded_uniform(self, epsilon):
+        rng = random.Random(7)
+        values = [rng.uniform(0, 1e6) for _ in range(20000)]
+        s = GKSummary(epsilon)
+        for v in values:
+            s.insert(v)
+        err = max_rank_error(values, s, [0.01, 0.1, 0.5, 0.9, 0.99, 0.999])
+        assert err <= epsilon
+
+    def test_rank_error_bounded_sorted_input(self):
+        values = [float(i) for i in range(10000)]
+        s = GKSummary(0.02)
+        for v in values:
+            s.insert(v)
+        assert max_rank_error(values, s, [0.5, 0.9, 0.99]) <= 0.02
+
+    def test_rank_error_bounded_reverse_sorted(self):
+        values = [float(10000 - i) for i in range(10000)]
+        s = GKSummary(0.02)
+        for v in values:
+            s.insert(v)
+        assert max_rank_error(values, s, [0.5, 0.9, 0.99]) <= 0.02
+
+    def test_rank_error_bounded_heavy_tail(self, heavy_tailed_values):
+        s = GKSummary(0.02)
+        for v in heavy_tailed_values:
+            s.insert(float(v))
+        assert max_rank_error(heavy_tailed_values, s, [0.5, 0.99, 0.999]) <= 0.02
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=2000))
+    def test_property_rank_error(self, raw):
+        values = [float(v) for v in raw]
+        s = GKSummary(0.05)
+        for v in values:
+            s.insert(v)
+        assert max_rank_error(values, s, [0.25, 0.5, 0.75, 0.95]) <= 0.05
+
+
+class TestCombination:
+    def test_combined_quantile_two_summaries(self):
+        a, b = GKSummary(0.01), GKSummary(0.01)
+        for v in range(1000):
+            a.insert(float(v))
+        for v in range(1000, 2000):
+            b.insert(float(v))
+        got = combined_quantile([a, b], [0.5, 0.99])
+        assert got[0] == pytest.approx(1000, abs=2000 * 0.02)
+        assert got[1] == pytest.approx(1980, abs=2000 * 0.02)
+
+    def test_combined_empty_raises(self):
+        with pytest.raises(ValueError):
+            combined_quantile([GKSummary(0.1)], [0.5])
+
+    def test_combined_rank_error(self):
+        rng = random.Random(3)
+        chunks = [[rng.uniform(0, 1e5) for _ in range(2000)] for _ in range(8)]
+        summaries = []
+        for chunk in chunks:
+            s = GKSummary(0.01)
+            for v in chunk:
+                s.insert(v)
+            summaries.append(s)
+        merged_values = [v for chunk in chunks for v in chunk]
+        phis = [0.5, 0.9, 0.99]
+        got = combined_quantile(summaries, phis)
+        ordered = np.sort(merged_values)
+        n = len(ordered)
+        for phi, estimate in zip(phis, got):
+            target = max(1, math.ceil(phi * n))
+            lo = int(np.searchsorted(ordered, estimate, side="left")) + 1
+            hi = int(np.searchsorted(ordered, estimate, side="right"))
+            err = 0 if lo <= target <= hi else min(abs(target - lo), abs(target - hi))
+            assert err / n <= 0.02
+
+    def test_merge_summaries_preserves_weight(self):
+        a, b = GKSummary(0.02), GKSummary(0.02)
+        for v in range(500):
+            a.insert(float(v))
+            b.insert(float(v + 500))
+        merged = merge_summaries([a, b], 0.02)
+        assert merged.n == 1000
+        assert max_rank_error(
+            [float(v) for v in range(1000)], merged, [0.5, 0.9]
+        ) <= 0.08  # construction + child errors compose

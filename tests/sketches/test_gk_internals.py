@@ -1,0 +1,112 @@
+"""GK internals: capacity mode, rank bounds, interpolated scans."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.sketches.gk import GKSummary, interpolated_rank_value
+
+
+class TestCapacityMode:
+    def test_capacity_bounds_tuples(self):
+        s = GKSummary(0.01, capacity=100)
+        rng = random.Random(0)
+        for _ in range(10_000):
+            s.insert(rng.uniform(0, 1e6))
+        assert s.tuple_count <= 100 + 16 + 100 // 8
+
+    def test_capacity_preserves_extremes(self):
+        s = GKSummary(0.01, capacity=32)
+        values = [random.Random(1).uniform(0, 1000) for _ in range(5000)]
+        for v in values:
+            s.insert(v)
+        items = [v for v, _ in s.weighted_items()]
+        assert min(items) == min(values)
+        assert max(items) == max(values)
+
+    def test_capacity_weight_conservation(self):
+        s = GKSummary(0.05, capacity=50)
+        for v in range(3000):
+            s.insert(float(v))
+        assert sum(w for _, w in s.weighted_items()) == 3000
+
+    def test_capacity_uniform_granularity(self):
+        # No tuple should absorb a disproportionate share of the stream —
+        # the property that keeps tail values usable (DESIGN.md §5.6).
+        s = GKSummary(0.02, capacity=200)
+        rng = random.Random(2)
+        for _ in range(20_000):
+            s.insert(rng.lognormvariate(7, 0.5))
+        weights = [w for _, w in s.weighted_items()]
+        assert max(weights) < 20_000 / 200 * 6
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            GKSummary(0.1, capacity=2)
+
+    def test_capacity_accuracy(self):
+        rng = random.Random(3)
+        values = [rng.uniform(0, 1e6) for _ in range(20_000)]
+        s = GKSummary(0.02, capacity=500)
+        for v in values:
+            s.insert(v)
+        ordered = np.sort(values)
+        for phi in (0.5, 0.9, 0.99):
+            est = s.query(phi)
+            import math
+
+            target = max(1, math.ceil(phi * len(values)))
+            lo = int(np.searchsorted(ordered, est, side="left")) + 1
+            hi = int(np.searchsorted(ordered, est, side="right"))
+            err = 0 if lo <= target <= hi else min(abs(target - lo), abs(target - hi))
+            assert err / len(values) < 0.02
+
+
+class TestRankBounds:
+    def test_bounds_bracket_true_rank(self):
+        rng = random.Random(4)
+        values = sorted(rng.uniform(0, 1000) for _ in range(2000))
+        s = GKSummary(0.05)
+        for v in values:
+            s.insert(v)
+        for probe_rank in (100, 1000, 1900):
+            probe = values[probe_rank - 1]
+            rmin, rmax = s.rank_bounds(probe)
+            assert rmin - 2 * 0.05 * 2000 <= probe_rank <= rmax + 2 * 0.05 * 2000
+
+    def test_below_min_is_zero(self):
+        s = GKSummary(0.1)
+        s.insert(10.0)
+        assert s.rank_bounds(5.0) == (0, 0)
+
+    def test_above_max_is_n(self):
+        s = GKSummary(0.1)
+        for v in (1.0, 2.0, 3.0):
+            s.insert(v)
+        assert s.rank_bounds(99.0) == (3, 3)
+
+
+class TestInterpolatedRankValue:
+    def test_unit_weights_exact(self):
+        items = [(float(v), 1) for v in range(1, 11)]
+        for rank in range(1, 11):
+            assert interpolated_rank_value(items, rank) == float(rank)
+
+    def test_interpolates_inside_block(self):
+        # Block of 10 elements between 0 and 100: rank 5 -> halfway.
+        items = [(0.0, 1), (100.0, 10)]
+        value = interpolated_rank_value(items, 6)
+        assert 40.0 <= value <= 60.0
+
+    def test_first_block_returns_value(self):
+        items = [(5.0, 3), (9.0, 2)]
+        assert interpolated_rank_value(items, 2) == 5.0
+
+    def test_beyond_total_returns_last(self):
+        items = [(1.0, 1), (2.0, 1)]
+        assert interpolated_rank_value(items, 99) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            interpolated_rank_value([], 1)

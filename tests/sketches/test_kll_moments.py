@@ -1,0 +1,179 @@
+"""Direct tests for the KLL sketch and the Moment solver internals."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches import KLLSketch
+from repro.sketches.moments import MomentState, MomentSolver
+
+
+class TestKLLBasics:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KLLSketch(3)
+
+    def test_empty_query_raises(self):
+        with pytest.raises(ValueError):
+            KLLSketch(16).query(0.5)
+
+    def test_invalid_phi(self):
+        s = KLLSketch(16)
+        s.insert(1.0)
+        with pytest.raises(ValueError):
+            s.query(1.5)
+
+    def test_small_stream_exact(self):
+        s = KLLSketch(64)
+        for v in range(1, 11):
+            s.insert(float(v))
+        assert s.query(0.5) == 5.0
+        assert s.n == 10
+
+    def test_weight_conservation(self):
+        s = KLLSketch(32, rng=random.Random(0))
+        for v in range(5000):
+            s.insert(float(v))
+        assert sum(w for _, w in s.weighted_items()) == pytest.approx(5000, rel=0.02)
+
+    def test_space_bounded(self):
+        s = KLLSketch(64, rng=random.Random(1))
+        for v in range(50_000):
+            s.insert(random.random())
+        # Compactors hold ~3k items regardless of n.
+        assert s.item_count() < 64 * 6
+
+    def test_merge_combines_counts(self):
+        a = KLLSketch(64, rng=random.Random(2))
+        b = KLLSketch(64, rng=random.Random(3))
+        for v in range(1000):
+            a.insert(float(v))
+            b.insert(float(v + 1000))
+        a.merge(b)
+        assert a.n == 2000
+        # Median of the union should be near 1000.
+        assert abs(a.query(0.5) - 1000) < 2000 * 0.1
+
+
+class TestKLLAccuracy:
+    @pytest.mark.parametrize("k,bound", [(32, 0.08), (128, 0.03)])
+    def test_rank_error_shrinks_with_k(self, k, bound):
+        rng = random.Random(4)
+        values = [rng.uniform(0, 1e6) for _ in range(30_000)]
+        s = KLLSketch(k, rng=random.Random(5))
+        for v in values:
+            s.insert(v)
+        ordered = np.sort(values)
+        worst = 0.0
+        for phi in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            est = s.query(phi)
+            target = max(1, math.ceil(phi * len(values)))
+            lo = int(np.searchsorted(ordered, est, side="left")) + 1
+            hi = int(np.searchsorted(ordered, est, side="right"))
+            if not lo <= target <= hi:
+                worst = max(worst, min(abs(target - lo), abs(target - hi)) / len(values))
+        assert worst <= bound
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=10, max_size=1500))
+    def test_property_query_within_range(self, raw):
+        s = KLLSketch(32, rng=random.Random(0))
+        for v in raw:
+            s.insert(float(v))
+        est = s.query(0.5)
+        assert min(raw) <= est <= max(raw)
+
+
+class TestMomentState:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            MomentState(1)
+
+    def test_add_matches_batch(self):
+        a, b = MomentState(6), MomentState(6)
+        values = np.array([1.5, 2.5, 100.0, 7.0])
+        for v in values:
+            a.add(float(v))
+        b.add_batch(values)
+        assert a.count == b.count
+        np.testing.assert_allclose(a.sums, b.sums)
+        np.testing.assert_allclose(a.log_sums, b.log_sums)
+        assert a.minimum == b.minimum and a.maximum == b.maximum
+
+    def test_merge_additivity(self):
+        a, b, c = MomentState(4), MomentState(4), MomentState(4)
+        for v in [1.0, 2.0]:
+            a.add(v)
+            c.add(v)
+        for v in [3.0, 4.0]:
+            b.add(v)
+            c.add(v)
+        a.merge(b)
+        np.testing.assert_allclose(a.sums, c.sums)
+        assert a.count == c.count
+
+    def test_log_invalidated_by_nonpositive(self):
+        state = MomentState(4)
+        state.add(5.0)
+        assert state.log_valid
+        state.add(-1.0)
+        assert not state.log_valid
+        with pytest.raises(ValueError):
+            state.log_view()
+
+    def test_log_view_transforms(self):
+        state = MomentState(4)
+        state.add_batch(np.array([math.e, math.e**2]))
+        view = state.log_view()
+        assert view.minimum == pytest.approx(1.0)
+        assert view.maximum == pytest.approx(2.0)
+        assert view.sums[0] == pytest.approx(3.0)  # log sums become raw
+
+
+class TestMomentSolver:
+    def test_standardized_moments_bounded(self):
+        state = MomentState(12)
+        state.add_batch(np.random.default_rng(0).uniform(0, 1e6, 10_000))
+        moments = MomentSolver.standardized_moments(state)
+        assert moments[0] == 1.0
+        assert np.all(np.abs(moments) <= 1.0)
+
+    def test_uniform_quadrature_nodes_are_gauss_legendre(self):
+        # Moments of U[-1,1] -> Gauss-Legendre nodes of the quadrature.
+        state = MomentState(12)
+        state.add_batch(np.random.default_rng(1).uniform(-1, 1, 500_000))
+        moments = MomentSolver.standardized_moments(state)
+        nodes, weights = MomentSolver._gauss_quadrature(moments)
+        reference, _ = np.polynomial.legendre.leggauss(len(nodes))
+        np.testing.assert_allclose(np.sort(nodes), reference, atol=0.02)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_two_point_distribution_recovered(self):
+        state = MomentState(8)
+        state.add_batch(np.array([10.0] * 700 + [20.0] * 300))
+        solver = MomentSolver("quadrature")
+        q = solver.quantiles(state, [0.5, 0.9])
+        assert abs(q[0] - 10.0) < 2.0
+        assert abs(q[1] - 20.0) < 2.0
+
+    def test_heavy_tail_uses_log_domain(self):
+        rng = np.random.default_rng(2)
+        values = rng.lognormal(7, 1.0, size=50_000)
+        state = MomentState(12)
+        state.add_batch(values)
+        solver = MomentSolver("maxent")
+        median = solver.quantiles(state, [0.5])[0]
+        truth = float(np.median(values))
+        assert abs(median - truth) / truth < 0.05
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            MomentSolver().quantiles(MomentState(4), [0.5])
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            MomentSolver("bayes")

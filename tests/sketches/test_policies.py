@@ -1,0 +1,228 @@
+"""Policy-level tests: Exact, CMQS, AM, Random, Moment over sliding windows."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.sketches import (
+    AMPolicy,
+    CMQSPolicy,
+    ExactPolicy,
+    MomentPolicy,
+    RandomPolicy,
+    available_policies,
+    make_policy,
+)
+from repro.streaming import CountWindow
+
+from tests.conftest import drive_policy, exact_quantile, rank_error
+
+PHIS = [0.5, 0.9, 0.99]
+WINDOW = CountWindow(size=8000, period=1000)
+
+
+def uniform_values(n, seed=0):
+    rng = random.Random(seed)
+    return [rng.uniform(0.0, 1e6) for _ in range(n)]
+
+
+class TestExact:
+    def test_matches_oracle_exactly(self):
+        values = uniform_values(20000, seed=1)
+        policy = ExactPolicy(PHIS, WINDOW)
+        results, slices = drive_policy(policy, values, WINDOW)
+        assert len(results) == (20000 - WINDOW.size) // WINDOW.period + 1
+        for est, window_values in zip(results, slices):
+            for phi in PHIS:
+                assert est[phi] == exact_quantile(window_values, phi)
+
+    def test_tree_backend_matches_dict(self):
+        values = uniform_values(6000, seed=2)
+        window = CountWindow(size=2000, period=500)
+        res_dict, _ = drive_policy(ExactPolicy(PHIS, window, backend="dict"), values, window)
+        res_tree, _ = drive_policy(ExactPolicy(PHIS, window, backend="tree"), values, window)
+        assert res_dict == res_tree
+
+    def test_space_tracks_window(self):
+        values = uniform_values(20000, seed=3)
+        policy = ExactPolicy(PHIS, WINDOW)
+        drive_policy(policy, values, WINDOW)
+        # All values unique -> 2 vars per unique + raw buffer ~ 3N.
+        assert policy.space_variables() >= 2 * WINDOW.size
+
+    def test_query_before_seal_raises(self):
+        policy = ExactPolicy(PHIS, WINDOW)
+        policy.accumulate(1.0)
+        with pytest.raises(ValueError):
+            policy.query()
+
+    def test_expire_without_seal_raises(self):
+        with pytest.raises(RuntimeError):
+            ExactPolicy(PHIS, WINDOW).expire_subwindow()
+
+
+class TestCMQS:
+    def test_rank_error_within_epsilon(self):
+        values = uniform_values(24000, seed=4)
+        policy = CMQSPolicy(PHIS, WINDOW, epsilon=0.02)
+        results, slices = drive_policy(policy, values, WINDOW)
+        for est, window_values in zip(results, slices):
+            for phi in PHIS:
+                assert rank_error(window_values, est[phi], phi) <= 0.02
+
+    def test_space_far_below_exact_when_capacity_binds(self):
+        # capacity = ceil(26 / 0.1) = 260 tuples per 1000-element sub-window.
+        values = uniform_values(20000, seed=5)
+        policy = CMQSPolicy(PHIS, WINDOW, epsilon=0.1)
+        drive_policy(policy, values, WINDOW)
+        assert policy.space_variables() < WINDOW.size
+
+    def test_tiny_epsilon_small_subwindow_stores_everything(self):
+        # The Figure-4 CMQS(1x) regime: eps=0.02 with 1K sub-windows wants
+        # finer granularity than the sub-window holds, so the sketch keeps
+        # every element (and is slower than Exact, as the paper shows).
+        policy = CMQSPolicy(PHIS, WINDOW, epsilon=0.02)
+        assert policy._capacity == WINDOW.period
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            CMQSPolicy(PHIS, WINDOW, epsilon=0.0)
+
+    def test_analytical_space_positive(self):
+        assert CMQSPolicy.analytical_space(WINDOW, epsilon=0.02) > 0
+
+
+class TestAM:
+    def test_rank_error_within_epsilon(self):
+        values = uniform_values(24000, seed=6)
+        policy = AMPolicy(PHIS, WINDOW, epsilon=0.02)
+        results, slices = drive_policy(policy, values, WINDOW)
+        for est, window_values in zip(results, slices):
+            for phi in PHIS:
+                assert rank_error(window_values, est[phi], phi) <= 0.02
+
+    def test_heavy_tail_rank_error(self, heavy_tailed_values):
+        window = CountWindow(size=8000, period=1000)
+        policy = AMPolicy(PHIS, window, epsilon=0.02)
+        results, slices = drive_policy(policy, list(heavy_tailed_values), window)
+        for est, window_values in zip(results, slices):
+            for phi in PHIS:
+                assert rank_error(window_values, est[phi], phi) <= 0.02
+
+    def test_dyadic_cover_uses_few_blocks(self):
+        values = uniform_values(24000, seed=7)
+        policy = AMPolicy(PHIS, WINDOW, epsilon=0.05)
+        drive_policy(policy, values, WINDOW)
+        # 8 live sub-windows aligned -> cover should be <= log-many blocks.
+        cover = policy._cover()
+        assert len(cover) <= 2 * (policy._levels + 1)
+
+    def test_non_power_of_two_subwindows(self):
+        window = CountWindow(size=6000, period=1000)  # 6 sub-windows
+        values = uniform_values(18000, seed=8)
+        policy = AMPolicy(PHIS, window, epsilon=0.05)
+        results, slices = drive_policy(policy, values, window)
+        assert results
+        for est, window_values in zip(results, slices):
+            assert rank_error(window_values, est[0.5], 0.5) <= 0.05
+
+
+class TestRandom:
+    def test_rank_error_reasonable(self):
+        values = uniform_values(24000, seed=9)
+        policy = RandomPolicy(PHIS, WINDOW, epsilon=0.02, seed=0)
+        results, slices = drive_policy(policy, values, WINDOW)
+        errors = [
+            rank_error(window_values, est[phi], phi)
+            for est, window_values in zip(results, slices)
+            for phi in PHIS
+        ]
+        # Probabilistic bound: average well under epsilon, worst within 3x.
+        assert float(np.mean(errors)) <= 0.02
+        assert max(errors) <= 0.06
+
+    def test_deterministic_with_seed(self):
+        values = uniform_values(16000, seed=10)
+        res_a, _ = drive_policy(RandomPolicy(PHIS, WINDOW, seed=5), values, WINDOW)
+        res_b, _ = drive_policy(RandomPolicy(PHIS, WINDOW, seed=5), values, WINDOW)
+        assert res_a == res_b
+
+    def test_space_bounded(self):
+        values = uniform_values(24000, seed=11)
+        policy = RandomPolicy(PHIS, WINDOW, epsilon=0.02, seed=0)
+        drive_policy(policy, values, WINDOW)
+        assert policy.space_variables() < WINDOW.size
+
+
+class TestMoment:
+    def test_uniform_quantiles_close(self):
+        values = uniform_values(24000, seed=12)
+        policy = MomentPolicy(PHIS, WINDOW, k=12)
+        results, slices = drive_policy(policy, values, WINDOW)
+        for est, window_values in zip(results, slices):
+            for phi in [0.5, 0.9]:
+                truth = exact_quantile(window_values, phi)
+                assert abs(est[phi] - truth) / truth < 0.10
+
+    def test_normal_median_close(self):
+        rng = np.random.default_rng(13)
+        values = rng.normal(1e6, 5e4, size=24000).tolist()
+        policy = MomentPolicy([0.5], WINDOW, k=12)
+        results, slices = drive_policy(policy, values, WINDOW)
+        for est, window_values in zip(results, slices):
+            truth = exact_quantile(window_values, 0.5)
+            assert abs(est[0.5] - truth) / truth < 0.02
+
+    def test_maxent_method(self):
+        rng = np.random.default_rng(14)
+        values = rng.normal(1000.0, 100.0, size=16000).tolist()
+        policy = MomentPolicy([0.5, 0.9], WINDOW, k=8, method="maxent")
+        results, slices = drive_policy(policy, values, WINDOW)
+        for est, window_values in zip(results, slices):
+            truth = exact_quantile(window_values, 0.9)
+            assert abs(est[0.9] - truth) / truth < 0.05
+
+    def test_constant_stream(self):
+        values = [7.0] * 16000
+        policy = MomentPolicy(PHIS, WINDOW, k=12)
+        results, _ = drive_policy(policy, values, WINDOW)
+        for est in results:
+            for phi in PHIS:
+                assert est[phi] == 7.0
+
+    def test_space_is_tiny(self):
+        values = uniform_values(24000, seed=15)
+        policy = MomentPolicy(PHIS, WINDOW, k=12)
+        drive_policy(policy, values, WINDOW)
+        # (count, min, max) + K raw + K log power sums per sub-window.
+        assert policy.space_variables() <= (3 + 2 * 12) * (WINDOW.subwindow_count + 1)
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            MomentPolicy(PHIS, WINDOW, method="sorcery")
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_policies()
+        for expected in ["exact", "cmqs", "am", "random", "moment", "qlove"]:
+            assert expected in names
+
+    def test_make_policy_types(self):
+        assert isinstance(make_policy("exact", PHIS, WINDOW), ExactPolicy)
+        assert isinstance(make_policy("cmqs", PHIS, WINDOW, epsilon=0.05), CMQSPolicy)
+        assert isinstance(make_policy("am", PHIS, WINDOW), AMPolicy)
+        assert isinstance(make_policy("random", PHIS, WINDOW), RandomPolicy)
+        assert isinstance(make_policy("moment", PHIS, WINDOW, k=8), MomentPolicy)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("tdigest", PHIS, WINDOW)
+
+    def test_phi_validation(self):
+        with pytest.raises(ValueError):
+            make_policy("exact", [], WINDOW)
+        with pytest.raises(ValueError):
+            make_policy("exact", [1.5], WINDOW)

@@ -1,0 +1,79 @@
+"""Mann–Whitney U test cross-checked against scipy."""
+
+import random
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats import mann_whitney_u
+
+
+class TestBasics:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+        with pytest.raises(ValueError):
+            mann_whitney_u([1.0], [])
+
+    def test_invalid_alternative(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([1.0], [2.0], alternative="sideways")
+
+    def test_identical_samples_not_significant(self):
+        result = mann_whitney_u([5.0] * 10, [5.0] * 10)
+        assert result.p_value == 1.0
+        assert not result.rejects_at(0.05)
+
+    def test_clearly_larger_sample(self):
+        x = [100.0 + i for i in range(20)]
+        y = [float(i) for i in range(20)]
+        result = mann_whitney_u(x, y, alternative="greater")
+        assert result.rejects_at(0.001)
+
+    def test_clearly_smaller_sample(self):
+        x = [float(i) for i in range(20)]
+        y = [100.0 + i for i in range(20)]
+        result = mann_whitney_u(x, y, alternative="greater")
+        assert not result.rejects_at(0.05)
+        assert mann_whitney_u(x, y, alternative="less").rejects_at(0.001)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("alternative", ["two-sided", "greater", "less"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_u_and_p_match(self, alternative, seed):
+        rng = random.Random(seed)
+        x = [rng.gauss(0, 1) for _ in range(25)]
+        y = [rng.gauss(0.5, 1) for _ in range(30)]
+        ours = mann_whitney_u(x, y, alternative=alternative)
+        scipy_alt = alternative.replace("-", "_") if alternative == "two-sided" else alternative
+        theirs = scipy_stats.mannwhitneyu(
+            x, y, alternative="two-sided" if alternative == "two-sided" else alternative,
+            method="asymptotic",
+        )
+        assert ours.u_statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=1e-6)
+
+    def test_with_ties(self):
+        rng = random.Random(7)
+        x = [float(rng.randrange(5)) for _ in range(30)]
+        y = [float(rng.randrange(5)) for _ in range(25)]
+        ours = mann_whitney_u(x, y, alternative="greater")
+        theirs = scipy_stats.mannwhitneyu(x, y, alternative="greater", method="asymptotic")
+        assert ours.u_statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=1e-6)
+
+
+class TestFalsePositiveRate:
+    def test_null_rejection_rate_near_alpha(self):
+        rng = np.random.default_rng(11)
+        rejections = 0
+        trials = 600
+        for _ in range(trials):
+            x = rng.normal(0, 1, size=15)
+            y = rng.normal(0, 1, size=15)
+            if mann_whitney_u(x, y, alternative="greater").rejects_at(0.05):
+                rejections += 1
+        rate = rejections / trials
+        assert 0.02 <= rate <= 0.09, f"null rejection rate {rate}"

@@ -1,0 +1,52 @@
+"""Normal distribution helpers cross-checked against scipy."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.stats import normal_cdf, normal_pdf, normal_ppf
+
+
+class TestNormalCdf:
+    def test_known_points(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+        assert normal_cdf(1.96) == pytest.approx(0.975, abs=1e-4)
+        assert normal_cdf(-1.96) == pytest.approx(0.025, abs=1e-4)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=-8.0, max_value=8.0))
+    def test_matches_scipy(self, x):
+        assert normal_cdf(x) == pytest.approx(scipy_stats.norm.cdf(x), abs=1e-12)
+
+
+class TestNormalPpf:
+    def test_known_points(self):
+        assert normal_ppf(0.5) == pytest.approx(0.0, abs=1e-12)
+        assert normal_ppf(0.975) == pytest.approx(1.959964, abs=1e-5)
+
+    def test_symmetry(self):
+        for p in [0.01, 0.1, 0.3]:
+            assert normal_ppf(p) == pytest.approx(-normal_ppf(1 - p), abs=1e-10)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            normal_ppf(0.0)
+        with pytest.raises(ValueError):
+            normal_ppf(1.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=1e-8, max_value=1 - 1e-8))
+    def test_matches_scipy(self, p):
+        assert normal_ppf(p) == pytest.approx(scipy_stats.norm.ppf(p), abs=1e-8)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=1e-6, max_value=1 - 1e-6))
+    def test_roundtrip(self, p):
+        assert normal_cdf(normal_ppf(p)) == pytest.approx(p, abs=1e-12)
+
+
+def test_pdf_peak():
+    assert normal_pdf(0.0) == pytest.approx(1.0 / math.sqrt(2 * math.pi))

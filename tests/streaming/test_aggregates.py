@@ -1,0 +1,88 @@
+"""Aggregate operators checked against brute-force window recomputation."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.streaming import (
+    CountOperator,
+    CountWindow,
+    MaxOperator,
+    MeanOperator,
+    MinOperator,
+    Query,
+    StreamEngine,
+    SumOperator,
+    VarianceOperator,
+    value_stream,
+)
+
+
+def brute_force(values, size, period, fn):
+    """Evaluate fn over every full sliding window at each period boundary."""
+    out = []
+    for end in range(period, len(values) + 1, period):
+        if end >= size:
+            out.append(fn(values[end - size : end]))
+    return out
+
+
+OPERATORS = [
+    (CountOperator(), len),
+    (SumOperator(), lambda w: float(sum(w))),
+    (MeanOperator(), lambda w: float(np.mean(w))),
+    (MinOperator(), min),
+    (MaxOperator(), max),
+    (VarianceOperator(), lambda w: float(np.var(w))),
+]
+
+
+@pytest.mark.parametrize("operator,reference", OPERATORS, ids=lambda p: type(p).__name__)
+def test_sliding_matches_bruteforce(operator, reference):
+    rng = random.Random(2)
+    values = [rng.uniform(0, 100) for _ in range(500)]
+    size, period = 100, 20
+    query = Query(value_stream(values)).window(size, period).aggregate(operator)
+    results = [r.result for r in StreamEngine().run(query)]
+    expected = brute_force(values, size, period, reference)
+    assert len(results) == len(expected)
+    for got, want in zip(results, expected):
+        assert got == pytest.approx(want, rel=1e-9, abs=1e-9)
+
+
+@pytest.mark.parametrize("operator,reference", OPERATORS, ids=lambda p: type(p).__name__)
+def test_tumbling_matches_bruteforce(operator, reference):
+    rng = random.Random(3)
+    values = [rng.uniform(-50, 50) for _ in range(300)]
+    size = period = 60
+    query = Query(value_stream(values)).window(size, period).aggregate(operator)
+    results = [r.result for r in StreamEngine().run(query)]
+    expected = brute_force(values, size, period, reference)
+    assert results == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+def test_mean_empty_state_is_nan():
+    op = MeanOperator()
+    assert math.isnan(op.compute_result(op.initial_state()))
+
+
+def test_variance_empty_state_is_nan():
+    op = VarianceOperator()
+    assert math.isnan(op.compute_result(op.initial_state()))
+
+
+def test_min_max_empty_state_is_nan():
+    assert math.isnan(MinOperator().compute_result(MinOperator().initial_state()))
+    assert math.isnan(MaxOperator().compute_result(MaxOperator().initial_state()))
+
+
+def test_variance_nonnegative_after_cancellation():
+    op = VarianceOperator()
+    state = op.initial_state()
+    from repro.streaming import Event
+
+    for v in [1e9, 1e9 + 1, 1e9 + 2]:
+        state = op.accumulate(state, Event(0.0, v))
+    assert op.compute_result(state) >= 0.0

@@ -1,0 +1,204 @@
+"""Engine semantics: window lifecycle, filters, time windows, partials."""
+
+import pytest
+
+from repro.streaming import (
+    CountWindow,
+    Event,
+    MeanOperator,
+    Query,
+    StreamEngine,
+    SubWindowOperator,
+    SumOperator,
+    TimeWindow,
+    merge_sources,
+    value_stream,
+)
+from repro.streaming.engine import run_query
+from repro.streaming.sources import events_from_values, map_values
+
+
+class RecordingOperator(SubWindowOperator):
+    """Fake sub-window operator that logs its lifecycle calls."""
+
+    def __init__(self):
+        self.calls = []
+        self.in_flight = []
+        self.sealed = []
+
+    def accumulate(self, event):
+        self.calls.append(("acc", event.value))
+        self.in_flight.append(event.value)
+
+    def seal_subwindow(self):
+        self.calls.append(("seal", len(self.in_flight)))
+        self.sealed.append(list(self.in_flight))
+        self.in_flight = []
+
+    def expire_subwindow(self):
+        self.calls.append(("expire",))
+        self.sealed.pop(0)
+
+    def compute_result(self):
+        flat = [v for sub in self.sealed for v in sub]
+        return sum(flat) / len(flat) if flat else None
+
+
+class TestCountSubWindow:
+    def test_lifecycle_and_results(self):
+        op = RecordingOperator()
+        values = [float(i) for i in range(12)]
+        results = run_query(value_stream(values), CountWindow(size=6, period=3), op)
+        # Windows: [0..5], [3..8], [6..11] -> means 2.5, 5.5, 8.5
+        assert [r.result for r in results] == [2.5, 5.5, 8.5]
+        assert [r.index for r in results] == [0, 1, 2]
+        assert all(r.window_count == 6 for r in results)
+
+    def test_expire_called_only_after_full(self):
+        op = RecordingOperator()
+        run_query(value_stream(range(9)), CountWindow(size=6, period=3), op)
+        seals = [i for i, c in enumerate(op.calls) if c[0] == "seal"]
+        expires = [i for i, c in enumerate(op.calls) if c[0] == "expire"]
+        assert len(seals) == 3
+        assert len(expires) == 1
+        assert expires[0] > seals[2]  # expiry happens when the 3rd seal overflows
+
+    def test_tumbling_subwindow(self):
+        op = RecordingOperator()
+        results = run_query(value_stream(range(6)), CountWindow.tumbling(3), op)
+        assert [r.result for r in results] == [1.0, 4.0]
+
+    def test_no_emission_before_full_window(self):
+        op = RecordingOperator()
+        results = run_query(value_stream(range(5)), CountWindow(size=6, period=3), op)
+        assert results == []
+
+    def test_emit_partial(self):
+        op = RecordingOperator()
+        query = Query(value_stream(range(6))).window(6, 3).aggregate(op)
+        results = StreamEngine(emit_partial=True).run_to_list(query)
+        assert [r.result for r in results] == [1.0, 2.5]
+        assert [r.window_count for r in results] == [3, 6]
+
+    def test_trailing_partial_subwindow_never_evaluated(self):
+        op = RecordingOperator()
+        results = run_query(value_stream(range(10)), CountWindow(size=6, period=3), op)
+        # 10 elements -> seals at 3, 6, 9; the 10th element stays in-flight.
+        assert len(results) == 2
+        assert op.in_flight == [9.0]
+
+
+class TestCountIncremental:
+    def test_sliding_mean(self):
+        values = [float(i) for i in range(12)]
+        results = run_query(value_stream(values), CountWindow(size=6, period=3), MeanOperator())
+        assert [r.result for r in results] == [2.5, 5.5, 8.5]
+
+    def test_tumbling_never_deaccumulates(self):
+        class ExplodingMean(MeanOperator):
+            def deaccumulate(self, state, event):
+                raise AssertionError("tumbling must not deaccumulate")
+
+        results = run_query(value_stream(range(9)), CountWindow.tumbling(3), ExplodingMean())
+        assert [r.result for r in results] == [1.0, 4.0, 7.0]
+
+    def test_filters_applied_before_windowing(self):
+        events = [Event(float(i), float(i), error_code=i % 2) for i in range(20)]
+        query = (
+            Query(events)
+            .window(4, 2)
+            .where(lambda e: e.error_code != 0)
+            .aggregate(SumOperator())
+        )
+        results = StreamEngine().run_to_list(query)
+        # Odd values 1,3,5,... windows of 4 at every 2: [1,3,5,7]=16, [5,7,9,11]=32...
+        assert [r.result for r in results] == [16.0, 32.0, 48.0, 64.0]
+
+    def test_select_projects_values(self):
+        query = (
+            Query(value_stream(range(8)))
+            .window(4, 4)
+            .select(lambda e: e.value * 10)
+            .aggregate(SumOperator())
+        )
+        results = StreamEngine().run_to_list(query)
+        assert [r.result for r in results] == [60.0, 220.0]
+
+
+class TestTimeWindows:
+    def test_time_subwindow_with_gap(self):
+        op = RecordingOperator()
+        # Slot period 10: events in slots 0, 1, 3 (slot 2 empty).
+        stamps = [1.0, 5.0, 12.0, 15.0, 31.0]
+        events = events_from_values([10.0, 20.0, 30.0, 40.0, 50.0], stamps)
+        query = Query(events).windowed_by(TimeWindow(size=20.0, period=10.0)).aggregate(op)
+        results = StreamEngine(emit_partial=True).run_to_list(query)
+        # Boundaries crossed when slot-3 event arrives: seals slots 0,1,2.
+        assert [r.end for r in results] == [10.0, 20.0, 30.0]
+        assert [r.result for r in results] == [15.0, 25.0, 35.0]
+        # Slot 2 empty: window [10,30) holds slot-1 events only.
+        assert results[2].window_count == 2
+
+    def test_time_incremental_mean(self):
+        stamps = [float(t) for t in range(40)]
+        events = events_from_values([float(t) for t in range(40)], stamps)
+        query = Query(events).windowed_by(TimeWindow(size=20.0, period=10.0)).aggregate(MeanOperator())
+        results = StreamEngine().run_to_list(query)
+        # First full window ends at t=20: values 0..19 -> mean 9.5; next 10..29 -> 19.5
+        assert [r.result for r in results] == [9.5, 19.5]
+
+    def test_out_of_order_raises(self):
+        events = [Event(5.0, 1.0), Event(1.0, 2.0), Event(30.0, 2.0)]
+        query = Query(events).windowed_by(TimeWindow(10.0, 10.0)).aggregate(MeanOperator())
+        with pytest.raises(ValueError, match="timestamp-ordered"):
+            StreamEngine().run_to_list(query)
+
+    def test_out_of_order_raises_subwindow(self):
+        events = [Event(5.0, 1.0), Event(1.0, 2.0), Event(30.0, 2.0)]
+        query = Query(events).windowed_by(TimeWindow(10.0, 10.0)).aggregate(RecordingOperator())
+        with pytest.raises(ValueError, match="timestamp-ordered"):
+            StreamEngine().run_to_list(query)
+
+
+class TestQueryValidation:
+    def test_missing_window(self):
+        query = Query(value_stream(range(4))).aggregate(MeanOperator())
+        with pytest.raises(ValueError, match="window"):
+            StreamEngine().run_to_list(query)
+
+    def test_missing_aggregate(self):
+        query = Query(value_stream(range(4))).window(2, 2)
+        with pytest.raises(ValueError, match="aggregate"):
+            StreamEngine().run_to_list(query)
+
+    def test_builder_immutability(self):
+        base = Query(value_stream(range(4)))
+        windowed = base.window(2, 2)
+        assert base.window_spec is None
+        assert windowed.window_spec is not None
+
+
+class TestSources:
+    def test_value_stream_timestamps(self):
+        events = list(value_stream([5.0, 6.0], start=10.0, dt=2.0, source="probe"))
+        assert [(e.timestamp, e.value, e.source) for e in events] == [
+            (10.0, 5.0, "probe"),
+            (12.0, 6.0, "probe"),
+        ]
+
+    def test_events_from_values_alignment_checks(self):
+        with pytest.raises(ValueError):
+            events_from_values([1.0, 2.0], timestamps=[0.0])
+        with pytest.raises(ValueError):
+            events_from_values([1.0, 2.0], error_codes=[0])
+
+    def test_merge_sources_orders_by_timestamp(self):
+        a = value_stream([1.0, 2.0], start=0.0, dt=10.0, source="a")
+        b = value_stream([3.0, 4.0], start=5.0, dt=10.0, source="b")
+        merged = list(merge_sources(a, b))
+        assert [e.timestamp for e in merged] == [0.0, 5.0, 10.0, 15.0]
+        assert [e.source for e in merged] == ["a", "b", "a", "b"]
+
+    def test_map_values(self):
+        stream = map_values(value_stream([1.0, 2.0]), lambda v: v * 100)
+        assert [e.value for e in stream] == [100.0, 200.0]

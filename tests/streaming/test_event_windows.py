@@ -1,0 +1,103 @@
+"""Tests for events and window specifications."""
+
+import pytest
+
+from repro.streaming import CountWindow, Event, TimeWindow
+
+
+class TestEvent:
+    def test_fields(self):
+        e = Event(timestamp=1.5, value=42.0, error_code=7, source="s1")
+        assert e.timestamp == 1.5
+        assert e.value == 42.0
+        assert e.error_code == 7
+        assert e.source == "s1"
+
+    def test_defaults(self):
+        e = Event(timestamp=0.0, value=1.0)
+        assert e.error_code == 0
+        assert e.source is None
+        assert not e.is_error
+
+    def test_is_error(self):
+        assert Event(0.0, 1.0, error_code=3).is_error
+
+    def test_ordering_by_timestamp(self):
+        a = Event(1.0, 100.0)
+        b = Event(2.0, 1.0)
+        assert a < b
+
+    def test_metadata_not_compared(self):
+        a = Event(1.0, 2.0, error_code=1, source="x")
+        b = Event(1.0, 2.0, error_code=9, source="y")
+        assert a == b
+
+    def test_with_value(self):
+        e = Event(3.0, 10.0, error_code=2, source="s")
+        projected = e.with_value(99.0)
+        assert projected.value == 99.0
+        assert projected.timestamp == 3.0
+        assert projected.error_code == 2
+        assert e.value == 10.0  # original untouched
+
+    def test_frozen(self):
+        e = Event(0.0, 1.0)
+        with pytest.raises(AttributeError):
+            e.value = 2.0  # type: ignore[misc]
+
+
+class TestCountWindow:
+    def test_sliding_properties(self):
+        w = CountWindow(size=100, period=10)
+        assert w.is_sliding
+        assert not w.is_tumbling
+        assert w.subwindow_count == 10
+
+    def test_tumbling(self):
+        w = CountWindow.tumbling(50)
+        assert w.is_tumbling
+        assert w.subwindow_count == 1
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            CountWindow(size=10, period=0)
+
+    def test_rejects_size_below_period(self):
+        with pytest.raises(ValueError):
+            CountWindow(size=5, period=10)
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            CountWindow(size=100, period=30)
+
+    def test_frozen(self):
+        w = CountWindow(10, 5)
+        with pytest.raises(AttributeError):
+            w.size = 20  # type: ignore[misc]
+
+
+class TestTimeWindow:
+    def test_sliding_properties(self):
+        w = TimeWindow(size=60.0, period=10.0)
+        assert w.is_sliding
+        assert w.subwindow_count == 6
+
+    def test_tumbling(self):
+        w = TimeWindow.tumbling(5.0)
+        assert w.is_tumbling
+        assert w.subwindow_count == 1
+
+    def test_subwindow_index(self):
+        w = TimeWindow(size=60.0, period=10.0)
+        assert w.subwindow_index(0.0) == 0
+        assert w.subwindow_index(9.999) == 0
+        assert w.subwindow_index(10.0) == 1
+        assert w.subwindow_index(25.0) == 2
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            TimeWindow(size=25.0, period=10.0)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            TimeWindow(size=10.0, period=0.0)

@@ -1,0 +1,137 @@
+"""Burst injection, Figure-3 patterns, and the datacenter simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import exact_tail_size
+from repro.streaming import CountWindow
+from repro.workloads import (
+    BurstPattern,
+    Datacenter,
+    DatacenterConfig,
+    Incident,
+    generate_netmon,
+    inject_bursts,
+    pattern_window,
+)
+from repro.workloads.datacenter import OK
+
+
+class TestInjectBursts:
+    def test_top_values_scaled_in_burst_subwindows(self):
+        window = CountWindow(size=8000, period=1000)
+        values = generate_netmon(16_000, seed=0)
+        burst = inject_bursts(values, window, phi=0.999, factor=10.0)
+        need = exact_tail_size(0.999, window.size)
+        # First sub-window is a burst host: its top `need` values are 10x.
+        original = np.sort(values[:1000])[-need:]
+        modified = np.sort(burst[:1000])[-need:]
+        np.testing.assert_allclose(modified, original * 10.0)
+        # Second sub-window untouched.
+        np.testing.assert_array_equal(burst[1000:2000], values[1000:2000])
+
+    def test_burst_every_n_sub(self):
+        window = CountWindow(size=4000, period=1000)
+        values = np.ones(12_000)
+        burst = inject_bursts(values, window, phi=0.999, factor=10.0)
+        changed = np.where(burst != values)[0]
+        # Bursts at sub-windows 0, 4, 8 (stride N/P = 4).
+        hosts = sorted(set(changed // 1000))
+        assert hosts == [0, 4, 8]
+
+    def test_returns_copy(self):
+        window = CountWindow(size=2000, period=1000)
+        values = np.ones(4000)
+        out = inject_bursts(values, window)
+        assert out is not values
+        assert values.max() == 1.0
+
+    def test_validation(self):
+        window = CountWindow(size=2000, period=1000)
+        with pytest.raises(ValueError):
+            inject_bursts(np.ones(4000), window, factor=0.0)
+
+
+class TestPatternWindow:
+    @pytest.mark.parametrize("pattern", list(BurstPattern))
+    def test_window_shape(self, pattern):
+        window = CountWindow(size=10_000, period=1000)
+        values = pattern_window(pattern, window, phi=0.999)
+        assert len(values) == window.size
+
+    def test_e1_concentrates_in_first_subwindow(self):
+        window = CountWindow(size=10_000, period=1000)
+        values = pattern_window(BurstPattern.E1, window, phi=0.999)
+        tail_threshold = 50_000.0
+        hosts = set(np.where(values > tail_threshold)[0] // window.period)
+        assert hosts == {0}
+
+    def test_e4_spreads_evenly(self):
+        window = CountWindow(size=10_000, period=1000)
+        values = pattern_window(BurstPattern.E4, window, phi=0.999)
+        hosts = set(np.where(values > 50_000.0)[0] // window.period)
+        assert len(hosts) == window.subwindow_count
+
+
+class TestDatacenter:
+    def test_topology_naming(self):
+        dc = Datacenter(DatacenterConfig(pods=2, racks_per_pod=2, servers_per_rack=4))
+        assert dc.server_count == 16
+        assert dc.server_name(0) == "pod0/rack0/srv00"
+        assert dc.server_name(15) == "pod1/rack1/srv03"
+
+    def test_stream_ordering_and_sources(self):
+        dc = Datacenter(seed=0)
+        events = list(dc.probe_stream(500, probes_per_second=1000.0))
+        assert len(events) == 500
+        stamps = [e.timestamp for e in events]
+        assert stamps == sorted(stamps)
+        assert all("->" in e.source for e in events)
+
+    def test_locality_tiers(self):
+        config = DatacenterConfig(tail_probability=0.0, drop_probability=0.0)
+        dc = Datacenter(config, seed=1)
+        intra_rack, cross_pod = [], []
+        for event in dc.probe_stream(20_000, probes_per_second=1e6):
+            src, dst = event.source.split("->")
+            if src.split("/")[:2] == dst.split("/")[:2]:
+                intra_rack.append(event.value)
+            elif src.split("/")[0] != dst.split("/")[0]:
+                cross_pod.append(event.value)
+        assert np.median(intra_rack) < np.median(cross_pod)
+
+    def test_error_codes_present(self):
+        config = DatacenterConfig(drop_probability=0.05)
+        dc = Datacenter(config, seed=2)
+        events = list(dc.probe_stream(5000, probes_per_second=1e6))
+        errors = [e for e in events if e.error_code != OK]
+        assert 100 < len(errors) < 500
+        assert all(e.value == config.timeout_us for e in errors)
+
+    def test_incident_inflates_latency(self):
+        calm = Datacenter(DatacenterConfig(tail_probability=0.0), seed=3)
+        stormy = Datacenter(
+            DatacenterConfig(tail_probability=0.0),
+            incidents=[Incident(pod=0, start=0.0, end=math.inf, factor=10.0)],
+            seed=3,
+        )
+        calm_values = calm.rtt_array(5000, probes_per_second=1e6)
+        storm_values = stormy.rtt_array(5000, probes_per_second=1e6)
+        assert np.quantile(storm_values, 0.9) > 2 * np.quantile(calm_values, 0.9)
+
+    def test_rtt_array_excludes_errors(self):
+        dc = Datacenter(DatacenterConfig(drop_probability=0.2), seed=4)
+        values = dc.rtt_array(2000, probes_per_second=1e6)
+        assert len(values) < 2000
+        assert values.max() < DatacenterConfig().timeout_us
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatacenterConfig(pods=0)
+        dc = Datacenter(seed=0)
+        with pytest.raises(ValueError):
+            list(dc.probe_stream(0))
+        with pytest.raises(ValueError):
+            list(dc.probe_stream(10, probes_per_second=0.0))

@@ -1,0 +1,182 @@
+"""Dataset generators: calibration against the paper's published statistics."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    available_datasets,
+    generate_ar1,
+    generate_netmon,
+    generate_normal,
+    generate_pareto,
+    generate_search,
+    generate_uniform,
+    get_dataset,
+    reduce_precision,
+)
+
+
+class TestNetMon:
+    def test_paper_quantile_anchors(self):
+        values = generate_netmon(500_000, seed=0)
+        q50, q90, q99 = np.quantile(values, [0.5, 0.9, 0.99])
+        # Paper: Q0.5 = 798, >90% below 1,247, Q0.99 = 1,874.
+        assert 700 < q50 < 900
+        assert 1050 < q90 < 1450
+        assert 1500 < q99 < 2600
+
+    def test_long_tail(self):
+        values = generate_netmon(500_000, seed=0)
+        # Paper: max 74,265 in a 100K window; heavy but capped tail.
+        assert values.max() > 20_000
+        assert values.max() <= 100_000
+
+    def test_integer_microseconds(self):
+        values = generate_netmon(10_000, seed=1)
+        np.testing.assert_array_equal(values, np.round(values))
+        assert values.min() >= 50
+
+    def test_high_redundancy(self):
+        # Paper: only ~0.08% of elements in a window are unique (after
+        # 3-digit compression); raw integers are already highly redundant.
+        values = generate_netmon(1_000_000, seed=2)
+        unique_fraction = len(np.unique(values)) / len(values)
+        assert unique_fraction < 0.05
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            generate_netmon(1000, seed=7), generate_netmon(1000, seed=7)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_netmon(0)
+        with pytest.raises(ValueError):
+            generate_netmon(10, tail_weight=1.5)
+
+
+class TestSearch:
+    def test_sla_truncation_density(self):
+        values = generate_search(200_000, seed=0)
+        assert values.max() == 200_000
+        capped_fraction = float(np.mean(values == 200_000))
+        # A few percent of queries terminated by the SLA (footnote 1).
+        assert 0.005 < capped_fraction < 0.10
+        # High quantiles sit exactly at the SLA -> easy for any policy.
+        assert np.quantile(values, 0.999) == 200_000
+
+    def test_median_reasonable(self):
+        values = generate_search(200_000, seed=0)
+        assert 30_000 < np.median(values) < 50_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_search(0)
+        with pytest.raises(ValueError):
+            generate_search(10, sla_us=-1)
+
+
+class TestSynthetic:
+    def test_normal_moments(self):
+        values = generate_normal(200_000, seed=0)
+        assert abs(values.mean() - 1e6) < 1e3
+        assert abs(values.std() - 5e4) < 1e3
+
+    def test_uniform_range_and_uniqueness(self):
+        values = generate_uniform(100_000, seed=0)
+        assert values.min() >= 90
+        assert values.max() <= 110
+        # Continuous floats: virtually all unique (Exact's stress case).
+        assert len(np.unique(values)) > 0.999 * len(values)
+
+    def test_pareto_paper_anchors(self):
+        values = generate_pareto(2_000_000, seed=0)
+        q50 = np.quantile(values, 0.5)
+        q999 = np.quantile(values, 0.999)
+        assert 18 <= q50 <= 22  # paper: Q0.5 = 20
+        assert 8_000 <= q999 <= 12_000  # paper: Q0.999 = 10,000
+        assert values.max() <= 1.1e9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_normal(0)
+        with pytest.raises(ValueError):
+            generate_normal(10, std=-1)
+        with pytest.raises(ValueError):
+            generate_uniform(10, low=5, high=5)
+        with pytest.raises(ValueError):
+            generate_pareto(-1)
+
+
+class TestAR1:
+    def test_marginal_preserved_across_psi(self):
+        for psi in (0.0, 0.2, 0.8):
+            values = generate_ar1(200_000, psi=psi, seed=0)
+            assert abs(values.mean() - 1e6) < 2e3, psi
+            assert abs(values.std() - 5e4) < 2e3, psi
+
+    def test_autocorrelation_matches_psi(self):
+        for psi in (0.2, 0.8):
+            values = generate_ar1(100_000, psi=psi, seed=1)
+            centered = values - values.mean()
+            corr = float(
+                np.corrcoef(centered[:-1], centered[1:])[0, 1]
+            )
+            assert abs(corr - psi) < 0.02
+
+    def test_psi_zero_is_iid_like(self):
+        values = generate_ar1(100_000, psi=0.0, seed=2)
+        centered = values - values.mean()
+        corr = float(np.corrcoef(centered[:-1], centered[1:])[0, 1])
+        assert abs(corr) < 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_ar1(10, psi=1.0)
+        with pytest.raises(ValueError):
+            generate_ar1(0, psi=0.5)
+
+
+class TestPrecision:
+    def test_drops_two_digits(self):
+        values = np.array([1247.0, 798.0, 74265.0])
+        np.testing.assert_array_equal(
+            reduce_precision(values), np.array([1200.0, 700.0, 74200.0])
+        )
+
+    def test_zero_drop_is_copy(self):
+        values = np.array([123.0])
+        out = reduce_precision(values, drop_digits=0)
+        np.testing.assert_array_equal(out, values)
+        assert out is not values
+
+    def test_increases_redundancy(self):
+        values = generate_netmon(200_000, seed=3)
+        coarse = reduce_precision(values)
+        assert len(np.unique(coarse)) < len(np.unique(values)) / 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reduce_precision(np.array([1.0]), drop_digits=-1)
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_datasets()) == {
+            "ar1",
+            "netmon",
+            "normal",
+            "pareto",
+            "search",
+            "uniform",
+        }
+
+    def test_get_dataset(self):
+        values = get_dataset("netmon", 1000, seed=0)
+        assert len(values) == 1000
+        ar1 = get_dataset("ar1", 1000, seed=0, psi=0.5)
+        assert len(ar1) == 1000
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            get_dataset("zipf", 100)
