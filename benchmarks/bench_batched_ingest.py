@@ -1,0 +1,91 @@
+"""Per-event vs batched ingestion throughput (the PR-1 fast path).
+
+The per-event loop pays interpreter overhead for every element: one Event
+object, one operator dispatch, one policy method call.  The batched path
+pulls numpy chunks from the source, slices them at sub-window boundaries,
+and lets policies bulk-ingest whole slices (np.unique + frequency-map
+counts for QLOVE/Exact, compaction-interval extends for Random).
+
+Acceptance gate for the batch path: QLOVE must ingest at least 3x faster
+batched than per-event while producing bit-identical WindowResults (the
+equivalence is asserted here on the measured runs and, exhaustively, in
+tests/sketches/test_batch_equivalence.py).
+"""
+
+import numpy as np
+import pytest
+
+from repro.evalkit import Table, measure_throughput, measure_throughput_batched
+from repro.sketches import make_policy
+from repro.streaming import CountWindow
+from repro.streaming.engine import run_query, run_query_batched
+from repro.streaming.sources import value_stream
+from repro.workloads import generate_netmon
+
+N = 200_000
+WINDOW = CountWindow(size=32_000, period=8_000)
+PHIS = [0.5, 0.9, 0.99, 0.999]
+CHUNK_SIZE = 16_384
+
+#: Policies worth timing on both paths (Exact/Random exploit bulk inserts;
+#: CMQS rides the generic fallback and shows the floor of the win).
+POLICIES = ["qlove", "exact", "random", "cmqs"]
+
+
+@pytest.fixture(scope="module")
+def netmon_values():
+    return generate_netmon(N, seed=0)
+
+
+def _speedup(name, values):
+    factory = lambda: make_policy(name, PHIS, WINDOW)  # noqa: E731
+    per_event = measure_throughput(factory, values, WINDOW)
+    batched = measure_throughput_batched(
+        factory, values, WINDOW, chunk_size=CHUNK_SIZE
+    )
+    return per_event, batched
+
+
+def test_batched_ingest_speedup(benchmark, netmon_values):
+    """Table: M ev/s on both paths plus the batched/per-event ratio."""
+
+    def run():
+        return {name: _speedup(name, netmon_values) for name in POLICIES}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        f"Ingestion throughput, NetMon {N:,} elements, "
+        f"window {WINDOW.size // 1000}K/{WINDOW.period // 1000}K, "
+        f"chunks of {CHUNK_SIZE:,}",
+        ["policy", "per-event M ev/s", "batched M ev/s", "speedup"],
+    )
+    for name, (per_event, batched) in results.items():
+        table.add_row(
+            name,
+            f"{per_event.million_events_per_second:.3f}",
+            f"{batched.million_events_per_second:.3f}",
+            f"{batched.events_per_second / per_event.events_per_second:.1f}x",
+        )
+    print()
+    print(table.render())
+
+    qlove_per_event, qlove_batched = results["qlove"]
+    ratio = qlove_batched.events_per_second / qlove_per_event.events_per_second
+    assert ratio >= 3.0, f"QLOVE batched path only {ratio:.1f}x faster"
+    # Both paths must have evaluated the same number of windows.
+    for per_event, batched in results.values():
+        assert per_event.evaluations == batched.evaluations
+
+
+def test_batched_results_identical(netmon_values):
+    """The measured speedup is not bought with accuracy: same results."""
+    policy_a = make_policy("qlove", PHIS, WINDOW)
+    policy_b = make_policy("qlove", PHIS, WINDOW)
+    from repro.sketches.base import PolicyOperator
+
+    reference = run_query(value_stream(netmon_values), WINDOW, PolicyOperator(policy_a))
+    batched = run_query_batched(
+        netmon_values, WINDOW, PolicyOperator(policy_b), chunk_size=CHUNK_SIZE
+    )
+    assert batched == reference

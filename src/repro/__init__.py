@@ -38,11 +38,13 @@ from repro.sketches import (
     make_policy,
 )
 from repro.streaming import (
+    Chunk,
     CountWindow,
     Event,
     Query,
     StreamEngine,
     TimeWindow,
+    chunk_stream,
     value_stream,
 )
 
@@ -51,6 +53,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AMPolicy",
     "CMQSPolicy",
+    "Chunk",
     "CountWindow",
     "Event",
     "ExactPolicy",
@@ -64,6 +67,7 @@ __all__ = [
     "StreamEngine",
     "TimeWindow",
     "available_policies",
+    "chunk_stream",
     "make_policy",
     "value_stream",
     "__version__",

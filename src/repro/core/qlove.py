@@ -52,16 +52,21 @@ class QLOVEPolicy(QuantilePolicy):
                 merger = FewKMerger(phi, window, self.config.fewk)
                 if merger.relevant:
                     self._mergers[phi] = merger
-        # Hot-path alias: the engine calls accumulate once per element, so
-        # skip one frame of indirection (the method below stays for
-        # readability and subclassing).
+        # Hot-path aliases: the engine calls accumulate once per element
+        # (or accumulate_batch once per chunk), so skip one frame of
+        # indirection (the methods below stay for readability and
+        # subclassing).
         self.accumulate = self._builder.add  # type: ignore[method-assign]
+        self.accumulate_batch = self._builder.extend  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def accumulate(self, value: float) -> None:
         self._builder.add(value)
+
+    def accumulate_batch(self, values) -> None:
+        self._builder.extend(values)
 
     def seal_subwindow(self) -> None:
         self.record_space()

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.compression import Quantizer
 from repro.core.config import FewKConfig, exact_tail_size
 from repro.datastructures import make_frequency_map
@@ -99,6 +101,33 @@ class SubWindowBuilder:
             if len(cache) < self._quantize_cache_limit:
                 cache[value] = quantized
         self._map.add(quantized)
+
+    def extend(self, values: np.ndarray) -> None:
+        """Accumulate a whole array of elements (the batched fast path).
+
+        The chunk is collapsed to ``(unique raw value, count)`` pairs in C
+        first; each distinct value is then quantized through the same
+        memoised scalar quantizer the per-element path uses and bulk-added
+        to the frequency map.  The resulting Level-1 state is bit-identical
+        to calling :meth:`add` per element — telemetry redundancy (the
+        paper's Section 5.4 insight) is what makes the distinct-value loop
+        short.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        uniques, counts = np.unique(values, return_counts=True)
+        cache = self._quantize_cache
+        limit = self._quantize_cache_limit
+        quantizer = self._quantizer
+        add = self._map.add
+        for value, count in zip(uniques.tolist(), counts.tolist()):
+            quantized = cache.get(value)
+            if quantized is None:
+                quantized = quantizer(value)
+                if len(cache) < limit:
+                    cache[value] = quantized
+            add(quantized, count)
 
     def space_variables(self) -> int:
         """In-flight state: {value, count} per unique element."""

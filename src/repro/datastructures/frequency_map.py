@@ -22,6 +22,8 @@ import math
 from abc import ABC, abstractmethod
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 
 class FrequencyMap(ABC):
     """Abstract compressed multiset of stream values.
@@ -127,6 +129,36 @@ class FrequencyMap(ABC):
         """Accumulate every value from an iterable."""
         for value in values:
             self.add(value)
+
+    # ------------------------------------------------------------------
+    # Bulk (batched) updates
+    # ------------------------------------------------------------------
+    def extend_array(self, values: np.ndarray) -> None:
+        """Accumulate a whole array in one shot.
+
+        Collapses the array to ``(unique value, count)`` pairs first (a C
+        routine), so the per-element Python cost drops to one ``add`` per
+        *distinct* value — on redundant telemetry chunks that is orders of
+        magnitude fewer calls.  The resulting multiset is identical to
+        per-element accumulation.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        uniques, counts = np.unique(values, return_counts=True)
+        add = self.add
+        for value, count in zip(uniques.tolist(), counts.tolist()):
+            add(value, count)
+
+    def discard_array(self, values: np.ndarray) -> None:
+        """Deaccumulate a whole array in one shot (multiset removal)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        uniques, counts = np.unique(values, return_counts=True)
+        discard = self.discard
+        for value, count in zip(uniques.tolist(), counts.tolist()):
+            discard(value, count)
 
 
 class TreeFrequencyMap(FrequencyMap):
@@ -250,8 +282,6 @@ class DictFrequencyMap(FrequencyMap):
         for phi in phis:
             if not 0.0 < phi <= 1.0:
                 raise ValueError(f"phi must be in (0, 1], got {phi}")
-        import numpy as np
-
         size = len(self._counts)
         keys = np.fromiter(self._counts.keys(), dtype=np.float64, count=size)
         counts = np.fromiter(self._counts.values(), dtype=np.int64, count=size)

@@ -58,6 +58,20 @@ class ReservoirSampler:
         if slot < self._capacity:
             self._sample[slot] = value
 
+    def offer_batch(self, values: Iterable[float]) -> None:
+        """Offer every value of a batch.
+
+        Kept as a tight sequential loop on purpose: Algorithm R draws one
+        random number per offer, and reproducing the per-element sample
+        distribution (and, under a seeded RNG, the exact sample) requires
+        consuming the RNG in the same order.
+        """
+        if hasattr(values, "tolist"):  # numpy array -> plain floats
+            values = values.tolist()
+        offer = self.offer
+        for value in values:
+            offer(value)
+
     def values(self) -> List[float]:
         """Copy of the current sample (unordered)."""
         return list(self._sample)

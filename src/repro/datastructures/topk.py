@@ -11,6 +11,8 @@ from __future__ import annotations
 import heapq
 from typing import Iterable, Iterator, List
 
+import numpy as np
+
 
 class TopKKeeper:
     """Maintain the ``k`` largest values offered so far (with duplicates).
@@ -52,6 +54,29 @@ class TopKKeeper:
             return False
         heapq.heapreplace(heap, value)
         return True
+
+    def offer_batch(self, values: np.ndarray) -> None:
+        """Consider a whole array at once.
+
+        The retained multiset after per-element offers is simply the ``k``
+        largest of (current heap ∪ values), so the batch path pre-selects
+        the array's ``k`` largest with ``np.partition`` and rebuilds the
+        heap once — identical contents, no per-element heap churn.
+        """
+        if self._k == 0:
+            return
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        if values.size > self._k:
+            candidates = np.partition(values, values.size - self._k)[-self._k :]
+        else:
+            candidates = values
+        merged = self._heap + candidates.tolist()
+        if len(merged) > self._k:
+            merged = heapq.nlargest(self._k, merged)
+        heapq.heapify(merged)
+        self._heap = merged
 
     def threshold(self) -> float:
         """Smallest retained value; raises ``IndexError`` when empty."""

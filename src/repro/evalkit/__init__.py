@@ -21,16 +21,23 @@ from repro.evalkit.metrics import (
 )
 from repro.evalkit.reporting import Table
 from repro.evalkit.runner import AccuracyReport, run_accuracy
-from repro.evalkit.throughput import ThroughputResult, measure_throughput
+from repro.evalkit.throughput import (
+    ThroughputResult,
+    compare_ingest_paths,
+    measure_throughput,
+    measure_throughput_batched,
+)
 
 __all__ = [
     "AccuracyReport",
     "ErrorAccumulator",
     "Table",
     "ThroughputResult",
+    "compare_ingest_paths",
     "exact_quantile",
     "exact_quantiles",
     "measure_throughput",
+    "measure_throughput_batched",
     "rank_error",
     "relative_value_error",
     "run_accuracy",

@@ -16,6 +16,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.datastructures import make_frequency_map
 from repro.sketches.base import QuantilePolicy
 from repro.streaming.windows import CountWindow
@@ -45,33 +47,51 @@ class ExactPolicy(QuantilePolicy):
     ) -> None:
         super().__init__(phis, window)
         self._map = make_frequency_map(backend)
+        # The raw elements of the in-flight sub-window: scalar arrivals
+        # collect in a list, batched arrivals keep their (zero-copy) array
+        # parts.  A sealed sub-window is the ordered list of both.
         self._in_flight: List[float] = []
-        self._sealed: Deque[List[float]] = deque()
+        self._in_flight_parts: List[np.ndarray] = []
+        self._sealed: Deque[List[np.ndarray]] = deque()
         self._buffered = 0
 
     def accumulate(self, value: float) -> None:
         self._map.add(value)
         self._in_flight.append(value)
 
+    def accumulate_batch(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        if self._in_flight:
+            # Preserve arrival order inside the sub-window buffer.
+            self._in_flight_parts.append(np.asarray(self._in_flight))
+            self._in_flight = []
+        self._map.extend_array(values)
+        self._in_flight_parts.append(values)
+
     def seal_subwindow(self) -> None:
         self.record_space()
-        self._sealed.append(self._in_flight)
-        self._buffered += len(self._in_flight)
+        parts = self._in_flight_parts
+        if self._in_flight:
+            parts.append(np.asarray(self._in_flight))
+        self._sealed.append(parts)
+        self._buffered += sum(len(part) for part in parts)
         self._in_flight = []
+        self._in_flight_parts = []
 
     def expire_subwindow(self) -> None:
         if not self._sealed:
             raise RuntimeError("expire_subwindow() with no sealed sub-window")
         expired = self._sealed.popleft()
-        self._buffered -= len(expired)
-        discard = self._map.discard
-        for value in expired:
-            discard(value)
+        for part in expired:
+            self._buffered -= len(part)
+            self._map.discard_array(part)
 
     def query(self) -> Dict[float, float]:
         if not self._sealed:
             raise ValueError("query() before any sealed sub-window")
-        if self._in_flight:
+        if self._in_flight or self._in_flight_parts:
             # The window is exactly the sealed sub-windows; excluding
             # in-flight elements mid-period would need a virtual rank
             # shift, so Exact answers only at period boundaries (which is
@@ -81,7 +101,11 @@ class ExactPolicy(QuantilePolicy):
         return dict(zip(self.phis, values))
 
     def space_variables(self) -> int:
-        buffered = self._buffered + len(self._in_flight)
+        buffered = (
+            self._buffered
+            + len(self._in_flight)
+            + sum(len(part) for part in self._in_flight_parts)
+        )
         return 2 * self._map.unique_count + buffered
 
     @classmethod

@@ -67,6 +67,35 @@ class KLLSketch:
         if self.item_count() > self._max_size:
             self._compress()
 
+    def insert_batch(self, values) -> None:
+        """Add many elements with one bulk extend per compaction interval.
+
+        Per-element insertion only compacts when the retained-item count
+        first exceeds the capacity budget, so between two compactions every
+        arrival is a plain level-0 append.  The batch path exploits that:
+        it extends level 0 with exactly the number of items that reaches
+        the trigger point, compacts, and repeats.  Compactions therefore
+        fire at the same stream positions with the same level contents as
+        per-element insertion — under a seeded RNG the resulting sketch is
+        bit-identical.
+        """
+        if hasattr(values, "tolist"):  # numpy array -> plain floats
+            values = values.tolist()
+        level0 = self._compactors[0]
+        position = 0
+        n = len(values)
+        while position < n:
+            # Items until the count first exceeds the budget (at least 1:
+            # an incomplete compaction can leave the sketch over budget,
+            # where per-element insertion also proceeds one at a time).
+            room = self._max_size - self.item_count() + 1
+            take = min(n - position, max(1, room))
+            level0.extend(values[position : position + take])
+            self._n += take
+            position += take
+            if self.item_count() > self._max_size:
+                self._compress()
+
     def _compress(self) -> None:
         for level, items in enumerate(self._compactors):
             if len(items) > self._capacity(level):

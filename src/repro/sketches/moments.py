@@ -332,15 +332,34 @@ class MomentPolicy(QuantilePolicy):
         window: CountWindow,
         k: int = 12,
         method: str = "maxent",
+        vectorized_batch: bool = False,
     ) -> None:
         super().__init__(phis, window)
         self.k = k
         self._solver = MomentSolver(method=method)
+        self._vectorized_batch = vectorized_batch
         self._in_flight = MomentState(k)
         self._sealed: Deque[MomentState] = deque()
 
     def accumulate(self, value: float) -> None:
         self._in_flight.add(value)
+
+    def accumulate_batch(self, values) -> None:
+        """Batched accumulation.
+
+        Default keeps the sequential scalar adds so the power sums are
+        bit-identical to the per-element path (floating-point addition is
+        not associative).  ``vectorized_batch=True`` switches to
+        :meth:`MomentState.add_batch` — much faster, numerically equivalent
+        but not bit-identical.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if self._vectorized_batch:
+            self._in_flight.add_batch(values)
+        else:
+            add = self._in_flight.add
+            for value in values.tolist():
+                add(value)
 
     def seal_subwindow(self) -> None:
         self.record_space()

@@ -55,6 +55,11 @@ class RandomPolicy(QuantilePolicy):
     def accumulate(self, value: float) -> None:
         self._in_flight.insert(value)
 
+    def accumulate_batch(self, values) -> None:
+        # Bit-identical to per-element insertion (same compaction points,
+        # same RNG consumption); see KLLSketch.insert_batch.
+        self._in_flight.insert_batch(values)
+
     def seal_subwindow(self) -> None:
         self.record_space()
         self._sealed.append(self._in_flight)

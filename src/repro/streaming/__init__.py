@@ -27,14 +27,29 @@ from repro.streaming.aggregates import (
     SumOperator,
     VarianceOperator,
 )
-from repro.streaming.engine import StreamEngine, WindowResult
+from repro.streaming.engine import (
+    StreamEngine,
+    WindowResult,
+    run_query,
+    run_query_batched,
+    run_query_chunked,
+)
 from repro.streaming.event import Event
 from repro.streaming.operator import IncrementalOperator, SubWindowOperator
 from repro.streaming.query import Query
-from repro.streaming.sources import events_from_values, merge_sources, value_stream
+from repro.streaming.sources import (
+    Chunk,
+    as_chunk,
+    chunk_stream,
+    events_from_values,
+    events_of_chunks,
+    merge_sources,
+    value_stream,
+)
 from repro.streaming.windows import CountWindow, TimeWindow
 
 __all__ = [
+    "Chunk",
     "CountOperator",
     "CountWindow",
     "Event",
@@ -49,7 +64,13 @@ __all__ = [
     "TimeWindow",
     "VarianceOperator",
     "WindowResult",
+    "as_chunk",
+    "chunk_stream",
     "events_from_values",
+    "events_of_chunks",
     "merge_sources",
+    "run_query",
+    "run_query_batched",
+    "run_query_chunked",
     "value_stream",
 ]

@@ -12,6 +12,12 @@ contract and give downstream users the usual aggregation vocabulary.  The
 Min/Max cannot be deaccumulated from constant state (removing the current
 minimum requires knowing the runner-up), so they keep a frequency map — the
 same trick the Exact quantile baseline uses.
+
+All operators override the batched surface.  Count and Min/Max vectorise
+outright (length arithmetic, frequency-map bulk updates); Sum/Mean/Variance
+keep sequential scalar additions inside the batch loop so their folds stay
+bit-identical to the per-event path (floating-point addition is not
+associative) while still skipping Event construction and dispatch.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.datastructures import FrequencyMap, make_frequency_map
 from repro.streaming.event import Event
 from repro.streaming.operator import IncrementalOperator
+from repro.streaming.sources import Chunk
 
 
 @dataclass(slots=True)
@@ -41,6 +48,14 @@ class CountOperator(IncrementalOperator[_CountState, int]):
 
     def deaccumulate(self, state: _CountState, event: Event) -> _CountState:
         state.count -= 1
+        return state
+
+    def accumulate_batch(self, state: _CountState, chunk: Chunk) -> _CountState:
+        state.count += len(chunk)
+        return state
+
+    def deaccumulate_batch(self, state: _CountState, chunk: Chunk) -> _CountState:
+        state.count -= len(chunk)
         return state
 
     def compute_result(self, state: _CountState) -> int:
@@ -64,6 +79,20 @@ class SumOperator(IncrementalOperator[_SumState, float]):
 
     def deaccumulate(self, state: _SumState, event: Event) -> _SumState:
         state.total -= event.value
+        return state
+
+    def accumulate_batch(self, state: _SumState, chunk: Chunk) -> _SumState:
+        total = state.total
+        for value in chunk.values.tolist():
+            total += value
+        state.total = total
+        return state
+
+    def deaccumulate_batch(self, state: _SumState, chunk: Chunk) -> _SumState:
+        total = state.total
+        for value in chunk.values.tolist():
+            total -= value
+        state.total = total
         return state
 
     def compute_result(self, state: _SumState) -> float:
@@ -90,6 +119,22 @@ class MeanOperator(IncrementalOperator[_MeanState, float]):
     def deaccumulate(self, state: _MeanState, event: Event) -> _MeanState:
         state.count -= 1
         state.total -= event.value
+        return state
+
+    def accumulate_batch(self, state: _MeanState, chunk: Chunk) -> _MeanState:
+        state.count += len(chunk)
+        total = state.total
+        for value in chunk.values.tolist():
+            total += value
+        state.total = total
+        return state
+
+    def deaccumulate_batch(self, state: _MeanState, chunk: Chunk) -> _MeanState:
+        state.count -= len(chunk)
+        total = state.total
+        for value in chunk.values.tolist():
+            total -= value
+        state.total = total
         return state
 
     def compute_result(self, state: _MeanState) -> float:
@@ -123,6 +168,28 @@ class VarianceOperator(IncrementalOperator[_VarianceState, float]):
         state.total_sq -= event.value * event.value
         return state
 
+    def accumulate_batch(self, state: _VarianceState, chunk: Chunk) -> _VarianceState:
+        state.count += len(chunk)
+        total = state.total
+        total_sq = state.total_sq
+        for value in chunk.values.tolist():
+            total += value
+            total_sq += value * value
+        state.total = total
+        state.total_sq = total_sq
+        return state
+
+    def deaccumulate_batch(self, state: _VarianceState, chunk: Chunk) -> _VarianceState:
+        state.count -= len(chunk)
+        total = state.total
+        total_sq = state.total_sq
+        for value in chunk.values.tolist():
+            total -= value
+            total_sq -= value * value
+        state.total = total
+        state.total_sq = total_sq
+        return state
+
     def compute_result(self, state: _VarianceState) -> float:
         if state.count == 0:
             return math.nan
@@ -150,6 +217,14 @@ class MinOperator(IncrementalOperator[_ExtremumState, float]):
         state.values.discard(event.value)
         return state
 
+    def accumulate_batch(self, state: _ExtremumState, chunk: Chunk) -> _ExtremumState:
+        state.values.extend_array(chunk.values)
+        return state
+
+    def deaccumulate_batch(self, state: _ExtremumState, chunk: Chunk) -> _ExtremumState:
+        state.values.discard_array(chunk.values)
+        return state
+
     def compute_result(self, state: _ExtremumState) -> float:
         if state.values.total == 0:
             return math.nan
@@ -168,6 +243,14 @@ class MaxOperator(IncrementalOperator[_ExtremumState, float]):
 
     def deaccumulate(self, state: _ExtremumState, event: Event) -> _ExtremumState:
         state.values.discard(event.value)
+        return state
+
+    def accumulate_batch(self, state: _ExtremumState, chunk: Chunk) -> _ExtremumState:
+        state.values.extend_array(chunk.values)
+        return state
+
+    def deaccumulate_batch(self, state: _ExtremumState, chunk: Chunk) -> _ExtremumState:
+        state.values.discard_array(chunk.values)
         return state
 
     def compute_result(self, state: _ExtremumState) -> float:

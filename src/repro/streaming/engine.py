@@ -14,17 +14,31 @@ period.  It implements the incremental-evaluation semantics of Section 2:
   only signals period boundaries (``seal_subwindow``) and window slides
   (``expire_subwindow``) — this is precisely where QLOVE's throughput
   advantage over per-element deaccumulation comes from.
+
+Two ingestion paths feed these semantics:
+
+- :meth:`StreamEngine.run` — the per-event reference loop (one Python
+  object and one method call per element).
+- :meth:`StreamEngine.run_chunked` — the batched fast path: the source
+  yields :class:`~repro.streaming.sources.Chunk` objects (numpy arrays),
+  the engine slices them at sub-window / period boundaries, and operators
+  ingest whole slices via ``accumulate_batch``.  Window semantics and
+  results are identical to the per-event loop; only the per-element
+  interpreter overhead is gone.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Generic, Iterable, Iterator, Optional, TypeVar, Union
+
+import numpy as np
 
 from repro.streaming.event import Event
 from repro.streaming.operator import IncrementalOperator, SubWindowOperator
 from repro.streaming.query import Query
+from repro.streaming.sources import Chunk, ChunkLike, as_chunk, chunk_stream, events_of_chunks
 from repro.streaming.windows import CountWindow, TimeWindow
 
 R = TypeVar("R")
@@ -66,6 +80,11 @@ class StreamEngine:
     def run(self, query: Query) -> Iterator[WindowResult]:
         """Lazily evaluate ``query``, yielding one result per period."""
         query = query.validated()
+        if query.chunk_predicates or query.chunk_projectors:
+            raise ValueError(
+                "query has vectorised where_values()/select_values() stages; "
+                "run it with run_chunked(), or use where()/select() instead"
+            )
         spec = query.window_spec
         operator = query.operator
         if isinstance(spec, CountWindow):
@@ -81,6 +100,46 @@ class StreamEngine:
     def run_to_list(self, query: Query) -> list[WindowResult]:
         """Eagerly evaluate ``query`` and collect all results."""
         return list(self.run(query))
+
+    def run_chunked(self, query: Query) -> Iterator[WindowResult]:
+        """Batched evaluation: the query source yields chunks, not events.
+
+        The source must yield :class:`~repro.streaming.sources.Chunk`
+        objects or raw 1-D numpy arrays.  Filters must be vectorised
+        (``where_values``/``select_values``); event-level ``where``/
+        ``select`` stages are rejected so no filter is silently skipped.
+        Results are identical to :meth:`run` over the same elements.
+        """
+        query = query.validated()
+        if query.predicates or query.projectors:
+            raise ValueError(
+                "query has event-level where()/select() stages; run it with "
+                "run(), or use where_values()/select_values() instead"
+            )
+        spec = query.window_spec
+        operator = query.operator
+        if isinstance(spec, CountWindow):
+            if isinstance(operator, SubWindowOperator):
+                return self._run_count_subwindow_chunked(query, spec, operator)
+            return self._run_count_incremental_chunked(query, spec, operator)
+        if isinstance(spec, TimeWindow):
+            if isinstance(operator, SubWindowOperator):
+                return self._run_time_subwindow_chunked(query, spec, operator)
+            # Per-element deaccumulation over time windows needs every raw
+            # event buffered anyway, so batching buys nothing: expand the
+            # chunks and delegate to the per-event loop.
+            chunks = self._timestamped(self._filtered_chunks(query))
+            return self._run_time_incremental(
+                replace(query, source=events_of_chunks(chunks),
+                        chunk_predicates=(), chunk_projectors=()),
+                spec,
+                operator,
+            )
+        raise TypeError(f"unsupported window spec: {spec!r}")
+
+    def run_chunked_to_list(self, query: Query) -> list[WindowResult]:
+        """Eagerly evaluate a chunked ``query`` and collect all results."""
+        return list(self.run_chunked(query))
 
     # ------------------------------------------------------------------
     # Count-based windows
@@ -241,6 +300,180 @@ class StreamEngine:
             state = operator.accumulate(state, event)
             buffer.append(event)
 
+    # ------------------------------------------------------------------
+    # Chunked (batched) loops
+    # ------------------------------------------------------------------
+    def _filtered_chunks(self, query: Query) -> Iterator[Chunk]:
+        for raw in query.source:
+            chunk = query.apply_chunk_pipeline(as_chunk(raw))
+            if len(chunk):
+                yield chunk
+
+    @staticmethod
+    def _timestamped(chunks: Iterator[Chunk]) -> Iterator[Chunk]:
+        """Reject timestamp-less chunks before a time-windowed evaluation.
+
+        Without this, the per-event fallback would silently synthesise
+        index-based timestamps and window real-time data incorrectly.
+        """
+        for chunk in chunks:
+            if chunk.timestamps is None:
+                raise ValueError(
+                    "time-windowed chunked queries need timestamped chunks "
+                    "(build them with chunk_stream(..., with_timestamps=True))"
+                )
+            yield chunk
+
+    def _run_count_subwindow_chunked(
+        self, query: Query, spec: CountWindow, operator: SubWindowOperator
+    ) -> Iterator[WindowResult]:
+        period = spec.period
+        n_sub = spec.subwindow_count
+        in_flight = 0
+        sealed = 0
+        seen = 0
+        index = 0
+        for chunk in self._filtered_chunks(query):
+            position = 0
+            remaining = len(chunk)
+            while remaining:
+                take = min(period - in_flight, remaining)
+                operator.accumulate_batch(chunk.slice(position, position + take))
+                position += take
+                remaining -= take
+                in_flight += take
+                seen += take
+                if in_flight < period:
+                    continue
+                operator.seal_subwindow()
+                in_flight = 0
+                sealed += 1
+                if sealed > n_sub:
+                    operator.expire_subwindow()
+                    sealed -= 1
+                if sealed == n_sub or self._emit_partial:
+                    yield WindowResult(
+                        index=index,
+                        window_count=sealed * period,
+                        end=float(seen),
+                        result=operator.compute_result(),
+                    )
+                    index += 1
+
+    def _run_count_incremental_chunked(
+        self, query: Query, spec: CountWindow, operator: IncrementalOperator
+    ) -> Iterator[WindowResult]:
+        state = operator.initial_state()
+        sliding = spec.is_sliding
+        buffer: deque[Chunk] = deque()
+        buffered = 0
+        in_period = 0
+        seen = 0
+        index = 0
+        for chunk in self._filtered_chunks(query):
+            position = 0
+            remaining = len(chunk)
+            while remaining:
+                take = min(spec.period - in_period, remaining)
+                part = chunk.slice(position, position + take)
+                state = operator.accumulate_batch(state, part)
+                if sliding:
+                    buffer.append(part)
+                    buffered += take
+                position += take
+                remaining -= take
+                in_period += take
+                seen += take
+                if in_period < spec.period:
+                    continue
+                in_period = 0
+                if not sliding:
+                    # Tumbling: evaluate and discard state, no deaccumulation.
+                    yield WindowResult(
+                        index=index,
+                        window_count=spec.period,
+                        end=float(seen),
+                        result=operator.compute_result(state),
+                    )
+                    index += 1
+                    state = operator.initial_state()
+                    continue
+                while buffered > spec.size:
+                    head = buffer[0]
+                    drop = min(len(head), buffered - spec.size)
+                    if drop == len(head):
+                        expired = buffer.popleft()
+                    else:
+                        expired = head.slice(0, drop)
+                        buffer[0] = head.slice(drop, len(head))
+                    state = operator.deaccumulate_batch(state, expired)
+                    buffered -= drop
+                if buffered == spec.size or self._emit_partial:
+                    yield WindowResult(
+                        index=index,
+                        window_count=buffered,
+                        end=float(seen),
+                        result=operator.compute_result(state),
+                    )
+                    index += 1
+
+    def _run_time_subwindow_chunked(
+        self, query: Query, spec: TimeWindow, operator: SubWindowOperator
+    ) -> Iterator[WindowResult]:
+        n_sub = spec.subwindow_count
+        current_slot: Optional[int] = None
+        sealed = 0
+        last_ts = float("-inf")
+        counts: deque[int] = deque()
+        in_flight = 0
+        index = 0
+        for chunk in self._filtered_chunks(query):
+            timestamps = chunk.timestamps
+            if timestamps is None:
+                raise ValueError(
+                    "time-windowed chunked queries need timestamped chunks "
+                    "(build them with chunk_stream(..., with_timestamps=True))"
+                )
+            if timestamps[0] < last_ts or np.any(np.diff(timestamps) < 0):
+                raise ValueError(
+                    "time-windowed streams must be timestamp-ordered"
+                )
+            last_ts = float(timestamps[-1])
+            # Slot of every element; identical to per-event int(t // period).
+            slots = np.floor_divide(timestamps, spec.period).astype(np.int64)
+            position = 0
+            n = len(chunk)
+            while position < n:
+                slot = int(slots[position])
+                if current_slot is None:
+                    current_slot = slot
+                while slot > current_slot:
+                    # Seal the finished interval (possibly empty) and gaps.
+                    operator.seal_subwindow()
+                    counts.append(in_flight)
+                    in_flight = 0
+                    sealed += 1
+                    if sealed > n_sub:
+                        operator.expire_subwindow()
+                        counts.popleft()
+                        sealed -= 1
+                    if sealed == n_sub or self._emit_partial:
+                        yield WindowResult(
+                            index=index,
+                            window_count=sum(counts),
+                            end=(current_slot + 1) * spec.period,
+                            result=operator.compute_result(),
+                        )
+                        index += 1
+                    current_slot += 1
+                # Everything up to the next slot change joins this sub-window.
+                upper = position + int(
+                    np.searchsorted(slots[position:], current_slot, side="right")
+                )
+                operator.accumulate_batch(chunk.slice(position, upper))
+                in_flight += upper - position
+                position = upper
+
 
 def run_query(
     source: Iterable[Event],
@@ -251,3 +484,32 @@ def run_query(
     """One-shot convenience wrapper: build, run and collect a query."""
     query = Query(source).windowed_by(window).aggregate(operator)
     return StreamEngine(emit_partial=emit_partial).run_to_list(query)
+
+
+def run_query_chunked(
+    source: Iterable[ChunkLike],
+    window: Union[CountWindow, TimeWindow],
+    operator: Union[IncrementalOperator, SubWindowOperator],
+    emit_partial: bool = False,
+) -> list[WindowResult]:
+    """One-shot wrapper for the batched path: run over a chunk stream."""
+    query = Query(source).windowed_by(window).aggregate(operator)
+    return StreamEngine(emit_partial=emit_partial).run_chunked_to_list(query)
+
+
+def run_query_batched(
+    values: "np.ndarray",
+    window: Union[CountWindow, TimeWindow],
+    operator: Union[IncrementalOperator, SubWindowOperator],
+    chunk_size: int = 65_536,
+    emit_partial: bool = False,
+) -> list[WindowResult]:
+    """Run a query over a plain value array via the batched fast path.
+
+    Slices ``values`` into chunks (with timestamps when the window is
+    time-based, mirroring :func:`~repro.streaming.sources.value_stream`'s
+    unit spacing) and evaluates on :meth:`StreamEngine.run_chunked`.
+    """
+    with_timestamps = isinstance(window, TimeWindow)
+    source = chunk_stream(values, chunk_size, with_timestamps=with_timestamps)
+    return run_query_chunked(source, window, operator, emit_partial=emit_partial)

@@ -12,14 +12,24 @@ Two granularities are supported:
   that summarise whole sub-windows and expire a sub-window at a time
   ("QLOVE can deaccumulate an entire expiring sub-window at a time with low
   cost", Section 6).  The engine never buffers raw events for these.
+
+Both contracts additionally expose a **batched** ingestion surface
+(``accumulate_batch`` / ``deaccumulate_batch``) taking a whole
+:class:`~repro.streaming.sources.Chunk` of elements at once.  The base-class
+implementations fall back to the per-event methods, so every operator is
+batch-capable by construction; operators that can exploit vectorisation
+(frequency-map bulk inserts, numpy reductions) override them.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Generic, TypeVar
+from typing import TYPE_CHECKING, Generic, TypeVar
 
 from repro.streaming.event import Event
+
+if TYPE_CHECKING:
+    from repro.streaming.sources import Chunk
 
 S = TypeVar("S")
 R = TypeVar("R")
@@ -52,6 +62,21 @@ class IncrementalOperator(ABC, Generic[S, R]):
     def compute_result(self, state: S) -> R:
         """Produce the query result from the current state."""
 
+    # ------------------------------------------------------------------
+    # Batched surface (per-event fallback; override to vectorise)
+    # ------------------------------------------------------------------
+    def accumulate_batch(self, state: S, chunk: "Chunk") -> S:
+        """Fold a whole chunk of arriving elements into the state."""
+        for event in chunk.events():
+            state = self.accumulate(state, event)
+        return state
+
+    def deaccumulate_batch(self, state: S, chunk: "Chunk") -> S:
+        """Remove a whole chunk of expiring elements from the state."""
+        for event in chunk.events():
+            state = self.deaccumulate(state, event)
+        return state
+
 
 class SubWindowOperator(ABC, Generic[R]):
     """Sub-window-granular operator (QLOVE's two-level processing).
@@ -83,6 +108,16 @@ class SubWindowOperator(ABC, Generic[R]):
     @abstractmethod
     def compute_result(self) -> R:
         """Produce the query result over all live sub-windows."""
+
+    def accumulate_batch(self, chunk: "Chunk") -> None:
+        """Fold a whole chunk into the in-flight sub-window.
+
+        The engine guarantees a chunk never straddles a period boundary (it
+        slices at boundaries first), so implementations may treat the whole
+        chunk as belonging to the current sub-window.
+        """
+        for event in chunk.events():
+            self.accumulate(event)
 
     def reset(self) -> None:
         """Discard all state (used when a stream is restarted)."""

@@ -25,12 +25,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.streaming.event import Event
 from repro.streaming.operator import IncrementalOperator, SubWindowOperator
+from repro.streaming.sources import Chunk
 from repro.streaming.windows import CountWindow, TimeWindow
 
 Predicate = Callable[[Event], bool]
 Projector = Callable[[Event], float]
+#: Vectorised Where: value array -> boolean mask (batched path only).
+ChunkPredicate = Callable[[np.ndarray], np.ndarray]
+#: Vectorised Select: value array -> transformed value array.
+ChunkProjector = Callable[[np.ndarray], np.ndarray]
 WindowSpec = Union[CountWindow, TimeWindow]
 Operator = Union[IncrementalOperator, SubWindowOperator]
 
@@ -39,10 +46,12 @@ Operator = Union[IncrementalOperator, SubWindowOperator]
 class Query:
     """Immutable streaming query specification."""
 
-    source: Iterable[Event]
+    source: Iterable
     window_spec: Optional[WindowSpec] = None
     predicates: Tuple[Predicate, ...] = field(default=())
     projectors: Tuple[Projector, ...] = field(default=())
+    chunk_predicates: Tuple[ChunkPredicate, ...] = field(default=())
+    chunk_projectors: Tuple[ChunkProjector, ...] = field(default=())
     operator: Optional[Operator] = None
 
     # ------------------------------------------------------------------
@@ -81,6 +90,19 @@ class Query:
         """Map the event value through ``projector`` before aggregation."""
         return replace(self, projectors=self.projectors + (projector,))
 
+    def where_values(self, predicate: ChunkPredicate) -> "Query":
+        """Vectorised Where for the batched path: ``values -> bool mask``.
+
+        Only evaluated by :meth:`StreamEngine.run_chunked`; a query mixing
+        chunk-level and event-level stages is rejected at run time so no
+        filter is ever silently skipped.
+        """
+        return replace(self, chunk_predicates=self.chunk_predicates + (predicate,))
+
+    def select_values(self, projector: ChunkProjector) -> "Query":
+        """Vectorised Select for the batched path: ``values -> values``."""
+        return replace(self, chunk_projectors=self.chunk_projectors + (projector,))
+
     def aggregate(self, operator: Operator) -> "Query":
         """Attach the aggregation operator evaluated once per period."""
         return replace(self, operator=operator)
@@ -104,3 +126,14 @@ class Query:
         for projector in self.projectors:
             event = event.with_value(projector(event))
         return event
+
+    def apply_chunk_pipeline(self, chunk: Chunk) -> Chunk:
+        """Run vectorised ``where_values``/``select_values`` stages."""
+        for predicate in self.chunk_predicates:
+            mask = np.asarray(predicate(chunk.values), dtype=bool)
+            chunk = chunk.compress(mask)
+        for projector in self.chunk_projectors:
+            chunk = chunk.with_values(
+                np.asarray(projector(chunk.values), dtype=np.float64)
+            )
+        return chunk

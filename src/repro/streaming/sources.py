@@ -1,14 +1,19 @@
 """Adapters turning raw values and datasets into event streams.
 
-Telemetry arrives at the engine as :class:`~repro.streaming.event.Event`
-objects.  These helpers wrap numpy arrays, Python iterables and multiple
-concurrent probes (merged by timestamp) into event iterators.
+Telemetry arrives at the engine either as :class:`~repro.streaming.event.Event`
+objects (one Python object per measurement) or, on the batched fast path, as
+:class:`Chunk` objects wrapping contiguous numpy arrays.  These helpers wrap
+numpy arrays, Python iterables and multiple concurrent probes (merged by
+timestamp) into event iterators, and slice arrays into chunk streams.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, Iterator, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.streaming.event import Event
 
@@ -24,13 +29,18 @@ def value_stream(
 
     The default spacing of one time unit per element makes count windows and
     time windows coincide, which simplifies cross-checking the two engines.
+
+    Timestamps are computed as ``start + i * dt`` (not accumulated), so they
+    are bit-identical to the arrays :func:`chunk_stream` produces and free of
+    repeated-addition rounding drift on long streams.
     """
-    timestamp = start
-    for value in values:
+    for i, value in enumerate(values):
         yield Event(
-            timestamp=timestamp, value=float(value), error_code=error_code, source=source
+            timestamp=start + i * dt,
+            value=float(value),
+            error_code=error_code,
+            source=source,
         )
-        timestamp += dt
 
 
 def events_from_values(
@@ -73,3 +83,147 @@ def map_values(
     """Apply a value transform to every event (e.g. unit conversion)."""
     for event in stream:
         yield event.with_value(transform(event.value))
+
+
+# ----------------------------------------------------------------------
+# Chunked (batched) sources
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous run of stream elements stored as numpy arrays.
+
+    The batched ingestion path moves data through the engine one chunk at a
+    time instead of one :class:`Event` at a time, which removes the dominant
+    cost of the pure-Python hot loop (object construction and per-element
+    method dispatch).  ``timestamps`` and ``error_codes`` are optional:
+    count-windowed queries never need timestamps, time-windowed queries do.
+
+    Arrays are held by reference (chunk slicing produces views), so callers
+    must not mutate them after handing a chunk to the engine.
+    """
+
+    values: np.ndarray
+    timestamps: Optional[np.ndarray] = None
+    error_codes: Optional[np.ndarray] = None
+    source: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "values", np.asarray(self.values, dtype=np.float64)
+        )
+        if self.values.ndim != 1:
+            raise ValueError("chunk values must be a 1-D array")
+        for name in ("timestamps", "error_codes"):
+            array = getattr(self, name)
+            if array is not None:
+                array = np.asarray(array)
+                if array.shape != self.values.shape:
+                    raise ValueError(f"{name} must align with values")
+                object.__setattr__(self, name, array)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def slice(self, start: int, stop: int) -> "Chunk":
+        """Zero-copy sub-chunk covering ``values[start:stop]``."""
+        return Chunk(
+            values=self.values[start:stop],
+            timestamps=None if self.timestamps is None else self.timestamps[start:stop],
+            error_codes=None if self.error_codes is None else self.error_codes[start:stop],
+            source=self.source,
+        )
+
+    def compress(self, mask: np.ndarray) -> "Chunk":
+        """Keep only the elements where ``mask`` is True (vectorised Where)."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.values.shape:
+            raise ValueError("mask must align with values")
+        return Chunk(
+            values=self.values[mask],
+            timestamps=None if self.timestamps is None else self.timestamps[mask],
+            error_codes=None if self.error_codes is None else self.error_codes[mask],
+            source=self.source,
+        )
+
+    def with_values(self, values: np.ndarray) -> "Chunk":
+        """Copy of this chunk carrying projected values (vectorised Select)."""
+        return Chunk(
+            values=values,
+            timestamps=self.timestamps,
+            error_codes=self.error_codes,
+            source=self.source,
+        )
+
+    def events(self, start: float = 0.0, dt: float = 1.0) -> Iterator[Event]:
+        """Expand into per-element events (the slow-path fallback).
+
+        When the chunk carries no timestamps, synthetic ones are generated
+        from ``start`` with spacing ``dt`` — fine for count windows, which
+        ignore them; time-windowed queries must provide real timestamps.
+        """
+        values = self.values.tolist()
+        if self.timestamps is not None:
+            timestamps = self.timestamps.tolist()
+        else:
+            timestamps = [start + i * dt for i in range(len(values))]
+        if self.error_codes is not None:
+            codes = self.error_codes.tolist()
+        else:
+            codes = [0] * len(values)
+        for timestamp, value, code in zip(timestamps, values, codes):
+            yield Event(
+                timestamp=float(timestamp),
+                value=value,
+                error_code=int(code),
+                source=self.source,
+            )
+
+
+#: Anything the chunked engine accepts as one batch of elements.
+ChunkLike = Union[Chunk, np.ndarray]
+
+
+def as_chunk(obj: ChunkLike) -> Chunk:
+    """Normalise a raw numpy array (or Chunk) into a :class:`Chunk`."""
+    if isinstance(obj, Chunk):
+        return obj
+    return Chunk(values=obj)
+
+
+def chunk_stream(
+    values: Sequence[float],
+    chunk_size: int = 65_536,
+    start: float = 0.0,
+    dt: float = 1.0,
+    with_timestamps: bool = False,
+    source: Optional[str] = None,
+) -> Iterator[Chunk]:
+    """Slice an array into zero-copy chunks (the batched ``value_stream``).
+
+    With ``with_timestamps=True`` each chunk carries evenly spaced
+    timestamps matching what :func:`value_stream` would have produced, so
+    the same query can run on either path with identical results.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    values = np.asarray(values, dtype=np.float64)
+    for offset in range(0, len(values), chunk_size):
+        block = values[offset : offset + chunk_size]
+        timestamps = None
+        if with_timestamps:
+            timestamps = start + dt * np.arange(offset, offset + len(block), dtype=np.float64)
+        yield Chunk(values=block, timestamps=timestamps, source=source)
+
+
+def events_of_chunks(chunks: Iterable[ChunkLike]) -> Iterator[Event]:
+    """Expand a chunk stream into events (glue for per-event operators).
+
+    Chunks without timestamps get synthetic ones continuing across chunk
+    boundaries (global element index), so the expansion of
+    ``chunk_stream(values)`` equals ``value_stream(values)``.
+    """
+    position = 0
+    for raw in chunks:
+        chunk = as_chunk(raw)
+        yield from chunk.events(start=float(position))
+        position += len(chunk)

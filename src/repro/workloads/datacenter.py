@@ -199,3 +199,43 @@ class Datacenter:
             if event.error_code == OK
         ]
         return np.asarray(values, dtype=np.float64)
+
+    def probe_chunks(
+        self,
+        count: int,
+        chunk_size: int = 65_536,
+        probes_per_second: float = 100_000.0,
+        start: float = 0.0,
+    ) -> Iterator["Chunk"]:
+        """Probe measurements as timestamped chunks (batched ingestion).
+
+        Emits the same probes as :meth:`probe_stream` — values, timestamps
+        and error codes packed into arrays of ``chunk_size`` — so callers
+        can drop failed probes with one vectorised mask
+        (``chunk.compress(chunk.error_codes == 0)``) instead of a
+        per-event predicate before handing chunks to the engine.
+        """
+        from repro.streaming.sources import Chunk
+
+        values: list[float] = []
+        timestamps: list[float] = []
+        codes: list[int] = []
+        for event in self.probe_stream(
+            count, probes_per_second=probes_per_second, start=start
+        ):
+            values.append(event.value)
+            timestamps.append(event.timestamp)
+            codes.append(event.error_code)
+            if len(values) == chunk_size:
+                yield Chunk(
+                    values=np.asarray(values),
+                    timestamps=np.asarray(timestamps),
+                    error_codes=np.asarray(codes, dtype=np.int64),
+                )
+                values, timestamps, codes = [], [], []
+        if values:
+            yield Chunk(
+                values=np.asarray(values),
+                timestamps=np.asarray(timestamps),
+                error_codes=np.asarray(codes, dtype=np.int64),
+            )

@@ -7,9 +7,11 @@ AR(1) accepts the coefficient via ``psi``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 import numpy as np
+
+from repro.streaming.sources import Chunk, chunk_stream
 
 from repro.workloads.ar1 import generate_ar1
 from repro.workloads.netmon import generate_netmon
@@ -46,3 +48,24 @@ def get_dataset(
             f"unknown dataset {name!r}; available: {available_datasets()}"
         ) from None
     return generator(size, seed=seed, **params)
+
+
+def stream_dataset(
+    name: str,
+    size: int,
+    chunk_size: int = 65_536,
+    seed: Optional[int] = 0,
+    with_timestamps: bool = False,
+    **params: float,
+) -> Iterator[Chunk]:
+    """Dataset ``name`` as a chunk stream for the batched ingestion path.
+
+    Yields zero-copy :class:`~repro.streaming.sources.Chunk` views over the
+    generated array — the elements are exactly those of
+    :func:`get_dataset` with the same seed, so per-event and batched runs
+    of the same experiment see identical data.
+    """
+    values = get_dataset(name, size, seed=seed, **params)
+    return chunk_stream(
+        values, chunk_size, with_timestamps=with_timestamps, source=name
+    )

@@ -1,0 +1,207 @@
+"""Batched ingestion produces bit-identical results to per-event ingestion.
+
+The batched fast path must be a pure performance optimisation: for QLOVE
+and every registered sketch baseline, running the same query over the same
+elements through ``StreamEngine.run_chunked`` must yield ``WindowResult``s
+that compare equal — index, window_count, end and every quantile estimate
+bit-for-bit — to the per-event ``StreamEngine.run`` loop, for chunk sizes
+that straddle sub-window and window boundaries in every alignment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.summary import SubWindowBuilder
+from repro.core.compression import Quantizer
+from repro.datastructures import TopKKeeper, make_frequency_map
+from repro.sketches import available_policies, make_policy
+from repro.sketches.base import PolicyOperator
+from repro.sketches.kll import KLLSketch
+from repro.streaming import CountWindow, Query, StreamEngine, chunk_stream, value_stream
+
+PHIS = [0.5, 0.9, 0.99, 0.999]
+WINDOW = CountWindow(size=8_000, period=2_000)
+STREAM_LENGTH = 30_000
+
+#: Chunk sizes straddling boundaries every way: single elements, a divisor
+#: of the period, primes below and above the period, and above the window.
+CHUNK_SIZES = [1, 500, 1_777, 3_001, 10_000]
+
+
+@pytest.fixture(scope="module")
+def telemetry_values():
+    rng = np.random.default_rng(11)
+    body = rng.lognormal(mean=6.7, sigma=0.35, size=STREAM_LENGTH)
+    tail_mask = rng.random(STREAM_LENGTH) < 0.01
+    tail = rng.pareto(1.5, size=STREAM_LENGTH) * 5_000 + 2_000
+    return np.round(np.where(tail_mask, tail, body))
+
+
+def run_both_paths(name, values, chunk_size):
+    engine = StreamEngine()
+    per_event = engine.run_to_list(
+        Query(value_stream(values))
+        .windowed_by(WINDOW)
+        .aggregate(PolicyOperator(make_policy(name, PHIS, WINDOW)))
+    )
+    batched = engine.run_chunked_to_list(
+        Query(chunk_stream(values, chunk_size))
+        .windowed_by(WINDOW)
+        .aggregate(PolicyOperator(make_policy(name, PHIS, WINDOW)))
+    )
+    return per_event, batched
+
+
+class TestPolicyEquivalence:
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    @pytest.mark.parametrize("name", available_policies())
+    def test_bit_identical_window_results(self, name, chunk_size, telemetry_values):
+        per_event, batched = run_both_paths(name, telemetry_values, chunk_size)
+        assert len(per_event) == (STREAM_LENGTH - WINDOW.size) // WINDOW.period + 1
+        # WindowResult is a frozen dataclass: == compares index,
+        # window_count, end and the {phi: estimate} dict exactly.
+        assert batched == per_event
+
+    def test_registry_covers_the_papers_policies(self):
+        assert set(available_policies()) == {
+            "qlove",
+            "exact",
+            "cmqs",
+            "am",
+            "random",
+            "moment",
+        }
+
+    def test_qlove_space_accounting_matches(self, telemetry_values):
+        window = WINDOW
+        a = make_policy("qlove", PHIS, window)
+        b = make_policy("qlove", PHIS, window)
+        engine = StreamEngine()
+        list(
+            engine.run(
+                Query(value_stream(telemetry_values))
+                .windowed_by(window)
+                .aggregate(PolicyOperator(a))
+            )
+        )
+        list(
+            engine.run_chunked(
+                Query(chunk_stream(telemetry_values, 1_777))
+                .windowed_by(window)
+                .aggregate(PolicyOperator(b))
+            )
+        )
+        assert a.peak_space_variables() == b.peak_space_variables()
+
+
+class TestBuildingBlocks:
+    def test_builder_extend_matches_add(self, telemetry_values):
+        values = telemetry_values[:5_000]
+        window = CountWindow(size=5_000, period=5_000)
+        a = SubWindowBuilder(PHIS, window, Quantizer(3))
+        b = SubWindowBuilder(PHIS, window, Quantizer(3))
+        for value in values.tolist():
+            a.add(value)
+        b.extend(values)
+        assert a.count == b.count
+        assert a.unique_count == b.unique_count
+        assert a.seal().quantiles == b.seal().quantiles
+
+    def test_frequency_map_extend_and_discard_array(self):
+        values = np.array([3.0, 1.0, 3.0, 2.0, 3.0, 1.0])
+        for backend in ("dict", "tree"):
+            a = make_frequency_map(backend)
+            b = make_frequency_map(backend)
+            for value in values.tolist():
+                a.add(value)
+            b.extend_array(values)
+            assert list(a.items_sorted()) == list(b.items_sorted())
+            b.discard_array(np.array([3.0, 1.0]))
+            assert b.total == 4
+            assert b.quantile(1.0) == 3.0
+
+    def test_kll_insert_batch_bit_identical(self):
+        import random
+
+        values = np.random.default_rng(5).uniform(0, 1e6, 20_000)
+        a = KLLSketch(64, rng=random.Random(9))
+        b = KLLSketch(64, rng=random.Random(9))
+        for value in values.tolist():
+            a.insert(value)
+        b.insert_batch(values)
+        assert a.n == b.n
+        assert a._compactors == b._compactors
+
+    def test_reservoir_offer_batch_matches_offers(self):
+        import random
+
+        from repro.datastructures import ReservoirSampler
+
+        values = np.random.default_rng(7).uniform(0, 1e6, 2_000)
+        a = ReservoirSampler(64, rng=random.Random(3))
+        b = ReservoirSampler(64, rng=random.Random(3))
+        for value in values.tolist():
+            a.offer(value)
+        b.offer_batch(values)
+        # Same RNG consumption order -> identical sample under equal seeds.
+        assert a.values() == b.values()
+        assert a.seen == b.seen
+
+    def test_topk_offer_batch_matches_offers(self):
+        values = np.random.default_rng(6).uniform(0, 1e6, 5_000)
+        a = TopKKeeper(32)
+        b = TopKKeeper(32)
+        for value in values.tolist():
+            a.offer(value)
+        b.offer_batch(values)
+        assert a.values_descending() == b.values_descending()
+        # Degenerate keeper stays empty.
+        empty = TopKKeeper(0)
+        empty.offer_batch(values)
+        assert len(empty) == 0
+
+    def test_moment_vectorized_batch_registers_equivalent(self, telemetry_values):
+        """``vectorized_batch=True`` trades bit-identity for speed.
+
+        The power-sum registers only differ by summation order, so they
+        must agree to ~1e-12 relative; the *inverted quantiles* can drift
+        much further because the moment solve is ill-conditioned, which is
+        exactly why the default batch path keeps sequential adds.
+        """
+        from repro.sketches.moments import MomentState
+
+        values = telemetry_values[:10_000]
+        sequential = MomentState(12)
+        for value in values.tolist():
+            sequential.add(value)
+        vectorized = MomentState(12)
+        vectorized.add_batch(values)
+        assert vectorized.count == sequential.count
+        assert vectorized.minimum == sequential.minimum
+        assert vectorized.maximum == sequential.maximum
+        np.testing.assert_allclose(vectorized.sums, sequential.sums, rtol=1e-12)
+        np.testing.assert_allclose(
+            vectorized.log_sums, sequential.log_sums, rtol=1e-12
+        )
+
+        # Policy-level sanity: the vectorized path stays a valid moment
+        # sketch (estimates within the sketch's own error regime).
+        engine = StreamEngine()
+        per_event = engine.run_to_list(
+            Query(value_stream(telemetry_values))
+            .windowed_by(WINDOW)
+            .aggregate(PolicyOperator(make_policy("moment", PHIS, WINDOW)))
+        )
+        fast = engine.run_chunked_to_list(
+            Query(chunk_stream(telemetry_values, 1_777))
+            .windowed_by(WINDOW)
+            .aggregate(
+                PolicyOperator(
+                    make_policy("moment", PHIS, WINDOW, vectorized_batch=True)
+                )
+            )
+        )
+        assert len(fast) == len(per_event)
+        for ref, est in zip(per_event, fast):
+            for phi in PHIS:
+                np.testing.assert_allclose(est.result[phi], ref.result[phi], rtol=0.05)

@@ -1,0 +1,248 @@
+"""Batched (chunked) engine path: equivalence with the per-event loop."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import (
+    Chunk,
+    CountOperator,
+    CountWindow,
+    MaxOperator,
+    MeanOperator,
+    MinOperator,
+    Query,
+    StreamEngine,
+    SumOperator,
+    TimeWindow,
+    VarianceOperator,
+    chunk_stream,
+    value_stream,
+)
+from repro.streaming.engine import run_query, run_query_batched, run_query_chunked
+from repro.streaming.sources import as_chunk, events_of_chunks
+
+OPERATORS = [
+    CountOperator,
+    SumOperator,
+    MeanOperator,
+    VarianceOperator,
+    MinOperator,
+    MaxOperator,
+]
+
+#: Chunk sizes chosen to straddle period/window boundaries in every way:
+#: single elements, a divisor of the period, a prime smaller than the
+#: period, a prime larger than the period, larger than the window.
+CHUNK_SIZES = [1, 5, 7, 23, 1000]
+
+
+def stream_values(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.round(rng.lognormal(6.0, 0.4, size=n), 1)
+
+
+class TestChunkSources:
+    def test_chunk_stream_covers_all_values(self):
+        values = stream_values(103)
+        chunks = list(chunk_stream(values, 10))
+        assert sum(len(c) for c in chunks) == 103
+        np.testing.assert_array_equal(np.concatenate([c.values for c in chunks]), values)
+
+    def test_chunk_stream_timestamps_match_value_stream(self):
+        values = stream_values(25)
+        chunks = list(chunk_stream(values, 7, with_timestamps=True))
+        expanded = list(events_of_chunks(chunks))
+        reference = list(value_stream(values))
+        assert expanded == reference
+
+    def test_events_of_chunks_synthesises_global_positions(self):
+        values = stream_values(25)
+        expanded = list(events_of_chunks(chunk_stream(values, 7)))
+        assert expanded == list(value_stream(values))
+
+    def test_chunk_validates_alignment(self):
+        with pytest.raises(ValueError):
+            Chunk(values=np.arange(3.0), timestamps=np.arange(2.0))
+        with pytest.raises(ValueError):
+            Chunk(values=np.zeros((2, 2)))
+
+    def test_slice_and_compress_are_consistent(self):
+        chunk = Chunk(
+            values=np.arange(6.0),
+            timestamps=np.arange(6.0) * 2.0,
+            error_codes=np.array([0, 1, 0, 1, 0, 1]),
+        )
+        part = chunk.slice(2, 5)
+        assert part.values.tolist() == [2.0, 3.0, 4.0]
+        assert part.timestamps.tolist() == [4.0, 6.0, 8.0]
+        kept = chunk.compress(chunk.values % 2 == 0)
+        assert kept.values.tolist() == [0.0, 2.0, 4.0]
+        assert kept.error_codes.tolist() == [0, 0, 0]
+
+    def test_as_chunk_wraps_arrays(self):
+        chunk = as_chunk(np.arange(4.0))
+        assert isinstance(chunk, Chunk)
+        assert len(chunk) == 4
+
+
+class TestCountWindowEquivalence:
+    @pytest.mark.parametrize("operator_cls", OPERATORS)
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_sliding_matches_per_event(self, operator_cls, chunk_size):
+        values = stream_values(500)
+        window = CountWindow(size=60, period=20)
+        reference = run_query(value_stream(values), window, operator_cls())
+        batched = run_query_chunked(
+            chunk_stream(values, chunk_size), window, operator_cls()
+        )
+        assert batched == reference
+
+    @pytest.mark.parametrize("operator_cls", [SumOperator, MeanOperator])
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_tumbling_matches_per_event(self, operator_cls, chunk_size):
+        values = stream_values(500, seed=1)
+        window = CountWindow.tumbling(50)
+        reference = run_query(value_stream(values), window, operator_cls())
+        batched = run_query_chunked(
+            chunk_stream(values, chunk_size), window, operator_cls()
+        )
+        assert batched == reference
+
+    def test_emit_partial_matches_per_event(self):
+        values = stream_values(200, seed=2)
+        window = CountWindow(size=80, period=20)
+        reference = run_query(
+            value_stream(values), window, SumOperator(), emit_partial=True
+        )
+        batched = run_query_chunked(
+            chunk_stream(values, 13), window, SumOperator(), emit_partial=True
+        )
+        assert batched == reference
+
+    def test_run_query_batched_convenience(self):
+        values = stream_values(300, seed=3)
+        window = CountWindow(size=60, period=30)
+        reference = run_query(value_stream(values), window, MeanOperator())
+        assert run_query_batched(values, window, MeanOperator(), chunk_size=41) == reference
+
+
+class TestTimeWindowEquivalence:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64])
+    def test_time_incremental_fallback(self, chunk_size):
+        values = stream_values(300, seed=4)
+        window = TimeWindow(size=30.0, period=10.0)
+        reference = run_query(value_stream(values), window, MeanOperator())
+        batched = run_query_chunked(
+            chunk_stream(values, chunk_size, with_timestamps=True),
+            window,
+            MeanOperator(),
+        )
+        assert batched == reference
+
+    @pytest.mark.parametrize("dt", [1.0, 0.1, 2.5])
+    def test_fractional_dt_stays_bit_identical(self, dt):
+        # Regression: timestamps must be index-computed on both paths;
+        # accumulated `t += dt` drifts bitwise for dt=0.1 and shifts
+        # elements across slot boundaries.
+        values = stream_values(500, seed=7)
+        window = TimeWindow(size=30.0 * dt, period=10.0 * dt)
+        reference = run_query(
+            value_stream(values, dt=dt), window, MeanOperator()
+        )
+        batched = run_query_chunked(
+            chunk_stream(values, 37, dt=dt, with_timestamps=True),
+            window,
+            MeanOperator(),
+        )
+        assert batched == reference
+
+    def test_timestamps_required_for_subwindow_operators(self):
+        from repro.sketches.base import PolicyOperator
+        from repro.sketches.exact import ExactPolicy
+
+        window = TimeWindow(size=20.0, period=10.0)
+        policy = ExactPolicy([0.5], CountWindow(size=20, period=10))
+        with pytest.raises(ValueError, match="timestamped"):
+            run_query_chunked(
+                chunk_stream(stream_values(50), 10),
+                window,
+                PolicyOperator(policy),
+            )
+
+    def test_timestamps_required_for_incremental_operators(self):
+        # Regression: the per-event fallback must not silently window
+        # real-time data over synthesised index timestamps.
+        window = TimeWindow(size=20.0, period=10.0)
+        with pytest.raises(ValueError, match="timestamped"):
+            run_query_chunked(
+                chunk_stream(stream_values(50), 10), window, MeanOperator()
+            )
+
+    def test_out_of_order_chunks_rejected(self):
+        window = TimeWindow(size=20.0, period=10.0)
+        chunks = [
+            Chunk(values=np.arange(5.0), timestamps=np.array([0.0, 1.0, 2.0, 3.0, 2.5]))
+        ]
+        with pytest.raises(ValueError, match="ordered"):
+            run_query_chunked(chunks, window, MeanOperator())
+
+
+class TestChunkPipeline:
+    def test_where_values_matches_where(self):
+        values = stream_values(400, seed=5)
+        window = CountWindow(size=40, period=20)
+        threshold = float(np.median(values))
+        engine = StreamEngine()
+        reference = engine.run_to_list(
+            Query(value_stream(values))
+            .windowed_by(window)
+            .where(lambda e: e.value > threshold)
+            .aggregate(SumOperator())
+        )
+        batched = engine.run_chunked_to_list(
+            Query(chunk_stream(values, 37))
+            .windowed_by(window)
+            .where_values(lambda v: v > threshold)
+            .aggregate(SumOperator())
+        )
+        assert batched == reference
+
+    def test_select_values_matches_select(self):
+        values = stream_values(200, seed=6)
+        window = CountWindow(size=40, period=40)
+        engine = StreamEngine()
+        reference = engine.run_to_list(
+            Query(value_stream(values))
+            .windowed_by(window)
+            .select(lambda e: e.value * 2.0)
+            .aggregate(MaxOperator())
+        )
+        batched = engine.run_chunked_to_list(
+            Query(chunk_stream(values, 23))
+            .windowed_by(window)
+            .select_values(lambda v: v * 2.0)
+            .aggregate(MaxOperator())
+        )
+        assert batched == reference
+
+    def test_event_stages_rejected_on_chunked_path(self):
+        window = CountWindow(size=10, period=10)
+        query = (
+            Query(chunk_stream(stream_values(20), 5))
+            .windowed_by(window)
+            .where(lambda e: True)
+            .aggregate(SumOperator())
+        )
+        with pytest.raises(ValueError, match="event-level"):
+            list(StreamEngine().run_chunked(query))
+
+    def test_chunk_stages_rejected_on_event_path(self):
+        window = CountWindow(size=10, period=10)
+        query = (
+            Query(value_stream(stream_values(20)))
+            .windowed_by(window)
+            .where_values(lambda v: v > 0)
+            .aggregate(SumOperator())
+        )
+        with pytest.raises(ValueError, match="run_chunked"):
+            list(StreamEngine().run(query))
