@@ -1,0 +1,139 @@
+"""Sharded execution: merge-at-boundary correctness and scaling vs shards.
+
+The sharded subsystem partitions a chunk stream across N shard policies
+and merges their in-flight states into a master at every period boundary
+(``streaming/sharded.py``).  This benchmark is its acceptance gate:
+
+- ``n_shards=1`` must be **bit-identical** to ``StreamEngine.run_chunked``
+  (the partition/merge machinery adds no semantic drift), and QLOVE/Exact
+  answers must stay identical at every shard count (commutative merges);
+- serial sharding must not cost more than the partition+merge overhead
+  budget (it exists to feed the parallel backend, not to win serially);
+- the multiprocessing backend must agree with the serial one.
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.core import QLOVEPolicy
+from repro.evalkit import Table, measure_throughput_batched, measure_throughput_sharded
+from repro.sketches import make_policy
+from repro.sketches.base import PolicyOperator
+from repro.streaming import CountWindow
+from repro.streaming.engine import run_query_batched
+from repro.streaming.sharded import run_sharded
+from repro.workloads import generate_netmon
+
+N = 200_000
+WINDOW = CountWindow(size=32_000, period=8_000)
+PHIS = [0.5, 0.9, 0.99, 0.999]
+CHUNK_SIZE = 16_384
+SHARD_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def netmon_values():
+    return generate_netmon(N, seed=0)
+
+
+def _qlove_factory():
+    return QLOVEPolicy(PHIS, WINDOW)
+
+
+def test_sharded_ingest_scaling(benchmark, netmon_values):
+    """Table: serial sharded M ev/s per shard count vs the batched path."""
+
+    def run():
+        batched = measure_throughput_batched(
+            _qlove_factory, netmon_values, WINDOW, chunk_size=CHUNK_SIZE
+        )
+        sharded = {
+            n: measure_throughput_sharded(
+                _qlove_factory,
+                netmon_values,
+                WINDOW,
+                n_shards=n,
+                chunk_size=CHUNK_SIZE,
+            )
+            for n in SHARD_COUNTS
+        }
+        return batched, sharded
+
+    batched, sharded = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        f"Sharded QLOVE ingest, NetMon {N:,} elements, "
+        f"window {WINDOW.size // 1000}K/{WINDOW.period // 1000}K, "
+        f"chunks of {CHUNK_SIZE:,}",
+        ["path", "M ev/s", "vs batched"],
+    )
+    table.add_row("batched (no shards)", f"{batched.million_events_per_second:.3f}", "1.00x")
+    for n, outcome in sharded.items():
+        ratio = outcome.events_per_second / batched.events_per_second
+        table.add_row(
+            f"sharded n={n}", f"{outcome.million_events_per_second:.3f}", f"{ratio:.2f}x"
+        )
+    print()
+    print(table.render())
+
+    # Every path must evaluate the same number of windows.
+    for outcome in sharded.values():
+        assert outcome.evaluations == batched.evaluations
+    # Serial one-shard execution rides the same bulk-ingest path; the
+    # partition/merge overhead must stay within a 2.5x envelope.
+    one = sharded[1]
+    assert one.events_per_second >= batched.events_per_second / 2.5, (
+        f"single-shard overhead too high: {one.million_events_per_second:.3f} vs "
+        f"{batched.million_events_per_second:.3f} M ev/s"
+    )
+
+
+def test_sharded_results_identical(netmon_values):
+    """Sharding must not buy throughput with accuracy: same WindowResults."""
+    reference = run_query_batched(
+        netmon_values,
+        WINDOW,
+        PolicyOperator(QLOVEPolicy(PHIS, WINDOW)),
+        chunk_size=CHUNK_SIZE,
+    )
+    for n in SHARD_COUNTS:
+        sharded = run_sharded(
+            netmon_values,
+            WINDOW,
+            _qlove_factory,
+            n_shards=n,
+            chunk_size=CHUNK_SIZE,
+        )
+        assert sharded == reference, f"divergence at n_shards={n}"
+    exact_reference = run_query_batched(
+        netmon_values,
+        WINDOW,
+        PolicyOperator(make_policy("exact", PHIS, WINDOW)),
+        chunk_size=CHUNK_SIZE,
+    )
+    exact_sharded = run_sharded(
+        netmon_values,
+        WINDOW,
+        partial(make_policy, "exact", PHIS, WINDOW),
+        n_shards=4,
+        chunk_size=CHUNK_SIZE,
+    )
+    assert exact_sharded == exact_reference
+
+
+def test_parallel_backend_agrees_with_serial(netmon_values):
+    """Smoke the multiprocessing pool backend on a shortened stream."""
+    short = netmon_values[:64_000]
+    serial = run_sharded(
+        short, WINDOW, _qlove_factory, n_shards=2, chunk_size=CHUNK_SIZE
+    )
+    parallel = run_sharded(
+        short,
+        WINDOW,
+        _qlove_factory,
+        n_shards=2,
+        chunk_size=CHUNK_SIZE,
+        parallel=True,
+    )
+    assert parallel == serial

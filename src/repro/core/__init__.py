@@ -23,6 +23,7 @@ from repro.core.burst import BurstDetector
 from repro.core.compression import Quantizer, quantize_array, quantize_significant
 from repro.core.config import FewKConfig, QLOVEConfig
 from repro.core.distributed import (
+    FleetCoordinator,
     fleet_space_variables,
     merge_level2,
     merge_node_estimates,
@@ -37,6 +38,7 @@ __all__ = [
     "BurstDetector",
     "FewKConfig",
     "FewKMerger",
+    "FleetCoordinator",
     "Level2Aggregator",
     "QLOVEConfig",
     "QLOVEPolicy",

@@ -9,11 +9,20 @@ concatenation.  A coordinator can therefore combine the states of N
 independent nodes, each monitoring its own shard of the telemetry, into
 a fleet-wide quantile estimate without moving raw data.
 
-This module implements that coordinator::
+This module implements that coordinator at two levels:
 
-    nodes = [QLOVEPolicy(phis, window, config) for _ in range(4)]
-    ... each node streams its own probes ...
-    estimates = merge_node_estimates(nodes)
+- The QLOVE-specific merges :func:`merge_level2` /
+  :func:`merge_node_estimates` combine per-node state *transiently*
+  (nothing is mutated)::
+
+      nodes = [QLOVEPolicy(phis, window, config) for _ in range(4)]
+      ... each node streams its own probes ...
+      estimates = merge_node_estimates(nodes)
+
+- :class:`FleetCoordinator` generalises the same idea over the universal
+  :meth:`~repro.sketches.base.QuantilePolicy.merge` contract, so *any*
+  registered policy — and, recursively, already-combined policies —
+  aggregates the same way (fleet-of-fleets).
 
 The merged Level-2 estimate is the mean of *all* live sub-window
 quantiles across the fleet (equivalent to a single node that saw every
@@ -23,21 +32,36 @@ tails, and a burst on any node puts the fleet in burst mode.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Callable, Dict, List, Sequence
 
 from repro.core.fewk import SOURCE_LEVEL2, SOURCE_SAMPLEK, SOURCE_TOPK, FewKMerger
 from repro.core.qlove import QLOVEPolicy
+from repro.sketches.base import QuantilePolicy
 
 
 def _validate_fleet(nodes: Sequence[QLOVEPolicy]) -> None:
+    """Reject fleets whose nodes cannot be aggregated coherently.
+
+    Beyond the window/quantile shape, the nodes' *configurations* must
+    agree: few-k activation is derived from the config, so a node
+    tracking different tail material (or none) would silently skew the
+    pooled few-k estimate — or crash the merge with a ``KeyError``.
+    """
     if not nodes:
         raise ValueError("need at least one node")
+    for node in nodes:
+        if not isinstance(node, QLOVEPolicy):
+            raise TypeError(
+                f"fleet nodes must be QLOVEPolicy instances, got {type(node).__name__}"
+            )
     first = nodes[0]
     for node in nodes[1:]:
         if node.phis != first.phis:
             raise ValueError("all nodes must track the same quantiles")
         if node.window != first.window:
             raise ValueError("all nodes must use the same window shape")
+        if node.config != first.config:
+            raise ValueError("all nodes must share the same QLOVE configuration")
 
 
 def merge_level2(nodes: Sequence[QLOVEPolicy]) -> Dict[float, float]:
@@ -95,7 +119,49 @@ def merge_node_estimates(nodes: Sequence[QLOVEPolicy]) -> Dict[float, float]:
     return results
 
 
-def fleet_space_variables(nodes: Sequence[QLOVEPolicy]) -> int:
+def fleet_space_variables(nodes: Sequence[QuantilePolicy]) -> int:
     """Total observed state across the fleet (what a coordinator stores
     transiently is bounded by the same quantity)."""
     return sum(node.space_variables() for node in nodes)
+
+
+class FleetCoordinator:
+    """Aggregate any mergeable :class:`QuantilePolicy` fleet at a coordinator.
+
+    Where :func:`merge_node_estimates` re-derives QLOVE's pooled answer
+    from node internals, the coordinator goes through the universal
+    :meth:`QuantilePolicy.merge` contract: a fresh policy is built from
+    ``policy_factory`` and every node folds into it.  Because merging is
+    associative, fleets of fleets compose — a region can combine its
+    racks' policies and ship the *combined* policy upward, and the global
+    answer is the same as merging every rack directly.
+
+    Nodes are never mutated; the combined policy may share immutable
+    state with them, so treat it as a snapshot, not a live node.
+    """
+
+    def __init__(self, policy_factory: Callable[[], QuantilePolicy]) -> None:
+        self._factory = policy_factory
+
+    def combine(self, nodes: Sequence[QuantilePolicy]) -> QuantilePolicy:
+        """Merge every node's state into one fresh policy."""
+        if not nodes:
+            raise ValueError("need at least one node")
+        merged = self._factory()
+        for node in nodes:
+            merged.merge(node)
+        return merged
+
+    def estimate(self, nodes: Sequence[QuantilePolicy]) -> Dict[float, float]:
+        """Fleet-wide quantile estimates over the combined state."""
+        return self.combine(nodes).query()
+
+    def fleet_report(self, nodes: Sequence[QuantilePolicy]) -> Dict[str, object]:
+        """Shard-count and space accounting for one aggregation round."""
+        spaces: List[int] = [node.space_variables() for node in nodes]
+        return {
+            "node_count": len(nodes),
+            "node_spaces": spaces,
+            "total_space": sum(spaces),
+            "max_node_space": max(spaces) if spaces else 0,
+        }

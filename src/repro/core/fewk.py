@@ -75,6 +75,22 @@ class FewKMerger:
         """True while any live sub-window is flagged as bursty."""
         return any(self._burst_flags)
 
+    def merge_from(self, other: "FewKMerger") -> None:
+        """Adopt another merger's live burst flags (fleet/shard pooling).
+
+        The flags append after this merger's own, matching the order the
+        donor's summaries are appended to the policy's deque; a burst on
+        either side keeps the combined window bursty.
+        """
+        self._burst_flags.extend(other._burst_flags)
+
+    def reset(self) -> None:
+        """Forget all burst history and provenance (stream restart)."""
+        self._burst_flags.clear()
+        self.last_source = SOURCE_LEVEL2
+        if self._detector is not None:
+            self._detector.reset()
+
     # ------------------------------------------------------------------
     # The two merging pipelines
     # ------------------------------------------------------------------

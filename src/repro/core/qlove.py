@@ -86,6 +86,35 @@ class QLOVEPolicy(QuantilePolicy):
         for merger in self._mergers.values():
             merger.on_expire()
 
+    def merge(self, other: "QLOVEPolicy") -> None:
+        """Fold another QLOVE policy's state into this one.
+
+        Sealed summaries append (Level 2 composes by addition, few-k
+        merging pools the union of retained tails — the Section 7
+        distributed story); the in-flight Level-1 frequency maps merge as
+        multisets, which keeps sharded ingestion bit-identical to a
+        single instance regardless of how elements were partitioned.
+        """
+        self._require_compatible(other)
+        if other.config != self.config:
+            raise ValueError("merge requires the same QLOVE configuration")
+        for summary in other._summaries:
+            self._summaries.append(summary)
+            self._stored_space += summary.space_variables()
+            self._level2.accumulate(summary)
+        for phi, merger in self._mergers.items():
+            merger.merge_from(other._mergers[phi])
+        self._builder.merge_from(other._builder)
+
+    def reset(self) -> None:
+        self._builder.reset()
+        self._level2 = Level2Aggregator(self.phis)
+        self._summaries.clear()
+        self._stored_space = 0
+        for merger in self._mergers.values():
+            merger.reset()
+        self._peak_space = 0
+
     def query(self) -> Dict[float, float]:
         if not self._summaries:
             raise ValueError("query() before any sealed sub-window")

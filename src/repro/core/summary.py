@@ -129,6 +129,20 @@ class SubWindowBuilder:
                     cache[value] = quantized
             add(quantized, count)
 
+    def merge_from(self, other: "SubWindowBuilder") -> None:
+        """Fold another builder's in-flight multiset into this one.
+
+        Both builders quantize element-wise with the same deterministic
+        rule, so the merged frequency map is identical to having
+        accumulated every element into one builder — the property that
+        makes sharded QLOVE ingestion shard-count-invariant.
+        """
+        self._map.merge_from(other._map)
+
+    def reset(self) -> None:
+        """Discard the in-flight state (the quantize cache survives)."""
+        self._map = make_frequency_map(self._backend)
+
     def space_variables(self) -> int:
         """In-flight state: {value, count} per unique element."""
         return 2 * self._map.unique_count

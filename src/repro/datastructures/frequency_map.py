@@ -130,6 +130,19 @@ class FrequencyMap(ABC):
         for value in values:
             self.add(value)
 
+    def merge_from(self, other: "FrequencyMap") -> None:
+        """Fold another map's multiset into this one.
+
+        Frequency maps are trivially mergeable (multiset union by count
+        addition), which is what makes the Level-1 state of QLOVE and the
+        Exact baseline shard-invariant: any partition of a stream merges
+        back to the identical multiset.  Backends may differ between the
+        two maps.
+        """
+        add = self.add
+        for value, count in other.items_sorted():
+            add(value, count)
+
     # ------------------------------------------------------------------
     # Bulk (batched) updates
     # ------------------------------------------------------------------

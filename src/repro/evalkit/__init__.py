@@ -26,6 +26,7 @@ from repro.evalkit.throughput import (
     compare_ingest_paths,
     measure_throughput,
     measure_throughput_batched,
+    measure_throughput_sharded,
 )
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "exact_quantiles",
     "measure_throughput",
     "measure_throughput_batched",
+    "measure_throughput_sharded",
     "rank_error",
     "relative_value_error",
     "run_accuracy",

@@ -20,6 +20,7 @@ Index (see DESIGN.md §4):
 ``pareto``                skewed-data value error (§5.4)
 ``fewk_throughput``       few-k cache size vs throughput (§5.3)
 ``ablation_backend``      dict vs red-black-tree Level-1 state
+``sharded``               sharded execution invariance + scaling (§7)
 ========================  =====================================
 """
 

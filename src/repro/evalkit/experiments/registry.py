@@ -12,6 +12,7 @@ from repro.evalkit.experiments import (
     figure5,
     pareto,
     redundancy,
+    sharded,
     table1,
     table2,
     table3,
@@ -33,6 +34,7 @@ _EXPERIMENTS: Dict[str, ExperimentFn] = {
     "table5": table5.run,
     "redundancy": redundancy.run,
     "pareto": pareto.run,
+    "sharded": sharded.run,
     "fewk_throughput": fewk_throughput.run,
     "ablation_backend": ablation_backend.run,
 }

@@ -1,0 +1,125 @@
+"""Sharded execution study: accuracy invariance and scaling vs shard count.
+
+The paper's Section 7 outlook argues QLOVE's mergeable state lets a
+coordinator combine independently built per-node summaries.  This
+experiment exercises the whole sharded subsystem over the NetMon
+workload:
+
+- **Invariance** — QLOVE and Exact answers through
+  :class:`~repro.streaming.sharded.ShardedEngine` are identical to the
+  single-engine chunked path at every shard count (commutative Level-1
+  merges), and the sketch policies stay within their error bounds.
+- **Scaling** — serial sharded ingest throughput per shard count, showing
+  the partition-and-merge overhead the parallel backend has to amortise.
+- **Space** — coordinator-side accounting via
+  :class:`~repro.core.distributed.FleetCoordinator`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.distributed import FleetCoordinator
+from repro.evalkit.experiments.common import (
+    QMONITOR_PHIS,
+    ExperimentResult,
+    describe_scale,
+    scaled_window,
+    stream_length,
+)
+from repro.evalkit.metrics import exact_quantiles, relative_value_error
+from repro.evalkit.reporting import Table
+from repro.evalkit.throughput import measure_throughput_sharded
+from repro.sketches.base import PolicyOperator
+from repro.sketches.registry import make_policy
+from repro.streaming.engine import run_query_batched
+from repro.streaming.sharded import run_sharded
+from repro.workloads import generate_netmon
+
+WINDOW_SIZE = 32_768
+PERIOD = 4_096
+SHARD_COUNTS = (1, 2, 4, 8)
+POLICIES = ("qlove", "exact", "cmqs", "random")
+
+
+def run(scale: float = 1.0, seed: int = 0, evaluations: int = 8) -> ExperimentResult:
+    """Compare sharded vs single-engine execution across shard counts."""
+    window = scaled_window(WINDOW_SIZE, PERIOD, scale)
+    values = generate_netmon(stream_length(window, evaluations), seed=seed)
+
+    accuracy = Table(
+        f"Sharded vs single-engine answers, NetMon {len(values):,} elements, "
+        f"window {window.size:,}/{window.period:,}",
+        ["policy", "shards", "identical", "max rel.err vs exact"],
+    )
+    throughput = Table(
+        "Serial sharded ingest throughput (QLOVE, round-robin partitioner)",
+        ["shards", "M ev/s"],
+    )
+    data: Dict[str, object] = {}
+
+    for name in POLICIES:
+        factory = lambda name=name: make_policy(name, QMONITOR_PHIS, window)
+        reference = run_query_batched(values, window, PolicyOperator(factory()))
+        truth = dict(
+            zip(
+                QMONITOR_PHIS,
+                exact_quantiles(values[-window.size :], QMONITOR_PHIS),
+            )
+        )
+        for n_shards in SHARD_COUNTS:
+            results = run_sharded(values, window, factory, n_shards=n_shards)
+            identical = results == reference
+            final = results[-1].result
+            max_err = max(
+                relative_value_error(final[phi], truth[phi])
+                for phi in QMONITOR_PHIS
+            )
+            data[f"{name}/shards={n_shards}"] = {
+                "identical": identical,
+                "max_rel_err": max_err,
+            }
+            accuracy.add_row(
+                name, str(n_shards), "yes" if identical else "no", f"{max_err:.4f}"
+            )
+
+    qlove_factory = lambda: make_policy("qlove", QMONITOR_PHIS, window)  # noqa: E731
+    for n_shards in SHARD_COUNTS:
+        outcome = measure_throughput_sharded(
+            qlove_factory, values, window, n_shards=n_shards
+        )
+        data[f"throughput/shards={n_shards}"] = outcome.million_events_per_second
+        throughput.add_row(str(n_shards), f"{outcome.million_events_per_second:.3f}")
+
+    # Coordinator-side accounting over a 4-node fleet built via run_sharded's
+    # machinery: combine per-shard policies and report space.
+    coordinator = FleetCoordinator(qlove_factory)
+    nodes = [qlove_factory() for _ in range(4)]
+    quarter = len(values) // 4
+    for i, node in enumerate(nodes):
+        shard_values = values[i * quarter : (i + 1) * quarter]
+        position = 0
+        while position + window.period <= len(shard_values):
+            node.accumulate_batch(shard_values[position : position + window.period])
+            node.seal_subwindow()
+            if node.live_summaries() > window.subwindow_count:
+                node.expire_subwindow()
+            position += window.period
+    report = coordinator.fleet_report(nodes)
+    data["fleet_report"] = report
+    space = Table(
+        "FleetCoordinator accounting (4 QLOVE nodes, NetMon quarters)",
+        ["nodes", "total space (vars)", "max node space"],
+    )
+    space.add_row(
+        str(report["node_count"]),
+        f"{report['total_space']:,}",
+        f"{report['max_node_space']:,}",
+    )
+
+    return ExperimentResult(
+        name="sharded",
+        tables=[accuracy, throughput, space],
+        data=data,
+        notes=describe_scale(scale),
+    )

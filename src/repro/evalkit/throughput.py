@@ -130,6 +130,51 @@ def measure_throughput_batched(
     )
 
 
+def measure_throughput_sharded(
+    policy_factory: Callable[[], QuantilePolicy],
+    values: np.ndarray,
+    window: CountWindow,
+    n_shards: int,
+    partitioner: str = "round_robin",
+    chunk_size: int = 65_536,
+    parallel: bool = False,
+    repeats: int = 1,
+) -> ThroughputResult:
+    """Best-of-``repeats`` throughput on the sharded execution path.
+
+    Same protocol as the other two measurements; the stream is
+    partitioned across ``n_shards`` policies with per-period merging into
+    a master (``parallel=True`` ingests the partitions in a process
+    pool — the factory must then be picklable).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    from repro.streaming.sharded import ShardedEngine
+
+    values = np.asarray(values, dtype=np.float64)
+    best_seconds = float("inf")
+    evaluations = 0
+    name = "unknown"
+    for _ in range(repeats):
+        probe = policy_factory()
+        name = probe.name
+        query = Query(chunk_stream(values, chunk_size)).windowed_by(window)
+        engine = ShardedEngine(
+            n_shards, partitioner=partitioner, parallel=parallel
+        )
+        start = time.perf_counter()
+        count = sum(1 for _ in engine.run_chunked(query, policy_factory))
+        elapsed = time.perf_counter() - start
+        evaluations = count
+        best_seconds = min(best_seconds, elapsed)
+    return ThroughputResult(
+        policy=name,
+        elements=len(values),
+        seconds=best_seconds,
+        evaluations=evaluations,
+    )
+
+
 def compare_ingest_paths(
     policy_factory: Callable[[], QuantilePolicy],
     values: np.ndarray,

@@ -81,6 +81,38 @@ class AMPolicy(QuantilePolicy):
             del self._blocks[key]
 
     # ------------------------------------------------------------------
+    # Mergeability
+    # ------------------------------------------------------------------
+    def merge(self, other: "AMPolicy") -> None:
+        """Fold another AM policy's state into this one.
+
+        The donor's live level-0 blocks are appended after this policy's
+        newest sub-window (re-indexed, oldest first); its memoised
+        higher-level blocks are dropped — the dyadic cover rebuilds them
+        lazily over the new index range.  The in-flight summary absorbs
+        the donor's weighted items.
+        """
+        self._require_compatible(other)
+        if other.epsilon != self.epsilon:
+            raise ValueError("merge requires the same epsilon")
+        for idx in range(other._oldest, other._next_index):
+            block = other._blocks[(0, idx)]
+            self._blocks[(0, self._next_index)] = block
+            self._blocks_space += block.space_variables()
+            self._next_index += 1
+        if other._in_flight.n:
+            for value, weight in other._in_flight.weighted_items():
+                self._in_flight.insert(value, weight)
+
+    def reset(self) -> None:
+        self._in_flight = GKSummary(self._eps_c, capacity=self._capacity)
+        self._blocks = {}
+        self._blocks_space = 0
+        self._next_index = 0
+        self._oldest = 0
+        self._peak_space = 0
+
+    # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
     def _block(self, level: int, start: int) -> GKSummary:

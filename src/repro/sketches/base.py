@@ -45,6 +45,14 @@ class QuantilePolicy(ABC):
     Policies know the window shape at construction so they can size their
     per-sub-window state (a point the paper stresses: the quantiles to
     compute are fixed throughout the temporal window).
+
+    Every policy is additionally **mergeable**: :meth:`merge` folds another
+    instance's state (sealed sub-windows plus the in-flight one) into this
+    one, so per-shard or per-node sketches built independently can be
+    combined into a single answer without moving raw data — the property
+    the survey literature treats as defining for a production sketch, and
+    what :class:`~repro.streaming.sharded.ShardedEngine` and
+    :class:`~repro.core.distributed.FleetCoordinator` are built on.
     """
 
     #: Short identifier used in experiment configs and reports.
@@ -87,6 +95,48 @@ class QuantilePolicy(ABC):
         accumulate = self.accumulate
         for value in np.asarray(values, dtype=np.float64).tolist():
             accumulate(value)
+
+    # ------------------------------------------------------------------
+    # Mergeability (sharded / distributed execution)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def merge(self, other: "QuantilePolicy") -> None:
+        """Fold ``other``'s window state into this policy.
+
+        Both the sealed sub-window states and the in-flight sub-window are
+        merged, so a policy that never sealed (a shard accumulator) and a
+        policy holding a full window (a monitoring node) combine through
+        the same call.  ``other`` is not modified, but the merged policy
+        may share immutable state with it — discard or reset the donor
+        rather than continuing to drive it.
+
+        Merging is defined for compatible instances only (same concrete
+        type, quantiles, window shape and algorithm parameters); use
+        :meth:`_require_compatible` to validate.
+        """
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Discard all accumulated state, keeping the configuration.
+
+        After ``reset()`` the policy behaves like a freshly constructed
+        one (including the peak-space tracker).  Randomized policies keep
+        their RNG position, so a reset-and-replay run is distributionally
+        — not bitwise — identical to a fresh instance's.  The sharded
+        engine resets its shard accumulators after every merge instead of
+        reconstructing them.
+        """
+
+    def _require_compatible(self, other: "QuantilePolicy") -> None:
+        """Validate that ``other`` can be merged into this policy."""
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+        if other.phis != self.phis:
+            raise ValueError("merge requires the same quantiles")
+        if other.window != self.window:
+            raise ValueError("merge requires the same window shape")
 
     # ------------------------------------------------------------------
     # Space accounting (paper metric: "number of variables")
@@ -141,3 +191,13 @@ class PolicyOperator(SubWindowOperator[Dict[float, float]]):
 
     def compute_result(self) -> Dict[float, float]:
         return self.policy.query()
+
+    def merge(self, other: SubWindowOperator) -> None:
+        if not isinstance(other, PolicyOperator):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into PolicyOperator"
+            )
+        self.policy.merge(other.policy)
+
+    def reset(self) -> None:
+        self.policy.reset()

@@ -71,6 +71,30 @@ class CMQSPolicy(QuantilePolicy):
             raise RuntimeError("expire_subwindow() with no sealed sub-window")
         self._sealed_space -= self._sealed.popleft().space_variables()
 
+    def merge(self, other: "CMQSPolicy") -> None:
+        """Fold another CMQS policy's state into this one.
+
+        Sealed sub-window sketches pool (queries already combine all live
+        sketches); the in-flight summary absorbs the other's weighted
+        items, whose rank uncertainty is the donor's own epsilon — the
+        same budget the combine step accounts for.
+        """
+        self._require_compatible(other)
+        if other.epsilon != self.epsilon:
+            raise ValueError("merge requires the same epsilon")
+        for sketch in other._sealed:
+            self._sealed.append(sketch)
+        self._sealed_space += other._sealed_space
+        if other._in_flight.n:
+            for value, weight in other._in_flight.weighted_items():
+                self._in_flight.insert(value, weight)
+
+    def reset(self) -> None:
+        self._in_flight = GKSummary(self.epsilon / 2.0, capacity=self._capacity)
+        self._sealed.clear()
+        self._sealed_space = 0
+        self._peak_space = 0
+
     def query(self) -> Dict[float, float]:
         if not self._sealed:
             raise ValueError("query() before any sealed sub-window")

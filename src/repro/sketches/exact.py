@@ -88,6 +88,38 @@ class ExactPolicy(QuantilePolicy):
             self._buffered -= len(part)
             self._map.discard_array(part)
 
+    def merge(self, other: "ExactPolicy") -> None:
+        """Fold another Exact policy's window state into this one.
+
+        The frequency map is a multiset, so the merge is a multiset union —
+        exact and invariant to how the stream was partitioned.  The raw
+        sub-window buffers concatenate (expiry is multiset removal, so
+        per-donor ordering is sufficient).
+        """
+        self._require_compatible(other)
+        self._map.merge_from(other._map)
+        for parts in other._sealed:
+            self._sealed.append(parts)
+        self._buffered += other._buffered
+        donor_parts = list(other._in_flight_parts)
+        if other._in_flight:
+            donor_parts.append(np.asarray(other._in_flight, dtype=np.float64))
+        if donor_parts:
+            if self._in_flight:
+                self._in_flight_parts.append(
+                    np.asarray(self._in_flight, dtype=np.float64)
+                )
+                self._in_flight = []
+            self._in_flight_parts.extend(donor_parts)
+
+    def reset(self) -> None:
+        self._map.clear()
+        self._in_flight = []
+        self._in_flight_parts = []
+        self._sealed.clear()
+        self._buffered = 0
+        self._peak_space = 0
+
     def query(self) -> Dict[float, float]:
         if not self._sealed:
             raise ValueError("query() before any sealed sub-window")

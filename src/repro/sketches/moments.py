@@ -371,6 +371,25 @@ class MomentPolicy(QuantilePolicy):
             raise RuntimeError("expire_subwindow() with no sealed sub-window")
         self._sealed.popleft()
 
+    def merge(self, other: "MomentPolicy") -> None:
+        """Fold another Moment policy's state into this one.
+
+        Moment sketches are the textbook mergeable summary: sealed states
+        pool (queries sum every live register set anyway) and the
+        in-flight registers add element-wise.
+        """
+        self._require_compatible(other)
+        if other.k != self.k:
+            raise ValueError("merge requires the same moment count k")
+        self._sealed.extend(other._sealed)
+        if other._in_flight.count:
+            self._in_flight.merge(other._in_flight)
+
+    def reset(self) -> None:
+        self._in_flight = MomentState(self.k)
+        self._sealed.clear()
+        self._peak_space = 0
+
     def query(self) -> Dict[float, float]:
         if not self._sealed:
             raise ValueError("query() before any sealed sub-window")

@@ -71,6 +71,28 @@ class RandomPolicy(QuantilePolicy):
             raise RuntimeError("expire_subwindow() with no sealed sub-window")
         self._sealed_space -= self._sealed.popleft().space_variables()
 
+    def merge(self, other: "RandomPolicy") -> None:
+        """Fold another Random policy's state into this one.
+
+        Sealed KLL sketches pool (queries combine every live sketch's
+        weighted items); the in-flight sketches merge through KLL's native
+        same-level concatenation, preserving the rank-error guarantee.
+        """
+        self._require_compatible(other)
+        if other.epsilon != self.epsilon:
+            raise ValueError("merge requires the same epsilon")
+        for sketch in other._sealed:
+            self._sealed.append(sketch)
+        self._sealed_space += other._sealed_space
+        if other._in_flight.n:
+            self._in_flight.merge(other._in_flight)
+
+    def reset(self) -> None:
+        self._in_flight = KLLSketch(self._k, rng=self._rng)
+        self._sealed.clear()
+        self._sealed_space = 0
+        self._peak_space = 0
+
     def query(self) -> Dict[float, float]:
         if not self._sealed:
             raise ValueError("query() before any sealed sub-window")

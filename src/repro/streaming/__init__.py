@@ -17,6 +17,10 @@ period.  This subpackage provides exactly that contract:
 - :mod:`~repro.streaming.engine` — the single-threaded execution loop.
 - :mod:`~repro.streaming.sources` — adapters turning arrays/iterables into
   event streams.
+- :mod:`~repro.streaming.partition` — deterministic chunk-stream
+  partitioners (round-robin, value hash).
+- :mod:`~repro.streaming.sharded` — the sharded execution subsystem:
+  partition across N per-shard policies, merge at period boundaries.
 """
 
 from repro.streaming.aggregates import (
@@ -36,7 +40,9 @@ from repro.streaming.engine import (
 )
 from repro.streaming.event import Event
 from repro.streaming.operator import IncrementalOperator, SubWindowOperator
+from repro.streaming.partition import StreamPartitioner, available_partitioners
 from repro.streaming.query import Query
+from repro.streaming.sharded import ShardedEngine, run_sharded
 from repro.streaming.sources import (
     Chunk,
     as_chunk,
@@ -58,13 +64,16 @@ __all__ = [
     "MeanOperator",
     "MinOperator",
     "Query",
+    "ShardedEngine",
     "StreamEngine",
+    "StreamPartitioner",
     "SubWindowOperator",
     "SumOperator",
     "TimeWindow",
     "VarianceOperator",
     "WindowResult",
     "as_chunk",
+    "available_partitioners",
     "chunk_stream",
     "events_from_values",
     "events_of_chunks",
@@ -72,5 +81,6 @@ __all__ = [
     "run_query",
     "run_query_batched",
     "run_query_chunked",
+    "run_sharded",
     "value_stream",
 ]

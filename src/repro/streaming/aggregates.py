@@ -58,6 +58,10 @@ class CountOperator(IncrementalOperator[_CountState, int]):
         state.count -= len(chunk)
         return state
 
+    def merge_states(self, state: _CountState, other: _CountState) -> _CountState:
+        state.count += other.count
+        return state
+
     def compute_result(self, state: _CountState) -> int:
         return state.count
 
@@ -93,6 +97,10 @@ class SumOperator(IncrementalOperator[_SumState, float]):
         for value in chunk.values.tolist():
             total -= value
         state.total = total
+        return state
+
+    def merge_states(self, state: _SumState, other: _SumState) -> _SumState:
+        state.total += other.total
         return state
 
     def compute_result(self, state: _SumState) -> float:
@@ -135,6 +143,11 @@ class MeanOperator(IncrementalOperator[_MeanState, float]):
         for value in chunk.values.tolist():
             total -= value
         state.total = total
+        return state
+
+    def merge_states(self, state: _MeanState, other: _MeanState) -> _MeanState:
+        state.count += other.count
+        state.total += other.total
         return state
 
     def compute_result(self, state: _MeanState) -> float:
@@ -190,6 +203,14 @@ class VarianceOperator(IncrementalOperator[_VarianceState, float]):
         state.total_sq = total_sq
         return state
 
+    def merge_states(
+        self, state: _VarianceState, other: _VarianceState
+    ) -> _VarianceState:
+        state.count += other.count
+        state.total += other.total
+        state.total_sq += other.total_sq
+        return state
+
     def compute_result(self, state: _VarianceState) -> float:
         if state.count == 0:
             return math.nan
@@ -225,6 +246,12 @@ class MinOperator(IncrementalOperator[_ExtremumState, float]):
         state.values.discard_array(chunk.values)
         return state
 
+    def merge_states(
+        self, state: _ExtremumState, other: _ExtremumState
+    ) -> _ExtremumState:
+        state.values.merge_from(other.values)
+        return state
+
     def compute_result(self, state: _ExtremumState) -> float:
         if state.values.total == 0:
             return math.nan
@@ -251,6 +278,12 @@ class MaxOperator(IncrementalOperator[_ExtremumState, float]):
 
     def deaccumulate_batch(self, state: _ExtremumState, chunk: Chunk) -> _ExtremumState:
         state.values.discard_array(chunk.values)
+        return state
+
+    def merge_states(
+        self, state: _ExtremumState, other: _ExtremumState
+    ) -> _ExtremumState:
+        state.values.merge_from(other.values)
         return state
 
     def compute_result(self, state: _ExtremumState) -> float:

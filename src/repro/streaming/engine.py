@@ -304,10 +304,7 @@ class StreamEngine:
     # Chunked (batched) loops
     # ------------------------------------------------------------------
     def _filtered_chunks(self, query: Query) -> Iterator[Chunk]:
-        for raw in query.source:
-            chunk = query.apply_chunk_pipeline(as_chunk(raw))
-            if len(chunk):
-                yield chunk
+        return filtered_chunks(query)
 
     @staticmethod
     def _timestamped(chunks: Iterator[Chunk]) -> Iterator[Chunk]:
@@ -473,6 +470,19 @@ class StreamEngine:
                 operator.accumulate_batch(chunk.slice(position, upper))
                 in_flight += upper - position
                 position = upper
+
+
+def filtered_chunks(query: Query) -> Iterator[Chunk]:
+    """Pull the query's source as chunks with its vectorised filters applied.
+
+    Shared by :class:`StreamEngine` and the sharded engine so the chunk
+    pipeline has exactly one implementation (the sharded path's
+    one-shard bit-identity depends on it).
+    """
+    for raw in query.source:
+        chunk = query.apply_chunk_pipeline(as_chunk(raw))
+        if len(chunk):
+            yield chunk
 
 
 def run_query(

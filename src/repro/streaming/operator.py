@@ -77,6 +77,24 @@ class IncrementalOperator(ABC, Generic[S, R]):
             state = self.deaccumulate(state, event)
         return state
 
+    # ------------------------------------------------------------------
+    # Mergeability (sharded execution)
+    # ------------------------------------------------------------------
+    def merge_states(self, state: S, other: S) -> S:
+        """Fold ``other`` into ``state`` and return the combined state.
+
+        The incremental half of the mergeability contract: callers that
+        build per-shard or per-node partial states (today
+        :class:`~repro.streaming.sharded.ShardedEngine` only drives
+        sub-window policies; distributed aggregation of plain aggregates
+        goes through this hook directly) combine them here.  Not every
+        incremental state is mergeable (order-dependent folds are not);
+        the default therefore raises, and mergeable operators override it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support merge_states()"
+        )
+
 
 class SubWindowOperator(ABC, Generic[R]):
     """Sub-window-granular operator (QLOVE's two-level processing).
@@ -118,6 +136,20 @@ class SubWindowOperator(ABC, Generic[R]):
         """
         for event in chunk.events():
             self.accumulate(event)
+
+    def merge(self, other: "SubWindowOperator") -> None:
+        """Fold another operator's window state into this one.
+
+        The contract mirrors :meth:`QuantilePolicy.merge
+        <repro.sketches.base.QuantilePolicy.merge>`: sealed sub-windows
+        and the in-flight sub-window both merge, so shard accumulators
+        (which never seal) and full windows combine through the same
+        call.  Operators that cannot merge keep the default, which
+        raises.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support merge()"
+        )
 
     def reset(self) -> None:
         """Discard all state (used when a stream is restarted)."""

@@ -1,0 +1,95 @@
+"""Stream partitioners: split chunk streams across shards deterministically.
+
+The sharded execution subsystem fans one logical stream out to N shard
+accumulators.  Two deterministic strategies are provided:
+
+- **round_robin** — element ``i`` of the stream goes to shard ``i % N``.
+  A stateful counter carries across chunk boundaries, so the assignment
+  depends only on global element position, never on chunk sizes.  Loads
+  are perfectly balanced.
+- **hash** — shard is a multiplicative (Fibonacci) hash of the value's
+  bit pattern.  Equal values always land on the same shard (useful when a
+  shard owns per-value state), and the assignment is independent of
+  element position, so re-chunked or re-ordered streams partition the
+  same way.
+
+Both preserve within-shard arrival order and are pure functions of the
+stream, so sharded runs are reproducible and, for policies with
+commutative merges (QLOVE, Exact), shard-count-invariant.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.streaming.sources import Chunk
+
+#: 64-bit Fibonacci hashing constant (2^64 / golden ratio, odd).
+_HASH_MULTIPLIER = np.uint64(0x9E3779B97F4A7C15)
+
+
+def available_partitioners() -> list[str]:
+    """Names accepted by :class:`StreamPartitioner`."""
+    return ["hash", "round_robin"]
+
+
+def hash_shard_of(values: np.ndarray, n_shards: int) -> np.ndarray:
+    """Shard index per element under the hash strategy (vectorised).
+
+    The float's raw bit pattern is mixed with a Fibonacci multiplier and
+    the top bits select the shard, so nearby values (e.g. quantized
+    telemetry) still spread evenly.  Adding 0.0 first collapses -0.0 onto
+    +0.0, whose bit patterns differ although the values compare equal.
+    """
+    normalised = np.ascontiguousarray(values, dtype=np.float64) + 0.0
+    bits = normalised.view(np.uint64)
+    mixed = bits * _HASH_MULTIPLIER
+    # Top 32 bits modulo n: avoids the low-bit regularity of the raw product.
+    return ((mixed >> np.uint64(32)) % np.uint64(n_shards)).astype(np.int64)
+
+
+class StreamPartitioner:
+    """Split successive chunks into per-shard sub-chunks.
+
+    One instance is bound to one logical stream: the round-robin strategy
+    keeps a global element counter so chunk boundaries never influence the
+    assignment.
+    """
+
+    def __init__(self, n_shards: int, strategy: str = "round_robin") -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if strategy not in ("round_robin", "hash"):
+            raise ValueError(
+                f"unknown partitioner {strategy!r}; "
+                f"available: {available_partitioners()}"
+            )
+        self.n_shards = n_shards
+        self.strategy = strategy
+        self._position = 0  # global elements consumed (round_robin state)
+
+    def split(self, chunk: Chunk) -> List[Chunk]:
+        """Partition one chunk; returns ``n_shards`` (possibly empty) chunks.
+
+        Round-robin sub-chunks are zero-copy strided views; hash
+        sub-chunks are fancy-indexed copies.
+        """
+        n = self.n_shards
+        if n == 1:
+            self._position += len(chunk)
+            return [chunk]
+        if self.strategy == "round_robin":
+            offset = self._position
+            self._position += len(chunk)
+            # Element i (local) belongs to shard (offset + i) % n, so shard
+            # k owns the stride-n elements starting at (k - offset) mod n.
+            return [chunk.slice_strided((k - offset) % n, n) for k in range(n)]
+        shards = hash_shard_of(chunk.values, n)
+        self._position += len(chunk)
+        return [chunk.compress(shards == k) for k in range(n)]
+
+    def reset(self) -> None:
+        """Restart the stream (round-robin counter back to zero)."""
+        self._position = 0

@@ -133,6 +133,19 @@ class Chunk:
             source=self.source,
         )
 
+    def slice_strided(self, start: int, step: int) -> "Chunk":
+        """Zero-copy sub-chunk of every ``step``-th element from ``start``.
+
+        The round-robin partitioner uses this to hand shard ``k`` its
+        interleaved elements as a strided view, with no copying.
+        """
+        return Chunk(
+            values=self.values[start::step],
+            timestamps=None if self.timestamps is None else self.timestamps[start::step],
+            error_codes=None if self.error_codes is None else self.error_codes[start::step],
+            source=self.source,
+        )
+
     def compress(self, mask: np.ndarray) -> "Chunk":
         """Keep only the elements where ``mask`` is True (vectorised Where)."""
         mask = np.asarray(mask, dtype=bool)

@@ -28,7 +28,12 @@ from repro.workloads.bursts import BurstPattern, inject_bursts, pattern_window
 from repro.workloads.datacenter import Datacenter, DatacenterConfig, Incident
 from repro.workloads.netmon import generate_netmon
 from repro.workloads.precision import reduce_precision
-from repro.workloads.registry import available_datasets, get_dataset, stream_dataset
+from repro.workloads.registry import (
+    available_datasets,
+    get_dataset,
+    stream_dataset,
+    stream_dataset_sharded,
+)
 from repro.workloads.search import generate_search
 from repro.workloads.synthetic import (
     generate_normal,
@@ -53,4 +58,5 @@ __all__ = [
     "pattern_window",
     "reduce_precision",
     "stream_dataset",
+    "stream_dataset_sharded",
 ]

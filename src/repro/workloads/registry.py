@@ -7,10 +7,11 @@ AR(1) accepts the coefficient via ``psi``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 import numpy as np
 
+from repro.streaming.partition import StreamPartitioner
 from repro.streaming.sources import Chunk, chunk_stream
 
 from repro.workloads.ar1 import generate_ar1
@@ -69,3 +70,34 @@ def stream_dataset(
     return chunk_stream(
         values, chunk_size, with_timestamps=with_timestamps, source=name
     )
+
+
+def stream_dataset_sharded(
+    name: str,
+    size: int,
+    n_shards: int,
+    chunk_size: int = 65_536,
+    seed: Optional[int] = 0,
+    partitioner: str = "round_robin",
+    **params: float,
+) -> List[List[Chunk]]:
+    """Dataset ``name`` partitioned into ``n_shards`` per-shard chunk streams.
+
+    The fleet-simulation counterpart of :func:`stream_dataset`: shard
+    ``k``'s stream holds exactly the elements a
+    :class:`~repro.streaming.partition.StreamPartitioner` with the same
+    strategy would route to shard ``k``, in arrival order — so feeding
+    each stream to an independent node and merging the nodes reproduces
+    what a :class:`~repro.streaming.sharded.ShardedEngine` computes over
+    the unsplit stream.
+
+    Returns one list of chunks per shard (materialised, since every shard
+    draws from the same generated array).
+    """
+    splitter = StreamPartitioner(n_shards, partitioner)
+    shards: List[List[Chunk]] = [[] for _ in range(n_shards)]
+    for chunk in stream_dataset(name, size, chunk_size=chunk_size, seed=seed, **params):
+        for bucket, part in zip(shards, splitter.split(chunk)):
+            if len(part):
+                bucket.append(part)
+    return shards

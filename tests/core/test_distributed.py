@@ -5,11 +5,13 @@ import pytest
 
 from repro.core import FewKConfig, QLOVEConfig, QLOVEPolicy
 from repro.core.distributed import (
+    FleetCoordinator,
     fleet_space_variables,
     merge_level2,
     merge_node_estimates,
 )
 from repro.evalkit import exact_quantile
+from repro.sketches import make_policy
 from repro.streaming import CountWindow
 
 WINDOW = CountWindow(size=8000, period=1000)
@@ -110,3 +112,119 @@ class TestMergeWithFewK:
         assert fleet_space_variables(nodes) == sum(
             n.space_variables() for n in nodes
         )
+
+
+class TestFleetValidation:
+    """Error paths of _validate_fleet, beyond the happy-path merges."""
+
+    def test_empty_fleet_raises(self):
+        for merge in (merge_level2, merge_node_estimates):
+            with pytest.raises(ValueError, match="at least one node"):
+                merge([])
+
+    def test_single_node_fleet_equals_that_node(self):
+        rng = np.random.default_rng(10)
+        node = feed(QLOVEPolicy(PHIS, WINDOW), rng.normal(1000, 10, 8000))
+        merged = merge_level2([node])
+        assert merged == node._level2.results()
+        # With no few-k configured, merge_node_estimates agrees too.
+        assert merge_node_estimates([node]) == merged
+
+    def test_single_empty_node_raises_no_sealed(self):
+        with pytest.raises(ValueError, match="no sealed"):
+            merge_level2([QLOVEPolicy(PHIS, WINDOW)])
+        with pytest.raises(ValueError, match="no sealed"):
+            merge_node_estimates([QLOVEPolicy(PHIS, WINDOW)])
+
+    def test_heterogeneous_config_raises(self):
+        """Different few-k configurations cannot pool tails coherently.
+
+        Before the config check this crashed with a ``KeyError`` inside
+        ``merge_node_estimates`` (the reference node's mergers indexed
+        into a node without them); now every merge rejects it up front.
+        """
+        rng = np.random.default_rng(11)
+        with_fewk = QLOVEConfig(fewk=FewKConfig(topk_fraction=1.0))
+        node_a = feed(QLOVEPolicy(PHIS, WINDOW, with_fewk), rng.normal(1000, 10, 2000))
+        node_b = feed(QLOVEPolicy(PHIS, WINDOW), rng.normal(1000, 10, 2000))
+        for merge in (merge_level2, merge_node_estimates):
+            with pytest.raises(ValueError, match="same QLOVE configuration"):
+                merge([node_a, node_b])
+
+    def test_non_qlove_node_raises_type_error(self):
+        node = feed(QLOVEPolicy(PHIS, WINDOW), np.ones(2000))
+        impostor = make_policy("exact", PHIS, WINDOW)
+        with pytest.raises(TypeError, match="QLOVEPolicy"):
+            merge_level2([node, impostor])
+
+    def test_mismatched_phis_and_window_still_raise(self):
+        a = QLOVEPolicy([0.5], WINDOW)
+        b = QLOVEPolicy([0.9], WINDOW)
+        with pytest.raises(ValueError, match="same quantiles"):
+            merge_node_estimates([a, b])
+        c = QLOVEPolicy([0.5], CountWindow(4000, 1000))
+        with pytest.raises(ValueError, match="window shape"):
+            merge_node_estimates([a, c])
+
+
+class TestFleetCoordinator:
+    def test_combine_matches_merge_level2(self):
+        rng = np.random.default_rng(20)
+        data = rng.normal(1e6, 5e4, size=32_000)
+        nodes = build_fleet(4, np.split(data, 4))
+        coordinator = FleetCoordinator(lambda: QLOVEPolicy(PHIS, WINDOW))
+        estimates = coordinator.estimate(nodes)
+        assert estimates == merge_level2(nodes)
+
+    def test_fleet_of_fleets_composes(self):
+        """Region-level pre-merges aggregate to the same global answer."""
+        rng = np.random.default_rng(21)
+        data = rng.normal(1e6, 5e4, size=32_000)
+        nodes = build_fleet(4, np.split(data, 4))
+        coordinator = FleetCoordinator(lambda: QLOVEPolicy(PHIS, WINDOW))
+        flat = coordinator.estimate(nodes)
+        region_a = coordinator.combine(nodes[:2])
+        region_b = coordinator.combine(nodes[2:])
+        assert coordinator.estimate([region_a, region_b]) == flat
+
+    def test_combine_works_for_every_registered_policy(self):
+        from repro.sketches import available_policies
+
+        rng = np.random.default_rng(22)
+        data = rng.normal(1000, 100, size=4000)
+        window = CountWindow(size=2000, period=500)
+        for name in available_policies():
+            factory = lambda name=name: make_policy(name, [0.5, 0.9], window)
+            nodes = []
+            for shard in np.split(data, 2):
+                node = factory()
+                for start in range(0, len(shard), window.period):
+                    node.accumulate_batch(shard[start : start + window.period])
+                    node.seal_subwindow()
+                nodes.append(node)
+            merged = FleetCoordinator(factory).combine(nodes)
+            estimates = merged.query()
+            truth = float(np.sort(data)[int(np.ceil(0.5 * len(data))) - 1])
+            assert abs(estimates[0.5] - truth) / truth < 0.1
+
+    def test_empty_fleet_raises(self):
+        coordinator = FleetCoordinator(lambda: QLOVEPolicy(PHIS, WINDOW))
+        with pytest.raises(ValueError, match="at least one node"):
+            coordinator.combine([])
+
+    def test_fleet_report_accounting(self):
+        rng = np.random.default_rng(23)
+        nodes = build_fleet(3, np.split(rng.normal(1000, 10, 24_000), 3))
+        report = FleetCoordinator(lambda: QLOVEPolicy(PHIS, WINDOW)).fleet_report(
+            nodes
+        )
+        assert report["node_count"] == 3
+        assert report["total_space"] == fleet_space_variables(nodes)
+        assert report["max_node_space"] == max(report["node_spaces"])
+
+    def test_nodes_are_not_mutated_by_combine(self):
+        rng = np.random.default_rng(24)
+        node = feed(QLOVEPolicy(PHIS, WINDOW), rng.normal(1000, 10, 8000))
+        before = (node.live_summaries(), node.query())
+        FleetCoordinator(lambda: QLOVEPolicy(PHIS, WINDOW)).combine([node])
+        assert (node.live_summaries(), node.query()) == before

@@ -1,0 +1,425 @@
+"""Sharded execution: partitioners, shard invariance, parallel backend.
+
+The headline guarantees locked down here:
+
+- ``ShardedEngine`` with ``n_shards=1`` emits a ``WindowResult`` stream
+  bit-identical to ``StreamEngine.run_chunked`` (same indices, counts,
+  ends and result mappings);
+- QLOVE and Exact results are deterministic and invariant to the shard
+  count and the partitioning strategy — their in-flight states merge
+  commutatively (frequency-map multisets);
+- the multiprocessing backend produces the same results as the serial
+  one.
+"""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.core import QLOVEPolicy
+from repro.sketches import make_policy
+from repro.sketches.base import PolicyOperator
+from repro.streaming import (
+    CountWindow,
+    Query,
+    ShardedEngine,
+    StreamEngine,
+    StreamPartitioner,
+    TimeWindow,
+    chunk_stream,
+    run_sharded,
+)
+from repro.streaming.aggregates import MeanOperator
+from repro.streaming.partition import hash_shard_of
+from repro.streaming.sources import Chunk
+from repro.workloads import generate_netmon, stream_dataset_sharded
+
+PHIS = [0.5, 0.9, 0.99, 0.999]
+WINDOW = CountWindow(size=8_000, period=2_000)
+STREAM_LENGTH = 20_000
+#: Deliberately not a divisor of the period: chunks straddle boundaries.
+CHUNK_SIZE = 1_700
+
+
+@pytest.fixture(scope="module")
+def values():
+    return generate_netmon(STREAM_LENGTH, seed=7)
+
+
+def reference_results(values, name, **params):
+    policy = make_policy(name, PHIS, WINDOW, **params)
+    query = (
+        Query(chunk_stream(values, CHUNK_SIZE))
+        .windowed_by(WINDOW)
+        .aggregate(PolicyOperator(policy))
+    )
+    return StreamEngine().run_chunked_to_list(query)
+
+
+class TestPartitioner:
+    def test_round_robin_is_chunk_boundary_independent(self):
+        data = np.arange(100, dtype=np.float64)
+        coarse = StreamPartitioner(3, "round_robin")
+        fine = StreamPartitioner(3, "round_robin")
+        got_coarse = [list() for _ in range(3)]
+        for part, bucket in zip(coarse.split(Chunk(data)), got_coarse):
+            bucket.extend(part.values.tolist())
+        got_fine = [list() for _ in range(3)]
+        for start in range(0, 100, 7):
+            chunk = Chunk(data[start : start + 7])
+            for part, bucket in zip(fine.split(chunk), got_fine):
+                bucket.extend(part.values.tolist())
+        assert got_coarse == got_fine
+        # Element i goes to shard i % n.
+        assert got_coarse[0][:3] == [0.0, 3.0, 6.0]
+
+    def test_round_robin_preserves_multiset_and_order(self):
+        data = np.arange(50, dtype=np.float64)
+        parts = StreamPartitioner(7, "round_robin").split(Chunk(data))
+        for part in parts:
+            assert list(part.values) == sorted(part.values)
+        recombined = sorted(v for part in parts for v in part.values.tolist())
+        assert recombined == data.tolist()
+
+    def test_hash_routes_equal_values_to_one_shard(self):
+        data = np.array([5.0, 1.0, 5.0, 2.0, 5.0, 1.0] * 10)
+        shards = hash_shard_of(data, 4)
+        for value in (5.0, 1.0, 2.0):
+            owners = set(shards[data == value].tolist())
+            assert len(owners) == 1
+
+    def test_hash_treats_signed_zeros_as_equal(self):
+        data = np.array([0.0, -0.0, 1.0, -0.0, 0.0])
+        shards = hash_shard_of(data, 3)
+        assert len(set(shards[[0, 1, 3, 4]].tolist())) == 1
+
+    def test_hash_preserves_multiset(self, values):
+        parts = StreamPartitioner(5, "hash").split(Chunk(values))
+        recombined = np.sort(np.concatenate([part.values for part in parts]))
+        assert np.array_equal(recombined, np.sort(values))
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            StreamPartitioner(0)
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            StreamPartitioner(2, "modulo")
+
+    def test_timestamps_follow_their_elements(self):
+        chunk = Chunk(
+            np.arange(10, dtype=np.float64),
+            timestamps=np.arange(10, dtype=np.float64) * 0.5,
+        )
+        parts = StreamPartitioner(2, "round_robin").split(chunk)
+        assert np.array_equal(parts[0].timestamps, parts[0].values * 0.5)
+
+
+class TestShardInvariance:
+    def test_one_shard_is_bit_identical_to_run_chunked(self, values):
+        """The acceptance-criteria check, on the quickstart workload."""
+        reference = reference_results(values, "qlove")
+        sharded = run_sharded(
+            values,
+            WINDOW,
+            lambda: QLOVEPolicy(PHIS, WINDOW),
+            n_shards=1,
+            chunk_size=CHUNK_SIZE,
+        )
+        assert sharded == reference
+
+    @pytest.mark.parametrize("name", ["qlove", "exact"])
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 7])
+    def test_commutative_policies_are_shard_count_invariant(
+        self, values, name, n_shards
+    ):
+        reference = reference_results(values, name)
+        sharded = run_sharded(
+            values,
+            WINDOW,
+            lambda: make_policy(name, PHIS, WINDOW),
+            n_shards=n_shards,
+            chunk_size=CHUNK_SIZE,
+        )
+        assert sharded == reference
+
+    @pytest.mark.parametrize("name", ["qlove", "exact"])
+    def test_hash_partitioner_gives_the_same_answers(self, values, name):
+        reference = reference_results(values, name)
+        sharded = run_sharded(
+            values,
+            WINDOW,
+            lambda: make_policy(name, PHIS, WINDOW),
+            n_shards=3,
+            partitioner="hash",
+            chunk_size=CHUNK_SIZE,
+        )
+        assert sharded == reference
+
+    def test_sharded_runs_are_deterministic(self, values):
+        factory = lambda: QLOVEPolicy(PHIS, WINDOW)  # noqa: E731
+        first = run_sharded(values, WINDOW, factory, n_shards=4)
+        second = run_sharded(values, WINDOW, factory, n_shards=4)
+        assert first == second
+
+    def test_sketch_policies_stay_within_bounds(self, values):
+        """Random is not bit-stable across shard counts, but stays accurate."""
+        from repro.evalkit.metrics import rank_error
+
+        sharded = run_sharded(
+            values,
+            WINDOW,
+            lambda: make_policy("random", PHIS, WINDOW, epsilon=0.05),
+            n_shards=4,
+            chunk_size=CHUNK_SIZE,
+        )
+        final = sharded[-1]
+        window_values = np.sort(values[int(final.end) - WINDOW.size : int(final.end)])
+        for phi in PHIS[:-1]:  # 0.999 needs few-k-style tails, not rank bounds
+            assert rank_error(window_values, final.result[phi], phi) <= 0.05
+
+    def test_vectorised_filters_apply_before_partitioning(self, values):
+        threshold = float(np.median(values))
+        reference_policy = make_policy("exact", PHIS, CountWindow(2000, 1000))
+        query = (
+            Query(chunk_stream(values, CHUNK_SIZE))
+            .windowed_by(CountWindow(2000, 1000))
+            .where_values(lambda v: v > threshold)
+            .aggregate(PolicyOperator(reference_policy))
+        )
+        reference = StreamEngine().run_chunked_to_list(query)
+        sharded_query = (
+            Query(chunk_stream(values, CHUNK_SIZE))
+            .windowed_by(CountWindow(2000, 1000))
+            .where_values(lambda v: v > threshold)
+        )
+        sharded = ShardedEngine(3).run_chunked_to_list(
+            sharded_query, lambda: make_policy("exact", PHIS, CountWindow(2000, 1000))
+        )
+        assert sharded == reference
+
+    def test_emit_partial_parity(self, values):
+        policy = make_policy("exact", PHIS, WINDOW)
+        query = (
+            Query(chunk_stream(values[:6_000], CHUNK_SIZE))
+            .windowed_by(WINDOW)
+            .aggregate(PolicyOperator(policy))
+        )
+        reference = StreamEngine(emit_partial=True).run_chunked_to_list(query)
+        sharded = run_sharded(
+            values[:6_000],
+            WINDOW,
+            lambda: make_policy("exact", PHIS, WINDOW),
+            n_shards=2,
+            chunk_size=CHUNK_SIZE,
+            emit_partial=True,
+        )
+        assert sharded == reference
+
+    def test_query_carrying_policy_operator_is_accepted(self, values):
+        reference = reference_results(values, "qlove")
+        master = QLOVEPolicy(PHIS, WINDOW)
+        query = (
+            Query(chunk_stream(values, CHUNK_SIZE))
+            .windowed_by(WINDOW)
+            .aggregate(PolicyOperator(master))
+        )
+        sharded = ShardedEngine(2).run_chunked_to_list(
+            query, lambda: QLOVEPolicy(PHIS, WINDOW)
+        )
+        assert sharded == reference
+
+    def test_space_report_accounts_master_and_shards(self, values):
+        engine = ShardedEngine(3)
+        query = Query(chunk_stream(values, CHUNK_SIZE)).windowed_by(WINDOW)
+        list(engine.run_chunked(query, lambda: QLOVEPolicy(PHIS, WINDOW)))
+        report = engine.space_report()
+        assert report["n_shards"] == 3
+        assert len(report["shard_spaces"]) == 3
+        assert report["total_space"] == report["master_space"] + sum(
+            report["shard_spaces"]
+        )
+        assert report["master_space"] > 0
+
+
+class TestParallelBackend:
+    def test_parallel_matches_serial(self, values):
+        factory = partial(QLOVEPolicy, PHIS, WINDOW)
+        serial = run_sharded(
+            values[:12_000], WINDOW, factory, n_shards=2, chunk_size=CHUNK_SIZE
+        )
+        parallel = run_sharded(
+            values[:12_000],
+            WINDOW,
+            factory,
+            n_shards=2,
+            chunk_size=CHUNK_SIZE,
+            parallel=True,
+        )
+        assert parallel == serial
+
+
+class TestValidation:
+    def test_rejects_time_windows(self):
+        query = Query(iter(())).windowed_by(TimeWindow(size=10.0, period=5.0))
+        with pytest.raises(ValueError, match="count-based"):
+            ShardedEngine(2).run_chunked(query, lambda: QLOVEPolicy(PHIS, WINDOW))
+
+    def test_rejects_event_level_filters(self):
+        query = (
+            Query(iter(()))
+            .windowed_by(WINDOW)
+            .where(lambda e: e.value > 0)
+        )
+        with pytest.raises(ValueError, match="event-level"):
+            ShardedEngine(2).run_chunked(query, lambda: QLOVEPolicy(PHIS, WINDOW))
+
+    def test_rejects_missing_window(self):
+        with pytest.raises(ValueError, match="no window"):
+            ShardedEngine(2).run_chunked(
+                Query(iter(())), lambda: QLOVEPolicy(PHIS, WINDOW)
+            )
+
+    def test_rejects_non_policy_operator(self):
+        query = Query(iter(())).windowed_by(WINDOW).aggregate(MeanOperator())
+        with pytest.raises(ValueError, match="PolicyOperator"):
+            ShardedEngine(2).run_chunked(query, lambda: QLOVEPolicy(PHIS, WINDOW))
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardedEngine(0)
+
+    def test_rejects_query_operator_with_prior_state(self, values):
+        """A reused policy would double-count its old state into every window."""
+        used = QLOVEPolicy(PHIS, WINDOW)
+        used.accumulate_batch(values[: WINDOW.period])
+        used.seal_subwindow()
+        query = (
+            Query(chunk_stream(values, CHUNK_SIZE))
+            .windowed_by(WINDOW)
+            .aggregate(PolicyOperator(used))
+        )
+        with pytest.raises(ValueError, match="prior state"):
+            ShardedEngine(2).run_chunked(query, lambda: QLOVEPolicy(PHIS, WINDOW))
+        # reset() makes the same policy acceptable again.
+        used.reset()
+        results = ShardedEngine(2).run_chunked_to_list(
+            query, lambda: QLOVEPolicy(PHIS, WINDOW)
+        )
+        assert results == reference_results(values, "qlove")
+
+
+class TestShardedWorkloads:
+    def test_sharded_dataset_matches_partitioner_routing(self):
+        shards = stream_dataset_sharded(
+            "netmon", 5_000, n_shards=3, chunk_size=1_700, seed=7
+        )
+        from repro.workloads import get_dataset
+
+        original = get_dataset("netmon", 5_000, seed=7)
+        for k, chunks in enumerate(shards):
+            got = np.concatenate([chunk.values for chunk in chunks])
+            assert np.array_equal(got, original[k::3])
+
+    def test_fed_nodes_merge_to_the_sharded_answer(self):
+        """Per-node streams + coordinator: pooled live sub-windows."""
+        shards = stream_dataset_sharded("netmon", 8_000, n_shards=2, seed=7)
+        window = CountWindow(size=8_000 // 2, period=2_000 // 2)
+        # Feed each node its shard stream; seal per (local) period.
+        nodes = []
+        for chunks in shards:
+            node = QLOVEPolicy(PHIS, window)
+            stream = np.concatenate([chunk.values for chunk in chunks])
+            for start in range(0, len(stream), window.period):
+                node.accumulate_batch(stream[start : start + window.period])
+                node.seal_subwindow()
+            nodes.append(node)
+        from repro.core import FleetCoordinator
+
+        merged = FleetCoordinator(lambda: QLOVEPolicy(PHIS, window)).combine(nodes)
+        assert merged.live_summaries() == sum(node.live_summaries() for node in nodes)
+        estimates = merged.query()
+        assert set(estimates) == set(PHIS)
+
+
+class TestOperatorContract:
+    def test_policy_operator_merge_and_reset_delegate(self, values):
+        a = PolicyOperator(make_policy("exact", PHIS, WINDOW))
+        b = PolicyOperator(make_policy("exact", PHIS, WINDOW))
+        a.policy.accumulate_batch(values[:100])
+        b.policy.accumulate_batch(values[100:200])
+        a.merge(b)
+        a.seal_subwindow()
+        expected = dict(
+            zip(
+                PHIS,
+                np.sort(values[:200])[
+                    [int(np.ceil(phi * 200)) - 1 for phi in PHIS]
+                ].tolist(),
+            )
+        )
+        assert a.compute_result() == expected
+        a.reset()
+        assert a.policy.space_variables() == 0
+
+    def test_policy_operator_merge_rejects_foreign_operators(self):
+        operator = PolicyOperator(make_policy("exact", PHIS, WINDOW))
+
+        class Foreign:
+            pass
+
+        with pytest.raises(TypeError, match="cannot merge"):
+            operator.merge(Foreign())
+
+    def test_subwindow_operator_merge_default_raises(self):
+        from repro.streaming.operator import SubWindowOperator
+
+        class Plain(SubWindowOperator):
+            def accumulate(self, event):
+                pass
+
+            def seal_subwindow(self):
+                pass
+
+            def expire_subwindow(self):
+                pass
+
+            def compute_result(self):
+                return None
+
+        with pytest.raises(NotImplementedError, match="merge"):
+            Plain().merge(Plain())
+
+    def test_incremental_merge_states(self):
+        from repro.streaming.aggregates import (
+            CountOperator,
+            MaxOperator,
+            MeanOperator,
+            MinOperator,
+            SumOperator,
+            VarianceOperator,
+        )
+        from repro.streaming.event import Event
+
+        data_a = [1.0, 2.0, 3.0]
+        data_b = [10.0, 20.0]
+        for operator in (
+            CountOperator(),
+            SumOperator(),
+            MeanOperator(),
+            VarianceOperator(),
+            MinOperator(),
+            MaxOperator(),
+        ):
+            state_a = operator.initial_state()
+            state_b = operator.initial_state()
+            combined = operator.initial_state()
+            for i, value in enumerate(data_a):
+                state_a = operator.accumulate(state_a, Event(i, value))
+                combined = operator.accumulate(combined, Event(i, value))
+            for i, value in enumerate(data_b):
+                state_b = operator.accumulate(state_b, Event(i, value))
+                combined = operator.accumulate(combined, Event(i, value))
+            merged = operator.merge_states(state_a, state_b)
+            assert operator.compute_result(merged) == pytest.approx(
+                operator.compute_result(combined)
+            )
