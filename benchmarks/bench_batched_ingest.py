@@ -17,9 +17,7 @@ import pytest
 
 from repro.evalkit import Table, measure_throughput, measure_throughput_batched
 from repro.sketches import make_policy
-from repro.streaming import CountWindow
-from repro.streaming.engine import run_query, run_query_batched
-from repro.streaming.sources import value_stream
+from repro.streaming import CountWindow, ExecutionPlan, Query, StreamEngine
 from repro.workloads import generate_netmon
 
 N = 200_000
@@ -80,12 +78,19 @@ def test_batched_ingest_speedup(benchmark, netmon_values):
 
 def test_batched_results_identical(netmon_values):
     """The measured speedup is not bought with accuracy: same results."""
-    policy_a = make_policy("qlove", PHIS, WINDOW)
-    policy_b = make_policy("qlove", PHIS, WINDOW)
     from repro.sketches.base import PolicyOperator
 
-    reference = run_query(value_stream(netmon_values), WINDOW, PolicyOperator(policy_a))
-    batched = run_query_batched(
-        netmon_values, WINDOW, PolicyOperator(policy_b), chunk_size=CHUNK_SIZE
+    engine = StreamEngine()
+    reference = engine.execute_to_list(
+        Query(netmon_values)
+        .windowed_by(WINDOW)
+        .aggregate(PolicyOperator(make_policy("qlove", PHIS, WINDOW))),
+        ExecutionPlan(mode="events"),
+    )
+    batched = engine.execute_to_list(
+        Query(netmon_values)
+        .windowed_by(WINDOW)
+        .aggregate(PolicyOperator(make_policy("qlove", PHIS, WINDOW))),
+        ExecutionPlan(mode="batched", chunk_size=CHUNK_SIZE),
     )
     assert batched == reference

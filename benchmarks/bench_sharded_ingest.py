@@ -20,9 +20,7 @@ from repro.core import QLOVEPolicy
 from repro.evalkit import Table, measure_throughput_batched, measure_throughput_sharded
 from repro.sketches import make_policy
 from repro.sketches.base import PolicyOperator
-from repro.streaming import CountWindow
-from repro.streaming.engine import run_query_batched
-from repro.streaming.sharded import run_sharded
+from repro.streaming import CountWindow, ExecutionPlan, Query, StreamEngine
 from repro.workloads import generate_netmon
 
 N = 200_000
@@ -89,35 +87,40 @@ def test_sharded_ingest_scaling(benchmark, netmon_values):
     )
 
 
+def _sharded_plan(factory, n_shards, parallel=False):
+    return ExecutionPlan(
+        mode="sharded",
+        n_shards=n_shards,
+        parallel=parallel,
+        chunk_size=CHUNK_SIZE,
+        policy_factory=factory,
+    )
+
+
 def test_sharded_results_identical(netmon_values):
     """Sharding must not buy throughput with accuracy: same WindowResults."""
-    reference = run_query_batched(
-        netmon_values,
-        WINDOW,
-        PolicyOperator(QLOVEPolicy(PHIS, WINDOW)),
-        chunk_size=CHUNK_SIZE,
+    engine = StreamEngine()
+    reference = engine.execute_to_list(
+        Query(netmon_values)
+        .windowed_by(WINDOW)
+        .aggregate(PolicyOperator(QLOVEPolicy(PHIS, WINDOW))),
+        ExecutionPlan(mode="batched", chunk_size=CHUNK_SIZE),
     )
     for n in SHARD_COUNTS:
-        sharded = run_sharded(
-            netmon_values,
-            WINDOW,
-            _qlove_factory,
-            n_shards=n,
-            chunk_size=CHUNK_SIZE,
+        sharded = engine.execute_to_list(
+            Query(netmon_values).windowed_by(WINDOW),
+            _sharded_plan(_qlove_factory, n),
         )
         assert sharded == reference, f"divergence at n_shards={n}"
-    exact_reference = run_query_batched(
-        netmon_values,
-        WINDOW,
-        PolicyOperator(make_policy("exact", PHIS, WINDOW)),
-        chunk_size=CHUNK_SIZE,
+    exact_reference = engine.execute_to_list(
+        Query(netmon_values)
+        .windowed_by(WINDOW)
+        .aggregate(PolicyOperator(make_policy("exact", PHIS, WINDOW))),
+        ExecutionPlan(mode="batched", chunk_size=CHUNK_SIZE),
     )
-    exact_sharded = run_sharded(
-        netmon_values,
-        WINDOW,
-        partial(make_policy, "exact", PHIS, WINDOW),
-        n_shards=4,
-        chunk_size=CHUNK_SIZE,
+    exact_sharded = engine.execute_to_list(
+        Query(netmon_values).windowed_by(WINDOW),
+        _sharded_plan(partial(make_policy, "exact", PHIS, WINDOW), 4),
     )
     assert exact_sharded == exact_reference
 
@@ -125,15 +128,12 @@ def test_sharded_results_identical(netmon_values):
 def test_parallel_backend_agrees_with_serial(netmon_values):
     """Smoke the multiprocessing pool backend on a shortened stream."""
     short = netmon_values[:64_000]
-    serial = run_sharded(
-        short, WINDOW, _qlove_factory, n_shards=2, chunk_size=CHUNK_SIZE
+    engine = StreamEngine()
+    serial = engine.execute_to_list(
+        Query(short).windowed_by(WINDOW), _sharded_plan(_qlove_factory, 2)
     )
-    parallel = run_sharded(
-        short,
-        WINDOW,
-        _qlove_factory,
-        n_shards=2,
-        chunk_size=CHUNK_SIZE,
-        parallel=True,
+    parallel = engine.execute_to_list(
+        Query(short).windowed_by(WINDOW),
+        _sharded_plan(_qlove_factory, 2, parallel=True),
     )
     assert parallel == serial

@@ -1,15 +1,22 @@
-"""Quickstart: the paper's Qmonitor query on a synthetic NetMon stream.
+"""Quickstart: the paper's Qmonitor query through the Monitor facade.
 
-Builds the monitoring query of Section 5.1 —
+The monitoring primitive of Section 5.1 —
 
     Qmonitor = Stream
         .Window(windowSize, period)
-        .Where(e => e.errorCode != 0 is inverted here: we keep OK probes)
         .Aggregate(c => c.Quantile(0.5, 0.9, 0.99, 0.999))
 
-— runs it with the QLOVE policy, cross-checks the final evaluation
-against numpy-exact quantiles, and re-runs the same query on the batched
-ingestion fast path to show it returns identical results.
+— is one declarative spec at the service layer:
+
+    monitor.register(MetricSpec(name="rtt", quantiles=[...],
+                                window={"size": N, "period": P}))
+    monitor.observe_batch("rtt", values)
+
+This script runs it with the QLOVE policy, cross-checks the final
+evaluation against numpy-exact quantiles, and then peels the facade
+back: the same pipeline hand-assembled as a Query and driven through
+``StreamEngine.execute`` on the per-event and batched paths returns
+identical results.
 
 Run:  python examples/quickstart.py
 """
@@ -18,38 +25,41 @@ import time
 
 import numpy as np
 
-from repro import CountWindow, PolicyOperator, Query, QLOVEPolicy, StreamEngine, value_stream
+from repro import ExecutionPlan, MetricSpec, Monitor, StreamEngine
 from repro.evalkit import exact_quantiles
-from repro.streaming.engine import run_query_batched
 from repro.workloads import generate_netmon
 
 PHIS = [0.5, 0.9, 0.99, 0.999]
-WINDOW = CountWindow(size=100_000, period=10_000)
+WINDOW = {"size": 100_000, "period": 10_000}
 STREAM_LENGTH = 200_000
 
 
 def main() -> None:
     values = generate_netmon(STREAM_LENGTH, seed=7)
-    policy = QLOVEPolicy(PHIS, WINDOW)
-    query = (
-        Query(value_stream(values))
-        .windowed_by(WINDOW)
-        .aggregate(PolicyOperator(policy))
-    )
 
-    print(f"QLOVE over a sliding window of {WINDOW.size:,} RTTs, "
-          f"evaluated every {WINDOW.period:,} events\n")
+    # ------------------------------------------------------------------
+    # The front door: a declarative metric spec + the Monitor facade.
+    # ------------------------------------------------------------------
+    spec = MetricSpec(name="rtt", quantiles=PHIS, window=WINDOW)
+    monitor = Monitor()
+    monitor.register(spec)
+
+    print(f"QLOVE over a sliding window of {spec.window.size:,} RTTs, "
+          f"evaluated every {spec.window.period:,} events\n")
     start = time.perf_counter()
-    per_event_results = list(StreamEngine().run(query))
-    per_event_seconds = time.perf_counter() - start
+    monitor.observe_batch("rtt", values)
+    monitor_seconds = time.perf_counter() - start
+
+    results = monitor.results("rtt")
     print(f"{'eval':>4}  " + "  ".join(f"Q{phi:<5}" for phi in PHIS))
-    for result in per_event_results:
+    for result in results:
         row = "  ".join(f"{result.result[phi]:6.0f}" for phi in PHIS)
         print(f"{result.index:>4}  {row}")
-    last = per_event_results[-1]
+    last = results[-1]
+    assert monitor.snapshot()["rtt"] == last.result
 
     # Cross-check the final window against exact order statistics.
-    window_values = values[int(last.end) - WINDOW.size : int(last.end)]
+    window_values = values[int(last.end) - spec.window.size : int(last.end)]
     truth = exact_quantiles(window_values, PHIS)
     print("\nfinal window, exact vs QLOVE:")
     for phi, exact in zip(PHIS, truth):
@@ -57,21 +67,32 @@ def main() -> None:
         err = 100 * abs(estimate - exact) / exact
         print(f"  Q{phi:<5}  exact={exact:8.0f}  qlove={estimate:8.0f}  "
               f"rel.err={err:5.2f}%")
-    print(f"\nstate: {policy.peak_space_variables():,} variables "
-          f"(window holds {WINDOW.size:,} elements)")
+    accounting = monitor.space_report()["rtt"]
+    print(f"\nstate: {accounting['peak_space']:,} variables "
+          f"(window holds {spec.window.size:,} elements)")
 
-    # The batched fast path: same query semantics, but the engine slices
-    # numpy chunks at sub-window boundaries and QLOVE bulk-ingests them.
+    # ------------------------------------------------------------------
+    # Under the hood: the same pipeline as a hand-assembled query, driven
+    # through the unified planner on both ingestion paths.
+    # ------------------------------------------------------------------
+    engine = StreamEngine()
     start = time.perf_counter()
-    batched = run_query_batched(
-        values, WINDOW, PolicyOperator(QLOVEPolicy(PHIS, WINDOW))
+    per_event = engine.execute_to_list(
+        spec.build_query(values), ExecutionPlan(mode="events")
     )
+    per_event_seconds = time.perf_counter() - start
+    assert per_event == results, "facade must match the per-event engine"
+
+    # mode="auto" sees the numpy-array source and picks the batched path.
+    start = time.perf_counter()
+    batched = engine.execute_to_list(spec.build_query(values))
     batched_seconds = time.perf_counter() - start
-    assert batched == per_event_results, "batched path must be bit-identical"
+    assert batched == results, "batched path must be bit-identical"
     print(f"\nbatched ingestion: identical results, "
           f"{per_event_seconds / batched_seconds:.1f}x faster "
           f"({len(values) / batched_seconds / 1e6:.1f} M ev/s vs "
-          f"{len(values) / per_event_seconds / 1e6:.1f} M ev/s)")
+          f"{len(values) / per_event_seconds / 1e6:.1f} M ev/s; "
+          f"facade ingest: {len(values) / monitor_seconds / 1e6:.1f} M ev/s)")
 
 
 if __name__ == "__main__":

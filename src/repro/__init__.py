@@ -13,20 +13,27 @@ provides:
 - :mod:`repro.evalkit` — metrics, runners and per-table experiment
   definitions regenerating the paper's results.
 
+- :mod:`repro.service` — the operator-facing front door
+  (:class:`MetricSpec`, :class:`Monitor`).
+
 Quickstart::
 
-    from repro import QLOVEPolicy, CountWindow, Query, StreamEngine, value_stream
-    from repro.sketches.base import PolicyOperator
+    from repro import MetricSpec, Monitor
 
-    window = CountWindow(size=100_000, period=10_000)
-    policy = QLOVEPolicy([0.5, 0.99], window)
-    query = Query(value_stream(values)).windowed_by(window).aggregate(
-        PolicyOperator(policy))
-    for result in StreamEngine().run(query):
-        print(result.result)
+    monitor = Monitor()
+    monitor.register(MetricSpec(
+        name="rtt", quantiles=[0.5, 0.99],
+        window={"size": 100_000, "period": 10_000}))
+    monitor.observe_batch("rtt", values)
+    print(monitor.snapshot()["rtt"])       # {0.5: ..., 0.99: ...}
+
+Under the hood the same pipeline is a ``Qmonitor`` query executed by
+:meth:`StreamEngine.execute` with an :class:`ExecutionPlan` choosing the
+per-event, batched or sharded path.
 """
 
 from repro.core import FewKConfig, QLOVEConfig, QLOVEPolicy
+from repro.service import MetricSpec, Monitor, load_specs
 from repro.sketches import (
     AMPolicy,
     CMQSPolicy,
@@ -41,6 +48,7 @@ from repro.streaming import (
     Chunk,
     CountWindow,
     Event,
+    ExecutionPlan,
     Query,
     StreamEngine,
     TimeWindow,
@@ -57,8 +65,11 @@ __all__ = [
     "CountWindow",
     "Event",
     "ExactPolicy",
+    "ExecutionPlan",
     "FewKConfig",
+    "MetricSpec",
     "MomentPolicy",
+    "Monitor",
     "PolicyOperator",
     "QLOVEConfig",
     "QLOVEPolicy",
@@ -68,6 +79,7 @@ __all__ = [
     "TimeWindow",
     "available_policies",
     "chunk_stream",
+    "load_specs",
     "make_policy",
     "value_stream",
     "__version__",

@@ -1,4 +1,9 @@
-"""``python -m repro`` — forwards to the benchmark CLI."""
+"""``python -m repro`` — experiments plus the ``monitor`` subcommand.
+
+``python -m repro <experiment>`` regenerates a paper table/figure;
+``python -m repro monitor specs.json`` streams a workload through the
+:class:`~repro.service.monitor.Monitor` facade (see ``monitor --help``).
+"""
 
 import sys
 

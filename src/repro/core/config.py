@@ -9,6 +9,7 @@ quantile is statistically inefficient (``P (1 - phi) < T_s`` with
 from __future__ import annotations
 
 import math
+import numbers
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -50,16 +51,43 @@ class FewKConfig:
     burst_alpha: float = 0.05
 
     def __post_init__(self) -> None:
+        for name in ("ts_threshold", "topk_fraction", "samplek_fraction",
+                     "budget", "burst_alpha"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            # numbers.Real admits numpy scalars (np.int64 budgets from
+            # len()/array arithmetic); bool is excluded explicitly.
+            if isinstance(value, bool) or not isinstance(value, numbers.Real):
+                raise ValueError(
+                    f"{name} must be a number, got {value!r} "
+                    f"({type(value).__name__})"
+                )
         if self.ts_threshold < 0:
-            raise ValueError("ts_threshold must be non-negative")
+            raise ValueError(
+                f"ts_threshold must be non-negative, got {self.ts_threshold} "
+                "(the paper uses T_s = 10)"
+            )
         if self.topk_fraction is not None and not 0.0 <= self.topk_fraction <= 1.0:
-            raise ValueError("topk_fraction must be in [0, 1]")
+            raise ValueError(
+                f"topk_fraction must be in [0, 1] (a fraction of the exact "
+                f"tail size N(1-phi)), got {self.topk_fraction}"
+            )
         if not 0.0 <= self.samplek_fraction <= 1.0:
-            raise ValueError("samplek_fraction must be in [0, 1]")
+            raise ValueError(
+                f"samplek_fraction must be in [0, 1] (a fraction of the exact "
+                f"tail size N(1-phi)), got {self.samplek_fraction}"
+            )
         if self.budget is not None and self.budget < 0:
-            raise ValueError("budget must be non-negative")
+            raise ValueError(
+                f"budget must be non-negative (total retained values across "
+                f"the window), got {self.budget}"
+            )
         if not 0.0 < self.burst_alpha < 1.0:
-            raise ValueError("burst_alpha must be in (0, 1)")
+            raise ValueError(
+                f"burst_alpha must be in (0, 1) (a significance level such "
+                f"as 0.05), got {self.burst_alpha}"
+            )
 
     # ------------------------------------------------------------------
     # Budget resolution (Section 4.2)
@@ -130,8 +158,26 @@ class QLOVEConfig:
     def __post_init__(self) -> None:
         if self.backend not in ("dict", "tree"):
             raise ValueError(f"backend must be 'dict' or 'tree', got {self.backend!r}")
-        if self.quantize_digits is not None and self.quantize_digits < 1:
-            raise ValueError("quantize_digits must be >= 1 or None")
+        if self.quantize_digits is not None:
+            if isinstance(self.quantize_digits, bool) or not isinstance(
+                self.quantize_digits, numbers.Integral
+            ):
+                raise ValueError(
+                    f"quantize_digits must be an integer number of significant "
+                    f"digits (or None to disable compression), got "
+                    f"{self.quantize_digits!r}"
+                )
+            if self.quantize_digits < 1:
+                raise ValueError(
+                    f"quantize_digits must be >= 1 or None, got "
+                    f"{self.quantize_digits}"
+                )
+        if self.fewk is not None and not isinstance(self.fewk, FewKConfig):
+            raise ValueError(
+                f"fewk must be a FewKConfig or None, got "
+                f"{type(self.fewk).__name__}; build one with "
+                "QLOVEConfig.with_fewk(...) or FewKConfig(...)"
+            )
 
     @classmethod
     def with_fewk(cls, **fewk_kwargs: object) -> "QLOVEConfig":

@@ -1,14 +1,20 @@
-"""Command-line entry point: regenerate any paper table or figure.
+"""Command-line entry point: experiments and the monitoring facade.
 
 Usage::
 
     python -m repro table1 --scale 0.25
     python -m repro figure5 --seed 7
     python -m repro all --scale 0.125
+    python -m repro monitor specs.json --dataset netmon --events 200000
     qlove-bench table4            # console-script alias
 
 ``--scale`` multiplies the paper's window/period sizes (1.0 = paper
 size); smaller scales run proportionally faster with the same shapes.
+
+The ``monitor`` subcommand loads a JSON metric-spec file (a list of
+:class:`~repro.service.spec.MetricSpec` dicts, or ``{"metrics": [...]}``),
+streams a named workload through the :class:`~repro.service.monitor.Monitor`
+facade, and prints one quantile report line per evaluated period.
 """
 
 from __future__ import annotations
@@ -22,10 +28,14 @@ from repro.evalkit.experiments import available_experiments, get_experiment
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument schema."""
+    """The experiment-runner argument schema."""
     parser = argparse.ArgumentParser(
         prog="qlove-bench",
-        description="Regenerate the QLOVE paper's tables and figures.",
+        description=(
+            "Regenerate the QLOVE paper's tables and figures, or run the "
+            "'monitor' subcommand to stream a workload through the Monitor "
+            "facade (see 'qlove-bench monitor --help')."
+        ),
     )
     parser.add_argument(
         "experiment",
@@ -43,6 +53,103 @@ def build_parser() -> argparse.ArgumentParser:
         "--markdown", action="store_true", help="render tables as markdown"
     )
     return parser
+
+
+def build_monitor_parser() -> argparse.ArgumentParser:
+    """The ``monitor`` subcommand's argument schema."""
+    from repro.workloads.registry import available_datasets
+
+    parser = argparse.ArgumentParser(
+        prog="qlove-bench monitor",
+        description=(
+            "Stream a named workload through the Monitor facade and print "
+            "per-period quantile reports for every metric in a JSON spec file."
+        ),
+    )
+    parser.add_argument(
+        "specs",
+        help=(
+            "path to a JSON metric-spec file: a list of MetricSpec dicts or "
+            "an object with a 'metrics' list"
+        ),
+    )
+    parser.add_argument(
+        "--dataset",
+        default="netmon",
+        choices=available_datasets(),
+        help="workload streamed into every registered metric (default netmon)",
+    )
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=200_000,
+        help="stream length in elements (default 200000)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=65_536,
+        help="batched-ingest block size (default 65536)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+    return parser
+
+
+def run_monitor(argv: List[str]) -> int:
+    """Execute the ``monitor`` subcommand."""
+    from repro.service import Monitor, load_specs
+    from repro.workloads.registry import get_dataset
+
+    args = build_monitor_parser().parse_args(argv)
+    specs = load_specs(args.specs)
+    monitor = Monitor()
+
+    def report(name: str, result) -> None:
+        quantiles = "  ".join(
+            f"Q{phi:g}={estimate:,.1f}" for phi, estimate in result.result.items()
+        )
+        print(
+            f"{name:<16} eval={result.index:<4} n={result.window_count:<9,} "
+            f"end={int(result.end):<10,} {quantiles}"
+        )
+
+    for spec in specs:
+        monitor.register(spec, on_result=report)
+        print(
+            f"registered {spec.name!r}: policy={spec.policy} "
+            f"window={spec.window.size:,}/{spec.window.period:,} "
+            f"quantiles={list(spec.quantiles)}"
+        )
+
+    values = get_dataset(args.dataset, args.events, seed=args.seed)
+    print(
+        f"\nstreaming {len(values):,} '{args.dataset}' elements "
+        f"(seed {args.seed}) into {len(monitor)} metric(s)\n"
+    )
+    started = time.perf_counter()
+    for offset in range(0, len(values), args.chunk_size):
+        block = values[offset : offset + args.chunk_size]
+        for name in monitor.metrics():
+            monitor.observe_batch(name, block)
+    elapsed = time.perf_counter() - started
+
+    print("\nfinal snapshot:")
+    for name, estimates in monitor.snapshot().items():
+        if estimates is None:
+            print(f"  {name}: (no full window yet)")
+        else:
+            rendered = "  ".join(
+                f"Q{phi:g}={estimate:,.1f}" for phi, estimate in estimates.items()
+            )
+            print(f"  {name}: {rendered}")
+    for name, accounting in monitor.space_report().items():
+        print(
+            f"  {name}: {accounting['evaluations']} evaluations, "
+            f"{accounting['peak_space']:,} peak state variables"
+        )
+    rate = len(values) * len(monitor) / elapsed / 1e6 if elapsed > 0 else float("inf")
+    print(f"\n[{rate:.1f} M ev/s across metrics, {elapsed:.1f}s]")
+    return 0
 
 
 def run_one(name: str, scale: float, seed: int, markdown: bool) -> None:
@@ -66,6 +173,10 @@ def run_one(name: str, scale: float, seed: int, markdown: bool) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "monitor":
+        return run_monitor(argv[1:])
     args = build_parser().parse_args(argv)
     names = available_experiments() if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -32,8 +32,7 @@ from repro.evalkit.reporting import Table
 from repro.evalkit.throughput import measure_throughput_sharded
 from repro.sketches.base import PolicyOperator
 from repro.sketches.registry import make_policy
-from repro.streaming.engine import run_query_batched
-from repro.streaming.sharded import run_sharded
+from repro.streaming import ExecutionPlan, Query, StreamEngine
 from repro.workloads import generate_netmon
 
 WINDOW_SIZE = 32_768
@@ -58,9 +57,13 @@ def run(scale: float = 1.0, seed: int = 0, evaluations: int = 8) -> ExperimentRe
     )
     data: Dict[str, object] = {}
 
+    engine = StreamEngine()
     for name in POLICIES:
         factory = lambda name=name: make_policy(name, QMONITOR_PHIS, window)
-        reference = run_query_batched(values, window, PolicyOperator(factory()))
+        reference = engine.execute_to_list(
+            Query(values).windowed_by(window).aggregate(PolicyOperator(factory())),
+            ExecutionPlan(mode="batched"),
+        )
         truth = dict(
             zip(
                 QMONITOR_PHIS,
@@ -68,7 +71,12 @@ def run(scale: float = 1.0, seed: int = 0, evaluations: int = 8) -> ExperimentRe
             )
         )
         for n_shards in SHARD_COUNTS:
-            results = run_sharded(values, window, factory, n_shards=n_shards)
+            results = engine.execute_to_list(
+                Query(values).windowed_by(window),
+                ExecutionPlan(
+                    mode="sharded", n_shards=n_shards, policy_factory=factory
+                ),
+            )
             identical = results == reference
             final = results[-1].result
             max_err = max(
@@ -91,8 +99,8 @@ def run(scale: float = 1.0, seed: int = 0, evaluations: int = 8) -> ExperimentRe
         data[f"throughput/shards={n_shards}"] = outcome.million_events_per_second
         throughput.add_row(str(n_shards), f"{outcome.million_events_per_second:.3f}")
 
-    # Coordinator-side accounting over a 4-node fleet built via run_sharded's
-    # machinery: combine per-shard policies and report space.
+    # Coordinator-side accounting over a 4-node fleet built via the sharded
+    # subsystem's machinery: combine per-shard policies and report space.
     coordinator = FleetCoordinator(qlove_factory)
     nodes = [qlove_factory() for _ in range(4)]
     quarter = len(values) // 4

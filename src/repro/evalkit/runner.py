@@ -16,7 +16,7 @@ import numpy as np
 from repro.evalkit.metrics import ErrorAccumulator
 from repro.sketches.base import PolicyOperator, QuantilePolicy
 from repro.sketches.registry import make_policy
-from repro.streaming import Query, StreamEngine, value_stream
+from repro.streaming import ExecutionPlan, Query, StreamEngine, value_stream
 from repro.streaming.windows import CountWindow
 
 
@@ -59,7 +59,7 @@ def run_policy(
         .aggregate(PolicyOperator(policy))
     )
     arr = np.asarray(values, dtype=np.float64)
-    for result in StreamEngine().run(query):
+    for result in StreamEngine().execute(query, ExecutionPlan(mode="events")):
         end = int(result.end)
         accumulator.observe(result.result, arr[end - window.size : end])
     return accumulator

@@ -7,12 +7,17 @@ Absolute numbers are hardware- and runtime-specific (pure Python here,
 C#/Trill in the paper); the experiments therefore report *ratios* between
 policies alongside the raw numbers.
 
-Two ingestion paths are measurable:
+Three ingestion paths are measurable, all driven through the unified
+:meth:`StreamEngine.execute <repro.streaming.engine.StreamEngine.execute>`
+planner:
 
-- :func:`measure_throughput` — the per-event reference loop;
+- :func:`measure_throughput` — the per-event reference loop
+  (``ExecutionPlan(mode="events")``);
 - :func:`measure_throughput_batched` — the chunked fast path, where the
   engine slices numpy chunks at period boundaries and policies bulk-ingest
-  them.  :func:`compare_ingest_paths` runs both and reports the speedup.
+  them.  :func:`compare_ingest_paths` runs both and reports the speedup;
+- :func:`measure_throughput_sharded` — the partition-and-merge path
+  (``ExecutionPlan(mode="sharded", ...)``).
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.sketches.base import PolicyOperator, QuantilePolicy
-from repro.streaming import Query, StreamEngine, chunk_stream, value_stream
+from repro.streaming import ExecutionPlan, Query, StreamEngine, chunk_stream, value_stream
 from repro.streaming.windows import CountWindow
 
 
@@ -76,7 +81,7 @@ def measure_throughput(
         )
         engine = StreamEngine()
         start = time.perf_counter()
-        count = sum(1 for _ in engine.run(query))
+        count = sum(1 for _ in engine.execute(query, ExecutionPlan(mode="events")))
         elapsed = time.perf_counter() - start
         evaluations = count
         best_seconds = min(best_seconds, elapsed)
@@ -118,7 +123,7 @@ def measure_throughput_batched(
         )
         engine = StreamEngine()
         start = time.perf_counter()
-        count = sum(1 for _ in engine.run_chunked(query))
+        count = sum(1 for _ in engine.execute(query, ExecutionPlan(mode="batched")))
         elapsed = time.perf_counter() - start
         evaluations = count
         best_seconds = min(best_seconds, elapsed)
@@ -149,21 +154,25 @@ def measure_throughput_sharded(
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
-    from repro.streaming.sharded import ShardedEngine
-
     values = np.asarray(values, dtype=np.float64)
+    plan = ExecutionPlan(
+        mode="sharded",
+        n_shards=n_shards,
+        partitioner=partitioner,
+        parallel=parallel,
+        chunk_size=chunk_size,
+        policy_factory=policy_factory,
+    )
     best_seconds = float("inf")
     evaluations = 0
     name = "unknown"
     for _ in range(repeats):
         probe = policy_factory()
         name = probe.name
-        query = Query(chunk_stream(values, chunk_size)).windowed_by(window)
-        engine = ShardedEngine(
-            n_shards, partitioner=partitioner, parallel=parallel
-        )
+        query = Query(values).windowed_by(window)
+        engine = StreamEngine()
         start = time.perf_counter()
-        count = sum(1 for _ in engine.run_chunked(query, policy_factory))
+        count = sum(1 for _ in engine.execute(query, plan))
         elapsed = time.perf_counter() - start
         evaluations = count
         best_seconds = min(best_seconds, elapsed)

@@ -1,0 +1,24 @@
+"""The operator-facing service layer: one front door for monitoring.
+
+Everything below this package — query builder, engines, policies,
+sketches — is the machinery; this layer is the monitoring *product* the
+paper pitches:
+
+- :class:`~repro.service.spec.MetricSpec` — declarative description of
+  one monitored metric (quantiles, window, policy by registry name),
+  JSON round-trippable via ``from_dict``/``to_dict``.
+- :class:`~repro.service.monitor.Monitor` — a multi-metric session:
+  ``register(spec)``, ``observe``/``observe_batch``, ``snapshot()``,
+  per-period callbacks, and ``merge(other)`` so monitors shard and
+  combine like the sketches they host.
+
+Scaling work (sharding, batching, future async ingest and multi-backend
+storage) plugs in underneath via
+:class:`~repro.streaming.plan.ExecutionPlan` without touching this
+surface.
+"""
+
+from repro.service.monitor import MetricChannel, Monitor
+from repro.service.spec import MetricSpec, load_specs
+
+__all__ = ["MetricChannel", "MetricSpec", "Monitor", "load_specs"]

@@ -1,0 +1,324 @@
+"""The ``Monitor`` facade: many named metrics behind one front door.
+
+The paper's operator-facing pitch — "track Q0.5/0.9/0.99/0.999 of the
+last N events, evaluated every P" over fleets of datacenter metrics —
+needs no query-builder vocabulary at the call site.  A :class:`Monitor`
+is a multi-metric session object driven entirely by declarative
+:class:`~repro.service.spec.MetricSpec`\\ s::
+
+    monitor = Monitor()
+    monitor.register(MetricSpec(name="rtt", quantiles=[0.5, 0.99],
+                                window={"size": 100_000, "period": 10_000}))
+    monitor.observe_batch("rtt", values)        # or observe(name, v) per event
+    monitor.snapshot()                          # {"rtt": {0.5: ..., 0.99: ...}}
+
+Each registered metric runs the same seal/expire lifecycle as the
+streaming engine, so a monitor fed a metric's full stream emits
+``WindowResult``\\ s identical to the hand-assembled
+``Query`` + ``StreamEngine`` pipeline.  Monitors themselves shard and
+combine: :meth:`Monitor.merge` folds another monitor's per-metric state
+in through the universal :meth:`QuantilePolicy.merge
+<repro.sketches.base.QuantilePolicy.merge>` contract (PR 2), so
+per-node monitors built independently merge into one fleet answer —
+for QLOVE and Exact, bit-identically to observing the unsplit stream
+when merges happen at period boundaries (the
+:class:`~repro.streaming.sharded.ShardedEngine` discipline).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.service.spec import MetricSpec
+from repro.streaming.engine import WindowResult
+
+#: Per-period callback: ``callback(metric_name, window_result)``.
+ResultCallback = Callable[[str, WindowResult], None]
+
+
+class MetricChannel:
+    """One registered metric: its policy plus window bookkeeping.
+
+    Mirrors ``StreamEngine._run_count_subwindow`` exactly — accumulate
+    until the period fills, seal, expire beyond the window span, emit
+    once a full window is in view — so a channel fed the whole stream
+    reproduces the engine's ``WindowResult`` sequence.  Channels are
+    created by :meth:`Monitor.register`; drive them through the monitor.
+    """
+
+    def __init__(
+        self,
+        spec: MetricSpec,
+        emit_partial: bool = False,
+        callbacks: Optional[List[ResultCallback]] = None,
+    ) -> None:
+        self.spec = spec
+        self.policy = spec.build_policy()
+        self.results: List[WindowResult] = []
+        self._emit_partial = emit_partial
+        self._callbacks: List[ResultCallback] = list(callbacks or [])
+        #: Element counts of the sealed sub-windows currently in view.
+        self._counts: Deque[int] = deque()
+        self._in_flight = 0
+        self._seen = 0
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Fold one element into the in-flight sub-window."""
+        self.policy.accumulate(float(value))
+        self._in_flight += 1
+        self._seen += 1
+        if self._in_flight >= self.spec.window.period:
+            self._seal()
+
+    def observe_batch(self, values: np.ndarray) -> None:
+        """Bulk-ingest a value array, sealing at every period boundary."""
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 1:
+            raise ValueError(
+                f"metric {self.spec.name!r}: observe_batch() takes a 1-D "
+                f"value array, got shape {array.shape}"
+            )
+        period = self.spec.window.period
+        position = 0
+        n = len(array)
+        while position < n:
+            take = min(period - self._in_flight, n - position)
+            self.policy.accumulate_batch(array[position : position + take])
+            self._in_flight += take
+            self._seen += take
+            position += take
+            if self._in_flight >= period:
+                self._seal()
+
+    # ------------------------------------------------------------------
+    # Boundary lifecycle
+    # ------------------------------------------------------------------
+    def _seal(self) -> None:
+        """Period boundary: seal, expire beyond the window span, emit."""
+        window = self.spec.window
+        self.policy.seal_subwindow()
+        self._counts.append(self._in_flight)
+        self._in_flight = 0
+        if len(self._counts) > window.subwindow_count:
+            self.policy.expire_subwindow()
+            self._counts.popleft()
+        if len(self._counts) == window.subwindow_count or self._emit_partial:
+            result = WindowResult(
+                index=self._index,
+                window_count=sum(self._counts),
+                end=float(self._seen),
+                result=self.policy.query(),
+            )
+            self._index += 1
+            self.results.append(result)
+            for callback in self._callbacks:
+                callback(self.spec.name, result)
+
+    # ------------------------------------------------------------------
+    # Merging / reset (the sharded-monitor contract)
+    # ------------------------------------------------------------------
+    def merge_from(self, other: "MetricChannel") -> None:
+        """Fold another channel's state into this one (donor unchanged).
+
+        Sealed sub-windows and the in-flight state merge through
+        :meth:`QuantilePolicy.merge`; element accounting adds.  For the
+        fleet pattern — shard channels that accumulate less than one
+        period between merges — merging at period boundaries reproduces
+        the unsplit stream bit-for-bit (QLOVE/Exact).  After merging,
+        reset or discard the donor; continuing to drive it would
+        double-count its state on the next merge.
+        """
+        if other.spec != self.spec:
+            raise ValueError(
+                f"cannot merge metric {other.spec.name!r} into "
+                f"{self.spec.name!r}: specs differ"
+            )
+        self.policy.merge(other.policy)
+        window = self.spec.window
+        self._counts.extend(other._counts)
+        while len(self._counts) > window.subwindow_count:
+            self.policy.expire_subwindow()
+            self._counts.popleft()
+        self._in_flight += other._in_flight
+        self._seen += other._seen
+        if self._in_flight >= window.period:
+            self._seal()
+
+    def reset(self) -> None:
+        """Discard all accumulated state and results, keep the spec."""
+        self.policy.reset()
+        self.results.clear()
+        self._counts.clear()
+        self._in_flight = 0
+        self._seen = 0
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def latest(self) -> Optional[WindowResult]:
+        """The most recent evaluation, or None before a full window."""
+        return self.results[-1] if self.results else None
+
+    def report(self) -> Dict[str, object]:
+        """Accounting snapshot (space, elements, evaluations)."""
+        return {
+            "policy": self.spec.policy,
+            "window": {
+                "size": self.spec.window.size,
+                "period": self.spec.window.period,
+            },
+            "seen": self._seen,
+            "evaluations": len(self.results),
+            "space": self.policy.space_variables(),
+            "peak_space": self.policy.peak_space_variables(),
+        }
+
+
+class Monitor:
+    """A multi-metric monitoring session over declarative specs.
+
+    Parameters
+    ----------
+    emit_partial:
+        As in :class:`~repro.streaming.engine.StreamEngine`: also emit
+        evaluations while a metric's first window is still filling.
+    """
+
+    def __init__(self, emit_partial: bool = False) -> None:
+        self._emit_partial = emit_partial
+        self._channels: Dict[str, MetricChannel] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        spec: Union[MetricSpec, Mapping[str, object]],
+        on_result: Optional[ResultCallback] = None,
+    ) -> MetricSpec:
+        """Add a metric; returns the canonical :class:`MetricSpec`.
+
+        ``spec`` may be a :class:`MetricSpec` or its dict form (validated
+        through :meth:`MetricSpec.from_dict`).  ``on_result`` is invoked
+        as ``on_result(name, window_result)`` at every emitted period.
+        """
+        if isinstance(spec, Mapping):
+            spec = MetricSpec.from_dict(spec)
+        if not isinstance(spec, MetricSpec):
+            raise TypeError(
+                f"register() takes a MetricSpec or its dict form, got "
+                f"{type(spec).__name__}"
+            )
+        if spec.name in self._channels:
+            raise ValueError(
+                f"metric {spec.name!r} is already registered; metric names "
+                "must be unique within a Monitor"
+            )
+        callbacks = [on_result] if on_result is not None else []
+        self._channels[spec.name] = MetricChannel(
+            spec, emit_partial=self._emit_partial, callbacks=callbacks
+        )
+        return spec
+
+    def on_result(self, name: str, callback: ResultCallback) -> None:
+        """Subscribe ``callback(name, result)`` to a metric's evaluations."""
+        self._channel(name)._callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def observe(self, name: str, value: float, ts: Optional[float] = None) -> None:
+        """Fold one element of metric ``name`` into its window.
+
+        ``ts`` is accepted for API symmetry with timestamped pipelines;
+        registered metrics are count-windowed, so it does not influence
+        windowing.
+        """
+        self._channel(name).observe(value)
+
+    def observe_batch(self, name: str, values: np.ndarray) -> None:
+        """Bulk-ingest a value array for metric ``name`` (batched path)."""
+        self._channel(name).observe_batch(values)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def results(self, name: str) -> List[WindowResult]:
+        """All evaluations emitted so far for metric ``name``."""
+        return list(self._channel(name).results)
+
+    def snapshot(self) -> Dict[str, Optional[Dict[float, float]]]:
+        """Latest ``{phi: estimate}`` per metric (None before a window)."""
+        return {
+            name: (channel.latest.result if channel.latest else None)
+            for name, channel in self._channels.items()
+        }
+
+    def space_report(self) -> Dict[str, Dict[str, object]]:
+        """Per-metric space/element/evaluation accounting."""
+        return {name: ch.report() for name, ch in self._channels.items()}
+
+    # ------------------------------------------------------------------
+    # Fleet composition
+    # ------------------------------------------------------------------
+    def merge(self, other: "Monitor") -> "Monitor":
+        """Fold another monitor's state into this one, metric by metric.
+
+        Every metric registered in ``other`` must be registered here with
+        an equal spec.  ``other`` is not modified; reset or discard it
+        afterwards (its state now lives in this monitor).  Merging
+        per-shard monitors at period boundaries reproduces the unsplit
+        stream bit-for-bit for QLOVE and Exact — the
+        :class:`~repro.streaming.sharded.ShardedEngine` guarantee, now at
+        the facade level.  Returns ``self`` for chaining.
+        """
+        if not isinstance(other, Monitor):
+            raise TypeError(f"cannot merge {type(other).__name__} into Monitor")
+        missing = sorted(set(other._channels) - set(self._channels))
+        if missing:
+            raise ValueError(
+                f"cannot merge: metric(s) {missing} are not registered in "
+                "this monitor; register the same specs on both sides"
+            )
+        for name, channel in other._channels.items():
+            self._channels[name].merge_from(channel)
+        return self
+
+    def reset(self) -> None:
+        """Reset every metric's state and results (specs stay registered)."""
+        for channel in self._channels.values():
+            channel.reset()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def metrics(self) -> List[str]:
+        """Registered metric names, in registration order."""
+        return list(self._channels)
+
+    def specs(self) -> List[MetricSpec]:
+        """The canonical specs of every registered metric."""
+        return [channel.spec for channel in self._channels.values()]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._channels
+
+    def __len__(self) -> int:
+        return len(self._channels)
+
+    def _channel(self, name: str) -> MetricChannel:
+        try:
+            return self._channels[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown metric {name!r}; registered: {self.metrics() or '(none)'}"
+            ) from None

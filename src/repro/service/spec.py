@@ -1,0 +1,368 @@
+"""Declarative metric specifications: the *what* of a monitoring query.
+
+A :class:`MetricSpec` names one monitored metric and everything needed to
+build its quantile pipeline — quantiles, window shape, policy name and
+algorithm parameters — without importing a single policy class: policies
+resolve through :mod:`repro.sketches.registry` by string name, so every
+registered algorithm (``qlove``, ``exact``, ``cmqs``, ``am``, ``random``,
+``moment``, plus anything added via
+:func:`~repro.sketches.registry.register_policy`) is constructible from
+plain data.  ``from_dict``/``to_dict`` round-trip specs through
+JSON/YAML-style configs, which is how the
+``python -m repro monitor`` CLI and fleet config files describe metrics::
+
+    {"name": "rtt",
+     "quantiles": [0.5, 0.9, 0.99, 0.999],
+     "window": {"size": 131072, "period": 16384},
+     "policy": "qlove",
+     "policy_params": {"fewk": {"samplek_fraction": 0.01}}}
+
+Validation is front-loaded: a malformed spec raises an actionable
+``ValueError`` at construction time, never mid-stream.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import json
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.config import FewKConfig, QLOVEConfig
+from repro.sketches.registry import available_policies, make_policy
+from repro.streaming.windows import CountWindow
+
+if TYPE_CHECKING:
+    from repro.sketches.base import PolicyOperator, QuantilePolicy
+    from repro.streaming.query import Query
+
+#: Keys a serialised spec dict may carry.
+_SPEC_KEYS = ("name", "quantiles", "window", "policy", "policy_params")
+
+#: QLOVE parameters accepted flat in ``policy_params`` (assembled into a
+#: :class:`~repro.core.config.QLOVEConfig`); ``config`` is the alternative.
+_QLOVE_FLAT_KEYS = ("quantize_digits", "backend", "fewk")
+
+
+def _as_count_window(window: object, metric: str) -> CountWindow:
+    """Coerce a window argument (CountWindow or {size, period} dict)."""
+    if isinstance(window, CountWindow):
+        return window
+    if isinstance(window, Mapping):
+        extra = set(window) - {"size", "period"}
+        if extra:
+            raise ValueError(
+                f"metric {metric!r}: unknown window key(s) {sorted(extra)}; "
+                "expected {'size', 'period'}"
+            )
+        missing = {"size", "period"} - set(window)
+        if missing:
+            raise ValueError(
+                f"metric {metric!r}: window is missing {sorted(missing)}; "
+                "expected {'size': N, 'period': P}"
+            )
+        try:
+            return CountWindow(size=int(window["size"]), period=int(window["period"]))
+        except ValueError as exc:
+            raise ValueError(f"metric {metric!r}: {exc}") from None
+    raise ValueError(
+        f"metric {metric!r}: window must be a CountWindow or a "
+        f"{{'size', 'period'}} mapping, got {type(window).__name__}"
+    )
+
+
+def _as_fewk(fewk: object, metric: str) -> Optional[FewKConfig]:
+    """Coerce a few-k argument (FewKConfig, mapping, bool or None)."""
+    if fewk is None or fewk is False:
+        return None
+    if fewk is True:
+        return FewKConfig()
+    if isinstance(fewk, FewKConfig):
+        return fewk
+    if isinstance(fewk, Mapping):
+        try:
+            return FewKConfig(**fewk)
+        except TypeError:
+            known = sorted(inspect.signature(FewKConfig).parameters)
+            raise ValueError(
+                f"metric {metric!r}: unknown few-k parameter(s) "
+                f"{sorted(set(fewk) - set(known))}; accepted: {known}"
+            ) from None
+    raise ValueError(
+        f"metric {metric!r}: 'fewk' must be a FewKConfig, a mapping of its "
+        f"fields, true/false or null, got {type(fewk).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One monitored metric, fully described by plain data.
+
+    Parameters
+    ----------
+    name:
+        Unique metric identifier (the key used with
+        :meth:`Monitor.observe <repro.service.monitor.Monitor.observe>`).
+    quantiles:
+        The phis to track; each must lie strictly inside (0, 1).  Stored
+        sorted and de-duplicated (matching what the policy will answer).
+    window:
+        A :class:`~repro.streaming.windows.CountWindow` or a
+        ``{"size": N, "period": P}`` mapping; the period must divide the
+        size so sub-windows align.
+    policy:
+        Registry name of the quantile algorithm (see
+        :func:`~repro.sketches.registry.available_policies`).
+    policy_params:
+        Algorithm parameters forwarded to the policy constructor (e.g.
+        ``epsilon`` for ``cmqs``/``am``/``random``, ``k`` for
+        ``moment``).  For ``qlove`` the params are either a ``config``
+        entry (a :class:`~repro.core.config.QLOVEConfig` or its dict
+        form) or the flat keys ``quantize_digits`` / ``backend`` /
+        ``fewk`` (``fewk`` itself a
+        :class:`~repro.core.config.FewKConfig`, its dict form, or
+        ``true`` for defaults).
+    """
+
+    name: str
+    quantiles: Sequence[float]
+    window: Union[CountWindow, Mapping]
+    policy: str = "qlove"
+    policy_params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(
+                f"metric name must be a non-empty string, got {self.name!r}"
+            )
+        if isinstance(self.quantiles, (str, bytes)) or not isinstance(
+            self.quantiles, (Sequence, frozenset, set)
+        ):
+            raise ValueError(
+                f"metric {self.name!r}: quantiles must be a sequence of "
+                f"floats, got {type(self.quantiles).__name__}"
+            )
+        phis = [float(phi) for phi in self.quantiles]
+        if not phis:
+            raise ValueError(
+                f"metric {self.name!r}: quantiles must be non-empty "
+                "(e.g. [0.5, 0.9, 0.99, 0.999])"
+            )
+        for phi in phis:
+            if not 0.0 < phi < 1.0:
+                raise ValueError(
+                    f"metric {self.name!r}: quantile {phi} is outside (0, 1); "
+                    "quantiles are fractions such as 0.99, not percentages"
+                )
+        object.__setattr__(self, "quantiles", tuple(sorted(set(phis))))
+        object.__setattr__(
+            self, "window", _as_count_window(self.window, self.name)
+        )
+        if not isinstance(self.policy, str):
+            raise ValueError(
+                f"metric {self.name!r}: policy must be a registry name "
+                f"string, got {type(self.policy).__name__}"
+            )
+        if self.policy not in available_policies():
+            raise ValueError(
+                f"metric {self.name!r}: unknown policy {self.policy!r}; "
+                f"available: {available_policies()}"
+            )
+        if not isinstance(self.policy_params, Mapping):
+            raise ValueError(
+                f"metric {self.name!r}: policy_params must be a mapping, "
+                f"got {type(self.policy_params).__name__}"
+            )
+        object.__setattr__(self, "policy_params", dict(self.policy_params))
+        # Fail fast on malformed parameters (never mid-stream): resolving
+        # fully validates QLOVE configs and non-QLOVE parameter names.
+        self.resolved_params()
+
+    # ------------------------------------------------------------------
+    # Parameter resolution
+    # ------------------------------------------------------------------
+    def resolved_params(self) -> Dict[str, object]:
+        """Policy-constructor keyword arguments this spec resolves to."""
+        params = dict(self.policy_params)
+        if self.policy != "qlove":
+            self._check_param_names(params)
+            return params
+        config = params.pop("config", None)
+        flat = {k: params.pop(k) for k in _QLOVE_FLAT_KEYS if k in params}
+        if params:
+            raise ValueError(
+                f"metric {self.name!r}: unknown QLOVE parameter(s) "
+                f"{sorted(params)}; accepted: 'config' or "
+                f"{sorted(_QLOVE_FLAT_KEYS)}"
+            )
+        if config is not None and flat:
+            raise ValueError(
+                f"metric {self.name!r}: pass either 'config' or the flat "
+                f"keys {sorted(flat)}, not both"
+            )
+        if config is None:
+            if not flat:
+                return {}
+            fewk = _as_fewk(flat.pop("fewk", None), self.name)
+            try:
+                config = QLOVEConfig(fewk=fewk, **flat)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"metric {self.name!r}: {exc}") from None
+        elif isinstance(config, Mapping):
+            entries = dict(config)
+            fewk = _as_fewk(entries.pop("fewk", None), self.name)
+            try:
+                config = QLOVEConfig(fewk=fewk, **entries)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"metric {self.name!r}: {exc}") from None
+        elif not isinstance(config, QLOVEConfig):
+            raise ValueError(
+                f"metric {self.name!r}: 'config' must be a QLOVEConfig or "
+                f"its dict form, got {type(config).__name__}"
+            )
+        return {"config": config}
+
+    def _check_param_names(self, params: Mapping[str, object]) -> None:
+        """Reject parameter names the policy constructor does not accept."""
+        if not params:
+            return
+        from repro.sketches.registry import get_policy_factory
+
+        factory = get_policy_factory(self.policy)
+        try:
+            signature = inspect.signature(factory)
+        except (TypeError, ValueError):  # pragma: no cover - C callables
+            return
+        accepts_kwargs = any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in signature.parameters.values()
+        )
+        if accepts_kwargs:
+            return
+        known = [
+            n
+            for n, p in signature.parameters.items()
+            if n not in ("self", "phis", "window")
+            and p.kind
+            in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+        ]
+        unknown = sorted(set(params) - set(known))
+        if unknown:
+            raise ValueError(
+                f"metric {self.name!r}: policy {self.policy!r} does not "
+                f"accept parameter(s) {unknown}; accepted: {sorted(known)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def build_policy(self) -> "QuantilePolicy":
+        """Instantiate a fresh policy for this metric via the registry."""
+        try:
+            return make_policy(
+                self.policy, self.quantiles, self.window, **self.resolved_params()
+            )
+        except TypeError as exc:
+            raise ValueError(
+                f"metric {self.name!r}: invalid parameters for policy "
+                f"{self.policy!r}: {exc}"
+            ) from None
+
+    def policy_factory(self) -> Callable[[], "QuantilePolicy"]:
+        """Zero-argument fresh-policy builder (picklable, for sharding)."""
+        return functools.partial(
+            make_policy,
+            self.policy,
+            self.quantiles,
+            self.window,
+            **self.resolved_params(),
+        )
+
+    def build_operator(self) -> "PolicyOperator":
+        """Fresh policy wrapped for the streaming engine's aggregate stage."""
+        from repro.sketches.base import PolicyOperator
+
+        return PolicyOperator(self.build_policy())
+
+    def build_query(self, source) -> "Query":
+        """The equivalent hand-assembled ``Qmonitor`` query over ``source``."""
+        from repro.streaming.query import Query
+
+        return Query(source).windowed_by(self.window).aggregate(self.build_operator())
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MetricSpec":
+        """Build a spec from its JSON/YAML dict form (see :meth:`to_dict`)."""
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"a metric spec must be a mapping, got {type(data).__name__}"
+            )
+        unknown = set(data) - set(_SPEC_KEYS)
+        if unknown:
+            raise ValueError(
+                f"unknown metric-spec key(s) {sorted(unknown)}; "
+                f"accepted: {list(_SPEC_KEYS)}"
+            )
+        missing = {"name", "quantiles", "window"} - set(data)
+        if missing:
+            raise ValueError(
+                f"metric spec is missing required key(s) {sorted(missing)} "
+                f"(got {sorted(data)})"
+            )
+        return cls(
+            name=data["name"],  # type: ignore[arg-type]
+            quantiles=data["quantiles"],  # type: ignore[arg-type]
+            window=data["window"],  # type: ignore[arg-type]
+            policy=data.get("policy", "qlove"),  # type: ignore[arg-type]
+            policy_params=data.get("policy_params", {}),  # type: ignore[arg-type]
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form; ``MetricSpec.from_dict`` round-trips it."""
+        params = self.resolved_params()
+        if self.policy == "qlove" and "config" in params:
+            config = params["config"]
+            assert isinstance(config, QLOVEConfig)
+            serialised: Dict[str, object] = {
+                "quantize_digits": config.quantize_digits,
+                "backend": config.backend,
+            }
+            if config.fewk is not None:
+                serialised["fewk"] = asdict(config.fewk)
+            params = serialised
+        return {
+            "name": self.name,
+            "quantiles": list(self.quantiles),
+            "window": {"size": self.window.size, "period": self.window.period},
+            "policy": self.policy,
+            "policy_params": dict(params),
+        }
+
+
+def load_specs(path: str) -> List[MetricSpec]:
+    """Load metric specs from a JSON file.
+
+    The file holds either a list of spec dicts or an object with a
+    ``"metrics"`` list — the format ``python -m repro monitor`` consumes.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, Mapping):
+        if "metrics" not in data:
+            raise ValueError(
+                f"{path}: expected a top-level 'metrics' list or a JSON "
+                f"array of metric specs (got object with keys {sorted(data)})"
+            )
+        data = data["metrics"]
+    if not isinstance(data, list) or not data:
+        raise ValueError(f"{path}: expected a non-empty list of metric specs")
+    specs = [MetricSpec.from_dict(entry) for entry in data]
+    names = [spec.name for spec in specs]
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        raise ValueError(f"{path}: duplicate metric name(s) {duplicates}")
+    return specs

@@ -29,7 +29,12 @@ from repro.sketches.gk import GKSummary
 from repro.sketches.kll import KLLSketch
 from repro.sketches.moments import MomentPolicy, MomentSolver
 from repro.sketches.random_sketch import RandomPolicy
-from repro.sketches.registry import available_policies, make_policy
+from repro.sketches.registry import (
+    available_policies,
+    get_policy_factory,
+    make_policy,
+    register_policy,
+)
 
 __all__ = [
     "AMPolicy",
@@ -43,5 +48,7 @@ __all__ = [
     "QuantilePolicy",
     "RandomPolicy",
     "available_policies",
+    "get_policy_factory",
     "make_policy",
+    "register_policy",
 ]

@@ -44,6 +44,32 @@ def available_policies() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def register_policy(name: str, factory: PolicyFactory) -> None:
+    """Add (or replace) a policy factory under ``name``.
+
+    The factory is called as ``factory(phis, window, **params)`` and must
+    return a :class:`~repro.sketches.base.QuantilePolicy`.  Registration
+    makes the policy constructible from declarative
+    :class:`~repro.service.spec.MetricSpec` configs and the CLI without
+    any imports at the call site.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"policy name must be a non-empty string, got {name!r}")
+    if not callable(factory):
+        raise TypeError(f"policy factory must be callable, got {type(factory).__name__}")
+    _REGISTRY[name] = factory
+
+
+def get_policy_factory(name: str) -> PolicyFactory:
+    """The raw registered factory for ``name`` (for signature inspection)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        ) from None
+
+
 def make_policy(
     name: str,
     phis: Sequence[float],

@@ -14,7 +14,10 @@ period.  This subpackage provides exactly that contract:
   mean, min/max, variance) including the paper's running-average example.
 - :mod:`~repro.streaming.query` — LINQ-like query builder
   (``window().where().select().aggregate()``).
-- :mod:`~repro.streaming.engine` — the single-threaded execution loop.
+- :mod:`~repro.streaming.engine` — the execution loops and the unified
+  ``StreamEngine.execute`` entry point.
+- :mod:`~repro.streaming.plan` — :class:`ExecutionPlan`, the declarative
+  choice of execution path (auto / events / batched / sharded).
 - :mod:`~repro.streaming.sources` — adapters turning arrays/iterables into
   event streams.
 - :mod:`~repro.streaming.partition` — deterministic chunk-stream
@@ -41,6 +44,7 @@ from repro.streaming.engine import (
 from repro.streaming.event import Event
 from repro.streaming.operator import IncrementalOperator, SubWindowOperator
 from repro.streaming.partition import StreamPartitioner, available_partitioners
+from repro.streaming.plan import ExecutionPlan
 from repro.streaming.query import Query
 from repro.streaming.sharded import ShardedEngine, run_sharded
 from repro.streaming.sources import (
@@ -59,6 +63,7 @@ __all__ = [
     "CountOperator",
     "CountWindow",
     "Event",
+    "ExecutionPlan",
     "IncrementalOperator",
     "MaxOperator",
     "MeanOperator",

@@ -15,20 +15,33 @@ period.  It implements the incremental-evaluation semantics of Section 2:
   (``expire_subwindow``) — this is precisely where QLOVE's throughput
   advantage over per-element deaccumulation comes from.
 
-Two ingestion paths feed these semantics:
+The front door is :meth:`StreamEngine.execute`, which takes an
+:class:`~repro.streaming.plan.ExecutionPlan` and dispatches to one of
+three ingestion paths over the same semantics:
 
-- :meth:`StreamEngine.run` — the per-event reference loop (one Python
-  object and one method call per element).
-- :meth:`StreamEngine.run_chunked` — the batched fast path: the source
-  yields :class:`~repro.streaming.sources.Chunk` objects (numpy arrays),
-  the engine slices them at sub-window / period boundaries, and operators
+- the per-event reference loop (one Python object and one method call
+  per element) — ``mode="events"``;
+- the batched fast path — ``mode="batched"``: the source yields
+  :class:`~repro.streaming.sources.Chunk` objects (numpy arrays), the
+  engine slices them at sub-window / period boundaries, and operators
   ingest whole slices via ``accumulate_batch``.  Window semantics and
   results are identical to the per-event loop; only the per-element
-  interpreter overhead is gone.
+  interpreter overhead is gone;
+- the sharded path — ``mode="sharded"``: the chunk stream is partitioned
+  across N per-shard policies merged at every period boundary
+  (:class:`~repro.streaming.sharded.ShardedEngine`).
+
+``mode="auto"`` (the default) picks the path from the source type and
+the plan's shard count.  :meth:`StreamEngine.run` and
+:meth:`StreamEngine.run_chunked` remain as the two loop implementations
+the planner dispatches to; the module-level ``run_query*`` one-shot
+helpers are deprecated shims over ``execute``.
 """
 
 from __future__ import annotations
 
+import itertools
+import warnings
 from collections import deque
 from dataclasses import dataclass, replace
 from typing import Generic, Iterable, Iterator, Optional, TypeVar, Union
@@ -37,6 +50,7 @@ import numpy as np
 
 from repro.streaming.event import Event
 from repro.streaming.operator import IncrementalOperator, SubWindowOperator
+from repro.streaming.plan import ExecutionPlan
 from repro.streaming.query import Query
 from repro.streaming.sources import Chunk, ChunkLike, as_chunk, chunk_stream, events_of_chunks
 from repro.streaming.windows import CountWindow, TimeWindow
@@ -77,6 +91,100 @@ class StreamEngine:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    def execute(
+        self, query: Query, plan: Optional[ExecutionPlan] = None
+    ) -> Iterator[WindowResult]:
+        """Evaluate ``query`` on the path selected by ``plan``.
+
+        This is the single entry point unifying the per-event, batched
+        and sharded loops.  With the default
+        :class:`~repro.streaming.plan.ExecutionPlan` (``mode="auto"``)
+        the path is chosen from what the query carries:
+
+        - ``plan.n_shards > 1`` → sharded execution (requires
+          ``plan.policy_factory``);
+        - a numpy-array source, a chunk source, or vectorised
+          ``where_values``/``select_values`` stages → the batched loop;
+        - an event source or event-level ``where``/``select`` stages →
+          the per-event loop.
+
+        A raw ``np.ndarray`` source is accepted on every path: it is
+        sliced into ``plan.chunk_size`` chunks for the batched/sharded
+        loops (with unit-spaced timestamps when the window is
+        time-based) or wrapped into an event stream for the per-event
+        loop, so results are identical to pre-building the source by
+        hand.
+        """
+        if plan is None:
+            plan = ExecutionPlan()
+        if query.window_spec is None:
+            raise ValueError("query has no window(); call .window(size, period)")
+        mode = plan.mode
+        array_source = isinstance(query.source, np.ndarray)
+        if mode == "auto":
+            if plan.n_shards > 1:
+                mode = "sharded"
+            elif array_source or query.chunk_predicates or query.chunk_projectors:
+                mode = "batched"
+            elif query.predicates or query.projectors:
+                mode = "events"
+            else:
+                first, query = _peek_source(query)
+                mode = (
+                    "batched"
+                    if isinstance(first, (Chunk, np.ndarray))
+                    else "events"
+                )
+        if array_source:
+            query = replace(
+                query,
+                source=self._array_source(
+                    query.source, query.window_spec, plan.chunk_size, mode
+                ),
+            )
+        if mode == "events":
+            return self.run(query)
+        if mode == "batched":
+            return self.run_chunked(query)
+        # mode == "sharded" (the plan has already validated the name).
+        from repro.streaming.sharded import ShardedEngine
+
+        if plan.policy_factory is None:
+            raise ValueError(
+                "sharded execution builds one fresh policy per shard; pass "
+                "ExecutionPlan(policy_factory=...) (MetricSpec.policy_factory() "
+                "builds one from a declarative spec)"
+            )
+        sharded = ShardedEngine(
+            plan.n_shards,
+            partitioner=plan.partitioner,
+            emit_partial=self._emit_partial,
+            parallel=plan.parallel,
+            processes=plan.processes,
+        )
+        return sharded.run_chunked(query, plan.policy_factory)
+
+    def execute_to_list(
+        self, query: Query, plan: Optional[ExecutionPlan] = None
+    ) -> list[WindowResult]:
+        """Eagerly :meth:`execute` and collect all results."""
+        return list(self.execute(query, plan))
+
+    @staticmethod
+    def _array_source(
+        values: np.ndarray,
+        spec: Union[CountWindow, TimeWindow],
+        chunk_size: int,
+        mode: str,
+    ) -> Iterable:
+        """Adapt a raw value array to the source type ``mode`` consumes."""
+        from repro.streaming.sources import value_stream
+
+        if mode == "events":
+            return value_stream(values)
+        with_timestamps = isinstance(spec, TimeWindow)
+        return chunk_stream(values, chunk_size, with_timestamps=with_timestamps)
+
     def run(self, query: Query) -> Iterator[WindowResult]:
         """Lazily evaluate ``query``, yielding one result per period."""
         query = query.validated()
@@ -485,15 +593,50 @@ def filtered_chunks(query: Query) -> Iterator[Chunk]:
             yield chunk
 
 
+def _peek_source(query: Query) -> tuple:
+    """First source element (or None when empty) plus an equivalent query.
+
+    ``mode="auto"`` needs to know whether the source yields events or
+    chunks; sequences are inspected in place, iterators are peeked and
+    re-chained so no element is lost.
+    """
+    source = query.source
+    if isinstance(source, (list, tuple)):
+        return (source[0] if source else None), query
+    iterator = iter(source)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        return None, replace(query, source=())
+    return first, replace(query, source=itertools.chain([first], iterator))
+
+
+def _deprecated_shim(name: str, replacement: str) -> None:
+    """Emit the single DeprecationWarning every legacy entry point owes."""
+    warnings.warn(
+        f"{name}() is deprecated; use StreamEngine().execute(query, "
+        f"ExecutionPlan({replacement})) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def run_query(
     source: Iterable[Event],
     window: Union[CountWindow, TimeWindow],
     operator: Union[IncrementalOperator, SubWindowOperator],
     emit_partial: bool = False,
 ) -> list[WindowResult]:
-    """One-shot convenience wrapper: build, run and collect a query."""
+    """Deprecated one-shot wrapper for the per-event loop.
+
+    Use :meth:`StreamEngine.execute` with
+    ``ExecutionPlan(mode="events")`` (results are bit-identical).
+    """
+    _deprecated_shim("run_query", "mode='events'")
     query = Query(source).windowed_by(window).aggregate(operator)
-    return StreamEngine(emit_partial=emit_partial).run_to_list(query)
+    return StreamEngine(emit_partial=emit_partial).execute_to_list(
+        query, ExecutionPlan(mode="events")
+    )
 
 
 def run_query_chunked(
@@ -502,9 +645,16 @@ def run_query_chunked(
     operator: Union[IncrementalOperator, SubWindowOperator],
     emit_partial: bool = False,
 ) -> list[WindowResult]:
-    """One-shot wrapper for the batched path: run over a chunk stream."""
+    """Deprecated one-shot wrapper for the batched path.
+
+    Use :meth:`StreamEngine.execute` with
+    ``ExecutionPlan(mode="batched")`` (results are bit-identical).
+    """
+    _deprecated_shim("run_query_chunked", "mode='batched'")
     query = Query(source).windowed_by(window).aggregate(operator)
-    return StreamEngine(emit_partial=emit_partial).run_chunked_to_list(query)
+    return StreamEngine(emit_partial=emit_partial).execute_to_list(
+        query, ExecutionPlan(mode="batched")
+    )
 
 
 def run_query_batched(
@@ -514,12 +664,19 @@ def run_query_batched(
     chunk_size: int = 65_536,
     emit_partial: bool = False,
 ) -> list[WindowResult]:
-    """Run a query over a plain value array via the batched fast path.
+    """Deprecated one-shot wrapper for a value array on the batched path.
 
-    Slices ``values`` into chunks (with timestamps when the window is
-    time-based, mirroring :func:`~repro.streaming.sources.value_stream`'s
-    unit spacing) and evaluates on :meth:`StreamEngine.run_chunked`.
+    Use :meth:`StreamEngine.execute` with a raw ``np.ndarray`` source and
+    ``ExecutionPlan(mode="batched", chunk_size=...)`` — the planner does
+    the chunk-stream slicing (with timestamps when the window is
+    time-based) itself, with bit-identical results.
     """
-    with_timestamps = isinstance(window, TimeWindow)
-    source = chunk_stream(values, chunk_size, with_timestamps=with_timestamps)
-    return run_query_chunked(source, window, operator, emit_partial=emit_partial)
+    _deprecated_shim("run_query_batched", "mode='batched', chunk_size=...")
+    query = (
+        Query(np.asarray(values, dtype=np.float64))
+        .windowed_by(window)
+        .aggregate(operator)
+    )
+    return StreamEngine(emit_partial=emit_partial).execute_to_list(
+        query, ExecutionPlan(mode="batched", chunk_size=chunk_size)
+    )

@@ -1,0 +1,117 @@
+"""Execution plans: one declarative knob for *how* a query runs.
+
+PR 1 and PR 2 grew three ways to evaluate the same query — the per-event
+reference loop, the batched chunk loop and the sharded
+partition-and-merge loop — each with its own entry point.
+:class:`ExecutionPlan` collapses that choice into a value handed to
+:meth:`StreamEngine.execute <repro.streaming.engine.StreamEngine.execute>`:
+
+``mode="auto"`` (the default)
+    Pick the path from what the query carries: ``n_shards > 1`` selects
+    sharded execution; a numpy-array or chunk source (or vectorised
+    ``where_values``/``select_values`` stages) selects the batched loop;
+    an event source (or event-level ``where``/``select`` stages) selects
+    the per-event loop.
+
+``mode="events" | "batched" | "sharded"``
+    Force one path explicitly (the planner never second-guesses).
+
+The plan also carries the execution parameters that used to be scattered
+across the ``run_*`` helpers: shard count and partitioner, the
+multiprocessing toggle, and the chunk size used when a raw value array
+must be sliced into a chunk stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.streaming.partition import available_partitioners
+
+if TYPE_CHECKING:
+    from repro.sketches.base import QuantilePolicy
+
+#: Zero-argument callable building a fresh policy (sharded mode only).
+PolicyFactory = Callable[[], "QuantilePolicy"]
+
+#: The planner's recognised execution modes.
+EXECUTION_MODES = ("auto", "events", "batched", "sharded")
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How a query should be executed, independent of *what* it computes.
+
+    Parameters
+    ----------
+    mode:
+        ``"auto"`` (default), ``"events"``, ``"batched"`` or ``"sharded"``.
+    n_shards:
+        Shard count for sharded execution.  In ``auto`` mode any value
+        above 1 selects the sharded path.
+    partitioner:
+        Chunk-stream partitioning strategy for sharded execution
+        (``"round_robin"`` or ``"hash"``).
+    parallel / processes:
+        Ship per-shard partitions to a ``multiprocessing`` pool of this
+        size (sharded mode only; the policy factory must be picklable).
+    chunk_size:
+        Slice length used when the query source is a raw numpy array and
+        must be turned into a chunk stream.
+    policy_factory:
+        Fresh-policy builder for sharded execution (one instance per
+        shard plus the master).  Required whenever the sharded path is
+        selected; :meth:`MetricSpec.policy_factory
+        <repro.service.spec.MetricSpec.policy_factory>` builds a
+        picklable one from a declarative spec.
+    """
+
+    mode: str = "auto"
+    n_shards: int = 1
+    partitioner: str = "round_robin"
+    parallel: bool = False
+    processes: Optional[int] = None
+    chunk_size: int = 65_536
+    policy_factory: Optional[PolicyFactory] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {self.mode!r}; "
+                f"expected one of {list(EXECUTION_MODES)}"
+            )
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be at least 1, got {self.n_shards}")
+        if self.n_shards > 1 and self.mode in ("events", "batched"):
+            raise ValueError(
+                f"n_shards={self.n_shards} requires mode 'sharded' or 'auto' "
+                f"(got mode={self.mode!r})"
+            )
+        if self.partitioner not in available_partitioners():
+            raise ValueError(
+                f"unknown partitioner {self.partitioner!r}; "
+                f"available: {available_partitioners()}"
+            )
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {self.chunk_size}")
+        if self.processes is not None and self.processes < 1:
+            raise ValueError(f"processes must be positive, got {self.processes}")
+        if self.parallel and not (
+            self.mode == "sharded" or (self.mode == "auto" and self.n_shards > 1)
+        ):
+            raise ValueError(
+                "parallel=True applies to sharded execution only; "
+                "use mode='sharded' (or 'auto' with n_shards > 1)"
+            )
+        if self.processes is not None and not self.parallel:
+            raise ValueError(
+                "processes sizes the parallel ingest pool; set parallel=True "
+                "(or drop processes)"
+            )
+
+    def with_policy_factory(self, factory: PolicyFactory) -> "ExecutionPlan":
+        """Copy of this plan carrying ``factory`` for sharded execution."""
+        from dataclasses import replace
+
+        return replace(self, policy_factory=factory)

@@ -41,7 +41,6 @@ import numpy as np
 from repro.streaming.engine import WindowResult, filtered_chunks
 from repro.streaming.partition import StreamPartitioner
 from repro.streaming.query import Query
-from repro.streaming.sources import chunk_stream
 from repro.streaming.windows import CountWindow
 
 if TYPE_CHECKING:
@@ -144,6 +143,18 @@ class ShardedEngine:
             # in-flight map); adopting it would silently double-count that
             # state into every emitted window.
             baseline = policy_factory()
+            # The master answers queries while the shards come from the
+            # factory: a mismatched factory would silently change the
+            # algorithm (or fail deep inside a merge), so require the two
+            # to agree up front.
+            master._require_compatible(baseline)
+            for attr in ("config", "epsilon", "k", "method"):
+                if getattr(master, attr, None) != getattr(baseline, attr, None):
+                    raise ValueError(
+                        "the query's operator policy and the policy factory "
+                        f"disagree on {attr!r}; sharded execution needs one "
+                        "configuration for the master and every shard"
+                    )
             if (
                 master.space_variables() != baseline.space_variables()
                 or master.peak_space_variables() != baseline.peak_space_variables()
@@ -325,17 +336,26 @@ def run_sharded(
     parallel: bool = False,
     emit_partial: bool = False,
 ) -> List[WindowResult]:
-    """One-shot convenience wrapper: shard a value array and collect results.
+    """Deprecated one-shot wrapper for sharded execution over a value array.
 
-    The sharded sibling of
-    :func:`~repro.streaming.engine.run_query_batched`: slices ``values``
-    into chunks and evaluates them across ``n_shards`` partitions.
+    Use :meth:`StreamEngine.execute
+    <repro.streaming.engine.StreamEngine.execute>` with
+    ``ExecutionPlan(mode="sharded", n_shards=..., policy_factory=...)``
+    (results are bit-identical).
     """
-    engine = ShardedEngine(
-        n_shards,
-        partitioner=partitioner,
-        emit_partial=emit_partial,
-        parallel=parallel,
+    from repro.streaming.engine import StreamEngine, _deprecated_shim
+    from repro.streaming.plan import ExecutionPlan
+
+    _deprecated_shim(
+        "run_sharded", "mode='sharded', n_shards=..., policy_factory=..."
     )
-    query = Query(chunk_stream(values, chunk_size)).windowed_by(window)
-    return engine.run_chunked_to_list(query, policy_factory)
+    query = Query(np.asarray(values, dtype=np.float64)).windowed_by(window)
+    plan = ExecutionPlan(
+        mode="sharded",
+        n_shards=n_shards,
+        partitioner=partitioner,
+        parallel=parallel,
+        chunk_size=chunk_size,
+        policy_factory=policy_factory,
+    )
+    return StreamEngine(emit_partial=emit_partial).execute_to_list(query, plan)

@@ -1,0 +1,88 @@
+"""Validation hardening: QLOVEConfig / FewKConfig reject bad inputs early."""
+
+import pytest
+
+from repro.core.config import FewKConfig, QLOVEConfig
+
+
+# ----------------------------------------------------------------------
+# FewKConfig
+# ----------------------------------------------------------------------
+def test_fewk_defaults_are_valid():
+    FewKConfig()  # must not raise
+
+
+@pytest.mark.parametrize(
+    "kwargs, match",
+    [
+        ({"ts_threshold": -1}, "ts_threshold"),
+        ({"ts_threshold": "10"}, "must be a number"),
+        ({"ts_threshold": True}, "must be a number"),
+        ({"topk_fraction": 1.5}, "topk_fraction"),
+        ({"topk_fraction": -0.1}, "topk_fraction"),
+        ({"topk_fraction": "half"}, "must be a number"),
+        ({"samplek_fraction": -0.01}, "samplek_fraction"),
+        ({"samplek_fraction": 2.0}, "samplek_fraction"),
+        ({"budget": -5}, "budget"),
+        ({"burst_alpha": 0.0}, "burst_alpha"),
+        ({"burst_alpha": 1.0}, "burst_alpha"),
+        ({"burst_alpha": "5%"}, "must be a number"),
+    ],
+)
+def test_fewk_rejects_bad_values(kwargs, match):
+    with pytest.raises(ValueError, match=match):
+        FewKConfig(**kwargs)
+
+
+def test_fewk_error_messages_are_actionable():
+    with pytest.raises(ValueError, match=r"fraction of the exact"):
+        FewKConfig(topk_fraction=2.0)
+    with pytest.raises(ValueError, match="significance level"):
+        FewKConfig(burst_alpha=5.0)
+
+
+# ----------------------------------------------------------------------
+# QLOVEConfig
+# ----------------------------------------------------------------------
+def test_qlove_defaults_are_valid():
+    QLOVEConfig()  # must not raise
+
+
+@pytest.mark.parametrize(
+    "kwargs, match",
+    [
+        ({"backend": "btree"}, "backend"),
+        ({"quantize_digits": 0}, "quantize_digits"),
+        ({"quantize_digits": -3}, "quantize_digits"),
+        ({"quantize_digits": "3"}, "integer"),
+        ({"quantize_digits": True}, "integer"),
+        ({"quantize_digits": 2.5}, "integer"),
+    ],
+)
+def test_qlove_rejects_bad_values(kwargs, match):
+    with pytest.raises(ValueError, match=match):
+        QLOVEConfig(**kwargs)
+
+
+def test_qlove_rejects_raw_dict_fewk():
+    """A dict is not silently coerced mid-run — the error says what to do."""
+    with pytest.raises(ValueError, match="FewKConfig"):
+        QLOVEConfig(fewk={"samplek_fraction": 0.1})
+
+
+def test_qlove_quantize_digits_none_disables_compression():
+    assert QLOVEConfig(quantize_digits=None).quantize_digits is None
+
+
+def test_numpy_scalars_are_accepted():
+    """Budgets and digit counts often come out of numpy arithmetic."""
+    import numpy as np
+
+    assert FewKConfig(budget=np.int64(100)).budget == 100
+    assert FewKConfig(ts_threshold=np.int64(10), samplek_fraction=np.float64(0.1))
+    assert QLOVEConfig(quantize_digits=np.int64(3)).quantize_digits == 3
+
+
+def test_with_fewk_builds_nested_config():
+    config = QLOVEConfig.with_fewk(samplek_fraction=0.02)
+    assert config.fewk == FewKConfig(samplek_fraction=0.02)

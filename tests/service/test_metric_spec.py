@@ -1,0 +1,225 @@
+"""MetricSpec: spec-driven construction, serialisation, validation."""
+
+import pickle
+
+import pytest
+
+from repro.core.config import FewKConfig, QLOVEConfig
+from repro.core.qlove import QLOVEPolicy
+from repro.service import MetricSpec
+from repro.sketches.registry import available_policies
+from repro.streaming.windows import CountWindow
+
+WINDOW = {"size": 240, "period": 60}
+
+
+def spec_dict(**overrides):
+    base = {"name": "rtt", "quantiles": [0.5, 0.99], "window": dict(WINDOW)}
+    base.update(overrides)
+    return base
+
+
+# ----------------------------------------------------------------------
+# Construction through the registry
+# ----------------------------------------------------------------------
+def test_every_registered_policy_is_constructible_without_imports():
+    for name in available_policies():
+        spec = MetricSpec.from_dict(spec_dict(policy=name))
+        policy = spec.build_policy()
+        assert policy.name == name
+        assert policy.phis == (0.5, 0.99)
+        assert policy.window == CountWindow(size=240, period=60)
+
+
+def test_quantiles_are_canonicalised_sorted_unique():
+    spec = MetricSpec(name="m", quantiles=[0.99, 0.5, 0.99], window=WINDOW)
+    assert spec.quantiles == (0.5, 0.99)
+
+
+def test_window_accepts_prebuilt_countwindow():
+    window = CountWindow(size=240, period=60)
+    assert MetricSpec(name="m", quantiles=[0.5], window=window).window is window
+
+
+def test_qlove_flat_params_resolve_to_config():
+    spec = MetricSpec.from_dict(
+        spec_dict(policy_params={
+            "quantize_digits": 2,
+            "backend": "tree",
+            "fewk": {"samplek_fraction": 0.05, "burst_detection": False},
+        })
+    )
+    policy = spec.build_policy()
+    assert isinstance(policy, QLOVEPolicy)
+    assert policy.config == QLOVEConfig(
+        quantize_digits=2,
+        backend="tree",
+        fewk=FewKConfig(samplek_fraction=0.05, burst_detection=False),
+    )
+
+
+def test_qlove_fewk_true_enables_defaults():
+    spec = MetricSpec.from_dict(spec_dict(policy_params={"fewk": True}))
+    assert spec.build_policy().config.fewk == FewKConfig()
+
+
+def test_qlove_config_object_accepted():
+    config = QLOVEConfig(quantize_digits=2)
+    spec = MetricSpec(
+        name="m", quantiles=[0.5], window=WINDOW, policy_params={"config": config}
+    )
+    assert spec.build_policy().config is config
+
+
+def test_non_qlove_params_forwarded():
+    spec = MetricSpec.from_dict(
+        spec_dict(policy="cmqs", policy_params={"epsilon": 0.05})
+    )
+    assert spec.build_policy().epsilon == 0.05
+    spec = MetricSpec.from_dict(spec_dict(policy="moment", policy_params={"k": 8}))
+    assert spec.build_policy().name == "moment"
+
+
+def test_policy_factory_builds_fresh_instances_and_pickles():
+    spec = MetricSpec.from_dict(spec_dict(policy="exact"))
+    factory = spec.policy_factory()
+    a, b = factory(), factory()
+    assert a is not b and type(a) is type(b)
+    rebuilt = pickle.loads(pickle.dumps(factory))
+    assert rebuilt().name == "exact"
+
+
+# ----------------------------------------------------------------------
+# Serialisation round trip
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "params, policy",
+    [
+        ({}, "qlove"),
+        ({"quantize_digits": 2, "fewk": {"topk_fraction": 0.5}}, "qlove"),
+        ({"backend": "dict"}, "exact"),
+        ({"epsilon": 0.04}, "am"),
+        ({"k": 6, "method": "quadrature"}, "moment"),
+    ],
+)
+def test_to_dict_from_dict_round_trip(params, policy):
+    spec = MetricSpec.from_dict(spec_dict(policy=policy, policy_params=params))
+    clone = MetricSpec.from_dict(spec.to_dict())
+    assert clone.name == spec.name
+    assert clone.quantiles == spec.quantiles
+    assert clone.window == spec.window
+    assert clone.policy == spec.policy
+    assert clone.resolved_params() == spec.resolved_params()
+
+
+def test_to_dict_is_plain_json():
+    import json
+
+    spec = MetricSpec.from_dict(
+        spec_dict(policy_params={"fewk": {"samplek_fraction": 0.01}})
+    )
+    json.dumps(spec.to_dict())  # must not raise
+
+
+# ----------------------------------------------------------------------
+# Validation: every error is actionable and raised at construction
+# ----------------------------------------------------------------------
+def test_empty_quantiles_rejected():
+    with pytest.raises(ValueError, match="non-empty"):
+        MetricSpec(name="m", quantiles=[], window=WINDOW)
+
+
+@pytest.mark.parametrize("phi", [0.0, 1.0, -0.1, 1.5, 99.0])
+def test_out_of_range_quantile_rejected(phi):
+    with pytest.raises(ValueError, match=r"outside \(0, 1\)"):
+        MetricSpec(name="m", quantiles=[phi], window=WINDOW)
+
+
+def test_quantiles_must_be_a_sequence():
+    with pytest.raises(ValueError, match="sequence"):
+        MetricSpec(name="m", quantiles=0.5, window=WINDOW)
+
+
+def test_period_not_dividing_size_rejected():
+    with pytest.raises(ValueError, match="multiple of the period"):
+        MetricSpec(name="m", quantiles=[0.5], window={"size": 100, "period": 33})
+
+
+def test_period_larger_than_size_rejected():
+    with pytest.raises(ValueError, match="at least the period"):
+        MetricSpec(name="m", quantiles=[0.5], window={"size": 10, "period": 20})
+
+
+def test_window_missing_keys_rejected():
+    with pytest.raises(ValueError, match="missing"):
+        MetricSpec(name="m", quantiles=[0.5], window={"size": 100})
+
+
+def test_window_unknown_keys_rejected():
+    with pytest.raises(ValueError, match="unknown window key"):
+        MetricSpec(
+            name="m", quantiles=[0.5], window={"size": 100, "period": 50, "slide": 1}
+        )
+
+
+def test_unknown_policy_rejected_with_available_list():
+    with pytest.raises(ValueError, match="available.*exact"):
+        MetricSpec(name="m", quantiles=[0.5], window=WINDOW, policy="tdigest")
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ValueError, match="non-empty string"):
+        MetricSpec(name="", quantiles=[0.5], window=WINDOW)
+
+
+def test_policy_params_must_be_mapping():
+    with pytest.raises(ValueError, match="mapping"):
+        MetricSpec(name="m", quantiles=[0.5], window=WINDOW, policy_params=[1])
+
+
+def test_unknown_qlove_param_rejected():
+    with pytest.raises(ValueError, match="unknown QLOVE parameter"):
+        MetricSpec(
+            name="m", quantiles=[0.5], window=WINDOW, policy_params={"epsilon": 0.1}
+        )
+
+
+def test_qlove_config_and_flat_keys_conflict():
+    with pytest.raises(ValueError, match="not both"):
+        MetricSpec(
+            name="m",
+            quantiles=[0.5],
+            window=WINDOW,
+            policy_params={"config": QLOVEConfig(), "backend": "dict"},
+        )
+
+
+def test_bad_fewk_keys_rejected():
+    with pytest.raises(ValueError, match="few-k parameter"):
+        MetricSpec(
+            name="m",
+            quantiles=[0.5],
+            window=WINDOW,
+            policy_params={"fewk": {"samplek": 0.1}},
+        )
+
+
+def test_unknown_param_for_non_qlove_policy_rejected():
+    with pytest.raises(ValueError, match="does not accept"):
+        MetricSpec(
+            name="m",
+            quantiles=[0.5],
+            window=WINDOW,
+            policy="exact",
+            policy_params={"epsilon": 0.1},
+        )
+
+
+def test_from_dict_unknown_key_rejected():
+    with pytest.raises(ValueError, match="unknown metric-spec key"):
+        MetricSpec.from_dict(spec_dict(windoww=WINDOW))
+
+
+def test_from_dict_missing_required_keys_rejected():
+    with pytest.raises(ValueError, match="missing required"):
+        MetricSpec.from_dict({"name": "m"})

@@ -1,0 +1,256 @@
+"""Monitor facade: engine parity, callbacks, fleet merging, error paths."""
+
+import numpy as np
+import pytest
+
+from repro.service import MetricSpec, Monitor
+from repro.streaming import CountWindow, ExecutionPlan, Query, StreamEngine
+
+PHIS = [0.5, 0.9, 0.99]
+WINDOW = {"size": 400, "period": 100}
+PERIOD = 100
+
+
+@pytest.fixture(scope="module")
+def values():
+    rng = np.random.default_rng(3)
+    return rng.lognormal(mean=6.5, sigma=0.4, size=3_000)
+
+
+def make_spec(policy="qlove", name="rtt", **params):
+    return MetricSpec.from_dict(
+        {
+            "name": name,
+            "quantiles": PHIS,
+            "window": dict(WINDOW),
+            "policy": policy,
+            "policy_params": params,
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# Acceptance: facade round-trip equals the hand-assembled pipeline
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", ["qlove", "exact"])
+def test_observe_batch_matches_hand_assembled_pipeline(policy, values):
+    spec = make_spec(policy)
+    monitor = Monitor()
+    monitor.register(spec)
+    monitor.observe_batch("rtt", values)
+
+    reference = StreamEngine().execute_to_list(
+        spec.build_query(values), ExecutionPlan(mode="batched")
+    )
+    assert monitor.results("rtt") == reference
+    assert monitor.snapshot()["rtt"] == reference[-1].result
+
+
+@pytest.mark.parametrize("policy", ["qlove", "exact"])
+def test_per_event_observe_matches_batch(policy, values):
+    spec = make_spec(policy)
+    per_event, batched = Monitor(), Monitor()
+    per_event.register(spec)
+    batched.register(spec)
+    for value in values:
+        per_event.observe("rtt", value)
+    batched.observe_batch("rtt", values)
+    assert per_event.results("rtt") == batched.results("rtt")
+
+
+def test_observe_batch_boundary_straddling_blocks(values):
+    """Arbitrary block sizes seal at the same period boundaries."""
+    spec = make_spec("exact")
+    whole, blocks = Monitor(), Monitor()
+    whole.register(spec)
+    blocks.register(spec)
+    whole.observe_batch("rtt", values)
+    for start in range(0, len(values), 137):
+        blocks.observe_batch("rtt", values[start : start + 137])
+    assert whole.results("rtt") == blocks.results("rtt")
+
+
+# ----------------------------------------------------------------------
+# Multi-metric sessions
+# ----------------------------------------------------------------------
+def test_metrics_are_independent(values):
+    monitor = Monitor()
+    monitor.register(make_spec("qlove", name="a"))
+    monitor.register(make_spec("exact", name="b"))
+    monitor.observe_batch("a", values)
+    # metric b saw nothing: no results, empty snapshot slot
+    assert monitor.results("b") == []
+    snapshot = monitor.snapshot()
+    assert snapshot["b"] is None and snapshot["a"] is not None
+    assert monitor.metrics() == ["a", "b"]
+    assert len(monitor) == 2 and "a" in monitor
+
+
+def test_register_accepts_dict_and_returns_canonical_spec():
+    monitor = Monitor()
+    spec = monitor.register(
+        {"name": "m", "quantiles": [0.9, 0.5], "window": dict(WINDOW)}
+    )
+    assert isinstance(spec, MetricSpec)
+    assert spec.quantiles == (0.5, 0.9)
+
+
+def test_callbacks_fire_once_per_emitted_period(values):
+    spec = make_spec("exact")
+    seen = []
+    monitor = Monitor()
+    monitor.register(spec, on_result=lambda name, result: seen.append((name, result)))
+    late = []
+    monitor.on_result("rtt", lambda name, result: late.append(result))
+    monitor.observe_batch("rtt", values)
+    results = monitor.results("rtt")
+    assert [r for _, r in seen] == results
+    assert all(name == "rtt" for name, _ in seen)
+    assert late == results
+
+
+def test_emit_partial_matches_engine(values):
+    spec = make_spec("exact")
+    monitor = Monitor(emit_partial=True)
+    monitor.register(spec)
+    monitor.observe_batch("rtt", values)
+    reference = StreamEngine(emit_partial=True).execute_to_list(
+        spec.build_query(values), ExecutionPlan(mode="batched")
+    )
+    assert monitor.results("rtt") == reference
+
+
+def test_space_report_accounts_elements_and_evaluations(values):
+    monitor = Monitor()
+    monitor.register(make_spec("qlove"))
+    monitor.observe_batch("rtt", values)
+    report = monitor.space_report()["rtt"]
+    assert report["seen"] == len(values)
+    assert report["evaluations"] == len(monitor.results("rtt"))
+    assert report["peak_space"] >= report["space"] >= 0
+    assert report["policy"] == "qlove"
+
+
+# ----------------------------------------------------------------------
+# Fleet merging
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", ["qlove", "exact"])
+def test_sharded_monitors_merge_bit_identically(policy, values):
+    spec = make_spec(policy)
+    usable = len(values) - len(values) % PERIOD
+    stream = values[:usable]
+
+    single = Monitor()
+    single.register(spec)
+    single.observe_batch("rtt", stream)
+
+    master = Monitor()
+    master.register(spec)
+    nodes = [Monitor() for _ in range(4)]
+    for node in nodes:
+        node.register(spec)
+    for start in range(0, usable, PERIOD):
+        block = stream[start : start + PERIOD]
+        for k, node in enumerate(nodes):
+            node.observe_batch("rtt", block[k::4])
+        for node in nodes:
+            master.merge(node)
+            node.reset()
+
+    assert master.results("rtt") == single.results("rtt")
+
+
+def test_merged_monitor_matches_sharded_engine(values):
+    spec = make_spec("qlove")
+    usable = len(values) - len(values) % PERIOD
+    stream = values[:usable]
+
+    master = Monitor()
+    master.register(spec)
+    nodes = [Monitor() for _ in range(4)]
+    for node in nodes:
+        node.register(spec)
+    for start in range(0, usable, PERIOD):
+        block = stream[start : start + PERIOD]
+        for k, node in enumerate(nodes):
+            node.observe_batch("rtt", block[k::4])
+        for node in nodes:
+            master.merge(node)
+            node.reset()
+
+    engine_results = StreamEngine().execute_to_list(
+        Query(stream).windowed_by(spec.window),
+        ExecutionPlan(
+            mode="sharded", n_shards=4, policy_factory=spec.policy_factory()
+        ),
+    )
+    assert master.results("rtt") == engine_results
+
+
+def test_reset_restores_fresh_behaviour(values):
+    spec = make_spec("exact")
+    monitor = Monitor()
+    monitor.register(spec)
+    monitor.observe_batch("rtt", values)
+    first = monitor.results("rtt")
+    monitor.reset()
+    assert monitor.results("rtt") == []
+    assert monitor.snapshot()["rtt"] is None
+    monitor.observe_batch("rtt", values)
+    assert monitor.results("rtt") == first
+
+
+# ----------------------------------------------------------------------
+# Error paths
+# ----------------------------------------------------------------------
+def test_duplicate_registration_rejected():
+    monitor = Monitor()
+    monitor.register(make_spec())
+    with pytest.raises(ValueError, match="already registered"):
+        monitor.register(make_spec())
+
+
+def test_register_rejects_non_spec():
+    with pytest.raises(TypeError, match="MetricSpec"):
+        Monitor().register(42)
+
+
+def test_unknown_metric_is_actionable():
+    monitor = Monitor()
+    monitor.register(make_spec(name="known"))
+    with pytest.raises(KeyError, match="unknown metric 'nope'.*known"):
+        monitor.observe("nope", 1.0)
+    with pytest.raises(KeyError):
+        monitor.observe_batch("nope", np.ones(3))
+    with pytest.raises(KeyError):
+        monitor.results("nope")
+
+
+def test_merge_requires_matching_registration(values):
+    a, b = Monitor(), Monitor()
+    a.register(make_spec(name="common"))
+    b.register(make_spec(name="common"))
+    b.register(make_spec(name="extra"))
+    with pytest.raises(ValueError, match="extra"):
+        a.merge(b)
+    with pytest.raises(TypeError):
+        a.merge(object())
+
+
+def test_merge_rejects_mismatched_specs():
+    a, b = Monitor(), Monitor()
+    a.register(make_spec())
+    b.register(
+        MetricSpec(
+            name="rtt", quantiles=PHIS, window={"size": 800, "period": 100}
+        )
+    )
+    with pytest.raises(ValueError, match="specs differ"):
+        a.merge(b)
+
+
+def test_observe_batch_rejects_2d_arrays():
+    monitor = Monitor()
+    monitor.register(make_spec())
+    with pytest.raises(ValueError, match="1-D"):
+        monitor.observe_batch("rtt", np.ones((2, 2)))

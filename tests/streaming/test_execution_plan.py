@@ -1,0 +1,274 @@
+"""ExecutionPlan + StreamEngine.execute: mode resolution and equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.base import PolicyOperator
+from repro.sketches.registry import make_policy
+from repro.streaming import (
+    CountWindow,
+    ExecutionPlan,
+    Query,
+    StreamEngine,
+    chunk_stream,
+    value_stream,
+)
+
+WINDOW = CountWindow(size=240, period=60)
+PHIS = (0.5, 0.9, 0.99)
+
+
+@pytest.fixture(scope="module")
+def values():
+    rng = np.random.default_rng(7)
+    return rng.lognormal(mean=6.0, sigma=0.5, size=1_500)
+
+
+def operator(policy="qlove"):
+    return PolicyOperator(make_policy(policy, PHIS, WINDOW))
+
+
+def factory():
+    return make_policy("qlove", PHIS, WINDOW)
+
+
+# ----------------------------------------------------------------------
+# Plan validation
+# ----------------------------------------------------------------------
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="unknown execution mode"):
+        ExecutionPlan(mode="turbo")
+
+
+def test_n_shards_must_be_positive():
+    with pytest.raises(ValueError, match="n_shards"):
+        ExecutionPlan(n_shards=0)
+
+
+@pytest.mark.parametrize("mode", ["events", "batched"])
+def test_shard_count_conflicts_with_single_engine_modes(mode):
+    with pytest.raises(ValueError, match="requires mode 'sharded' or 'auto'"):
+        ExecutionPlan(mode=mode, n_shards=4)
+
+
+def test_unknown_partitioner_rejected():
+    with pytest.raises(ValueError, match="partitioner"):
+        ExecutionPlan(partitioner="zigzag")
+
+
+def test_chunk_size_and_processes_validated():
+    with pytest.raises(ValueError, match="chunk_size"):
+        ExecutionPlan(chunk_size=0)
+    with pytest.raises(ValueError, match="processes"):
+        ExecutionPlan(processes=0)
+
+
+def test_parallel_requires_sharded_capable_mode():
+    with pytest.raises(ValueError, match="parallel"):
+        ExecutionPlan(mode="batched", parallel=True)
+    # auto with a single shard resolves to a single-engine path, where
+    # parallel would be silently ignored — reject it up front too.
+    with pytest.raises(ValueError, match="parallel"):
+        ExecutionPlan(mode="auto", n_shards=1, parallel=True)
+    assert ExecutionPlan(mode="auto", n_shards=2, parallel=True).parallel
+    assert ExecutionPlan(mode="sharded", parallel=True, processes=2).processes == 2
+
+
+def test_processes_requires_parallel():
+    with pytest.raises(ValueError, match="parallel=True"):
+        ExecutionPlan(mode="sharded", n_shards=2, processes=4)
+
+
+def test_with_policy_factory_round_trip():
+    plan = ExecutionPlan(mode="sharded", n_shards=2).with_policy_factory(factory)
+    assert plan.policy_factory is factory
+    assert plan.n_shards == 2
+
+
+# ----------------------------------------------------------------------
+# Auto-mode resolution (the acceptance criterion)
+# ----------------------------------------------------------------------
+def test_auto_equals_events_for_event_sources(values):
+    engine = StreamEngine()
+    auto = engine.execute_to_list(
+        Query(value_stream(values)).windowed_by(WINDOW).aggregate(operator())
+    )
+    explicit = engine.execute_to_list(
+        Query(value_stream(values)).windowed_by(WINDOW).aggregate(operator()),
+        ExecutionPlan(mode="events"),
+    )
+    assert auto == explicit
+    assert len(auto) > 0
+
+
+def test_auto_equals_batched_for_chunk_sources(values):
+    engine = StreamEngine()
+    auto = engine.execute_to_list(
+        Query(chunk_stream(values, 128)).windowed_by(WINDOW).aggregate(operator())
+    )
+    explicit = engine.execute_to_list(
+        Query(chunk_stream(values, 128)).windowed_by(WINDOW).aggregate(operator()),
+        ExecutionPlan(mode="batched"),
+    )
+    assert auto == explicit
+
+
+def test_auto_equals_batched_for_array_sources(values):
+    engine = StreamEngine()
+    auto = engine.execute_to_list(
+        Query(values).windowed_by(WINDOW).aggregate(operator())
+    )
+    explicit = engine.execute_to_list(
+        Query(values).windowed_by(WINDOW).aggregate(operator()),
+        ExecutionPlan(mode="batched"),
+    )
+    per_event = engine.execute_to_list(
+        Query(value_stream(values)).windowed_by(WINDOW).aggregate(operator()),
+        ExecutionPlan(mode="events"),
+    )
+    assert auto == explicit == per_event
+
+
+@pytest.mark.parametrize("n_shards", [1, 4])
+def test_auto_matches_explicit_sharded_and_batched(values, n_shards):
+    """ExecutionPlan(mode='auto') vs explicit modes, bit-for-bit."""
+    engine = StreamEngine()
+    batched = engine.execute_to_list(
+        Query(values).windowed_by(WINDOW).aggregate(operator()),
+        ExecutionPlan(mode="batched"),
+    )
+    if n_shards == 1:
+        # auto with one shard resolves to the batched single-engine path
+        auto = engine.execute_to_list(
+            Query(values).windowed_by(WINDOW).aggregate(operator()),
+            ExecutionPlan(n_shards=1, policy_factory=factory),
+        )
+        assert auto == batched
+        return
+    auto = engine.execute_to_list(
+        Query(values).windowed_by(WINDOW),
+        ExecutionPlan(n_shards=n_shards, policy_factory=factory),
+    )
+    explicit = engine.execute_to_list(
+        Query(values).windowed_by(WINDOW),
+        ExecutionPlan(mode="sharded", n_shards=n_shards, policy_factory=factory),
+    )
+    assert auto == explicit == batched
+
+
+def test_auto_uses_per_event_path_for_event_filters(values):
+    """Event-level where() forces (and works on) the per-event loop."""
+    engine = StreamEngine()
+    threshold = float(np.median(values))
+    filtered = engine.execute_to_list(
+        Query(value_stream(values))
+        .windowed_by(CountWindow(size=120, period=30))
+        .where(lambda e: e.value >= threshold)
+        .aggregate(PolicyOperator(make_policy("exact", PHIS, CountWindow(120, 30)))),
+    )
+    kept = values[values >= threshold]
+    reference = engine.execute_to_list(
+        Query(kept)
+        .windowed_by(CountWindow(size=120, period=30))
+        .aggregate(PolicyOperator(make_policy("exact", PHIS, CountWindow(120, 30)))),
+    )
+    assert filtered == reference
+
+
+def test_auto_uses_batched_path_for_chunk_filters(values):
+    """Vectorised where_values() forces the batched loop."""
+    engine = StreamEngine()
+    threshold = float(np.median(values))
+    small = CountWindow(size=120, period=30)
+    filtered = engine.execute_to_list(
+        Query(chunk_stream(values, 256))
+        .windowed_by(small)
+        .where_values(lambda v: v >= threshold)
+        .aggregate(PolicyOperator(make_policy("exact", PHIS, small))),
+    )
+    reference = engine.execute_to_list(
+        Query(values[values >= threshold])
+        .windowed_by(small)
+        .aggregate(PolicyOperator(make_policy("exact", PHIS, small))),
+    )
+    assert filtered == reference
+
+
+def test_array_source_on_events_mode(values):
+    """A raw ndarray runs on the per-event loop too (wrapped into events)."""
+    engine = StreamEngine()
+    via_array = engine.execute_to_list(
+        Query(values).windowed_by(WINDOW).aggregate(operator()),
+        ExecutionPlan(mode="events"),
+    )
+    via_stream = engine.execute_to_list(
+        Query(value_stream(values)).windowed_by(WINDOW).aggregate(operator()),
+        ExecutionPlan(mode="events"),
+    )
+    assert via_array == via_stream
+
+
+def test_empty_source_yields_no_results():
+    engine = StreamEngine()
+    assert engine.execute_to_list(
+        Query(iter(())).windowed_by(WINDOW).aggregate(operator())
+    ) == []
+
+
+def test_peeked_source_loses_no_elements(values):
+    """Auto-mode peeking must re-chain the first generator element."""
+    engine = StreamEngine()
+    via_generator = engine.execute_to_list(
+        Query(iter(list(value_stream(values))))
+        .windowed_by(WINDOW)
+        .aggregate(operator())
+    )
+    via_list = engine.execute_to_list(
+        Query(list(value_stream(values))).windowed_by(WINDOW).aggregate(operator())
+    )
+    assert via_generator == via_list
+
+
+def test_sharded_rejects_operator_factory_disagreement(values):
+    """The query's operator policy and the shard factory must agree."""
+    from repro.core.config import QLOVEConfig
+
+    engine = StreamEngine()
+    custom = PolicyOperator(
+        make_policy("qlove", PHIS, WINDOW, config=QLOVEConfig(quantize_digits=2))
+    )
+    with pytest.raises(ValueError, match="disagree on 'config'"):
+        list(
+            engine.execute(
+                Query(values).windowed_by(WINDOW).aggregate(custom),
+                ExecutionPlan(mode="sharded", n_shards=2, policy_factory=factory),
+            )
+        )
+
+
+def test_sharded_rejects_operator_factory_type_mismatch(values):
+    engine = StreamEngine()
+    exact_operator = PolicyOperator(make_policy("exact", PHIS, WINDOW))
+    with pytest.raises(TypeError, match="cannot merge"):
+        list(
+            engine.execute(
+                Query(values).windowed_by(WINDOW).aggregate(exact_operator),
+                ExecutionPlan(mode="sharded", n_shards=2, policy_factory=factory),
+            )
+        )
+
+
+def test_sharded_without_factory_is_actionable(values):
+    engine = StreamEngine()
+    with pytest.raises(ValueError, match="policy_factory"):
+        list(
+            engine.execute(
+                Query(values).windowed_by(WINDOW),
+                ExecutionPlan(mode="sharded", n_shards=2),
+            )
+        )
+
+
+def test_execute_requires_window(values):
+    with pytest.raises(ValueError, match="window"):
+        list(StreamEngine().execute(Query(values)))

@@ -1,0 +1,151 @@
+"""Backward-compat battery: the deprecated shims vs StreamEngine.execute.
+
+Every legacy one-shot entry point (``run_query``, ``run_query_chunked``,
+``run_query_batched``, ``run_sharded``) must produce bit-identical
+``WindowResult`` sequences to the unified planner across all registered
+policies, and each must emit exactly one ``DeprecationWarning`` per call.
+"""
+
+import warnings
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.sketches.base import PolicyOperator
+from repro.sketches.registry import available_policies, make_policy
+from repro.streaming import (
+    CountWindow,
+    ExecutionPlan,
+    Query,
+    StreamEngine,
+    chunk_stream,
+    value_stream,
+)
+from repro.streaming.engine import run_query, run_query_batched, run_query_chunked
+from repro.streaming.sharded import run_sharded
+
+WINDOW = CountWindow(size=240, period=60)
+PHIS = (0.5, 0.9, 0.99)
+CHUNK = 128
+
+
+@pytest.fixture(scope="module")
+def values():
+    rng = np.random.default_rng(11)
+    return np.round(rng.lognormal(mean=6.0, sigma=0.5, size=1_440))
+
+
+def _operator(policy):
+    return PolicyOperator(make_policy(policy, PHIS, WINDOW))
+
+
+@pytest.fixture(autouse=True)
+def _allow_deprecations():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        yield
+
+
+@pytest.mark.parametrize("policy", available_policies())
+def test_run_query_matches_execute(policy, values):
+    legacy = run_query(value_stream(values), WINDOW, _operator(policy))
+    planned = StreamEngine().execute_to_list(
+        Query(value_stream(values)).windowed_by(WINDOW).aggregate(_operator(policy)),
+        ExecutionPlan(mode="events"),
+    )
+    assert legacy == planned
+    assert len(legacy) > 0
+
+
+@pytest.mark.parametrize("policy", available_policies())
+def test_run_query_chunked_matches_execute(policy, values):
+    legacy = run_query_chunked(chunk_stream(values, CHUNK), WINDOW, _operator(policy))
+    planned = StreamEngine().execute_to_list(
+        Query(chunk_stream(values, CHUNK))
+        .windowed_by(WINDOW)
+        .aggregate(_operator(policy)),
+        ExecutionPlan(mode="batched"),
+    )
+    assert legacy == planned
+    assert len(legacy) > 0
+
+
+@pytest.mark.parametrize("policy", available_policies())
+def test_run_query_batched_matches_execute(policy, values):
+    legacy = run_query_batched(values, WINDOW, _operator(policy), chunk_size=CHUNK)
+    planned = StreamEngine().execute_to_list(
+        Query(values).windowed_by(WINDOW).aggregate(_operator(policy)),
+        ExecutionPlan(mode="batched", chunk_size=CHUNK),
+    )
+    assert legacy == planned
+    assert len(legacy) > 0
+
+
+@pytest.mark.parametrize("policy", available_policies())
+def test_run_sharded_matches_execute(policy, values):
+    factory = partial(make_policy, policy, PHIS, WINDOW)
+    legacy = run_sharded(
+        values, WINDOW, factory, n_shards=3, chunk_size=CHUNK
+    )
+    planned = StreamEngine().execute_to_list(
+        Query(values).windowed_by(WINDOW),
+        ExecutionPlan(
+            mode="sharded", n_shards=3, chunk_size=CHUNK, policy_factory=factory
+        ),
+    )
+    assert legacy == planned
+    assert len(legacy) > 0
+
+
+@pytest.mark.parametrize("emit_partial", [False, True])
+def test_shims_honour_emit_partial(emit_partial, values):
+    legacy = run_query_batched(
+        values, WINDOW, _operator("exact"), chunk_size=CHUNK, emit_partial=emit_partial
+    )
+    planned = StreamEngine(emit_partial=emit_partial).execute_to_list(
+        Query(values).windowed_by(WINDOW).aggregate(_operator("exact")),
+        ExecutionPlan(mode="batched", chunk_size=CHUNK),
+    )
+    assert legacy == planned
+
+
+# ----------------------------------------------------------------------
+# Deprecation-warning contract: exactly one warning per shim call
+# ----------------------------------------------------------------------
+def _single_deprecation(record):
+    deprecations = [w for w in record if w.category is DeprecationWarning]
+    assert len(deprecations) == 1, [str(w.message) for w in record]
+    message = str(deprecations[0].message)
+    assert "deprecated" in message and "execute" in message
+    return message
+
+
+def test_run_query_emits_exactly_one_deprecation_warning(values):
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        run_query(value_stream(values[:300]), WINDOW, _operator("exact"))
+    assert "run_query()" in _single_deprecation(record)
+
+
+def test_run_query_chunked_emits_exactly_one_deprecation_warning(values):
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        run_query_chunked(chunk_stream(values[:300], CHUNK), WINDOW, _operator("exact"))
+    assert "run_query_chunked()" in _single_deprecation(record)
+
+
+def test_run_query_batched_emits_exactly_one_deprecation_warning(values):
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        run_query_batched(values[:300], WINDOW, _operator("exact"))
+    assert "run_query_batched()" in _single_deprecation(record)
+
+
+def test_run_sharded_emits_exactly_one_deprecation_warning(values):
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        run_sharded(
+            values[:300], WINDOW, partial(make_policy, "exact", PHIS, WINDOW), 2
+        )
+    assert "run_sharded()" in _single_deprecation(record)
