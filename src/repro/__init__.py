@@ -43,10 +43,12 @@ from repro.sketches import (
     RandomPolicy,
     available_policies,
     make_policy,
+    policy_from_state,
 )
 from repro.streaming import (
     Chunk,
     CountWindow,
+    EngineCheckpoint,
     Event,
     ExecutionPlan,
     Query,
@@ -63,6 +65,7 @@ __all__ = [
     "CMQSPolicy",
     "Chunk",
     "CountWindow",
+    "EngineCheckpoint",
     "Event",
     "ExactPolicy",
     "ExecutionPlan",
@@ -81,6 +84,7 @@ __all__ = [
     "chunk_stream",
     "load_specs",
     "make_policy",
+    "policy_from_state",
     "value_stream",
     "__version__",
 ]

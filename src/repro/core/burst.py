@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro import serde
 from repro.stats import mann_whitney_u
+
+#: State-format version written by :meth:`BurstDetector.to_state`.
+BURST_STATE_VERSION = 1
 
 
 class BurstDetector:
@@ -56,3 +60,35 @@ class BurstDetector:
         """Forget history (stream restart)."""
         self._previous = None
         self._bursty = False
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Configuration plus the comparison history, JSON-safe."""
+        state = serde.header("burst_detector", BURST_STATE_VERSION)
+        state["alpha"] = float(self.alpha)
+        state["min_samples"] = int(self.min_samples)
+        state["previous"] = (
+            None if self._previous is None else serde.float_list(self._previous)
+        )
+        state["bursty"] = bool(self._bursty)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BurstDetector":
+        serde.check_state(
+            state, "burst_detector", BURST_STATE_VERSION, "burst detector"
+        )
+        serde.require_fields(
+            state, ("alpha", "min_samples", "previous", "bursty"), "burst detector"
+        )
+        detector = cls(
+            alpha=float(state["alpha"]), min_samples=int(state["min_samples"])
+        )
+        previous = state["previous"]
+        detector._previous = None if previous is None else tuple(
+            float(v) for v in previous
+        )
+        detector._bursty = bool(state["bursty"])
+        return detector

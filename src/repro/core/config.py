@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import math
 import numbers
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Mapping, Optional
 
 from repro.streaming.windows import CountWindow
 
@@ -123,6 +123,32 @@ class FewKConfig:
         """Whether sample-k merging is on for ``phi``."""
         return self.resolve_ks(phi, window) > 0
 
+    # ------------------------------------------------------------------
+    # Serialisation (plain-data round trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON field mapping; :meth:`from_dict` round-trips it."""
+        data = asdict(self)
+        data["ts_threshold"] = int(data["ts_threshold"])
+        if data["topk_fraction"] is not None:
+            data["topk_fraction"] = float(data["topk_fraction"])
+        data["samplek_fraction"] = float(data["samplek_fraction"])
+        if data["budget"] is not None:
+            data["budget"] = int(data["budget"])
+        data["burst_detection"] = bool(data["burst_detection"])
+        data["burst_alpha"] = float(data["burst_alpha"])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FewKConfig":
+        """Rebuild a config from its :meth:`to_dict` form."""
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"a FewKConfig dict form must be a mapping, got "
+                f"{type(data).__name__}"
+            )
+        return cls(**data)
+
 
 def exact_tail_size(phi: float, window_size: int) -> int:
     """Number of largest values that pin down the exact phi-quantile.
@@ -183,3 +209,30 @@ class QLOVEConfig:
     def with_fewk(cls, **fewk_kwargs: object) -> "QLOVEConfig":
         """Convenience: default config with few-k merging enabled."""
         return cls(fewk=FewKConfig(**fewk_kwargs))  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Serialisation (plain-data round trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON field mapping; :meth:`from_dict` round-trips it."""
+        return {
+            "quantize_digits": (
+                None if self.quantize_digits is None else int(self.quantize_digits)
+            ),
+            "backend": self.backend,
+            "fewk": None if self.fewk is None else self.fewk.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "QLOVEConfig":
+        """Rebuild a config from its :meth:`to_dict` form."""
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"a QLOVEConfig dict form must be a mapping, got "
+                f"{type(data).__name__}"
+            )
+        entries = dict(data)
+        fewk = entries.pop("fewk", None)
+        if fewk is not None and not isinstance(fewk, FewKConfig):
+            fewk = FewKConfig.from_dict(fewk)
+        return cls(fewk=fewk, **entries)

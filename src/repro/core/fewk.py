@@ -17,10 +17,14 @@ import math
 from collections import deque
 from typing import Deque, Iterable, Optional, Sequence
 
+from repro import serde
 from repro.core.burst import BurstDetector
 from repro.core.config import FewKConfig, exact_tail_size
 from repro.core.summary import SubWindowSummary
 from repro.streaming.windows import CountWindow
+
+#: State-format version written by :meth:`FewKMerger.to_state`.
+FEWK_STATE_VERSION = 1
 
 #: Result-provenance labels, exposed for diagnostics and experiments.
 SOURCE_LEVEL2 = "level2"
@@ -90,6 +94,41 @@ class FewKMerger:
         self.last_source = SOURCE_LEVEL2
         if self._detector is not None:
             self._detector.reset()
+
+    # ------------------------------------------------------------------
+    # Durable state (configuration is derived; only history persists)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Burst history and provenance, JSON-safe.
+
+        The k_t/k_s plan and detector configuration re-derive from the
+        policy's :class:`FewKConfig`, so the state carries only what
+        accumulated at runtime.
+        """
+        state = serde.header("fewk_merger", FEWK_STATE_VERSION)
+        state["phi"] = float(self.phi)
+        state["burst_flags"] = [bool(flag) for flag in self._burst_flags]
+        state["last_source"] = self.last_source
+        state["detector"] = (
+            None if self._detector is None else self._detector.to_state()
+        )
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt history captured by :meth:`to_state` (same config)."""
+        serde.check_state(state, "fewk_merger", FEWK_STATE_VERSION, "few-k merger")
+        serde.require_fields(
+            state, ("phi", "burst_flags", "last_source", "detector"), "few-k merger"
+        )
+        if float(state["phi"]) != self.phi:
+            raise serde.StateError(
+                f"few-k merger: state is for quantile {state['phi']}, this "
+                f"merger tracks {self.phi} (spec/state mismatch)"
+            )
+        self._burst_flags = deque(bool(flag) for flag in state["burst_flags"])
+        self.last_source = state["last_source"]
+        if state["detector"] is not None and self._detector is not None:
+            self._detector = BurstDetector.from_state(state["detector"])
 
     # ------------------------------------------------------------------
     # The two merging pipelines

@@ -13,7 +13,11 @@ from __future__ import annotations
 import math
 from typing import Dict, Sequence
 
+from repro import serde
 from repro.core.summary import SubWindowSummary
+
+#: State-format version written by :meth:`Level2Aggregator.to_state`.
+LEVEL2_STATE_VERSION = 1
 
 
 class Level2Aggregator:
@@ -60,3 +64,34 @@ class Level2Aggregator:
     def space_variables(self) -> int:
         """Two accumulators (sum, count) per quantile."""
         return 2 * len(self._phis)
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """The per-quantile running sums/counts, JSON-safe.
+
+        Sums are the literal accumulated floats (shortest-round-trip
+        serialised), so a restored aggregator's averages — and every
+        future accumulate/deaccumulate — are bit-identical.
+        """
+        state = serde.header("level2", LEVEL2_STATE_VERSION)
+        state["phis"] = [float(phi) for phi in self._phis]
+        state["sums"] = serde.pairs(self._sums)
+        state["counts"] = serde.pairs(self._counts)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Level2Aggregator":
+        serde.check_state(state, "level2", LEVEL2_STATE_VERSION, "Level-2 state")
+        serde.require_fields(state, ("phis", "sums", "counts"), "Level-2 state")
+        aggregator = cls([float(phi) for phi in state["phis"]])
+        aggregator._sums = {
+            phi: float(value)
+            for phi, value in serde.mapping_from_pairs(state["sums"]).items()
+        }
+        aggregator._counts = {
+            phi: int(value)
+            for phi, value in serde.mapping_from_pairs(state["counts"]).items()
+        }
+        return aggregator

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Optional, Sequence
 
+from repro import serde
 from repro.core.compression import Quantizer
 from repro.core.config import QLOVEConfig
 from repro.core.fewk import SOURCE_LEVEL2, FewKMerger
@@ -114,6 +115,62 @@ class QLOVEPolicy(QuantilePolicy):
         for merger in self._mergers.values():
             merger.reset()
         self._peak_space = 0
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Configuration plus every stateful layer, JSON-safe.
+
+        Level-2 sums are persisted verbatim (not recomputed from the
+        summaries), so the restored averages — accumulated in the same
+        order — stay bit-identical to the original run's.
+        """
+        state = self._state_header()
+        state["config"] = self.config.to_dict()
+        state["builder_map"] = self._builder.map_state()
+        state["level2"] = self._level2.to_state()
+        state["summaries"] = [summary.to_state() for summary in self._summaries]
+        state["mergers"] = serde.pairs(
+            {phi: merger.to_state() for phi, merger in self._mergers.items()}
+        )
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QLOVEPolicy":
+        phis, window = cls._check_policy_state(state)
+        serde.require_fields(
+            state,
+            ("config", "builder_map", "level2", "summaries", "mergers"),
+            "qlove policy",
+        )
+        try:
+            config = QLOVEConfig.from_dict(state["config"])
+        except (TypeError, ValueError) as exc:
+            raise serde.StateError(
+                f"qlove policy: cannot rebuild QLOVEConfig from state: {exc}"
+            ) from None
+        policy = cls(phis, window, config=config)
+        policy._builder.restore_map(state["builder_map"])
+        policy._level2 = Level2Aggregator.from_state(state["level2"])
+        policy._summaries = deque(
+            SubWindowSummary.from_state(entry) for entry in state["summaries"]
+        )
+        policy._stored_space = sum(
+            summary.space_variables() for summary in policy._summaries
+        )
+        merger_states = serde.mapping_from_pairs(state["mergers"])
+        if set(merger_states) != set(policy._mergers):
+            raise serde.StateError(
+                "qlove policy: few-k merger set in state "
+                f"({sorted(merger_states)}) does not match the configured "
+                f"quantile plan ({sorted(policy._mergers)}); the state was "
+                "written under a different config (spec/state mismatch)"
+            )
+        for phi, merger in policy._mergers.items():
+            merger.restore_state(merger_states[phi])
+        policy._restore_header(state)
+        return policy
 
     def query(self) -> Dict[float, float]:
         if not self._summaries:

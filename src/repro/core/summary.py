@@ -23,11 +23,15 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
+from repro import serde
 from repro.core.compression import Quantizer
 from repro.core.config import FewKConfig, exact_tail_size
-from repro.datastructures import make_frequency_map
+from repro.datastructures import frequency_map_from_state, make_frequency_map
 from repro.datastructures.sampling import interval_sample, sample_weights
 from repro.streaming.windows import CountWindow
+
+#: State-format version written by :meth:`SubWindowSummary.to_state`.
+SUMMARY_STATE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -49,6 +53,56 @@ class SubWindowSummary:
         tail = sum(len(v) for v in self.topk.values())
         tail += sum(len(v) for v in self.samples.values())
         return len(self.quantiles) + tail
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """All retained material as JSON-safe pair lists.
+
+        Float-keyed mappings serialise as ``[[phi, payload], ...]`` pairs
+        so quantile keys round-trip exactly (JSON objects would
+        stringify them).
+        """
+        state = serde.header("subwindow_summary", SUMMARY_STATE_VERSION)
+        state["count"] = int(self.count)
+        state["quantiles"] = serde.pairs(self.quantiles)
+        state["topk"] = serde.pairs(self.topk)
+        state["samples"] = serde.pairs(self.samples)
+        state["sample_weights"] = serde.pairs(self.sample_weights)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SubWindowSummary":
+        serde.check_state(
+            state, "subwindow_summary", SUMMARY_STATE_VERSION, "sub-window summary"
+        )
+        serde.require_fields(
+            state,
+            ("count", "quantiles", "topk", "samples", "sample_weights"),
+            "sub-window summary",
+        )
+        return cls(
+            count=int(state["count"]),
+            quantiles={
+                phi: float(value)
+                for phi, value in serde.mapping_from_pairs(state["quantiles"]).items()
+            },
+            topk={
+                phi: tuple(float(v) for v in values)
+                for phi, values in serde.mapping_from_pairs(state["topk"]).items()
+            },
+            samples={
+                phi: tuple(float(v) for v in values)
+                for phi, values in serde.mapping_from_pairs(state["samples"]).items()
+            },
+            sample_weights={
+                phi: tuple(int(w) for w in weights)
+                for phi, weights in serde.mapping_from_pairs(
+                    state["sample_weights"]
+                ).items()
+            },
+        )
 
 
 class SubWindowBuilder:
@@ -146,6 +200,21 @@ class SubWindowBuilder:
     def space_variables(self) -> int:
         """In-flight state: {value, count} per unique element."""
         return 2 * self._map.unique_count
+
+    # ------------------------------------------------------------------
+    # Durable state (the in-flight map; plan/quantizer are config-derived)
+    # ------------------------------------------------------------------
+    def map_state(self) -> dict:
+        """The in-flight frequency map's state (all the builder's data).
+
+        The quantize cache is a memo, not state — it rebuilds lazily and
+        deterministically, so it is deliberately not persisted.
+        """
+        return self._map.to_state()
+
+    def restore_map(self, state: dict) -> None:
+        """Adopt a frequency map state captured by :meth:`map_state`."""
+        self._map = frequency_map_from_state(state)
 
     def seal(self) -> SubWindowSummary:
         """Summarise and reset the in-flight sub-window.

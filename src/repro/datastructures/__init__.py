@@ -21,6 +21,7 @@ from repro.datastructures.frequency_map import (
     DictFrequencyMap,
     FrequencyMap,
     TreeFrequencyMap,
+    frequency_map_from_state,
     make_frequency_map,
 )
 from repro.datastructures.rbtree import RedBlackTree
@@ -35,6 +36,7 @@ __all__ = [
     "ReservoirSampler",
     "TopKKeeper",
     "TreeFrequencyMap",
+    "frequency_map_from_state",
     "interval_sample",
     "make_frequency_map",
     "sample_ranks",

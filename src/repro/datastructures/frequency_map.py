@@ -20,9 +20,14 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import ClassVar, Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
+
+from repro import serde
+
+#: State-format version written by :meth:`FrequencyMap.to_state`.
+FREQUENCY_MAP_STATE_VERSION = 1
 
 
 class FrequencyMap(ABC):
@@ -31,6 +36,9 @@ class FrequencyMap(ABC):
     Concrete classes keep ``(value, frequency)`` pairs and answer rank and
     quantile queries against the weighted, sorted sequence they induce.
     """
+
+    #: Registry name of the concrete backend (used by serialization).
+    backend_name: ClassVar[str] = "abstract"
 
     @abstractmethod
     def add(self, value: float, count: int = 1) -> None:
@@ -144,6 +152,24 @@ class FrequencyMap(ABC):
             add(value, count)
 
     # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Versioned, JSON-safe snapshot of the multiset.
+
+        The ``(value, count)`` pairs are stored in increasing value order;
+        :func:`frequency_map_from_state` rebuilds an identical multiset on
+        either backend (the contract is value-set semantics, not internal
+        layout).
+        """
+        state = serde.header("frequency_map", FREQUENCY_MAP_STATE_VERSION)
+        state["backend"] = self.backend_name
+        state["items"] = [
+            [float(value), int(count)] for value, count in self.items_sorted()
+        ]
+        return state
+
+    # ------------------------------------------------------------------
     # Bulk (batched) updates
     # ------------------------------------------------------------------
     def extend_array(self, values: np.ndarray) -> None:
@@ -178,6 +204,8 @@ class TreeFrequencyMap(FrequencyMap):
     """Red-black-tree backend — the paper's Level-1 structure."""
 
     __slots__ = ("_tree",)
+
+    backend_name = "tree"
 
     def __init__(self, values: Iterable[float] = ()) -> None:
         from repro.datastructures.rbtree import RedBlackTree
@@ -221,6 +249,8 @@ class DictFrequencyMap(FrequencyMap):
     telemetry data the key set is small and rarely grows, so the amortised
     cost matches the tree while being much faster in CPython.
     """
+
+    backend_name = "dict"
 
     __slots__ = ("_counts", "_total", "_sorted_keys", "_dirty")
 
@@ -327,3 +357,16 @@ def make_frequency_map(backend: str = "dict") -> FrequencyMap:
             f"unknown backend {backend!r}; expected one of {sorted(_BACKENDS)}"
         ) from None
     return factory()
+
+
+def frequency_map_from_state(state: dict) -> FrequencyMap:
+    """Rebuild a frequency map from :meth:`FrequencyMap.to_state` output."""
+    serde.check_state(
+        state, "frequency_map", FREQUENCY_MAP_STATE_VERSION, "frequency map"
+    )
+    serde.require_fields(state, ("backend", "items"), "frequency map")
+    restored = make_frequency_map(state["backend"])
+    add = restored.add
+    for value, count in state["items"]:
+        add(float(value), int(count))
+    return restored

@@ -9,6 +9,11 @@ from __future__ import annotations
 import random
 from typing import Iterable, List, Optional
 
+from repro import serde
+
+#: State-format version written by :meth:`ReservoirSampler.to_state`.
+RESERVOIR_STATE_VERSION = 1
+
 
 class ReservoirSampler:
     """Keep a uniform sample of at most ``capacity`` values from a stream.
@@ -80,3 +85,28 @@ class ReservoirSampler:
         """Reset the reservoir and the seen counter."""
         self._sample = []
         self._seen = 0
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Versioned, JSON-safe snapshot (sample, counters, RNG position)."""
+        state = serde.header("reservoir", RESERVOIR_STATE_VERSION)
+        state["capacity"] = int(self._capacity)
+        state["seen"] = int(self._seen)
+        state["sample"] = serde.float_list(self._sample)
+        state["rng"] = serde.rng_to_state(self._rng)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ReservoirSampler":
+        """Rebuild a sampler whose future offers behave identically."""
+        serde.check_state(state, "reservoir", RESERVOIR_STATE_VERSION, "reservoir")
+        serde.require_fields(
+            state, ("capacity", "seen", "sample", "rng"), "reservoir"
+        )
+        sampler = cls(int(state["capacity"]))
+        sampler._sample = serde.float_list(state["sample"])
+        sampler._seen = int(state["seen"])
+        sampler._rng = serde.rng_from_state(state["rng"], "reservoir")
+        return sampler

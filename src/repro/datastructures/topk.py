@@ -13,6 +13,11 @@ from typing import Iterable, Iterator, List
 
 import numpy as np
 
+from repro import serde
+
+#: State-format version written by :meth:`TopKKeeper.to_state`.
+TOPK_STATE_VERSION = 1
+
 
 class TopKKeeper:
     """Maintain the ``k`` largest values offered so far (with duplicates).
@@ -96,3 +101,26 @@ class TopKKeeper:
     def clear(self) -> None:
         """Drop all retained values (capacity unchanged)."""
         self._heap = []
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Versioned, JSON-safe snapshot (capacity + heap layout).
+
+        The heap list is stored verbatim so the restored keeper's
+        tie-breaking behaviour is bit-identical, not just set-equal.
+        """
+        state = serde.header("topk", TOPK_STATE_VERSION)
+        state["k"] = int(self._k)
+        state["heap"] = serde.float_list(self._heap)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TopKKeeper":
+        """Rebuild a keeper from :meth:`to_state` output."""
+        serde.check_state(state, "topk", TOPK_STATE_VERSION, "top-k keeper")
+        serde.require_fields(state, ("k", "heap"), "top-k keeper")
+        keeper = cls(int(state["k"]))
+        keeper._heap = serde.float_list(state["heap"])
+        return keeper

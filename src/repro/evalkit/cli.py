@@ -92,6 +92,36 @@ def build_monitor_parser() -> argparse.ArgumentParser:
         help="batched-ingest block size (default 65536)",
     )
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help=(
+            "save the full monitor state (specs + per-metric operator "
+            "state) to this JSON file after streaming"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help=(
+            "restore the monitor from a --checkpoint file and continue the "
+            "dataset from the first element the checkpoint has not seen; "
+            "the final report equals an uninterrupted run's"
+        ),
+    )
+    parser.add_argument(
+        "--stop-after",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "stop streaming after N elements (of the full --events dataset) "
+            "— simulates a crash mid-stream; combine with --checkpoint, then "
+            "--resume with the same --events to finish the identical stream"
+        ),
+    )
     return parser
 
 
@@ -102,7 +132,6 @@ def run_monitor(argv: List[str]) -> int:
 
     args = build_monitor_parser().parse_args(argv)
     specs = load_specs(args.specs)
-    monitor = Monitor()
 
     def report(name: str, result) -> None:
         quantiles = "  ".join(
@@ -113,25 +142,68 @@ def run_monitor(argv: List[str]) -> int:
             f"end={int(result.end):<10,} {quantiles}"
         )
 
-    for spec in specs:
-        monitor.register(spec, on_result=report)
+    skip = 0
+    if args.resume is not None:
+        monitor = Monitor.load(args.resume)
+        # Compare canonical serialised forms: flat QLOVE params and their
+        # resolved config serialise identically, so equivalent specs match
+        # however they were written.
+        loaded = {spec.name: spec.to_dict() for spec in monitor.specs()}
+        wanted = {spec.name: spec.to_dict() for spec in specs}
+        if loaded != wanted:
+            raise SystemExit(
+                f"--resume {args.resume}: checkpointed metrics "
+                f"{sorted(loaded)} do not match the spec file's "
+                f"{sorted(wanted)} (or their configurations differ); pass "
+                "the same spec file the checkpoint was created with "
+                "(spec/state mismatch)"
+            )
+        seen = {name: monitor._channels[name].seen for name in monitor.metrics()}
+        skip = min(seen.values()) if seen else 0
+        if len(set(seen.values())) > 1:
+            raise SystemExit(
+                f"--resume {args.resume}: metrics saw different element "
+                f"counts ({seen}); this checkpoint was not produced by the "
+                "monitor CLI's uniform fan-out and cannot be resumed here"
+            )
+        for name in monitor.metrics():
+            monitor.on_result(name, report)
         print(
-            f"registered {spec.name!r}: policy={spec.policy} "
-            f"window={spec.window.size:,}/{spec.window.period:,} "
-            f"quantiles={list(spec.quantiles)}"
+            f"resumed {len(monitor)} metric(s) from {args.resume!r} "
+            f"({skip:,} elements already ingested)"
         )
+    else:
+        monitor = Monitor()
+        for spec in specs:
+            monitor.register(spec, on_result=report)
+            print(
+                f"registered {spec.name!r}: policy={spec.policy} "
+                f"window={spec.window.size:,}/{spec.window.period:,} "
+                f"quantiles={list(spec.quantiles)}"
+            )
 
     values = get_dataset(args.dataset, args.events, seed=args.seed)
+    if args.stop_after is not None:
+        if args.stop_after < skip:
+            raise SystemExit(
+                f"--stop-after {args.stop_after} lies before the resumed "
+                f"position ({skip:,} elements already ingested)"
+            )
+        values = values[: args.stop_after]
+    fresh = values[skip:]
     print(
-        f"\nstreaming {len(values):,} '{args.dataset}' elements "
+        f"\nstreaming {len(fresh):,} '{args.dataset}' elements "
         f"(seed {args.seed}) into {len(monitor)} metric(s)\n"
     )
     started = time.perf_counter()
-    for offset in range(0, len(values), args.chunk_size):
-        block = values[offset : offset + args.chunk_size]
+    for offset in range(0, len(fresh), args.chunk_size):
+        block = fresh[offset : offset + args.chunk_size]
         for name in monitor.metrics():
             monitor.observe_batch(name, block)
     elapsed = time.perf_counter() - started
+    if args.checkpoint is not None:
+        monitor.save(args.checkpoint)
+        print(f"checkpoint saved to {args.checkpoint!r}")
 
     print("\nfinal snapshot:")
     for name, estimates in monitor.snapshot().items():
@@ -147,7 +219,7 @@ def run_monitor(argv: List[str]) -> int:
             f"  {name}: {accounting['evaluations']} evaluations, "
             f"{accounting['peak_space']:,} peak state variables"
         )
-    rate = len(values) * len(monitor) / elapsed / 1e6 if elapsed > 0 else float("inf")
+    rate = len(fresh) * len(monitor) / elapsed / 1e6 if elapsed > 0 else float("inf")
     print(f"\n[{rate:.1f} M ev/s across metrics, {elapsed:.1f}s]")
     return 0
 

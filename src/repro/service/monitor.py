@@ -27,16 +27,53 @@ when merges happen at period boundaries (the
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from collections import deque
 from typing import Callable, Deque, Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
+from repro import serde
 from repro.service.spec import MetricSpec
 from repro.streaming.engine import WindowResult
 
 #: Per-period callback: ``callback(metric_name, window_result)``.
 ResultCallback = Callable[[str, WindowResult], None]
+
+#: State-format versions written by the persistence layer.
+CHANNEL_STATE_VERSION = 1
+MONITOR_STATE_VERSION = 1
+
+#: File-format tag written by :meth:`Monitor.save`.
+MONITOR_FORMAT = "repro-monitor-checkpoint"
+
+
+def _require_matching_policy(spec: MetricSpec, fresh, restored) -> None:
+    """Reject a restored policy that does not match its metric spec.
+
+    The spec builds ``fresh``; ``restored`` comes from the saved state.
+    Type, quantiles, window shape and algorithm parameters must all
+    agree, otherwise the channel would silently answer with a different
+    algorithm than the spec declares (the spec/state-mismatch error path).
+    """
+    try:
+        fresh._require_compatible(restored)
+    except (TypeError, ValueError) as exc:
+        raise serde.StateError(
+            f"metric {spec.name!r}: saved policy state does not match the "
+            f"spec ({exc}); the state was written under a different metric "
+            "configuration (spec/state mismatch)"
+        ) from None
+    for attr in ("config", "epsilon", "k", "method", "backend"):
+        if getattr(fresh, attr, None) != getattr(restored, attr, None):
+            raise serde.StateError(
+                f"metric {spec.name!r}: saved policy state disagrees with "
+                f"the spec on {attr!r} (spec: {getattr(fresh, attr, None)!r}, "
+                f"state: {getattr(restored, attr, None)!r}); spec/state "
+                "mismatch"
+            )
 
 
 class MetricChannel:
@@ -161,12 +198,88 @@ class MetricChannel:
         self._index = 0
 
     # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Spec, policy state, window bookkeeping and emitted results."""
+        state = serde.header("metric_channel", CHANNEL_STATE_VERSION)
+        state["spec"] = serde.as_native(self.spec.to_dict())
+        state["policy"] = self.policy.to_state()
+        state["counts"] = [int(count) for count in self._counts]
+        state["in_flight"] = int(self._in_flight)
+        state["seen"] = int(self._seen)
+        state["index"] = int(self._index)
+        state["results"] = [
+            {
+                "index": int(result.index),
+                "window_count": int(result.window_count),
+                "end": float(result.end),
+                "result": serde.pairs(result.result),
+            }
+            for result in self.results
+        ]
+        return state
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        emit_partial: bool = False,
+        callbacks: Optional[List[ResultCallback]] = None,
+    ) -> "MetricChannel":
+        """Rebuild a channel; validates the policy state against the spec."""
+        serde.check_state(
+            state, "metric_channel", CHANNEL_STATE_VERSION, "metric channel"
+        )
+        serde.require_fields(
+            state,
+            ("spec", "policy", "counts", "in_flight", "seen", "index", "results"),
+            "metric channel",
+        )
+        try:
+            spec = MetricSpec.from_dict(state["spec"])
+        except ValueError as exc:
+            raise serde.StateError(
+                f"metric channel: invalid spec in state: {exc}"
+            ) from None
+        channel = cls(spec, emit_partial=emit_partial, callbacks=callbacks)
+        from repro.sketches.registry import policy_from_state
+
+        restored = policy_from_state(state["policy"])
+        _require_matching_policy(spec, channel.policy, restored)
+        channel.policy = restored
+        channel._counts = deque(int(count) for count in state["counts"])
+        channel._in_flight = int(state["in_flight"])
+        channel._seen = int(state["seen"])
+        channel._index = int(state["index"])
+        channel.results = [
+            WindowResult(
+                index=int(entry["index"]),
+                window_count=int(entry["window_count"]),
+                end=float(entry["end"]),
+                result={
+                    phi: float(value)
+                    for phi, value in serde.mapping_from_pairs(
+                        entry["result"]
+                    ).items()
+                },
+            )
+            for entry in state["results"]
+        ]
+        return channel
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def latest(self) -> Optional[WindowResult]:
         """The most recent evaluation, or None before a full window."""
         return self.results[-1] if self.results else None
+
+    @property
+    def seen(self) -> int:
+        """Elements ingested so far (resume offset for replayed sources)."""
+        return self._seen
 
     def report(self) -> Dict[str, object]:
         """Accounting snapshot (space, elements, evaluations)."""
@@ -297,6 +410,102 @@ class Monitor:
         """Reset every metric's state and results (specs stay registered)."""
         for channel in self._channels.values():
             channel.reset()
+
+    # ------------------------------------------------------------------
+    # Durable state (save / load)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Everything: specs plus every metric's full operator state."""
+        state = serde.header("monitor", MONITOR_STATE_VERSION)
+        state["format"] = MONITOR_FORMAT
+        state["metrics"] = [
+            channel.to_state() for channel in self._channels.values()
+        ]
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict, emit_partial: bool = False) -> "Monitor":
+        """Rebuild a monitor (specs, policies, counters, results)."""
+        serde.check_state(state, "monitor", MONITOR_STATE_VERSION, "monitor")
+        serde.require_fields(state, ("metrics",), "monitor")
+        if not isinstance(state["metrics"], list):
+            raise serde.StateError(
+                "monitor: 'metrics' must be a list of metric-channel states, "
+                f"got {type(state['metrics']).__name__}"
+            )
+        monitor = cls(emit_partial=emit_partial)
+        for entry in state["metrics"]:
+            channel = MetricChannel.from_state(entry, emit_partial=emit_partial)
+            if channel.spec.name in monitor._channels:
+                raise serde.StateError(
+                    f"monitor: duplicate metric {channel.spec.name!r} in state"
+                )
+            monitor._channels[channel.spec.name] = channel
+        return monitor
+
+    def save(self, path: str) -> None:
+        """Write the full monitor state to ``path`` as JSON.
+
+        The file holds the specs *and* every per-metric operator state, so
+        :meth:`load` restores a monitor that continues the stream exactly
+        where this one stopped (feed it the elements after each channel's
+        ``seen`` count).
+
+        The write is atomic (temp file + ``os.replace``): a crash
+        mid-save — the exact event checkpoints exist to survive — leaves
+        the previous checkpoint intact instead of a truncated file.
+        """
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self.to_state(), handle, separators=(",", ":"))
+                handle.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    @classmethod
+    def load(cls, path: str, emit_partial: bool = False) -> "Monitor":
+        """Restore a monitor saved by :meth:`save`.
+
+        Error paths are actionable: a missing file, malformed JSON, a
+        state version from a newer release, and per-metric spec/state
+        mismatches each raise with a message naming the file and the fix.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = handle.read()
+        except FileNotFoundError:
+            raise FileNotFoundError(
+                f"monitor checkpoint {path!r} does not exist; pass the path "
+                "given to Monitor.save() (or the CLI's --checkpoint)"
+            ) from None
+        try:
+            state = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise serde.StateError(
+                f"{path}: not valid JSON ({exc}); the checkpoint is "
+                "corrupted or was not written by Monitor.save()"
+            ) from None
+        if isinstance(state, dict) and state.get("format") not in (
+            None,
+            MONITOR_FORMAT,
+        ):
+            raise serde.StateError(
+                f"{path}: file format {state.get('format')!r} is not a "
+                f"monitor checkpoint (expected {MONITOR_FORMAT!r})"
+            )
+        try:
+            return cls.from_state(state, emit_partial=emit_partial)
+        except serde.StateError as exc:
+            raise serde.StateError(f"{path}: {exc}") from None
 
     # ------------------------------------------------------------------
     # Introspection

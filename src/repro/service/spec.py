@@ -136,6 +136,10 @@ class MetricSpec:
             raise ValueError(
                 f"metric name must be a non-empty string, got {self.name!r}"
             )
+        import numpy as np
+
+        if isinstance(self.quantiles, np.ndarray):
+            object.__setattr__(self, "quantiles", self.quantiles.tolist())
         if isinstance(self.quantiles, (str, bytes)) or not isinstance(
             self.quantiles, (Sequence, frozenset, set)
         ):
@@ -334,13 +338,20 @@ class MetricSpec:
             if config.fewk is not None:
                 serialised["fewk"] = asdict(config.fewk)
             params = serialised
-        return {
-            "name": self.name,
-            "quantiles": list(self.quantiles),
-            "window": {"size": self.window.size, "period": self.window.period},
-            "policy": self.policy,
-            "policy_params": dict(params),
-        }
+        from repro import serde
+
+        # as_native strips numpy scalars that rode in through policy_params
+        # (e.g. an epsilon computed from an array), so the dict always
+        # survives the stdlib json encoder.
+        return serde.as_native(
+            {
+                "name": self.name,
+                "quantiles": list(self.quantiles),
+                "window": {"size": self.window.size, "period": self.window.period},
+                "policy": self.policy,
+                "policy_params": dict(params),
+            }
+        )
 
 
 def load_specs(path: str) -> List[MetricSpec]:
@@ -348,9 +359,23 @@ def load_specs(path: str) -> List[MetricSpec]:
 
     The file holds either a list of spec dicts or an object with a
     ``"metrics"`` list — the format ``python -m repro monitor`` consumes.
+    A missing file and malformed JSON raise with the path and the fix.
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        data = json.load(handle)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = handle.read()
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"metric-spec file {path!r} does not exist; pass the path of a "
+            "JSON file holding a list of metric specs (or {'metrics': [...]})"
+        ) from None
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path}: not valid JSON ({exc}); expected a list of metric "
+            "specs or an object with a 'metrics' list"
+        ) from None
     if isinstance(data, Mapping):
         if "metrics" not in data:
             raise ValueError(

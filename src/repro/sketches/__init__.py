@@ -33,6 +33,7 @@ from repro.sketches.registry import (
     available_policies,
     get_policy_factory,
     make_policy,
+    policy_from_state,
     register_policy,
 )
 
@@ -50,5 +51,6 @@ __all__ = [
     "available_policies",
     "get_policy_factory",
     "make_policy",
+    "policy_from_state",
     "register_policy",
 ]

@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import serde
 from repro.sketches.base import QuantilePolicy
 from repro.sketches.cmqs import subwindow_capacity
 from repro.sketches.gk import GKSummary, combined_quantile, merge_summaries
@@ -111,6 +112,50 @@ class AMPolicy(QuantilePolicy):
         self._next_index = 0
         self._oldest = 0
         self._peak_space = 0
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Every live block (including memoised merges) plus the indices.
+
+        Memoised higher-level blocks are persisted too: they are
+        deterministic functions of the level-0 blocks, but dropping them
+        would change ``space_variables()`` after a restore, breaking
+        bit-identical space accounting.
+        """
+        state = self._state_header()
+        state["epsilon"] = float(self.epsilon)
+        state["in_flight"] = self._in_flight.to_state()
+        state["blocks"] = [
+            [int(level), int(start), block.to_state()]
+            for (level, start), block in sorted(self._blocks.items())
+        ]
+        state["next_index"] = int(self._next_index)
+        state["oldest"] = int(self._oldest)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "AMPolicy":
+        phis, window = cls._check_policy_state(state)
+        serde.require_fields(
+            state,
+            ("epsilon", "in_flight", "blocks", "next_index", "oldest"),
+            "am policy",
+        )
+        policy = cls(phis, window, epsilon=float(state["epsilon"]))
+        policy._in_flight = GKSummary.from_state(state["in_flight"])
+        policy._blocks = {
+            (int(level), int(start)): GKSummary.from_state(entry)
+            for level, start, entry in state["blocks"]
+        }
+        policy._blocks_space = sum(
+            block.space_variables() for block in policy._blocks.values()
+        )
+        policy._next_index = int(state["next_index"])
+        policy._oldest = int(state["oldest"])
+        policy._restore_header(state)
+        return policy
 
     # ------------------------------------------------------------------
     # Query

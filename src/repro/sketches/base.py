@@ -11,10 +11,11 @@ engine's :class:`~repro.streaming.operator.SubWindowOperator` so the same
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import ClassVar, Dict, Optional, Sequence
+from typing import ClassVar, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import serde
 from repro.streaming.event import Event
 from repro.streaming.operator import SubWindowOperator
 from repro.streaming.sources import Chunk
@@ -57,6 +58,9 @@ class QuantilePolicy(ABC):
 
     #: Short identifier used in experiment configs and reports.
     name: ClassVar[str] = "abstract"
+
+    #: Version written by :meth:`to_state`; loaders accept 1..this.
+    STATE_VERSION: ClassVar[int] = 1
 
     def __init__(self, phis: Sequence[float], window: CountWindow) -> None:
         self.phis = validate_phis(phis)
@@ -126,6 +130,85 @@ class QuantilePolicy(ABC):
         engine resets its shard accumulators after every merge instead of
         reconstructing them.
         """
+
+    # ------------------------------------------------------------------
+    # Durable state (checkpoint / restore / cross-node shipping)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def to_state(self) -> dict:
+        """Versioned, JSON-safe snapshot of configuration *and* data.
+
+        The contract is the serialization twin of :meth:`merge`: the dict
+        contains only native Python types (``json.dumps`` with the stdlib
+        encoder always succeeds), round-trips through
+        ``json.dumps``/``json.loads`` exactly, and
+        :meth:`from_state` rebuilds a policy whose future behaviour —
+        accumulation, sealing, expiry, queries, merging — is
+        bit-identical to the original's.  Start from
+        :meth:`_state_header` and add algorithm fields.
+        """
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QuantilePolicy":
+        """Rebuild a policy instance from :meth:`to_state` output.
+
+        Every registered policy implements this; use
+        :func:`~repro.sketches.registry.policy_from_state` to dispatch on
+        the ``policy`` tag without knowing the concrete class.
+        """
+        raise NotImplementedError(
+            f"{cls.__name__} does not implement from_state()"
+        )
+
+    def _state_header(self) -> dict:
+        """The shared header every policy state starts from."""
+        state = serde.header("policy", type(self).STATE_VERSION)
+        state["policy"] = self.name
+        state["phis"] = [float(phi) for phi in self.phis]
+        state["window"] = {
+            "size": int(self.window.size),
+            "period": int(self.window.period),
+        }
+        state["peak_space"] = int(self._peak_space)
+        return state
+
+    @classmethod
+    def _check_policy_state(cls, state: dict) -> Tuple[tuple, CountWindow]:
+        """Validate the shared header; returns ``(phis, window)``.
+
+        Raises :class:`~repro.serde.StateError` with an actionable message
+        on a foreign kind, an unknown version, a different policy tag or a
+        malformed header — the error paths ``Monitor.load`` surfaces.
+        """
+        context = f"{cls.name} policy"
+        serde.check_state(state, "policy", cls.STATE_VERSION, context)
+        serde.require_fields(
+            state, ("policy", "phis", "window", "peak_space"), context
+        )
+        if state["policy"] != cls.name:
+            raise serde.StateError(
+                f"{context}: state was produced by policy "
+                f"{state['policy']!r}, not {cls.name!r}; restore it with "
+                "policy_from_state() (which dispatches on the tag) or the "
+                "matching class"
+            )
+        window_state = state["window"]
+        if not isinstance(window_state, dict) or not {
+            "size",
+            "period",
+        } <= set(window_state):
+            raise serde.StateError(
+                f"{context}: malformed window in state (expected "
+                "{'size', 'period'}, got " f"{window_state!r})"
+            )
+        window = CountWindow(
+            size=int(window_state["size"]), period=int(window_state["period"])
+        )
+        return tuple(float(phi) for phi in state["phis"]), window
+
+    def _restore_header(self, state: dict) -> None:
+        """Adopt the header's accounting fields (call after construction)."""
+        self._peak_space = int(state["peak_space"])
 
     def _require_compatible(self, other: "QuantilePolicy") -> None:
         """Validate that ``other`` can be merged into this policy."""
@@ -201,3 +284,19 @@ class PolicyOperator(SubWindowOperator[Dict[float, float]]):
 
     def reset(self) -> None:
         self.policy.reset()
+
+    def to_state(self) -> dict:
+        """The wrapped policy's state (checkpointing delegates here)."""
+        return self.policy.to_state()
+
+    def restore_state(self, state: dict) -> None:
+        """Replace the wrapped policy with one rebuilt from ``state``.
+
+        The restored policy must be compatible (same concrete type,
+        quantiles and window shape) with the one this operator was
+        configured with — a checkpoint from a different metric fails with
+        an actionable error instead of silently changing the query.
+        """
+        from repro.streaming.checkpoint import restore_policy
+
+        self.policy = restore_policy(state, self.policy)

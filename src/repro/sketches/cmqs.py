@@ -19,6 +19,7 @@ import math
 from collections import deque
 from typing import Deque, Dict, Optional, Sequence
 
+from repro import serde
 from repro.sketches.base import QuantilePolicy
 from repro.sketches.gk import GKSummary, combined_quantile
 from repro.streaming.windows import CountWindow
@@ -94,6 +95,34 @@ class CMQSPolicy(QuantilePolicy):
         self._sealed.clear()
         self._sealed_space = 0
         self._peak_space = 0
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Epsilon plus every live GK sketch (in-flight and sealed)."""
+        state = self._state_header()
+        state["epsilon"] = float(self.epsilon)
+        state["in_flight"] = self._in_flight.to_state()
+        state["sealed"] = [sketch.to_state() for sketch in self._sealed]
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CMQSPolicy":
+        phis, window = cls._check_policy_state(state)
+        serde.require_fields(
+            state, ("epsilon", "in_flight", "sealed"), "cmqs policy"
+        )
+        policy = cls(phis, window, epsilon=float(state["epsilon"]))
+        policy._in_flight = GKSummary.from_state(state["in_flight"])
+        policy._sealed = deque(
+            GKSummary.from_state(entry) for entry in state["sealed"]
+        )
+        policy._sealed_space = sum(
+            sketch.space_variables() for sketch in policy._sealed
+        )
+        policy._restore_header(state)
+        return policy
 
     def query(self) -> Dict[float, float]:
         if not self._sealed:

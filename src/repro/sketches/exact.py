@@ -18,7 +18,8 @@ from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.datastructures import make_frequency_map
+from repro import serde
+from repro.datastructures import frequency_map_from_state, make_frequency_map
 from repro.sketches.base import QuantilePolicy
 from repro.streaming.windows import CountWindow
 
@@ -46,6 +47,7 @@ class ExactPolicy(QuantilePolicy):
         backend: str = "tree",
     ) -> None:
         super().__init__(phis, window)
+        self.backend = backend
         self._map = make_frequency_map(backend)
         # The raw elements of the in-flight sub-window: scalar arrivals
         # collect in a list, batched arrivals keep their (zero-copy) array
@@ -119,6 +121,46 @@ class ExactPolicy(QuantilePolicy):
         self._sealed.clear()
         self._buffered = 0
         self._peak_space = 0
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Frequency map plus the raw sub-window buffers, JSON-safe.
+
+        Each sealed sub-window's buffered parts concatenate into one list
+        (expiry is multiset removal, so per-part structure is layout, not
+        state); the in-flight buffer likewise.
+        """
+        state = self._state_header()
+        state["backend"] = self.backend
+        state["map"] = self._map.to_state()
+        in_flight: List[float] = []
+        for part in self._in_flight_parts:
+            in_flight.extend(part.tolist())
+        in_flight.extend(float(v) for v in self._in_flight)
+        state["in_flight"] = in_flight
+        state["sealed"] = [
+            [float(v) for part in parts for v in part.tolist()]
+            for parts in self._sealed
+        ]
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ExactPolicy":
+        phis, window = cls._check_policy_state(state)
+        serde.require_fields(
+            state, ("backend", "map", "in_flight", "sealed"), "exact policy"
+        )
+        policy = cls(phis, window, backend=state["backend"])
+        policy._map = frequency_map_from_state(state["map"])
+        policy._in_flight = serde.float_list(state["in_flight"])
+        policy._sealed = deque(
+            [np.asarray(values, dtype=np.float64)] for values in state["sealed"]
+        )
+        policy._buffered = sum(len(values) for values in state["sealed"])
+        policy._restore_header(state)
+        return policy
 
     def query(self) -> Dict[float, float]:
         if not self._sealed:

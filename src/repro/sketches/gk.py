@@ -15,6 +15,11 @@ import math
 from bisect import bisect_right
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro import serde
+
+#: State-format version written by :meth:`GKSummary.to_state`.
+GK_STATE_VERSION = 1
+
 
 class GKSummary:
     """epsilon-approximate quantile summary over an append-only stream.
@@ -214,6 +219,47 @@ class GKSummary:
         ranks within each summary's epsilon bound.
         """
         return [(row[0], int(row[1])) for row in self._entries]
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Versioned, JSON-safe snapshot of the summary.
+
+        Tuples are stored verbatim (``[v, g, delta]`` rows), so the
+        restored summary compresses at the same points with the same
+        merge decisions — bit-identical future behaviour.
+        """
+        state = serde.header("gk", GK_STATE_VERSION)
+        state["epsilon"] = float(self.epsilon)
+        state["capacity"] = None if self._capacity is None else int(self._capacity)
+        state["n"] = int(self._n)
+        state["since_compress"] = int(self._since_compress)
+        state["entries"] = [
+            [float(v), int(g), int(delta)] for v, g, delta in self._entries
+        ]
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GKSummary":
+        """Rebuild a summary from :meth:`to_state` output."""
+        serde.check_state(state, "gk", GK_STATE_VERSION, "GK summary")
+        serde.require_fields(
+            state, ("epsilon", "capacity", "n", "since_compress", "entries"),
+            "GK summary",
+        )
+        capacity = state["capacity"]
+        summary = cls(
+            float(state["epsilon"]),
+            capacity=None if capacity is None else int(capacity),
+        )
+        summary._entries = [
+            [float(v), int(g), int(delta)] for v, g, delta in state["entries"]
+        ]
+        summary._keys = [row[0] for row in summary._entries]
+        summary._n = int(state["n"])
+        summary._since_compress = int(state["since_compress"])
+        return summary
 
     # ------------------------------------------------------------------
     # Theoretical bound

@@ -15,6 +15,11 @@ import math
 import random
 from typing import List, Optional, Sequence, Tuple
 
+from repro import serde
+
+#: State-format version written by :meth:`KLLSketch.to_state`.
+KLL_STATE_VERSION = 1
+
 
 class KLLSketch:
     """Randomized mergeable quantile sketch (compactor hierarchy)."""
@@ -123,6 +128,45 @@ class KLLSketch:
             self._compress()
             if self.item_count() == before:
                 break
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def to_state(self, include_rng: bool = True) -> dict:
+        """Versioned, JSON-safe snapshot (levels verbatim + RNG position).
+
+        ``include_rng=False`` is for owners that share one RNG across many
+        sketches (the Random policy): they persist the RNG once at their
+        own level and pass it back through ``from_state(..., rng=...)``.
+        """
+        state = serde.header("kll", KLL_STATE_VERSION)
+        state["k"] = int(self.k)
+        state["n"] = int(self._n)
+        state["compactors"] = [serde.float_list(level) for level in self._compactors]
+        state["rng"] = serde.rng_to_state(self._rng) if include_rng else None
+        return state
+
+    @classmethod
+    def from_state(
+        cls, state: dict, rng: Optional[random.Random] = None
+    ) -> "KLLSketch":
+        """Rebuild a sketch; ``rng`` overrides the stored RNG (sharing)."""
+        serde.check_state(state, "kll", KLL_STATE_VERSION, "KLL sketch")
+        serde.require_fields(state, ("k", "n", "compactors", "rng"), "KLL sketch")
+        if rng is None:
+            if state["rng"] is None:
+                raise serde.StateError(
+                    "KLL sketch: state was saved without an RNG (shared-RNG "
+                    "mode); pass rng= explicitly when restoring"
+                )
+            rng = serde.rng_from_state(state["rng"], "KLL sketch")
+        sketch = cls(int(state["k"]), rng=rng)
+        sketch._compactors = [serde.float_list(level) for level in state["compactors"]]
+        if not sketch._compactors:
+            sketch._compactors = [[]]
+        sketch._n = int(state["n"])
+        sketch._max_size = sketch._capacity_total()
+        return sketch
 
     # ------------------------------------------------------------------
     # Queries

@@ -27,8 +27,12 @@ from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import serde
 from repro.sketches.base import QuantilePolicy
 from repro.streaming.windows import CountWindow
+
+#: State-format version written by :meth:`MomentState.to_state`.
+MOMENT_STATE_VERSION = 1
 
 
 class MomentState:
@@ -122,6 +126,40 @@ class MomentState:
     def space_variables(self) -> int:
         """count + min + max + K raw power sums + K log power sums."""
         return 3 + 2 * self.k
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """All registers, JSON-safe (±inf extremes serialise as Infinity)."""
+        state = serde.header("moment_state", MOMENT_STATE_VERSION)
+        state["k"] = int(self.k)
+        state["count"] = int(self.count)
+        state["minimum"] = float(self.minimum)
+        state["maximum"] = float(self.maximum)
+        state["sums"] = self.sums.tolist()
+        state["log_sums"] = self.log_sums.tolist()
+        state["log_valid"] = bool(self.log_valid)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MomentState":
+        serde.check_state(
+            state, "moment_state", MOMENT_STATE_VERSION, "moment state"
+        )
+        serde.require_fields(
+            state,
+            ("k", "count", "minimum", "maximum", "sums", "log_sums", "log_valid"),
+            "moment state",
+        )
+        restored = cls(int(state["k"]))
+        restored.count = int(state["count"])
+        restored.minimum = float(state["minimum"])
+        restored.maximum = float(state["maximum"])
+        restored.sums = np.asarray(state["sums"], dtype=np.float64)
+        restored.log_sums = np.asarray(state["log_sums"], dtype=np.float64)
+        restored.log_valid = bool(state["log_valid"])
+        return restored
 
 
 class MomentSolver:
@@ -336,6 +374,7 @@ class MomentPolicy(QuantilePolicy):
     ) -> None:
         super().__init__(phis, window)
         self.k = k
+        self.method = method  # validated by MomentSolver below
         self._solver = MomentSolver(method=method)
         self._vectorized_batch = vectorized_batch
         self._in_flight = MomentState(k)
@@ -389,6 +428,41 @@ class MomentPolicy(QuantilePolicy):
         self._in_flight = MomentState(self.k)
         self._sealed.clear()
         self._peak_space = 0
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Register sets for every live state plus the solver choice."""
+        state = self._state_header()
+        state["k"] = int(self.k)
+        state["method"] = self.method
+        state["vectorized_batch"] = bool(self._vectorized_batch)
+        state["in_flight"] = self._in_flight.to_state()
+        state["sealed"] = [entry.to_state() for entry in self._sealed]
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MomentPolicy":
+        phis, window = cls._check_policy_state(state)
+        serde.require_fields(
+            state,
+            ("k", "method", "vectorized_batch", "in_flight", "sealed"),
+            "moment policy",
+        )
+        policy = cls(
+            phis,
+            window,
+            k=int(state["k"]),
+            method=state["method"],
+            vectorized_batch=bool(state["vectorized_batch"]),
+        )
+        policy._in_flight = MomentState.from_state(state["in_flight"])
+        policy._sealed = deque(
+            MomentState.from_state(entry) for entry in state["sealed"]
+        )
+        policy._restore_header(state)
+        return policy
 
     def query(self) -> Dict[float, float]:
         if not self._sealed:

@@ -15,6 +15,7 @@ import random
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro import serde
 from repro.sketches.base import QuantilePolicy
 from repro.sketches.gk import interpolated_rank_value
 from repro.sketches.kll import KLLSketch
@@ -92,6 +93,46 @@ class RandomPolicy(QuantilePolicy):
         self._sealed.clear()
         self._sealed_space = 0
         self._peak_space = 0
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Sketches plus the policy-level RNG position.
+
+        All of this policy's KLL sketches share one :class:`random.Random`
+        (constructor wiring), so the RNG is persisted once here and the
+        per-sketch states omit it; a restored policy's future compactions
+        consume the RNG exactly where the original would have — the
+        bit-identical-resume property.
+        """
+        state = self._state_header()
+        state["epsilon"] = float(self.epsilon)
+        state["rng"] = serde.rng_to_state(self._rng)
+        state["in_flight"] = self._in_flight.to_state(include_rng=False)
+        state["sealed"] = [
+            sketch.to_state(include_rng=False) for sketch in self._sealed
+        ]
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RandomPolicy":
+        phis, window = cls._check_policy_state(state)
+        serde.require_fields(
+            state, ("epsilon", "rng", "in_flight", "sealed"), "random policy"
+        )
+        policy = cls(phis, window, epsilon=float(state["epsilon"]))
+        policy._rng = serde.rng_from_state(state["rng"], "random policy")
+        policy._in_flight = KLLSketch.from_state(state["in_flight"], rng=policy._rng)
+        policy._sealed = deque(
+            KLLSketch.from_state(entry, rng=policy._rng)
+            for entry in state["sealed"]
+        )
+        policy._sealed_space = sum(
+            sketch.space_variables() for sketch in policy._sealed
+        )
+        policy._restore_header(state)
+        return policy
 
     def query(self) -> Dict[float, float]:
         if not self._sealed:

@@ -8,8 +8,9 @@ keep the dependency direction core -> sketches.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
+from repro import serde
 from repro.sketches.am import AMPolicy
 from repro.sketches.base import QuantilePolicy
 from repro.sketches.cmqs import CMQSPolicy
@@ -20,6 +21,9 @@ from repro.streaming.windows import CountWindow
 
 PolicyFactory = Callable[..., QuantilePolicy]
 
+#: Loads a policy from its ``to_state()`` dict.
+StateLoader = Callable[[dict], QuantilePolicy]
+
 
 def _qlove_factory(
     phis: Sequence[float], window: CountWindow, **params: object
@@ -27,6 +31,12 @@ def _qlove_factory(
     from repro.core.qlove import QLOVEPolicy
 
     return QLOVEPolicy(phis, window, **params)  # type: ignore[arg-type]
+
+
+def _qlove_state_loader(state: dict) -> QuantilePolicy:
+    from repro.core.qlove import QLOVEPolicy
+
+    return QLOVEPolicy.from_state(state)
 
 
 _REGISTRY: Dict[str, PolicyFactory] = {
@@ -38,13 +48,26 @@ _REGISTRY: Dict[str, PolicyFactory] = {
     "qlove": _qlove_factory,
 }
 
+_STATE_LOADERS: Dict[str, StateLoader] = {
+    "exact": ExactPolicy.from_state,
+    "cmqs": CMQSPolicy.from_state,
+    "am": AMPolicy.from_state,
+    "random": RandomPolicy.from_state,
+    "moment": MomentPolicy.from_state,
+    "qlove": _qlove_state_loader,
+}
+
 
 def available_policies() -> list[str]:
     """Names accepted by :func:`make_policy`."""
     return sorted(_REGISTRY)
 
 
-def register_policy(name: str, factory: PolicyFactory) -> None:
+def register_policy(
+    name: str,
+    factory: PolicyFactory,
+    state_loader: Optional[StateLoader] = None,
+) -> None:
     """Add (or replace) a policy factory under ``name``.
 
     The factory is called as ``factory(phis, window, **params)`` and must
@@ -52,12 +75,51 @@ def register_policy(name: str, factory: PolicyFactory) -> None:
     makes the policy constructible from declarative
     :class:`~repro.service.spec.MetricSpec` configs and the CLI without
     any imports at the call site.
+
+    ``state_loader`` (usually the policy class's ``from_state``) makes the
+    policy restorable through :func:`policy_from_state`, which is what
+    ``Monitor.load`` and checkpoint resume dispatch through; without it a
+    saved state of this policy cannot be loaded back.
     """
     if not isinstance(name, str) or not name:
         raise ValueError(f"policy name must be a non-empty string, got {name!r}")
     if not callable(factory):
         raise TypeError(f"policy factory must be callable, got {type(factory).__name__}")
+    if state_loader is not None and not callable(state_loader):
+        raise TypeError(
+            f"state_loader must be callable, got {type(state_loader).__name__}"
+        )
     _REGISTRY[name] = factory
+    if state_loader is not None:
+        _STATE_LOADERS[name] = state_loader
+    else:
+        _STATE_LOADERS.pop(name, None)
+
+
+def policy_from_state(state: dict) -> QuantilePolicy:
+    """Rebuild any registered policy from its ``to_state()`` dict.
+
+    Dispatches on the state's ``policy`` tag, so callers (checkpoint
+    resume, ``Monitor.load``) need no knowledge of the concrete class.
+    Raises :class:`~repro.serde.StateError` with an actionable message
+    when the dict is not a policy state or names an unregistered policy.
+    """
+    if not isinstance(state, dict) or state.get("kind") != "policy":
+        raise serde.StateError(
+            "expected a policy state dict (kind='policy') as produced by "
+            f"QuantilePolicy.to_state(), got "
+            f"{state.get('kind') if isinstance(state, dict) else type(state).__name__!r}"
+        )
+    name = state.get("policy")
+    try:
+        loader = _STATE_LOADERS[name]
+    except KeyError:
+        raise serde.StateError(
+            f"cannot restore policy state: policy {name!r} has no registered "
+            f"state loader; loadable policies: {sorted(_STATE_LOADERS)} "
+            "(register one with register_policy(name, factory, state_loader=...))"
+        ) from None
+    return loader(state)
 
 
 def get_policy_factory(name: str) -> PolicyFactory:

@@ -18,6 +18,8 @@ period.  This subpackage provides exactly that contract:
   ``StreamEngine.execute`` entry point.
 - :mod:`~repro.streaming.plan` — :class:`ExecutionPlan`, the declarative
   choice of execution path (auto / events / batched / sharded).
+- :mod:`~repro.streaming.checkpoint` — :class:`EngineCheckpoint`,
+  period-boundary freeze/resume of a run (bit-identical restarts).
 - :mod:`~repro.streaming.sources` — adapters turning arrays/iterables into
   event streams.
 - :mod:`~repro.streaming.partition` — deterministic chunk-stream
@@ -34,6 +36,7 @@ from repro.streaming.aggregates import (
     SumOperator,
     VarianceOperator,
 )
+from repro.streaming.checkpoint import EngineCheckpoint
 from repro.streaming.engine import (
     StreamEngine,
     WindowResult,
@@ -62,6 +65,7 @@ __all__ = [
     "Chunk",
     "CountOperator",
     "CountWindow",
+    "EngineCheckpoint",
     "Event",
     "ExecutionPlan",
     "IncrementalOperator",

@@ -25,10 +25,18 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.datastructures import FrequencyMap, make_frequency_map
+from repro import serde
+from repro.datastructures import (
+    FrequencyMap,
+    frequency_map_from_state,
+    make_frequency_map,
+)
 from repro.streaming.event import Event
 from repro.streaming.operator import IncrementalOperator
 from repro.streaming.sources import Chunk
+
+#: State-format version written by the aggregate operators' state_to_dict.
+AGGREGATE_STATE_VERSION = 1
 
 
 @dataclass(slots=True)
@@ -61,6 +69,16 @@ class CountOperator(IncrementalOperator[_CountState, int]):
     def merge_states(self, state: _CountState, other: _CountState) -> _CountState:
         state.count += other.count
         return state
+
+    def state_to_dict(self, state: _CountState) -> dict:
+        data = serde.header("count_state", AGGREGATE_STATE_VERSION)
+        data["count"] = int(state.count)
+        return data
+
+    def state_from_dict(self, data: dict) -> _CountState:
+        serde.check_state(data, "count_state", AGGREGATE_STATE_VERSION, "count state")
+        serde.require_fields(data, ("count",), "count state")
+        return _CountState(count=int(data["count"]))
 
     def compute_result(self, state: _CountState) -> int:
         return state.count
@@ -102,6 +120,16 @@ class SumOperator(IncrementalOperator[_SumState, float]):
     def merge_states(self, state: _SumState, other: _SumState) -> _SumState:
         state.total += other.total
         return state
+
+    def state_to_dict(self, state: _SumState) -> dict:
+        data = serde.header("sum_state", AGGREGATE_STATE_VERSION)
+        data["total"] = float(state.total)
+        return data
+
+    def state_from_dict(self, data: dict) -> _SumState:
+        serde.check_state(data, "sum_state", AGGREGATE_STATE_VERSION, "sum state")
+        serde.require_fields(data, ("total",), "sum state")
+        return _SumState(total=float(data["total"]))
 
     def compute_result(self, state: _SumState) -> float:
         return state.total
@@ -149,6 +177,17 @@ class MeanOperator(IncrementalOperator[_MeanState, float]):
         state.count += other.count
         state.total += other.total
         return state
+
+    def state_to_dict(self, state: _MeanState) -> dict:
+        data = serde.header("mean_state", AGGREGATE_STATE_VERSION)
+        data["count"] = int(state.count)
+        data["total"] = float(state.total)
+        return data
+
+    def state_from_dict(self, data: dict) -> _MeanState:
+        serde.check_state(data, "mean_state", AGGREGATE_STATE_VERSION, "mean state")
+        serde.require_fields(data, ("count", "total"), "mean state")
+        return _MeanState(count=int(data["count"]), total=float(data["total"]))
 
     def compute_result(self, state: _MeanState) -> float:
         if state.count == 0:
@@ -211,6 +250,24 @@ class VarianceOperator(IncrementalOperator[_VarianceState, float]):
         state.total_sq += other.total_sq
         return state
 
+    def state_to_dict(self, state: _VarianceState) -> dict:
+        data = serde.header("variance_state", AGGREGATE_STATE_VERSION)
+        data["count"] = int(state.count)
+        data["total"] = float(state.total)
+        data["total_sq"] = float(state.total_sq)
+        return data
+
+    def state_from_dict(self, data: dict) -> _VarianceState:
+        serde.check_state(
+            data, "variance_state", AGGREGATE_STATE_VERSION, "variance state"
+        )
+        serde.require_fields(data, ("count", "total", "total_sq"), "variance state")
+        return _VarianceState(
+            count=int(data["count"]),
+            total=float(data["total"]),
+            total_sq=float(data["total_sq"]),
+        )
+
     def compute_result(self, state: _VarianceState) -> float:
         if state.count == 0:
             return math.nan
@@ -224,7 +281,23 @@ class _ExtremumState:
     values: FrequencyMap = field(default_factory=lambda: make_frequency_map("dict"))
 
 
-class MinOperator(IncrementalOperator[_ExtremumState, float]):
+class _ExtremumSerde:
+    """Shared state serialization for the frequency-map extremes."""
+
+    def state_to_dict(self, state: _ExtremumState) -> dict:
+        data = serde.header("extremum_state", AGGREGATE_STATE_VERSION)
+        data["values"] = state.values.to_state()
+        return data
+
+    def state_from_dict(self, data: dict) -> _ExtremumState:
+        serde.check_state(
+            data, "extremum_state", AGGREGATE_STATE_VERSION, "extremum state"
+        )
+        serde.require_fields(data, ("values",), "extremum state")
+        return _ExtremumState(values=frequency_map_from_state(data["values"]))
+
+
+class MinOperator(_ExtremumSerde, IncrementalOperator[_ExtremumState, float]):
     """Minimum over the window, deaccumulatable via a frequency map."""
 
     def initial_state(self) -> _ExtremumState:
@@ -258,7 +331,7 @@ class MinOperator(IncrementalOperator[_ExtremumState, float]):
         return next(iter(state.values.items_sorted()))[0]
 
 
-class MaxOperator(IncrementalOperator[_ExtremumState, float]):
+class MaxOperator(_ExtremumSerde, IncrementalOperator[_ExtremumState, float]):
     """Maximum over the window, deaccumulatable via a frequency map."""
 
     def initial_state(self) -> _ExtremumState:

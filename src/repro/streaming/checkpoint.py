@@ -1,0 +1,157 @@
+"""Engine checkpoints: freeze a run at a period boundary, resume later.
+
+A :class:`EngineCheckpoint` captures everything the count-windowed
+sub-window loop needs to continue a stream after a process restart: the
+loop counters (sealed sub-windows in view, elements seen, next emission
+index) plus the aggregation policy's full :meth:`to_state
+<repro.sketches.base.QuantilePolicy.to_state>` snapshot.  Checkpoints are
+taken **at period boundaries only** — the moment the in-flight sub-window
+is empty — so a resumed run re-enters the exact loop state the original
+would have had, and its outputs are bit-identical to the uninterrupted
+run for every registered policy (randomized ones included: the RNG
+position is part of the policy state).
+
+Wiring (see :class:`~repro.streaming.plan.ExecutionPlan`):
+
+- ``plan.checkpoint_sink`` — a callable invoked with a fresh
+  ``EngineCheckpoint`` at every period boundary;
+- ``plan.resume_from`` — a checkpoint (or its JSON-loaded state dict);
+  the engine restores the operator's policy from it, fast-forwards the
+  counters, and expects the source to deliver only the elements *after*
+  ``checkpoint.seen``.
+
+``seen`` counts the elements the windowing loop consumed, i.e. the
+**post-filter** stream: when the query has ``where``/``where_values``
+stages, a resumed source must deliver the remainder of the *filtered*
+stream (or re-apply the same filters to a raw source positioned so
+exactly ``seen`` elements have already passed them).  Filterless
+queries — the Monitor/CLI path — can simply slice the original stream
+at ``seen``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro import serde
+from repro.streaming.windows import CountWindow
+
+#: State-format version written by :meth:`EngineCheckpoint.to_state`.
+CHECKPOINT_STATE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class EngineCheckpoint:
+    """A count-windowed sub-window run frozen at a period boundary.
+
+    Attributes
+    ----------
+    window:
+        The run's window shape (resume validates it against the query's).
+    sealed:
+        Sealed sub-windows currently in view (≤ ``window.subwindow_count``).
+    seen:
+        Post-filter elements consumed so far; a resumed source must
+        start at element ``seen`` of the (filtered) stream the original
+        run windowed.
+    index:
+        Index the next emitted :class:`~repro.streaming.engine.WindowResult`
+        will carry.
+    policy_state:
+        The aggregation policy's ``to_state()`` snapshot.
+    """
+
+    window: CountWindow
+    sealed: int
+    seen: int
+    index: int
+    policy_state: dict
+
+    def to_state(self) -> dict:
+        """Versioned, JSON-safe form (``json.dumps`` round-trips it)."""
+        state = serde.header("engine_checkpoint", CHECKPOINT_STATE_VERSION)
+        state["window"] = {
+            "size": int(self.window.size),
+            "period": int(self.window.period),
+        }
+        state["sealed"] = int(self.sealed)
+        state["seen"] = int(self.seen)
+        state["index"] = int(self.index)
+        state["policy"] = serde.as_native(self.policy_state)
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "EngineCheckpoint":
+        """Rebuild a checkpoint from :meth:`to_state` output."""
+        serde.check_state(
+            state, "engine_checkpoint", CHECKPOINT_STATE_VERSION, "engine checkpoint"
+        )
+        serde.require_fields(
+            state, ("window", "sealed", "seen", "index", "policy"), "engine checkpoint"
+        )
+        window_state = state["window"]
+        if not isinstance(window_state, dict) or not {
+            "size",
+            "period",
+        } <= set(window_state):
+            raise serde.StateError(
+                "engine checkpoint: malformed window (expected "
+                "{'size', 'period'}, got " f"{window_state!r})"
+            )
+        return cls(
+            window=CountWindow(
+                size=int(window_state["size"]), period=int(window_state["period"])
+            ),
+            sealed=int(state["sealed"]),
+            seen=int(state["seen"]),
+            index=int(state["index"]),
+            policy_state=state["policy"],
+        )
+
+
+def coerce_checkpoint(
+    checkpoint: Union["EngineCheckpoint", dict], context: str = "resume_from"
+) -> EngineCheckpoint:
+    """Accept an :class:`EngineCheckpoint` or its state-dict form."""
+    if isinstance(checkpoint, EngineCheckpoint):
+        return checkpoint
+    if isinstance(checkpoint, dict):
+        return EngineCheckpoint.from_state(checkpoint)
+    raise serde.StateError(
+        f"{context}: expected an EngineCheckpoint or its to_state() dict, "
+        f"got {type(checkpoint).__name__}"
+    )
+
+
+def require_window_match(checkpoint: EngineCheckpoint, window: CountWindow) -> None:
+    """Reject a checkpoint taken under a different window shape."""
+    if checkpoint.window != window:
+        raise serde.StateError(
+            f"cannot resume: checkpoint was taken under window "
+            f"{checkpoint.window.size}/{checkpoint.window.period}, the "
+            f"query uses {window.size}/{window.period} (spec/state mismatch)"
+        )
+
+
+def restore_policy(policy_state: dict, reference):
+    """Rebuild a policy from ``policy_state``, validated against ``reference``.
+
+    The one implementation of resume-time compatibility checking, shared
+    by :meth:`PolicyOperator.restore_state
+    <repro.sketches.base.PolicyOperator.restore_state>`, the engine's
+    resume path and the sharded engine: the restored policy must match
+    ``reference``'s concrete type, quantiles and window shape, or the
+    resume fails with an actionable spec/state-mismatch error.
+    """
+    from repro.sketches.registry import policy_from_state
+
+    restored = policy_from_state(policy_state)
+    try:
+        reference._require_compatible(restored)
+    except (TypeError, ValueError) as exc:
+        raise serde.StateError(
+            f"cannot restore checkpointed policy: {exc}; the state does not "
+            "match the configured policy (spec/state mismatch)"
+        ) from None
+    return restored

@@ -44,10 +44,15 @@ import itertools
 import warnings
 from collections import deque
 from dataclasses import dataclass, replace
-from typing import Generic, Iterable, Iterator, Optional, TypeVar, Union
+from typing import Callable, Generic, Iterable, Iterator, Optional, TypeVar, Union
 
 import numpy as np
 
+from repro.streaming.checkpoint import (
+    EngineCheckpoint,
+    coerce_checkpoint,
+    require_window_match,
+)
 from repro.streaming.event import Event
 from repro.streaming.operator import IncrementalOperator, SubWindowOperator
 from repro.streaming.plan import ExecutionPlan
@@ -143,9 +148,17 @@ class StreamEngine:
                 ),
             )
         if mode == "events":
-            return self.run(query)
+            return self.run(
+                query,
+                resume=plan.resume_from,
+                checkpoint_sink=plan.checkpoint_sink,
+            )
         if mode == "batched":
-            return self.run_chunked(query)
+            return self.run_chunked(
+                query,
+                resume=plan.resume_from,
+                checkpoint_sink=plan.checkpoint_sink,
+            )
         # mode == "sharded" (the plan has already validated the name).
         from repro.streaming.sharded import ShardedEngine
 
@@ -162,7 +175,12 @@ class StreamEngine:
             parallel=plan.parallel,
             processes=plan.processes,
         )
-        return sharded.run_chunked(query, plan.policy_factory)
+        return sharded.run_chunked(
+            query,
+            plan.policy_factory,
+            resume=plan.resume_from,
+            checkpoint_sink=plan.checkpoint_sink,
+        )
 
     def execute_to_list(
         self, query: Query, plan: Optional[ExecutionPlan] = None
@@ -185,8 +203,23 @@ class StreamEngine:
         with_timestamps = isinstance(spec, TimeWindow)
         return chunk_stream(values, chunk_size, with_timestamps=with_timestamps)
 
-    def run(self, query: Query) -> Iterator[WindowResult]:
-        """Lazily evaluate ``query``, yielding one result per period."""
+    def run(
+        self,
+        query: Query,
+        *,
+        resume: Optional[Union[EngineCheckpoint, dict]] = None,
+        checkpoint_sink: Optional[Callable[[EngineCheckpoint], None]] = None,
+    ) -> Iterator[WindowResult]:
+        """Lazily evaluate ``query``, yielding one result per period.
+
+        ``resume``/``checkpoint_sink`` enable the durable-state lifecycle
+        (count-windowed sub-window operators only): the sink receives an
+        :class:`~repro.streaming.checkpoint.EngineCheckpoint` at every
+        period boundary, and a resumed run — operator state restored,
+        counters fast-forwarded, source starting at element
+        ``checkpoint.seen`` — emits results bit-identical to the
+        uninterrupted run's remainder.
+        """
         query = query.validated()
         if query.chunk_predicates or query.chunk_projectors:
             raise ValueError(
@@ -197,19 +230,33 @@ class StreamEngine:
         operator = query.operator
         if isinstance(spec, CountWindow):
             if isinstance(operator, SubWindowOperator):
-                return self._run_count_subwindow(query, spec, operator)
+                return self._run_count_subwindow(
+                    query, spec, operator, resume=resume, sink=checkpoint_sink
+                )
+            self._reject_checkpointing(resume, checkpoint_sink)
             return self._run_count_incremental(query, spec, operator)
+        self._reject_checkpointing(resume, checkpoint_sink)
         if isinstance(spec, TimeWindow):
             if isinstance(operator, SubWindowOperator):
                 return self._run_time_subwindow(query, spec, operator)
             return self._run_time_incremental(query, spec, operator)
         raise TypeError(f"unsupported window spec: {spec!r}")
 
-    def run_to_list(self, query: Query) -> list[WindowResult]:
-        """Eagerly evaluate ``query`` and collect all results."""
-        return list(self.run(query))
+    def run_to_list(self, query: Query, **kwargs) -> list[WindowResult]:
+        """Eagerly evaluate ``query`` and collect all results.
 
-    def run_chunked(self, query: Query) -> Iterator[WindowResult]:
+        Keyword arguments (``resume``, ``checkpoint_sink``) pass through
+        to :meth:`run`.
+        """
+        return list(self.run(query, **kwargs))
+
+    def run_chunked(
+        self,
+        query: Query,
+        *,
+        resume: Optional[Union[EngineCheckpoint, dict]] = None,
+        checkpoint_sink: Optional[Callable[[EngineCheckpoint], None]] = None,
+    ) -> Iterator[WindowResult]:
         """Batched evaluation: the query source yields chunks, not events.
 
         The source must yield :class:`~repro.streaming.sources.Chunk`
@@ -217,6 +264,7 @@ class StreamEngine:
         (``where_values``/``select_values``); event-level ``where``/
         ``select`` stages are rejected so no filter is silently skipped.
         Results are identical to :meth:`run` over the same elements.
+        ``resume``/``checkpoint_sink`` behave as in :meth:`run`.
         """
         query = query.validated()
         if query.predicates or query.projectors:
@@ -228,8 +276,12 @@ class StreamEngine:
         operator = query.operator
         if isinstance(spec, CountWindow):
             if isinstance(operator, SubWindowOperator):
-                return self._run_count_subwindow_chunked(query, spec, operator)
+                return self._run_count_subwindow_chunked(
+                    query, spec, operator, resume=resume, sink=checkpoint_sink
+                )
+            self._reject_checkpointing(resume, checkpoint_sink)
             return self._run_count_incremental_chunked(query, spec, operator)
+        self._reject_checkpointing(resume, checkpoint_sink)
         if isinstance(spec, TimeWindow):
             if isinstance(operator, SubWindowOperator):
                 return self._run_time_subwindow_chunked(query, spec, operator)
@@ -245,9 +297,39 @@ class StreamEngine:
             )
         raise TypeError(f"unsupported window spec: {spec!r}")
 
-    def run_chunked_to_list(self, query: Query) -> list[WindowResult]:
-        """Eagerly evaluate a chunked ``query`` and collect all results."""
-        return list(self.run_chunked(query))
+    def run_chunked_to_list(self, query: Query, **kwargs) -> list[WindowResult]:
+        """Eagerly evaluate a chunked ``query`` and collect all results.
+
+        Keyword arguments (``resume``, ``checkpoint_sink``) pass through
+        to :meth:`run_chunked`.
+        """
+        return list(self.run_chunked(query, **kwargs))
+
+    # ------------------------------------------------------------------
+    # Checkpoint / resume plumbing (count-windowed sub-window loops)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _reject_checkpointing(resume, checkpoint_sink) -> None:
+        """Checkpointing is defined for count-windowed sub-window runs only."""
+        if resume is not None or checkpoint_sink is not None:
+            raise ValueError(
+                "checkpoint/resume is supported for count-windowed "
+                "sub-window (policy) queries only; time windows and "
+                "per-element incremental operators have no period-boundary "
+                "state to freeze"
+            )
+
+    @staticmethod
+    def _apply_resume(
+        spec: CountWindow,
+        operator: SubWindowOperator,
+        resume: Union[EngineCheckpoint, dict],
+    ) -> tuple[int, int, int]:
+        """Restore operator state and return ``(sealed, seen, index)``."""
+        checkpoint = coerce_checkpoint(resume)
+        require_window_match(checkpoint, spec)
+        operator.restore_state(checkpoint.policy_state)
+        return checkpoint.sealed, checkpoint.seen, checkpoint.index
 
     # ------------------------------------------------------------------
     # Count-based windows
@@ -259,13 +341,20 @@ class StreamEngine:
                 yield processed
 
     def _run_count_subwindow(
-        self, query: Query, spec: CountWindow, operator: SubWindowOperator
+        self,
+        query: Query,
+        spec: CountWindow,
+        operator: SubWindowOperator,
+        resume: Optional[Union[EngineCheckpoint, dict]] = None,
+        sink: Optional[Callable[[EngineCheckpoint], None]] = None,
     ) -> Iterator[WindowResult]:
         n_sub = spec.subwindow_count
         in_flight = 0
         sealed = 0
         seen = 0
         index = 0
+        if resume is not None:
+            sealed, seen, index = self._apply_resume(spec, operator, resume)
         for event in self._filtered(query):
             operator.accumulate(event)
             in_flight += 1
@@ -286,6 +375,16 @@ class StreamEngine:
                     result=operator.compute_result(),
                 )
                 index += 1
+            if sink is not None:
+                sink(
+                    EngineCheckpoint(
+                        window=spec,
+                        sealed=sealed,
+                        seen=seen,
+                        index=index,
+                        policy_state=operator.to_state(),
+                    )
+                )
 
     def _run_count_incremental(
         self, query: Query, spec: CountWindow, operator: IncrementalOperator
@@ -430,7 +529,12 @@ class StreamEngine:
             yield chunk
 
     def _run_count_subwindow_chunked(
-        self, query: Query, spec: CountWindow, operator: SubWindowOperator
+        self,
+        query: Query,
+        spec: CountWindow,
+        operator: SubWindowOperator,
+        resume: Optional[Union[EngineCheckpoint, dict]] = None,
+        sink: Optional[Callable[[EngineCheckpoint], None]] = None,
     ) -> Iterator[WindowResult]:
         period = spec.period
         n_sub = spec.subwindow_count
@@ -438,6 +542,8 @@ class StreamEngine:
         sealed = 0
         seen = 0
         index = 0
+        if resume is not None:
+            sealed, seen, index = self._apply_resume(spec, operator, resume)
         for chunk in self._filtered_chunks(query):
             position = 0
             remaining = len(chunk)
@@ -464,6 +570,16 @@ class StreamEngine:
                         result=operator.compute_result(),
                     )
                     index += 1
+                if sink is not None:
+                    sink(
+                        EngineCheckpoint(
+                            window=spec,
+                            sealed=sealed,
+                            seen=seen,
+                            index=index,
+                            policy_state=operator.to_state(),
+                        )
+                    )
 
     def _run_count_incremental_chunked(
         self, query: Query, spec: CountWindow, operator: IncrementalOperator

@@ -95,6 +95,29 @@ class IncrementalOperator(ABC, Generic[S, R]):
             f"{type(self).__name__} does not support merge_states()"
         )
 
+    # ------------------------------------------------------------------
+    # Durable state (checkpoint / restore)
+    # ------------------------------------------------------------------
+    def state_to_dict(self, state: S) -> dict:
+        """A state object as a versioned, JSON-safe dict.
+
+        The serialization half of the incremental contract: operators
+        whose state is plain registers (count/sum/mean/variance,
+        frequency-map extremes) snapshot it here so partial aggregates
+        can ship between nodes or survive restarts like the sub-window
+        policies do.  The default raises; serializable operators
+        override both directions.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state_to_dict()"
+        )
+
+    def state_from_dict(self, data: dict) -> S:
+        """Rebuild a state object from :meth:`state_to_dict` output."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support state_from_dict()"
+        )
+
 
 class SubWindowOperator(ABC, Generic[R]):
     """Sub-window-granular operator (QLOVE's two-level processing).
@@ -155,4 +178,24 @@ class SubWindowOperator(ABC, Generic[R]):
         """Discard all state (used when a stream is restarted)."""
         raise NotImplementedError(
             f"{type(self).__name__} does not support reset()"
+        )
+
+    # ------------------------------------------------------------------
+    # Durable state (checkpoint / restore)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Versioned, JSON-safe snapshot of the operator's window state.
+
+        Implemented by operators that support engine checkpointing
+        (:class:`~repro.sketches.base.PolicyOperator` delegates to the
+        wrapped policy's ``to_state``); the default raises.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support to_state()"
+        )
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a snapshot produced by :meth:`to_state` (resume)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support restore_state()"
         )

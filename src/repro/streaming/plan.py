@@ -25,15 +25,19 @@ must be sliced into a chunk stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 from repro.streaming.partition import available_partitioners
 
 if TYPE_CHECKING:
     from repro.sketches.base import QuantilePolicy
+    from repro.streaming.checkpoint import EngineCheckpoint
 
 #: Zero-argument callable building a fresh policy (sharded mode only).
 PolicyFactory = Callable[[], "QuantilePolicy"]
+
+#: Receives an EngineCheckpoint at every period boundary.
+CheckpointSink = Callable[["EngineCheckpoint"], None]
 
 #: The planner's recognised execution modes.
 EXECUTION_MODES = ("auto", "events", "batched", "sharded")
@@ -65,6 +69,17 @@ class ExecutionPlan:
         selected; :meth:`MetricSpec.policy_factory
         <repro.service.spec.MetricSpec.policy_factory>` builds a
         picklable one from a declarative spec.
+    checkpoint_sink:
+        Called with an :class:`~repro.streaming.checkpoint.EngineCheckpoint`
+        at every period boundary (count-windowed sub-window queries only)
+        — the hook crash-recovery persistence plugs into.
+    resume_from:
+        An :class:`~repro.streaming.checkpoint.EngineCheckpoint` (or its
+        JSON-loaded ``to_state()`` dict) to continue from.  The query's
+        source must deliver only the elements after ``checkpoint.seen``
+        (which counts **post-filter** elements — see
+        :mod:`repro.streaming.checkpoint`); the resumed output is
+        bit-identical to the uninterrupted run.
     """
 
     mode: str = "auto"
@@ -74,6 +89,10 @@ class ExecutionPlan:
     processes: Optional[int] = None
     chunk_size: int = 65_536
     policy_factory: Optional[PolicyFactory] = field(default=None, compare=False)
+    checkpoint_sink: Optional[CheckpointSink] = field(default=None, compare=False)
+    resume_from: Optional[Union["EngineCheckpoint", dict]] = field(
+        default=None, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.mode not in EXECUTION_MODES:
@@ -108,6 +127,12 @@ class ExecutionPlan:
             raise ValueError(
                 "processes sizes the parallel ingest pool; set parallel=True "
                 "(or drop processes)"
+            )
+        if self.checkpoint_sink is not None and not callable(self.checkpoint_sink):
+            raise ValueError(
+                f"checkpoint_sink must be callable (it receives an "
+                f"EngineCheckpoint per period boundary), got "
+                f"{type(self.checkpoint_sink).__name__}"
             )
 
     def with_policy_factory(self, factory: PolicyFactory) -> "ExecutionPlan":

@@ -34,10 +34,16 @@ factories must be picklable (a top-level function or
 from __future__ import annotations
 
 import multiprocessing
-from typing import TYPE_CHECKING, Callable, Iterator, List, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Union
 
 import numpy as np
 
+from repro.streaming.checkpoint import (
+    EngineCheckpoint,
+    coerce_checkpoint,
+    require_window_match,
+    restore_policy,
+)
 from repro.streaming.engine import WindowResult, filtered_chunks
 from repro.streaming.partition import StreamPartitioner
 from repro.streaming.query import Query
@@ -105,7 +111,11 @@ class ShardedEngine:
     # Public API
     # ------------------------------------------------------------------
     def run_chunked(
-        self, query: Query, policy_factory: PolicyFactory
+        self,
+        query: Query,
+        policy_factory: PolicyFactory,
+        resume: Optional[Union[EngineCheckpoint, dict]] = None,
+        checkpoint_sink: Optional[Callable[[EngineCheckpoint], None]] = None,
     ) -> Iterator[WindowResult]:
         """Lazily evaluate a chunked query across the shard fleet.
 
@@ -115,6 +125,16 @@ class ShardedEngine:
         query already carries a :class:`PolicyOperator` (so the same
         query object can be handed to either engine), its policy becomes
         the master instance and must be freshly constructed.
+
+        ``checkpoint_sink`` receives an
+        :class:`~repro.streaming.checkpoint.EngineCheckpoint` of the
+        *master* at every period boundary — the moment the shard
+        accumulators have just merged and reset, so the master state is
+        the complete state of the run.  ``resume`` restores the master
+        from such a checkpoint (fresh shard accumulators) and continues
+        with the remaining stream; because shard state is always empty at
+        boundaries, a sharded checkpoint and a single-engine checkpoint
+        of the same logical stream are interchangeable.
         """
         if query.window_spec is None:
             raise ValueError("query has no window(); call .window(size, period)")
@@ -166,9 +186,21 @@ class ShardedEngine:
                 )
         else:
             master = policy_factory()
+        initial = (0, 0, 0)
+        if resume is not None:
+            checkpoint = coerce_checkpoint(resume)
+            require_window_match(checkpoint, query.window_spec)
+            master = restore_policy(checkpoint.policy_state, master)
+            initial = (checkpoint.sealed, checkpoint.seen, checkpoint.index)
         if self.parallel:
-            return self._run_parallel(query, query.window_spec, master, policy_factory)
-        return self._run_serial(query, query.window_spec, master, policy_factory)
+            return self._run_parallel(
+                query, query.window_spec, master, policy_factory,
+                initial=initial, sink=checkpoint_sink,
+            )
+        return self._run_serial(
+            query, query.window_spec, master, policy_factory,
+            initial=initial, sink=checkpoint_sink,
+        )
 
     def run_chunked_to_list(
         self, query: Query, policy_factory: PolicyFactory
@@ -196,6 +228,26 @@ class ShardedEngine:
             "total_space": master_space + sum(shard_spaces),
         }
 
+    def capture_state(self) -> dict:
+        """Per-shard state capture of the current/last run, JSON-safe.
+
+        Mid-period the run's state is split across the master (sealed
+        sub-windows) and the shard accumulators (in-flight partitions);
+        this snapshot captures both, so a shard can be migrated to
+        another node (restore its entry with
+        :func:`~repro.sketches.registry.policy_from_state` and merge it
+        into the new node's master) without waiting for the boundary.  On
+        the parallel backend the shard list reflects the states returned
+        at the most recent boundary (in-flight partitions live in worker
+        processes).
+        """
+        return {
+            "n_shards": self.n_shards,
+            "partitioner": self.partitioner,
+            "master": None if self._master is None else self._master.to_state(),
+            "shards": [shard.to_state() for shard in self._shards],
+        }
+
     # ------------------------------------------------------------------
     # Serial backend
     # ------------------------------------------------------------------
@@ -205,6 +257,8 @@ class ShardedEngine:
         spec: CountWindow,
         master: QuantilePolicy,
         policy_factory: PolicyFactory,
+        initial: tuple = (0, 0, 0),
+        sink: Optional[Callable[[EngineCheckpoint], None]] = None,
     ) -> Iterator[WindowResult]:
         period = spec.period
         n_sub = spec.subwindow_count
@@ -212,9 +266,7 @@ class ShardedEngine:
         self._shards = shards = [policy_factory() for _ in range(self.n_shards)]
         splitter = StreamPartitioner(self.n_shards, self.partitioner)
         in_flight = 0
-        sealed = 0
-        seen = 0
-        index = 0
+        sealed, seen, index = initial
         for chunk in filtered_chunks(query):
             position = 0
             remaining = len(chunk)
@@ -235,7 +287,7 @@ class ShardedEngine:
                     shard.reset()
                 in_flight = 0
                 sealed, index = yield from self._boundary(
-                    master, period, n_sub, sealed, seen, index
+                    master, spec, sealed, seen, index, sink
                 )
 
     # ------------------------------------------------------------------
@@ -247,17 +299,16 @@ class ShardedEngine:
         spec: CountWindow,
         master: QuantilePolicy,
         policy_factory: PolicyFactory,
+        initial: tuple = (0, 0, 0),
+        sink: Optional[Callable[[EngineCheckpoint], None]] = None,
     ) -> Iterator[WindowResult]:
         period = spec.period
-        n_sub = spec.subwindow_count
         self._master = master
         self._shards = []
         splitter = StreamPartitioner(self.n_shards, self.partitioner)
         pending: List[List[np.ndarray]] = [[] for _ in range(self.n_shards)]
         in_flight = 0
-        sealed = 0
-        seen = 0
-        index = 0
+        sealed, seen, index = initial
         pool = multiprocessing.Pool(processes=self.processes)
         try:
             for chunk in filtered_chunks(query):
@@ -287,7 +338,7 @@ class ShardedEngine:
                     pending = [[] for _ in range(self.n_shards)]
                     in_flight = 0
                     sealed, index = yield from self._boundary(
-                        master, period, n_sub, sealed, seen, index
+                        master, spec, sealed, seen, index, sink
                     )
         finally:
             pool.terminate()
@@ -299,17 +350,20 @@ class ShardedEngine:
     def _boundary(
         self,
         master: QuantilePolicy,
-        period: int,
-        n_sub: int,
+        spec: CountWindow,
         sealed: int,
         seen: int,
         index: int,
+        sink: Optional[Callable[[EngineCheckpoint], None]] = None,
     ) -> Iterator[WindowResult]:
         """Seal the merged sub-window on the master; emit when a window is full.
 
         Mirrors ``StreamEngine._run_count_subwindow_chunked`` exactly so a
         one-shard run is indistinguishable from the single-engine path.
+        The checkpoint sink fires here because the shard accumulators have
+        just merged and reset: the master alone holds the run's state.
         """
+        n_sub = spec.subwindow_count
         master.seal_subwindow()
         sealed += 1
         if sealed > n_sub:
@@ -318,11 +372,21 @@ class ShardedEngine:
         if sealed == n_sub or self._emit_partial:
             yield WindowResult(
                 index=index,
-                window_count=sealed * period,
+                window_count=sealed * spec.period,
                 end=float(seen),
                 result=master.query(),
             )
             index += 1
+        if sink is not None:
+            sink(
+                EngineCheckpoint(
+                    window=spec,
+                    sealed=sealed,
+                    seen=seen,
+                    index=index,
+                    policy_state=master.to_state(),
+                )
+            )
         return sealed, index
 
 

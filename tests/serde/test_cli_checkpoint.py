@@ -1,0 +1,130 @@
+"""CLI checkpoint→kill→resume: the resumed report equals the full run's.
+
+Each run is a separate ``python -m repro monitor`` process, so this is a
+true crash-recovery rehearsal: the first process dies after saving its
+checkpoint, and a brand-new process finishes the stream from the file.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+SPECS = {
+    "metrics": [
+        {
+            "name": "rtt",
+            "quantiles": [0.5, 0.99],
+            "window": {"size": 2000, "period": 500},
+            "policy": "qlove",
+            "policy_params": {"fewk": {"samplek_fraction": 0.01}},
+        },
+        {
+            "name": "rtt.exact",
+            "quantiles": [0.5, 0.9],
+            "window": {"size": 1500, "period": 500},
+            "policy": "exact",
+        },
+    ]
+}
+
+
+def run_cli(args):
+    env = dict(os.environ)
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "monitor", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    return completed
+
+
+def final_snapshot(stdout: str) -> list:
+    lines = stdout.splitlines()
+    start = lines.index("final snapshot:")
+    return lines[start : start + 1 + len(SPECS["metrics"]) * 2]
+
+
+@pytest.fixture()
+def specs_path(tmp_path):
+    path = tmp_path / "specs.json"
+    path.write_text(json.dumps(SPECS), encoding="utf-8")
+    return str(path)
+
+
+def test_checkpoint_kill_resume_matches_uninterrupted(specs_path, tmp_path):
+    common = ["--dataset", "netmon", "--seed", "0", "--chunk-size", "1300"]
+    full = run_cli([specs_path, *common, "--events", "8000"])
+    assert full.returncode == 0, full.stderr
+
+    checkpoint = str(tmp_path / "ckpt.json")
+    # "Crash" mid-stream: same dataset, stream dies after 4,700 elements.
+    first = run_cli(
+        [specs_path, *common, "--events", "8000", "--stop-after", "4700",
+         "--checkpoint", checkpoint]
+    )
+    assert first.returncode == 0, first.stderr
+    assert os.path.exists(checkpoint)
+
+    resumed = run_cli(
+        [specs_path, *common, "--events", "8000", "--resume", checkpoint]
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert "resumed 2 metric(s)" in resumed.stdout
+    assert final_snapshot(resumed.stdout) == final_snapshot(full.stdout)
+    # The resumed process only streamed the unseen remainder.
+    assert "streaming 3,300" in resumed.stdout
+
+
+def test_resume_rejects_non_uniform_checkpoint(specs_path, tmp_path):
+    """A checkpoint whose metrics saw different element counts (built via
+    the API, not the CLI's uniform fan-out) cannot be resumed — even when
+    one metric has seen nothing at all."""
+    import numpy as np
+
+    import sys as _sys
+    _sys.path.insert(0, os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..", "src")))
+    from repro.service import Monitor
+
+    monitor = Monitor()
+    for spec in SPECS["metrics"]:
+        monitor.register(spec)
+    monitor.observe_batch("rtt", np.ones(1000))  # rtt.exact stays at 0
+    checkpoint = str(tmp_path / "uneven.json")
+    monitor.save(checkpoint)
+
+    resumed = run_cli(
+        [specs_path, "--dataset", "netmon", "--events", "8000",
+         "--resume", checkpoint]
+    )
+    assert resumed.returncode != 0
+    assert "different element counts" in resumed.stderr
+
+
+def test_resume_rejects_mismatched_spec_file(specs_path, tmp_path):
+    checkpoint = str(tmp_path / "ckpt.json")
+    first = run_cli(
+        [specs_path, "--dataset", "netmon", "--events", "4000",
+         "--checkpoint", checkpoint]
+    )
+    assert first.returncode == 0, first.stderr
+
+    other = dict(SPECS)
+    other["metrics"] = [dict(SPECS["metrics"][0], policy="exact", policy_params={})] + SPECS["metrics"][1:]
+    other_path = tmp_path / "other.json"
+    other_path.write_text(json.dumps(other), encoding="utf-8")
+    resumed = run_cli(
+        [str(other_path), "--dataset", "netmon", "--events", "8000",
+         "--resume", checkpoint]
+    )
+    assert resumed.returncode != 0
+    assert "spec/state mismatch" in resumed.stderr

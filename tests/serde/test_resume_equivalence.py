@@ -1,0 +1,198 @@
+"""Resume-equivalence battery: checkpoint anywhere, resume bit-identically.
+
+The uninterrupted run of each registered policy is executed once with a
+``checkpoint_sink`` capturing an :class:`EngineCheckpoint` at **every**
+period boundary.  For each boundary the checkpoint is round-tripped
+through ``json.dumps``/``json.loads``, a fresh query over the remaining
+elements is resumed from it, and the resumed ``WindowResult`` stream must
+equal the uninterrupted run's remainder **exactly** — all six policies,
+randomized ones included (the RNG position rides in the state).
+"""
+
+import functools
+import json
+
+import pytest
+
+from repro.sketches import PolicyOperator, make_policy, policy_from_state
+from repro.streaming import (
+    CountWindow,
+    EngineCheckpoint,
+    ExecutionPlan,
+    Query,
+    StreamEngine,
+    value_stream,
+)
+from repro.workloads import get_dataset
+
+WINDOW = CountWindow(size=512, period=128)
+STREAM_LENGTH = 1500  # 11 period boundaries, window slides past the 4th
+PHIS = (0.5, 0.9, 0.99)
+
+CASES = {
+    "exact": dict(dataset="netmon", params={}),
+    "qlove": dict(dataset="netmon", params={}),
+    "cmqs": dict(dataset="netmon", params={"epsilon": 0.05}),
+    "am": dict(dataset="netmon", params={"epsilon": 0.05}),
+    "random": dict(dataset="netmon", params={"epsilon": 0.05, "seed": 7}),
+    "moment": dict(dataset="normal", params={"k": 8}),
+}
+
+
+def build_operator(name):
+    case = CASES[name]
+    return PolicyOperator(make_policy(name, PHIS, WINDOW, **case["params"]))
+
+
+def run_with_checkpoints(name, values):
+    """The uninterrupted batched run plus a checkpoint per boundary."""
+    checkpoints = []
+    query = Query(values).windowed_by(WINDOW).aggregate(build_operator(name))
+    results = StreamEngine().execute_to_list(
+        query,
+        ExecutionPlan(
+            mode="batched", chunk_size=300, checkpoint_sink=checkpoints.append
+        ),
+    )
+    return results, checkpoints
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_resume_at_every_boundary_is_bit_identical(name):
+    values = get_dataset(CASES[name]["dataset"], STREAM_LENGTH, seed=0)
+    full, checkpoints = run_with_checkpoints(name, values)
+    assert len(checkpoints) == STREAM_LENGTH // WINDOW.period
+    for checkpoint in checkpoints:
+        state = json.loads(json.dumps(checkpoint.to_state()))
+        query = (
+            Query(values[checkpoint.seen :])
+            .windowed_by(WINDOW)
+            .aggregate(build_operator(name))
+        )
+        resumed = StreamEngine().execute_to_list(
+            query,
+            ExecutionPlan(mode="batched", chunk_size=300, resume_from=state),
+        )
+        assert resumed == full[checkpoint.index :], (
+            f"{name}: resume at seen={checkpoint.seen} diverged"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_resume_on_the_per_event_path(name):
+    """A checkpoint from the batched path resumes the events path too."""
+    values = get_dataset(CASES[name]["dataset"], STREAM_LENGTH, seed=1)
+    full, checkpoints = run_with_checkpoints(name, values)
+    checkpoint = checkpoints[len(checkpoints) // 2]
+    query = (
+        Query(value_stream(values[checkpoint.seen :]))
+        .windowed_by(WINDOW)
+        .aggregate(build_operator(name))
+    )
+    resumed = StreamEngine().execute_to_list(
+        query, ExecutionPlan(mode="events", resume_from=checkpoint)
+    )
+    assert resumed == full[checkpoint.index :]
+
+
+@pytest.mark.parametrize("name", ["qlove", "exact"])
+def test_sharded_resume_and_cross_engine_checkpoints(name):
+    """Sharded runs checkpoint/resume; their checkpoints port to the
+    single engine (shard state is empty at boundaries by construction)."""
+    values = get_dataset(CASES[name]["dataset"], STREAM_LENGTH, seed=2)
+    factory = functools.partial(
+        make_policy, name, PHIS, WINDOW, **CASES[name]["params"]
+    )
+    checkpoints = []
+    plan = ExecutionPlan(
+        mode="sharded",
+        n_shards=3,
+        policy_factory=factory,
+        chunk_size=300,
+        checkpoint_sink=checkpoints.append,
+    )
+    full = StreamEngine().execute_to_list(Query(values).windowed_by(WINDOW), plan)
+    for checkpoint in checkpoints:
+        state = json.loads(json.dumps(checkpoint.to_state()))
+        resumed = StreamEngine().execute_to_list(
+            Query(values[checkpoint.seen :]).windowed_by(WINDOW),
+            ExecutionPlan(
+                mode="sharded",
+                n_shards=3,
+                policy_factory=factory,
+                chunk_size=300,
+                resume_from=state,
+            ),
+        )
+        assert resumed == full[checkpoint.index :]
+    # Cross-engine: a sharded checkpoint resumed on the batched loop.
+    checkpoint = checkpoints[len(checkpoints) // 2]
+    query = (
+        Query(values[checkpoint.seen :])
+        .windowed_by(WINDOW)
+        .aggregate(PolicyOperator(factory()))
+    )
+    resumed = StreamEngine().execute_to_list(
+        query, ExecutionPlan(mode="batched", resume_from=checkpoint)
+    )
+    assert resumed == full[checkpoint.index :]
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_merge_works_on_checkpoint_restored_policies(name):
+    """Policies revived from engine checkpoints still merge correctly."""
+    values = get_dataset(CASES[name]["dataset"], STREAM_LENGTH, seed=3)
+    _, checkpoints = run_with_checkpoints(name, values)
+    state = json.loads(json.dumps(checkpoints[3].to_state()))
+    revived = policy_from_state(state["policy"])
+    donor = make_policy(name, PHIS, WINDOW, **CASES[name]["params"])
+    donor.accumulate_batch(values[checkpoints[3].seen : checkpoints[3].seen + 128])
+    donor.seal_subwindow()
+    revived.merge(donor)
+    assert revived.query()  # answers without raising, post-merge
+
+
+class TestCheckpointValidation:
+    def test_checkpoint_rejects_window_mismatch(self):
+        values = get_dataset("netmon", STREAM_LENGTH, seed=0)
+        _, checkpoints = run_with_checkpoints("exact", values)
+        other = CountWindow(size=256, period=128)
+        query = Query(values).windowed_by(other).aggregate(
+            PolicyOperator(make_policy("exact", PHIS, other))
+        )
+        with pytest.raises(ValueError, match="spec/state mismatch"):
+            StreamEngine().execute_to_list(
+                query,
+                ExecutionPlan(mode="batched", resume_from=checkpoints[0]),
+            )
+
+    def test_checkpoint_rejects_policy_mismatch(self):
+        values = get_dataset("netmon", STREAM_LENGTH, seed=0)
+        _, checkpoints = run_with_checkpoints("exact", values)
+        query = Query(values).windowed_by(WINDOW).aggregate(
+            PolicyOperator(make_policy("cmqs", PHIS, WINDOW, epsilon=0.05))
+        )
+        with pytest.raises(ValueError, match="spec/state mismatch"):
+            StreamEngine().execute_to_list(
+                query,
+                ExecutionPlan(mode="batched", resume_from=checkpoints[0]),
+            )
+
+    def test_unknown_checkpoint_version_is_actionable(self):
+        values = get_dataset("netmon", STREAM_LENGTH, seed=0)
+        _, checkpoints = run_with_checkpoints("exact", values)
+        state = checkpoints[0].to_state()
+        state["version"] = 99
+        with pytest.raises(ValueError, match="unknown state version"):
+            EngineCheckpoint.from_state(state)
+
+    def test_incremental_operators_reject_checkpointing(self):
+        from repro.streaming import MeanOperator
+
+        values = get_dataset("netmon", STREAM_LENGTH, seed=0)
+        query = Query(values).windowed_by(WINDOW).aggregate(MeanOperator())
+        with pytest.raises(ValueError, match="sub-window"):
+            StreamEngine().execute_to_list(
+                query,
+                ExecutionPlan(mode="batched", checkpoint_sink=lambda ck: None),
+            )

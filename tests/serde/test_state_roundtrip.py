@@ -1,0 +1,234 @@
+"""Round-trip battery: every registered policy survives serialization.
+
+For each policy in the registry (× seeds), a driven instance is
+serialised with ``to_state()`` → ``json.dumps``, the dump is handed to a
+**fresh subprocess** (no shared interpreter state, the crash-recovery
+scenario), reloaded there with ``policy_from_state``, and the child's
+quantile answers must equal the parent's exactly.  Hypothesis-driven
+streams additionally exercise the in-process round trip for the policies
+and the underlying datastructures/sketches.
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datastructures import (
+    ReservoirSampler,
+    TopKKeeper,
+    TreeFrequencyMap,
+    DictFrequencyMap,
+    frequency_map_from_state,
+)
+from repro.sketches import (
+    GKSummary,
+    KLLSketch,
+    available_policies,
+    make_policy,
+    policy_from_state,
+)
+from repro.streaming import CountWindow
+from repro.workloads import get_dataset
+
+WINDOW = CountWindow(size=2048, period=256)
+STREAM_LENGTH = 1500
+PHIS = (0.5, 0.9, 0.99)
+SEEDS = (0, 1)
+
+#: Per-policy battery configuration (mirrors the merge-equivalence
+#: battery so a new policy must join both).
+CASES = {
+    "exact": dict(dataset="netmon", params={}),
+    "qlove": dict(dataset="netmon", params={}),
+    "cmqs": dict(dataset="netmon", params={"epsilon": 0.05}),
+    "am": dict(dataset="netmon", params={"epsilon": 0.05}),
+    "random": dict(dataset="netmon", params={"epsilon": 0.05, "seed": 7}),
+    "moment": dict(dataset="normal", params={"k": 8}),
+}
+
+#: Reloads states on stdin and answers quantile queries on stdout.
+CHILD_SCRIPT = """
+import json, sys
+from repro.sketches import policy_from_state
+
+payload = json.load(sys.stdin)
+answers = []
+for state in payload["states"]:
+    policy = policy_from_state(state)
+    answers.append(sorted(policy.query().items()))
+json.dump(answers, sys.stdout)
+"""
+
+
+def drive(policy, values):
+    """Feed a stream, sealing every period (and the final remnant)."""
+    period = policy.window.period
+    for start in range(0, len(values), period):
+        policy.accumulate_batch(values[start : start + period])
+        policy.seal_subwindow()
+
+
+def test_battery_covers_every_registered_policy():
+    """A new policy cannot register without joining this battery."""
+    assert set(CASES) == set(available_policies())
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_subprocess_reload_answers_identically(name):
+    """to_state → json.dumps → fresh subprocess → identical answers."""
+    case = CASES[name]
+    states = []
+    expected = []
+    for seed in SEEDS:
+        values = get_dataset(case["dataset"], STREAM_LENGTH, seed=seed)
+        policy = make_policy(name, PHIS, WINDOW, **case["params"])
+        drive(policy, values)
+        states.append(json.loads(json.dumps(policy.to_state())))
+        expected.append(sorted(policy.query().items()))
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-c", CHILD_SCRIPT],
+        input=json.dumps({"states": states}),
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    assert completed.returncode == 0, completed.stderr
+    answers = json.loads(completed.stdout)
+    assert [[(phi, val) for phi, val in entry] for entry in expected] == [
+        [(float(phi), float(val)) for phi, val in entry] for entry in answers
+    ]
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_roundtrip_preserves_future_behaviour(name, seed):
+    """A restored policy stays bit-identical through further lifecycle."""
+    case = CASES[name]
+    values = get_dataset(case["dataset"], STREAM_LENGTH, seed=seed)
+    reference = make_policy(name, PHIS, WINDOW, **case["params"])
+    drive(reference, values[:1024])
+    # Leave a partial in-flight sub-window so that state round-trips too.
+    reference.accumulate_batch(values[1024:1100])
+    restored = policy_from_state(json.loads(json.dumps(reference.to_state())))
+    for policy in (reference, restored):
+        policy.accumulate_batch(values[1100:1280])
+        policy.seal_subwindow()
+    assert restored.query() == reference.query()
+    assert restored.space_variables() == reference.space_variables()
+    assert restored.peak_space_variables() == reference.peak_space_variables()
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_restored_instances_still_merge(name):
+    """merge() works on restored instances, matching the original merge."""
+    case = CASES[name]
+    values = get_dataset(case["dataset"], STREAM_LENGTH, seed=2)
+    left = make_policy(name, PHIS, WINDOW, **case["params"])
+    right = make_policy(name, PHIS, WINDOW, **case["params"])
+    drive(left, values[:768])
+    drive(right, values[768:])
+    expected = make_policy(name, PHIS, WINDOW, **case["params"])
+    expected.merge(left)
+    expected.merge(right)
+    restored_left = policy_from_state(json.loads(json.dumps(left.to_state())))
+    restored_right = policy_from_state(json.loads(json.dumps(right.to_state())))
+    merged = make_policy(name, PHIS, WINDOW, **case["params"])
+    merged.merge(restored_left)
+    merged.merge(restored_right)
+    assert merged.query() == expected.query()
+
+
+# ----------------------------------------------------------------------
+# Hypothesis-driven round trips (reusing the suite's stream strategies)
+# ----------------------------------------------------------------------
+value_streams = st.lists(
+    st.integers(min_value=0, max_value=50), min_size=1, max_size=200
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(value_streams, st.sampled_from(sorted(CASES)))
+def test_property_policy_roundtrip(values, name):
+    window = CountWindow(size=64, period=16)
+    case = CASES[name]
+    policy = make_policy(name, PHIS, window, **case["params"])
+    stream = [float(v) for v in values]
+    for start in range(0, len(stream), 16):
+        policy.accumulate_batch(np.asarray(stream[start : start + 16]))
+        policy.seal_subwindow()
+        if (start // 16) >= window.subwindow_count:
+            policy.expire_subwindow()
+    restored = policy_from_state(json.loads(json.dumps(policy.to_state())))
+    assert restored.query() == policy.query()
+
+
+@settings(max_examples=50, deadline=None)
+@given(value_streams, st.sampled_from(["tree", "dict"]))
+def test_property_frequency_map_roundtrip(values, backend):
+    fmap = (TreeFrequencyMap if backend == "tree" else DictFrequencyMap)(
+        float(v) for v in values
+    )
+    restored = frequency_map_from_state(json.loads(json.dumps(fmap.to_state())))
+    assert list(restored.items_sorted()) == list(fmap.items_sorted())
+    assert restored.quantiles([0.5, 0.99]) == fmap.quantiles([0.5, 0.99])
+
+
+@settings(max_examples=50, deadline=None)
+@given(value_streams)
+def test_property_gk_roundtrip(values):
+    summary = GKSummary(0.05, capacity=16)
+    for v in values:
+        summary.insert(float(v))
+    restored = GKSummary.from_state(json.loads(json.dumps(summary.to_state())))
+    assert restored.weighted_items() == summary.weighted_items()
+    assert restored.query(0.5) == summary.query(0.5)
+    # Future inserts behave identically (same compression points).
+    for policy in (summary, restored):
+        for v in values:
+            policy.insert(float(v) + 100.0)
+    assert restored.weighted_items() == summary.weighted_items()
+
+
+@settings(max_examples=50, deadline=None)
+@given(value_streams, st.integers(min_value=0, max_value=2**31))
+def test_property_kll_roundtrip_bit_identical(values, seed):
+    sketch = KLLSketch(8, rng=random.Random(seed))
+    for v in values:
+        sketch.insert(float(v))
+    restored = KLLSketch.from_state(json.loads(json.dumps(sketch.to_state())))
+    assert restored.weighted_items() == sketch.weighted_items()
+    # The restored RNG continues exactly where the original's stands.
+    for s in (sketch, restored):
+        for v in values:
+            s.insert(float(v) * 2.0)
+    assert restored.weighted_items() == sketch.weighted_items()
+
+
+@settings(max_examples=50, deadline=None)
+@given(value_streams, st.integers(min_value=1, max_value=8))
+def test_property_topk_and_reservoir_roundtrip(values, k):
+    keeper = TopKKeeper(k, (float(v) for v in values))
+    restored = TopKKeeper.from_state(json.loads(json.dumps(keeper.to_state())))
+    assert restored.values_descending() == keeper.values_descending()
+
+    sampler = ReservoirSampler(k, rng=random.Random(k))
+    sampler.offer_batch([float(v) for v in values])
+    revived = ReservoirSampler.from_state(
+        json.loads(json.dumps(sampler.to_state()))
+    )
+    assert revived.values() == sampler.values()
+    assert revived.seen == sampler.seen
+    for s in (sampler, revived):
+        s.offer_batch([float(v) + 1.0 for v in values])
+    assert revived.values() == sampler.values()

@@ -1,0 +1,200 @@
+"""Monitor save/load: resume equivalence and actionable error paths.
+
+The error-path matrix the durable-state contract owes operators:
+missing file, malformed JSON, unknown state version, and spec/state
+mismatch — each with a message that names the problem and the fix.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import serde
+from repro.service import MetricSpec, Monitor, load_specs
+from repro.sketches import available_policies
+from repro.workloads import get_dataset
+
+ALL_POLICY_SPECS = [
+    {"name": "m.qlove", "quantiles": [0.5, 0.99], "window": {"size": 1000, "period": 250},
+     "policy": "qlove", "policy_params": {"fewk": {"samplek_fraction": 0.02}}},
+    {"name": "m.exact", "quantiles": [0.5, 0.9], "window": {"size": 800, "period": 200},
+     "policy": "exact"},
+    {"name": "m.cmqs", "quantiles": [0.5, 0.9], "window": {"size": 800, "period": 200},
+     "policy": "cmqs", "policy_params": {"epsilon": 0.05}},
+    {"name": "m.am", "quantiles": [0.5, 0.9], "window": {"size": 800, "period": 200},
+     "policy": "am", "policy_params": {"epsilon": 0.05}},
+    {"name": "m.random", "quantiles": [0.5, 0.9], "window": {"size": 800, "period": 200},
+     "policy": "random", "policy_params": {"epsilon": 0.05, "seed": 3}},
+    {"name": "m.moment", "quantiles": [0.5, 0.9], "window": {"size": 800, "period": 200},
+     "policy": "moment", "policy_params": {"k": 8}},
+]
+
+
+def build_monitor():
+    monitor = Monitor()
+    for spec in ALL_POLICY_SPECS:
+        monitor.register(spec)
+    return monitor
+
+
+def feed(monitor, values):
+    for name in monitor.metrics():
+        monitor.observe_batch(name, values)
+
+
+def test_specs_cover_every_registered_policy():
+    assert {s["policy"] for s in ALL_POLICY_SPECS} == set(available_policies())
+
+
+def test_save_load_resume_equals_uninterrupted(tmp_path):
+    """Mid-stream save → load → continue is bit-identical, every policy."""
+    values = get_dataset("netmon", 4000, seed=0)
+    full = build_monitor()
+    feed(full, values)
+
+    half = build_monitor()
+    feed(half, values[:1700])  # mid-period for several metrics
+    path = tmp_path / "monitor.json"
+    half.save(str(path))
+
+    resumed = Monitor.load(str(path))
+    feed(resumed, values[1700:])
+    assert resumed.snapshot() == full.snapshot()
+    assert resumed.space_report() == full.space_report()
+    for name in full.metrics():
+        assert resumed.results(name) == full.results(name)
+
+
+def test_loaded_monitor_still_merges(tmp_path):
+    """The fleet contract survives persistence: loaded monitors merge."""
+    values = get_dataset("netmon", 2000, seed=1)
+    spec = {"name": "rtt", "quantiles": [0.5, 0.99],
+            "window": {"size": 1000, "period": 250}, "policy": "qlove"}
+    reference = Monitor()
+    reference.register(spec)
+    reference.observe_batch("rtt", values[:250])
+
+    node = Monitor()
+    node.register(spec)
+    node.observe_batch("rtt", values[250:500])
+    path = tmp_path / "node.json"
+    node.save(str(path))
+
+    revived = Monitor.load(str(path))
+    reference.merge(revived)
+    unsplit = Monitor()
+    unsplit.register(spec)
+    unsplit.observe_batch("rtt", values[:500])
+    assert reference.snapshot() == unsplit.snapshot()
+
+
+class TestMonitorLoadErrorPaths:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="does not exist"):
+            Monitor.load(str(tmp_path / "nope.json"))
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(serde.StateError, match="not valid JSON"):
+            Monitor.load(str(path))
+
+    def test_unknown_state_version(self, tmp_path):
+        monitor = build_monitor()
+        state = monitor.to_state()
+        state["version"] = 99
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(state), encoding="utf-8")
+        with pytest.raises(serde.StateError, match="unknown state version"):
+            Monitor.load(str(path))
+
+    def test_unknown_policy_state_version(self, tmp_path):
+        monitor = build_monitor()
+        feed(monitor, get_dataset("netmon", 900, seed=0))
+        state = monitor.to_state()
+        state["metrics"][0]["policy"]["version"] = 99
+        path = tmp_path / "future-policy.json"
+        path.write_text(json.dumps(state), encoding="utf-8")
+        with pytest.raises(serde.StateError, match="unknown state version"):
+            Monitor.load(str(path))
+
+    def test_spec_state_mismatch(self, tmp_path):
+        """A tampered file whose policy state disagrees with its spec."""
+        donor = Monitor()
+        donor.register({"name": "m", "quantiles": [0.5],
+                        "window": {"size": 800, "period": 200}, "policy": "exact"})
+        other = Monitor()
+        other.register({"name": "m", "quantiles": [0.5],
+                        "window": {"size": 800, "period": 200}, "policy": "cmqs",
+                        "policy_params": {"epsilon": 0.05}})
+        state = donor.to_state()
+        state["metrics"][0]["policy"] = other.to_state()["metrics"][0]["policy"]
+        path = tmp_path / "mismatch.json"
+        path.write_text(json.dumps(state), encoding="utf-8")
+        with pytest.raises(serde.StateError, match="spec/state mismatch"):
+            Monitor.load(str(path))
+
+    def test_parameter_mismatch(self, tmp_path):
+        """Same policy type, different algorithm parameter: still rejected."""
+        save = Monitor()
+        save.register({"name": "m", "quantiles": [0.5],
+                       "window": {"size": 800, "period": 200}, "policy": "cmqs",
+                       "policy_params": {"epsilon": 0.05}})
+        state = save.to_state()
+        # The spec now claims a different epsilon than the saved state.
+        state["metrics"][0]["spec"]["policy_params"] = {"epsilon": 0.02}
+        path = tmp_path / "eps.json"
+        path.write_text(json.dumps(state), encoding="utf-8")
+        with pytest.raises(serde.StateError, match="epsilon"):
+            Monitor.load(str(path))
+
+    def test_moment_method_mismatch(self, tmp_path):
+        """The solver method is part of the spec/state contract too."""
+        save = Monitor()
+        save.register({"name": "m", "quantiles": [0.5],
+                       "window": {"size": 800, "period": 200}, "policy": "moment",
+                       "policy_params": {"k": 8, "method": "maxent"}})
+        state = save.to_state()
+        state["metrics"][0]["spec"]["policy_params"]["method"] = "quadrature"
+        path = tmp_path / "method.json"
+        path.write_text(json.dumps(state), encoding="utf-8")
+        with pytest.raises(serde.StateError, match="method"):
+            Monitor.load(str(path))
+
+    def test_wrong_format_tag(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}), encoding="utf-8")
+        with pytest.raises(serde.StateError, match="not a monitor checkpoint"):
+            Monitor.load(str(path))
+
+
+class TestLoadSpecsErrorPaths:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="does not exist"):
+            load_specs(str(tmp_path / "nope.json"))
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("[{oops", encoding="utf-8")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_specs(str(path))
+
+    def test_missing_metrics_key(self, tmp_path):
+        path = tmp_path / "object.json"
+        path.write_text(json.dumps({"series": []}), encoding="utf-8")
+        with pytest.raises(ValueError, match="'metrics'"):
+            load_specs(str(path))
+
+
+def test_roundtrip_through_spec_and_state_dicts():
+    """to_state → json → from_state preserves results and counters."""
+    values = get_dataset("netmon", 1200, seed=2)
+    monitor = build_monitor()
+    feed(monitor, values)
+    revived = Monitor.from_state(json.loads(json.dumps(monitor.to_state())))
+    assert revived.snapshot() == monitor.snapshot()
+    assert revived.metrics() == monitor.metrics()
+    for name in monitor.metrics():
+        assert revived.results(name) == monitor.results(name)
+        assert revived._channels[name].seen == monitor._channels[name].seen
