@@ -44,13 +44,32 @@ def _speedup(name, values):
     return per_event, batched
 
 
-def test_batched_ingest_speedup(benchmark, netmon_values):
+def test_batched_ingest_speedup(benchmark, netmon_values, bench_json_sink):
     """Table: M ev/s on both paths plus the batched/per-event ratio."""
 
     def run():
         return {name: _speedup(name, netmon_values) for name in POLICIES}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    bench_json_sink(
+        "batched",
+        {
+            "workload": "netmon",
+            "events": N,
+            "window": {"size": WINDOW.size, "period": WINDOW.period},
+            "chunk_size": CHUNK_SIZE,
+            "policies": {
+                name: {
+                    "per_event_events_per_s": per_event.events_per_second,
+                    "batched_events_per_s": batched.events_per_second,
+                    "speedup": batched.events_per_second
+                    / per_event.events_per_second,
+                }
+                for name, (per_event, batched) in results.items()
+            },
+        },
+    )
 
     table = Table(
         f"Ingestion throughput, NetMon {N:,} elements, "

@@ -39,7 +39,7 @@ def _qlove_factory():
     return QLOVEPolicy(PHIS, WINDOW)
 
 
-def test_sharded_ingest_scaling(benchmark, netmon_values):
+def test_sharded_ingest_scaling(benchmark, netmon_values, bench_json_sink):
     """Table: serial sharded M ev/s per shard count vs the batched path."""
 
     def run():
@@ -59,6 +59,26 @@ def test_sharded_ingest_scaling(benchmark, netmon_values):
         return batched, sharded
 
     batched, sharded = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    bench_json_sink(
+        "sharded",
+        {
+            "workload": "netmon",
+            "events": N,
+            "window": {"size": WINDOW.size, "period": WINDOW.period},
+            "chunk_size": CHUNK_SIZE,
+            "policy": "qlove",
+            "batched_events_per_s": batched.events_per_second,
+            "shards": {
+                str(n): {
+                    "events_per_s": outcome.events_per_second,
+                    "vs_batched": outcome.events_per_second
+                    / batched.events_per_second,
+                }
+                for n, outcome in sharded.items()
+            },
+        },
+    )
 
     table = Table(
         f"Sharded QLOVE ingest, NetMon {N:,} elements, "

@@ -7,9 +7,61 @@ microseconds kernels), prints the regenerated table, and asserts the
 paper's qualitative shape (who wins, direction of trends).  Scales are
 reduced from paper size so the full suite stays in minutes; run
 ``python -m repro <name> --scale 1.0`` for paper-size numbers.
+
+The ingest benchmarks additionally emit a machine-readable perf
+artifact: pass ``--bench-json PATH`` (or set ``BENCH_INGEST_JSON=PATH``)
+and each benchmark merges its section — events/s per policy, batched vs
+sharded — into that one JSON file.  CI sets the env var and uploads the
+file as the ``BENCH_ingest.json`` artifact, so the perf trajectory is
+tracked per commit.
 """
 
+import json
+import os
+
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write machine-readable benchmark results (events/s per policy) "
+            "to this JSON file; the BENCH_INGEST_JSON env var is the "
+            "flag-less equivalent"
+        ),
+    )
+
+
+@pytest.fixture
+def bench_json_sink(request):
+    """A ``record(section, payload)`` callable writing the perf artifact.
+
+    Each call merges ``{section: payload}`` into the target JSON file
+    (read-modify-write, so the batched and sharded benchmarks can share
+    one artifact regardless of invocation order).  A no-op when neither
+    ``--bench-json`` nor ``BENCH_INGEST_JSON`` is set.
+    """
+    path = request.config.getoption("--bench-json") or os.environ.get(
+        "BENCH_INGEST_JSON"
+    )
+
+    def record(section: str, payload: dict) -> None:
+        if not path:
+            return
+        document = {"schema": 1}
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        document[section] = payload
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\n[bench-json] wrote section {section!r} to {path}")
+
+    return record
 
 
 @pytest.fixture

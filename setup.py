@@ -1,12 +1,34 @@
-"""Legacy setup shim.
+"""Package metadata and console scripts.
 
 The execution environment is offline and ships setuptools without the
 ``wheel`` package, so PEP 517 editable installs fail with
-``invalid command 'bdist_wheel'``.  This shim lets
-``pip install -e . --no-use-pep517 --no-build-isolation`` take the legacy
-``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+``invalid command 'bdist_wheel'``; install with
+``pip install -e . --no-use-pep517 --no-build-isolation`` (the legacy
+``setup.py develop`` path).
+
+Installs two equivalent console scripts: ``repro`` (matching
+``python -m repro``) and the historical ``qlove-bench`` alias — both
+expose the experiments plus the ``monitor`` / ``serve`` / ``loadgen``
+subcommands.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.5.0",
+    description=(
+        "Reproduction of 'Approximate Quantiles for Datacenter Telemetry "
+        "Monitoring' grown into a servable monitoring system"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.evalkit.cli:main",
+            "qlove-bench=repro.evalkit.cli:main",
+        ]
+    },
+)

@@ -1,8 +1,12 @@
-"""``python -m repro`` — experiments plus the ``monitor`` subcommand.
+"""``python -m repro`` — experiments plus the serving subcommands.
 
 ``python -m repro <experiment>`` regenerates a paper table/figure;
 ``python -m repro monitor specs.json`` streams a workload through the
-:class:`~repro.service.monitor.Monitor` facade (see ``monitor --help``).
+:class:`~repro.service.monitor.Monitor` facade offline;
+``python -m repro serve specs.json`` exposes a monitor over TCP
+(newline-delimited JSON, bounded-queue backpressure, periodic
+checkpoints); ``python -m repro loadgen`` drives such a server with a
+deterministic seeded workload.  See ``<subcommand> --help``.
 """
 
 import sys

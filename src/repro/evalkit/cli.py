@@ -1,4 +1,4 @@
-"""Command-line entry point: experiments and the monitoring facade.
+"""Command-line entry point: experiments, the monitoring facade, serving.
 
 Usage::
 
@@ -6,7 +6,9 @@ Usage::
     python -m repro figure5 --seed 7
     python -m repro all --scale 0.125
     python -m repro monitor specs.json --dataset netmon --events 200000
-    qlove-bench table4            # console-script alias
+    python -m repro serve specs.json --port 7733 --checkpoint ckpt.json
+    python -m repro loadgen --port 7733 --events 200000 --connections 4
+    qlove-bench table4            # console-script alias ('repro' also works)
 
 ``--scale`` multiplies the paper's window/period sizes (1.0 = paper
 size); smaller scales run proportionally faster with the same shapes.
@@ -15,6 +17,16 @@ The ``monitor`` subcommand loads a JSON metric-spec file (a list of
 :class:`~repro.service.spec.MetricSpec` dicts, or ``{"metrics": [...]}``),
 streams a named workload through the :class:`~repro.service.monitor.Monitor`
 facade, and prints one quantile report line per evaluated period.
+
+``serve`` exposes the same monitor over TCP (newline-delimited JSON, see
+``docs/serving.md``) with bounded-queue backpressure and periodic
+checkpoints; ``loadgen`` drives such a server with a deterministic,
+seeded, multi-connection workload and can print the served final
+snapshot in exactly the ``monitor`` subcommand's format, so the two are
+directly diffable.
+
+A missing or malformed spec/checkpoint file exits with status 2 and a
+one-line actionable ``error:`` message — never a traceback.
 """
 
 from __future__ import annotations
@@ -27,14 +39,80 @@ from typing import List, Optional
 from repro.evalkit.experiments import available_experiments, get_experiment
 
 
+def _fail(exc: object) -> SystemExit:
+    """A one-line actionable CLI failure (exit status 2, no traceback)."""
+    message = " ".join(str(exc).split())
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _load_specs_or_fail(path: str):
+    """Load a metric-spec file; exit 2 with one line on any spec problem."""
+    from repro.service import load_specs
+
+    try:
+        return load_specs(path)
+    except (FileNotFoundError, ValueError) as exc:
+        raise _fail(exc) from None
+
+
+def _load_monitor_or_fail(path: str, specs):
+    """Restore a monitor checkpoint and verify it matches the spec file."""
+    from repro import serde
+    from repro.service import Monitor
+
+    try:
+        monitor = Monitor.load(path)
+    except (FileNotFoundError, serde.StateError) as exc:
+        raise _fail(exc) from None
+    # Compare canonical serialised forms: flat QLOVE params and their
+    # resolved config serialise identically, so equivalent specs match
+    # however they were written.
+    loaded = {spec.name: spec.to_dict() for spec in monitor.specs()}
+    wanted = {spec.name: spec.to_dict() for spec in specs}
+    if loaded != wanted:
+        raise _fail(
+            f"checkpoint {path}: checkpointed metrics {sorted(loaded)} do "
+            f"not match the spec file's {sorted(wanted)} (or their "
+            "configurations differ); pass the same spec file the checkpoint "
+            "was created with (spec/state mismatch)"
+        )
+    return monitor
+
+
+def _print_final_snapshot(snapshot, reports) -> None:
+    """Render the final-snapshot block.
+
+    Both ``monitor`` (offline) and ``loadgen --snapshot`` (served) print
+    through this one function — CI byte-diffs their outputs, so a
+    formatting tweak must land in both or the equivalence gate would
+    fail on a spurious diff.
+    """
+    print("\nfinal snapshot:")
+    for name, estimates in snapshot.items():
+        if estimates is None:
+            print(f"  {name}: (no full window yet)")
+        else:
+            rendered = "  ".join(
+                f"Q{phi:g}={estimate:,.1f}" for phi, estimate in estimates.items()
+            )
+            print(f"  {name}: {rendered}")
+    for name, accounting in reports.items():
+        print(
+            f"  {name}: {accounting['evaluations']} evaluations, "
+            f"{accounting['peak_space']:,} peak state variables"
+        )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The experiment-runner argument schema."""
     parser = argparse.ArgumentParser(
         prog="qlove-bench",
         description=(
             "Regenerate the QLOVE paper's tables and figures, or run the "
-            "'monitor' subcommand to stream a workload through the Monitor "
-            "facade (see 'qlove-bench monitor --help')."
+            "'monitor' / 'serve' / 'loadgen' subcommands: stream a workload "
+            "through the Monitor facade offline, serve it over TCP, or "
+            "drive such a server (see '<subcommand> --help')."
         ),
     )
     parser.add_argument(
@@ -127,11 +205,11 @@ def build_monitor_parser() -> argparse.ArgumentParser:
 
 def run_monitor(argv: List[str]) -> int:
     """Execute the ``monitor`` subcommand."""
-    from repro.service import Monitor, load_specs
+    from repro.service import Monitor
     from repro.workloads.registry import get_dataset
 
     args = build_monitor_parser().parse_args(argv)
-    specs = load_specs(args.specs)
+    specs = _load_specs_or_fail(args.specs)
 
     def report(name: str, result) -> None:
         quantiles = "  ".join(
@@ -144,20 +222,7 @@ def run_monitor(argv: List[str]) -> int:
 
     skip = 0
     if args.resume is not None:
-        monitor = Monitor.load(args.resume)
-        # Compare canonical serialised forms: flat QLOVE params and their
-        # resolved config serialise identically, so equivalent specs match
-        # however they were written.
-        loaded = {spec.name: spec.to_dict() for spec in monitor.specs()}
-        wanted = {spec.name: spec.to_dict() for spec in specs}
-        if loaded != wanted:
-            raise SystemExit(
-                f"--resume {args.resume}: checkpointed metrics "
-                f"{sorted(loaded)} do not match the spec file's "
-                f"{sorted(wanted)} (or their configurations differ); pass "
-                "the same spec file the checkpoint was created with "
-                "(spec/state mismatch)"
-            )
+        monitor = _load_monitor_or_fail(args.resume, specs)
         seen = {name: monitor._channels[name].seen for name in monitor.metrics()}
         skip = min(seen.values()) if seen else 0
         if len(set(seen.values())) > 1:
@@ -205,21 +270,317 @@ def run_monitor(argv: List[str]) -> int:
         monitor.save(args.checkpoint)
         print(f"checkpoint saved to {args.checkpoint!r}")
 
-    print("\nfinal snapshot:")
-    for name, estimates in monitor.snapshot().items():
-        if estimates is None:
-            print(f"  {name}: (no full window yet)")
-        else:
-            rendered = "  ".join(
-                f"Q{phi:g}={estimate:,.1f}" for phi, estimate in estimates.items()
-            )
-            print(f"  {name}: {rendered}")
-    for name, accounting in monitor.space_report().items():
-        print(
-            f"  {name}: {accounting['evaluations']} evaluations, "
-            f"{accounting['peak_space']:,} peak state variables"
-        )
+    _print_final_snapshot(monitor.snapshot(), monitor.space_report())
     rate = len(fresh) * len(monitor) / elapsed / 1e6 if elapsed > 0 else float("inf")
+    print(f"\n[{rate:.1f} M ev/s across metrics, {elapsed:.1f}s]")
+    return 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``serve`` subcommand's argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="qlove-bench serve",
+        description=(
+            "Serve the metrics of a JSON spec file over TCP: concurrent "
+            "newline-delimited-JSON ingest into a bounded queue, one "
+            "consumer draining into the Monitor facade, control ops "
+            "(snapshot/results/flush/stats/checkpoint/shutdown) on the "
+            "same protocol (see docs/serving.md)."
+        ),
+    )
+    parser.add_argument(
+        "specs",
+        help=(
+            "path to a JSON metric-spec file: a list of MetricSpec dicts or "
+            "an object with a 'metrics' list"
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=7733,
+        help="bind port (0 picks an ephemeral port, printed on startup)",
+    )
+    parser.add_argument(
+        "--queue-blocks",
+        type=int,
+        default=64,
+        help="ingest queue capacity in observe blocks (default 64)",
+    )
+    parser.add_argument(
+        "--backpressure",
+        choices=["block", "shed"],
+        default="block",
+        help=(
+            "full-queue behaviour: 'block' stalls the sender (lossless), "
+            "'shed' drops the block and reports it in the ack (default block)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="save the monitor state to this JSON file periodically and on shutdown",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help=(
+            "seconds between periodic checkpoint saves (default 30; "
+            "requires --checkpoint)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        default=None,
+        help=(
+            "restore the monitor from a checkpoint file before serving; the "
+            "spec file must match the checkpointed metrics"
+        ),
+    )
+    return parser
+
+
+def run_serve(argv: List[str]) -> int:
+    """Execute the ``serve`` subcommand."""
+    from repro.service import Monitor, TelemetryServer
+
+    args = build_serve_parser().parse_args(argv)
+    if args.checkpoint_interval is not None and args.checkpoint is None:
+        # Silently ignoring the interval would look like durability the
+        # server does not have.
+        raise _fail(
+            "--checkpoint-interval requires --checkpoint PATH (the file "
+            "to save the monitor state to)"
+        )
+    if args.checkpoint is not None and args.checkpoint_interval is None:
+        args.checkpoint_interval = 30.0
+    specs = _load_specs_or_fail(args.specs)
+    if args.resume is not None:
+        monitor = _load_monitor_or_fail(args.resume, specs)
+        restored = {
+            name: monitor._channels[name].seen for name in monitor.metrics()
+        }
+        print(
+            f"resumed {len(monitor)} metric(s) from {args.resume!r} "
+            f"(seen: {restored})"
+        )
+    else:
+        monitor = Monitor()
+        for spec in specs:
+            monitor.register(spec)
+            print(
+                f"registered {spec.name!r}: policy={spec.policy} "
+                f"window={spec.window.size:,}/{spec.window.period:,} "
+                f"quantiles={list(spec.quantiles)}"
+            )
+    try:
+        server = TelemetryServer(
+            monitor,
+            host=args.host,
+            port=args.port,
+            queue_blocks=args.queue_blocks,
+            backpressure=args.backpressure,
+            checkpoint_path=args.checkpoint,
+            checkpoint_interval=(
+                args.checkpoint_interval if args.checkpoint is not None else None
+            ),
+        )
+    except ValueError as exc:
+        raise _fail(exc) from None
+    try:
+        server.start()
+    except OSError as exc:
+        raise _fail(f"cannot bind {args.host}:{args.port}: {exc}") from None
+    host, port = server.address
+    checkpointing = (
+        f", checkpointing to {args.checkpoint!r} every "
+        f"{args.checkpoint_interval:g}s"
+        if args.checkpoint is not None
+        else ""
+    )
+    print(
+        f"serving {len(monitor)} metric(s) on {host}:{port} "
+        f"(queue {args.queue_blocks} blocks, backpressure "
+        f"{args.backpressure}{checkpointing})",
+        flush=True,
+    )
+    try:
+        while not server.wait_shutdown(timeout=0.5):
+            pass
+        print("shutdown requested; draining and stopping")
+    except KeyboardInterrupt:
+        print("\ninterrupted; draining and stopping")
+    server.stop()
+    stats = server.ingest_queue.stats()
+    print(
+        f"served {stats['accepted_events']:,} events in "
+        f"{stats['accepted_blocks']:,} blocks "
+        f"({stats['shed_blocks']:,} blocks shed)"
+    )
+    return 0
+
+
+def build_loadgen_parser() -> argparse.ArgumentParser:
+    """The ``loadgen`` subcommand's argument schema."""
+    from repro.workloads.registry import available_datasets
+
+    parser = argparse.ArgumentParser(
+        prog="qlove-bench loadgen",
+        description=(
+            "Drive a 'serve' server with a deterministic, seeded workload "
+            "over N concurrent connections.  Block partitioning is a pure "
+            "function of (dataset, events, seed, block size) — never of "
+            "the connection count — so runs are reproducible and the "
+            "served snapshot matches an offline 'monitor' run bit for bit."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="server address")
+    parser.add_argument("--port", type=int, default=7733, help="server port")
+    parser.add_argument(
+        "--dataset",
+        default="netmon",
+        choices=available_datasets(),
+        help="workload streamed into every registered metric (default netmon)",
+    )
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=200_000,
+        help="stream length in elements (default 200000)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+    parser.add_argument(
+        "--connections",
+        type=int,
+        default=1,
+        help="concurrent sender connections (default 1)",
+    )
+    parser.add_argument(
+        "--block-size",
+        type=int,
+        default=65_536,
+        help=(
+            "events per observe message (default 65536, matching the "
+            "monitor subcommand's --chunk-size)"
+        ),
+    )
+    parser.add_argument(
+        "--wait-server",
+        type=float,
+        metavar="SECONDS",
+        default=10.0,
+        help="poll this long for the server to come up (default 10)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue from the server's current per-metric position (after "
+            "a checkpoint restart) instead of from element 0"
+        ),
+    )
+    parser.add_argument(
+        "--stop-after",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "send only the first N elements of the --events dataset — "
+            "simulates a sender whose stream dies mid-way"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-request",
+        action="store_true",
+        help="ask the server to drain and save a checkpoint after streaming",
+    )
+    parser.add_argument(
+        "--snapshot",
+        action="store_true",
+        help=(
+            "print the served final snapshot in exactly the 'monitor' "
+            "subcommand's format (diffable against an offline run)"
+        ),
+    )
+    parser.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="send the shutdown op once done (the server drains and exits)",
+    )
+    return parser
+
+
+def run_loadgen(argv: List[str]) -> int:
+    """Execute the ``loadgen`` subcommand."""
+    from repro.service import LoadGenerator, TelemetryClient, wait_for_server
+
+    args = build_loadgen_parser().parse_args(argv)
+    try:
+        client = wait_for_server(args.host, args.port, timeout=args.wait_server)
+    except ConnectionError as exc:
+        raise _fail(exc) from None
+    client.close()
+    generator = LoadGenerator(
+        args.host,
+        args.port,
+        dataset=args.dataset,
+        events=args.events,
+        seed=args.seed,
+        connections=args.connections,
+        block_size=args.block_size,
+    )
+    offset = 0
+    if args.resume:
+        try:
+            offset = generator.resume_offset()
+        except ValueError as exc:
+            raise _fail(exc) from None
+        print(f"resuming from element {offset:,} (server position)")
+    if args.stop_after is not None and args.stop_after < offset:
+        raise _fail(
+            f"--stop-after {args.stop_after} lies before the resumed "
+            f"position ({offset:,} elements already ingested)"
+        )
+    from repro.service import ServerError
+
+    try:
+        summary = generator.run(start_offset=offset, stop_after=args.stop_after)
+        print(
+            f"streamed {summary['events']:,} '{args.dataset}' elements "
+            f"(seed {args.seed}) in {summary['blocks']:,} blocks over "
+            f"{summary['connections']} connection(s) into "
+            f"{len(summary['metrics'])} metric(s); drained={summary['drained']}"
+            + (
+                f", {summary['shed_blocks']:,} blocks shed"
+                if summary["shed_blocks"]
+                else ""
+            )
+        )
+        with TelemetryClient(args.host, args.port) as client:
+            if args.checkpoint_request:
+                saved = client.checkpoint()
+                print(f"checkpoint saved to {saved['path']!r}")
+            if args.snapshot:
+                snapshot = client.snapshot()
+                reports = client.stats()["metrics"]
+                _print_final_snapshot(snapshot, reports)
+            if args.shutdown:
+                client.shutdown()
+                # stderr keeps stdout's tail diffable vs 'monitor' output.
+                print("shutdown sent", file=sys.stderr)
+    except (ServerError, ConnectionError, OSError, ValueError) as exc:
+        raise _fail(exc) from None
+    elapsed = summary["elapsed"]
+    rate = (
+        summary["events"] * len(summary["metrics"]) / elapsed / 1e6
+        if elapsed > 0
+        else float("inf")
+    )
     print(f"\n[{rate:.1f} M ev/s across metrics, {elapsed:.1f}s]")
     return 0
 
@@ -247,8 +608,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "monitor":
-        return run_monitor(argv[1:])
+    subcommands = {"monitor": run_monitor, "serve": run_serve, "loadgen": run_loadgen}
+    if argv and argv[0] in subcommands:
+        return subcommands[argv[0]](argv[1:])
     args = build_parser().parse_args(argv)
     names = available_experiments() if args.experiment == "all" else [args.experiment]
     for name in names:

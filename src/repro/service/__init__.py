@@ -11,6 +11,14 @@ paper pitches:
   ``register(spec)``, ``observe``/``observe_batch``, ``snapshot()``,
   per-period callbacks, and ``merge(other)`` so monitors shard and
   combine like the sketches they host.
+- :class:`~repro.service.server.TelemetryServer` /
+  :class:`~repro.service.client.TelemetryClient` — the network front
+  door: stdlib-only newline-delimited-JSON serving of a monitor, with
+  bounded-queue backpressure, seq-ordered multi-connection ingest and
+  periodic checkpoints (see ``docs/serving.md``).
+- :class:`~repro.service.client.LoadGenerator` — deterministic seeded
+  multi-connection load for the server (the ``python -m repro loadgen``
+  CLI).
 
 Scaling work (sharding, batching, future async ingest and multi-backend
 storage) plugs in underneath via
@@ -18,7 +26,25 @@ storage) plugs in underneath via
 surface.
 """
 
+from repro.service.client import (
+    LoadGenerator,
+    ServerError,
+    TelemetryClient,
+    wait_for_server,
+)
 from repro.service.monitor import MetricChannel, Monitor
+from repro.service.server import IngestQueue, TelemetryServer
 from repro.service.spec import MetricSpec, load_specs
 
-__all__ = ["MetricChannel", "MetricSpec", "Monitor", "load_specs"]
+__all__ = [
+    "IngestQueue",
+    "LoadGenerator",
+    "MetricChannel",
+    "MetricSpec",
+    "Monitor",
+    "ServerError",
+    "TelemetryClient",
+    "TelemetryServer",
+    "load_specs",
+    "wait_for_server",
+]

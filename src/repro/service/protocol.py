@@ -1,0 +1,99 @@
+"""The serving wire protocol: newline-delimited JSON over a stream socket.
+
+One message per line, UTF-8, stdlib ``json`` — the format Chambers et
+al.'s incremental-collector deployment shape calls for: long-lived
+connections from many networked components into one bounded-memory
+collector, with no dependency heavier than a TCP socket on either side.
+
+Requests are objects with an ``"op"`` key; every request receives exactly
+one response object with an ``"ok"`` boolean (``true`` plus op-specific
+payload, or ``false`` plus a one-line ``"error"``).  The full op
+vocabulary — ``observe``, ``snapshot``, ``results``, ``flush``,
+``stats``, ``checkpoint``, ``shutdown``, ``ping`` — is documented in
+``docs/serving.md``; both :class:`~repro.service.server.TelemetryServer`
+and :class:`~repro.service.client.TelemetryClient` speak only through
+the helpers here, so the framing lives in one place.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import BinaryIO, Optional
+
+#: Hard cap on one encoded message (guards the server against a stray
+#: client streaming an unbounded line into memory).  64 MiB comfortably
+#: holds an ``observe`` block of ~2M float64 values in decimal form.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed frame: not JSON, not an object, or oversized."""
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame above :data:`MAX_MESSAGE_BYTES`.
+
+    Unlike an unparsable-but-complete line, an oversized frame leaves
+    its unread tail in the stream — the receiver must close the
+    connection, or the tail bytes would be misread as later frames.
+    """
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the connection mid-conversation."""
+
+
+def encode_message(message: dict) -> bytes:
+    """One protocol frame: compact JSON plus the terminating newline."""
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"protocol messages are JSON objects, got {type(message).__name__}"
+        )
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Write one frame to ``sock`` (blocking, all-or-nothing)."""
+    sock.sendall(encode_message(message))
+
+
+def recv_message(stream: BinaryIO) -> Optional[dict]:
+    """Read one frame from a buffered socket file.
+
+    Returns ``None`` on a clean EOF (peer closed between messages);
+    raises :class:`ConnectionClosed` on EOF mid-line and
+    :class:`ProtocolError` on an unparsable or oversized frame.
+    """
+    line = stream.readline(MAX_MESSAGE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise FrameTooLarge(
+            f"message exceeds {MAX_MESSAGE_BYTES} bytes; split observe "
+            "batches into smaller blocks (closing the connection: the "
+            "rest of the oversized line cannot be re-synchronised)"
+        )
+    if not line.endswith(b"\n"):
+        raise ConnectionClosed("connection closed mid-message")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON ({exc})") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def error_response(message: str) -> dict:
+    """The uniform failure response."""
+    return {"ok": False, "error": message}
+
+
+def ok_response(**payload: object) -> dict:
+    """The uniform success response."""
+    response = {"ok": True}
+    response.update(payload)
+    return response

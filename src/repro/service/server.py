@@ -1,0 +1,708 @@
+"""``TelemetryServer``: a network front door for the :class:`Monitor`.
+
+The paper's deployment shape — and Chambers et al.'s incremental
+collectors — is a long-lived process ingesting telemetry from many
+networked components with bounded memory.  This module is that process,
+stdlib-only (``socket`` + ``threading``), speaking the newline-delimited
+JSON protocol of :mod:`repro.service.protocol`:
+
+- **Ingest**: any number of concurrent connections send ``observe``
+  blocks.  Accepted blocks land in a bounded queue
+  (:class:`IngestQueue`) with explicit backpressure — ``"block"`` mode
+  stalls the producing connection (the ack is withheld, so TCP and the
+  request/response discipline throttle the sender), ``"shed"`` mode
+  drops the block and says so in the ack.
+- **Apply**: one consumer thread drains the queue into
+  ``Monitor.observe_batch`` (the PR-1 bulk path).  Blocks may carry a
+  per-metric sequence number; the consumer reorders on it, so a
+  multi-connection sender that numbers blocks globally reproduces the
+  exact offline stream order — the served snapshot is then
+  **bit-identical** to an offline monitor fed the same stream.
+- **Control**: ``snapshot`` / ``results`` / ``stats`` / ``flush`` /
+  ``checkpoint`` / ``shutdown`` answer over the same protocol.  Reads
+  first wait for the ingest pipeline to drain (bounded by
+  ``flush_timeout``), so a reply reflects every block acked before it.
+- **Durability**: a checkpoint thread calls :meth:`Monitor.save` every
+  ``checkpoint_interval`` seconds (atomic temp-file replace, PR 4); a
+  killed server restarts from the file and the resumed stream's final
+  report equals the uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.service.monitor import Monitor
+from repro.service.protocol import (
+    ConnectionClosed,
+    FrameTooLarge,
+    ProtocolError,
+    error_response,
+    ok_response,
+    recv_message,
+    send_message,
+)
+
+#: Backpressure modes an :class:`IngestQueue` implements.
+BACKPRESSURE_MODES = ("block", "shed")
+
+#: One queued ingest item: metric, optional sequence number, values, and
+#: whether this is a shed *marker* — a zero-event placeholder a shedding
+#: server enqueues so the consumer can advance past the dropped block's
+#: seq instead of parking every later block behind a permanent gap.
+Block = Tuple[str, Optional[int], np.ndarray, bool]
+
+
+class IngestQueue:
+    """A bounded block queue with explicit, documented backpressure.
+
+    ``capacity`` is counted in blocks (one ``observe`` message each), so
+    the server's buffered-but-unapplied memory is bounded by
+    ``capacity * max block size`` regardless of how many connections
+    push concurrently.
+
+    - ``mode="block"``: :meth:`put` blocks until the consumer frees a
+      slot — lossless; the producing connection simply stalls.
+    - ``mode="shed"``: :meth:`put` returns ``False`` immediately when
+      full — lossy under overload, by declared choice; shed blocks and
+      events are counted.
+    """
+
+    def __init__(self, capacity: int = 64, mode: str = "block") -> None:
+        if not isinstance(capacity, int) or capacity < 1:
+            raise ValueError(f"queue capacity must be a positive int, got {capacity!r}")
+        if mode not in BACKPRESSURE_MODES:
+            raise ValueError(
+                f"unknown backpressure mode {mode!r}; "
+                f"accepted: {list(BACKPRESSURE_MODES)}"
+            )
+        self.capacity = capacity
+        self.mode = mode
+        self._queue: "queue.Queue[Optional[Block]]" = queue.Queue(maxsize=capacity)
+        self._lock = threading.Lock()
+        self.accepted_blocks = 0
+        self.accepted_events = 0
+        self.shed_blocks = 0
+        self.shed_events = 0
+
+    def put(self, block: Block, timeout: Optional[float] = None) -> bool:
+        """Enqueue one block; returns whether it was accepted.
+
+        In ``"block"`` mode this waits (up to ``timeout``) for space and
+        raises :class:`queue.Full` only on timeout; in ``"shed"`` mode a
+        full queue sheds immediately and returns ``False``.
+        """
+        if self.mode == "shed":
+            try:
+                self._queue.put_nowait(block)
+            except queue.Full:
+                with self._lock:
+                    self.shed_blocks += 1
+                    self.shed_events += len(block[2])
+                return False
+        else:
+            self._queue.put(block, timeout=timeout)
+        with self._lock:
+            self.accepted_blocks += 1
+            self.accepted_events += len(block[2])
+        return True
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Block]:
+        """Dequeue the next block (None is the consumer-shutdown sentinel)."""
+        return self._queue.get(timeout=timeout)
+
+    def put_marker(self, block: Block) -> None:
+        """Enqueue a shed marker, bypassing the capacity bound.
+
+        Markers carry no events (a few dozen bytes each), so letting them
+        exceed ``capacity`` keeps the memory bound honest while keeping
+        the sequence space gap-free under shedding.
+        """
+        with self._queue.mutex:
+            self._queue.queue.append(block)
+            self._queue.not_empty.notify()
+
+    def drop_all(self) -> int:
+        """Discard every queued block (crash simulation); returns how many."""
+        with self._queue.mutex:
+            dropped = len(self._queue.queue)
+            self._queue.queue.clear()
+            self._queue.not_full.notify_all()
+        return dropped
+
+    def close(self) -> None:
+        """Enqueue the shutdown sentinel (bypasses the capacity bound)."""
+        # A plain put() could deadlock against a full queue if the
+        # consumer already exited; growing by one sentinel is harmless.
+        with self._queue.mutex:
+            self._queue.queue.append(None)
+            self._queue.not_empty.notify()
+
+    def qsize(self) -> int:
+        return self._queue.qsize()
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "mode": self.mode,
+                "depth": self._queue.qsize(),
+                "accepted_blocks": self.accepted_blocks,
+                "accepted_events": self.accepted_events,
+                "shed_blocks": self.shed_blocks,
+                "shed_events": self.shed_events,
+            }
+
+
+class TelemetryServer:
+    """Serve a :class:`Monitor` over TCP (see module docstring).
+
+    Parameters
+    ----------
+    monitor:
+        The monitor to front; metrics must already be registered.
+    host, port:
+        Bind address. ``port=0`` picks an ephemeral port (read it back
+        from :attr:`address` after :meth:`start`).
+    queue_blocks, backpressure:
+        Ingest-queue capacity (in blocks) and mode (``"block"``/``"shed"``).
+    checkpoint_path, checkpoint_interval:
+        When both are set, a daemon thread saves the monitor every
+        ``checkpoint_interval`` seconds; a final save runs on clean
+        shutdown and on the ``checkpoint`` control op.
+    flush_timeout:
+        Upper bound on how long ``flush``/``snapshot``/``results``/
+        ``stats``/``checkpoint`` wait for the ingest pipeline to drain
+        before answering with whatever has been applied.
+    """
+
+    def __init__(
+        self,
+        monitor: Monitor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        queue_blocks: int = 64,
+        backpressure: str = "block",
+        checkpoint_path: Optional[str] = None,
+        checkpoint_interval: Optional[float] = None,
+        flush_timeout: float = 30.0,
+    ) -> None:
+        if checkpoint_interval is not None and checkpoint_interval <= 0:
+            raise ValueError(
+                f"checkpoint_interval must be positive, got {checkpoint_interval}"
+            )
+        if checkpoint_interval is not None and checkpoint_path is None:
+            raise ValueError(
+                "checkpoint_interval without checkpoint_path; pass the file "
+                "to save the monitor state to"
+            )
+        self.monitor = monitor
+        self._host = host
+        self._port = port
+        self.ingest_queue = IngestQueue(queue_blocks, backpressure)
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_interval = checkpoint_interval
+        self.flush_timeout = flush_timeout
+
+        #: Guards every read/write of the monitor (consumer applies,
+        #: control ops read, checkpoint thread saves).
+        self._monitor_lock = threading.Lock()
+        #: Pipeline accounting: accepted == applied + parked ⇔ drained.
+        #: Also guards structural access to the reorder buffers, which
+        #: the consumer mutates while control threads count them.
+        self._pipeline = threading.Condition()
+        self._applied_blocks = 0
+        self._applied_events = 0
+        self._forced_blocks = 0
+        self._duplicate_blocks = 0
+        #: Per-metric reorder buffers: seq -> (values, is_marker).
+        #: Written by the consumer thread, sized by control threads;
+        #: every structural access holds ``self._pipeline``.
+        self._pending: Dict[str, Dict[int, Tuple[np.ndarray, bool]]] = {}
+        self._next_seq: Dict[str, int] = {}
+
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._connections: List[socket.socket] = []
+        self._connections_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._shutdown_requested = threading.Event()
+        #: Crash simulation: stop(drain=False) — the consumer skips the
+        #: forced apply of orphaned parked blocks.
+        self._abandon = False
+        self._started = False
+        self._checkpoint_saves = 0
+        self._checkpoint_error: Optional[str] = None
+        self._started_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._listener is None:
+            raise RuntimeError("server is not started; call start() first")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "TelemetryServer":
+        """Bind, then spawn the accept, consumer and checkpoint threads."""
+        if self._started:
+            raise RuntimeError("server is already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(128)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._started = True
+        self._started_at = time.time()
+        for name, target in (
+            ("telemetry-accept", self._accept_loop),
+            ("telemetry-consume", self._consume_loop),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        if self.checkpoint_path is not None and self.checkpoint_interval is not None:
+            thread = threading.Thread(
+                target=self._checkpoint_loop, name="telemetry-checkpoint", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Shut down: stop accepting, drain the queue, final checkpoint.
+
+        With ``drain=True`` (the default) every block accepted before the
+        call is applied to the monitor before threads exit — zero event
+        loss on a clean shutdown.  ``drain=False`` abandons queued and
+        parked blocks unapplied (crash simulation for tests).
+        """
+        if not self._started or self._stopping.is_set():
+            self._stopping.set()
+            return
+        self._stopping.set()
+        if drain:
+            # A sender that died mid-gap leaves parked blocks that no
+            # flush can resolve; the consumer force-applies them after
+            # the sentinel, so only the queue itself must go quiescent.
+            self._wait_drained(self.flush_timeout, ignore_parked=True)
+        else:
+            self._abandon = True
+            self.ingest_queue.drop_all()
+        self.ingest_queue.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        with self._connections_lock:
+            for conn in self._connections:
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            self._connections.clear()
+        if self._listener is not None:
+            self._listener.close()
+        if drain and self.checkpoint_path is not None:
+            self._save_checkpoint()
+
+    def wait_shutdown(self, timeout: Optional[float] = None) -> bool:
+        """Block until a client sends the ``shutdown`` op (True) or timeout."""
+        return self._shutdown_requested.wait(timeout=timeout)
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Accept + connection threads
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with self._connections_lock:
+                self._connections.append(conn)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        stream = conn.makefile("rb")
+        try:
+            while not self._stopping.is_set():
+                try:
+                    request = recv_message(stream)
+                except FrameTooLarge as exc:
+                    # The oversized line's unread tail would be misread
+                    # as later frames: answer, then drop the connection.
+                    try:
+                        send_message(conn, error_response(str(exc)))
+                    except OSError:
+                        pass
+                    break
+                except ProtocolError as exc:
+                    try:
+                        send_message(conn, error_response(str(exc)))
+                    except OSError:
+                        break  # peer sent garbage and hung up
+                    continue
+                except (ConnectionClosed, OSError):
+                    break
+                if request is None:
+                    break
+                try:
+                    response = self._handle(request)
+                except Exception as exc:  # keep the connection alive
+                    response = error_response(
+                        f"internal error handling {request.get('op')!r}: {exc}"
+                    )
+                try:
+                    send_message(conn, response)
+                except OSError:
+                    break
+        finally:
+            stream.close()
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._connections_lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    def _handle(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "observe":
+            return self._op_observe(request)
+        if op == "ping":
+            return ok_response(pong=True, metrics=self.monitor.metrics())
+        if op == "flush":
+            drained = self._wait_drained(self.flush_timeout)
+            return ok_response(drained=drained, **self._pipeline_stats())
+        if op == "snapshot":
+            return self._op_snapshot()
+        if op == "results":
+            return self._op_results(request)
+        if op == "stats":
+            return self._op_stats()
+        if op == "checkpoint":
+            return self._op_checkpoint()
+        if op == "shutdown":
+            self._shutdown_requested.set()
+            return ok_response(stopping=True)
+        return error_response(
+            f"unknown op {op!r}; supported: observe, snapshot, results, "
+            "flush, stats, checkpoint, shutdown, ping"
+        )
+
+    def _op_observe(self, request: dict) -> dict:
+        metric = request.get("metric")
+        if not isinstance(metric, str) or metric not in self.monitor:
+            return error_response(
+                f"unknown metric {metric!r}; registered: {self.monitor.metrics()}"
+            )
+        values = request.get("values")
+        if not isinstance(values, list):
+            return error_response(
+                f"'values' must be a JSON array of numbers, got "
+                f"{type(values).__name__}"
+            )
+        seq = request.get("seq")
+        if seq is not None and (not isinstance(seq, int) or seq < 0):
+            return error_response(f"'seq' must be a non-negative integer, got {seq!r}")
+        try:
+            array = np.asarray(values, dtype=np.float64)
+        except (TypeError, ValueError):
+            return error_response("'values' must contain only finite numbers")
+        if array.ndim != 1:
+            return error_response("'values' must be a flat array of numbers")
+        if len(array) and not np.isfinite(array).all():
+            # NaN/inf would poison quantiles and make saved checkpoints
+            # non-strict JSON (json.dumps writes bare 'Infinity').
+            return error_response(
+                "'values' must contain only finite numbers (got NaN or "
+                "infinity)"
+            )
+        if len(array) == 0:
+            if seq is not None:
+                # Zero events, but the seq cursor must still advance or
+                # every later block of this metric parks behind the gap.
+                self.ingest_queue.put_marker(
+                    (metric, seq, np.empty(0, dtype=np.float64), True)
+                )
+            return ok_response(accepted=True, events=0)
+        accepted = self.ingest_queue.put((metric, seq, array, False))
+        if not accepted and seq is not None:
+            # Keep the sequence space gap-free: a marker tells the
+            # consumer "seq N was shed, advance past it" so later blocks
+            # don't park forever behind the dropped one.
+            self.ingest_queue.put_marker(
+                (metric, seq, np.empty(0, dtype=np.float64), True)
+            )
+        return ok_response(accepted=accepted, events=int(len(array)))
+
+    def _op_snapshot(self) -> dict:
+        drained = self._wait_drained(self.flush_timeout)
+        with self._monitor_lock:
+            snapshot = {
+                name: (
+                    None
+                    if estimates is None
+                    else {repr(phi): value for phi, value in estimates.items()}
+                )
+                for name, estimates in self.monitor.snapshot().items()
+            }
+        return ok_response(snapshot=snapshot, drained=drained)
+
+    def _op_results(self, request: dict) -> dict:
+        metric = request.get("metric")
+        if not isinstance(metric, str) or metric not in self.monitor:
+            return error_response(
+                f"unknown metric {metric!r}; registered: {self.monitor.metrics()}"
+            )
+        drained = self._wait_drained(self.flush_timeout)
+        with self._monitor_lock:
+            results = [
+                {
+                    "index": result.index,
+                    "window_count": result.window_count,
+                    "end": result.end,
+                    "result": {
+                        repr(phi): value for phi, value in result.result.items()
+                    },
+                }
+                for result in self.monitor.results(metric)
+            ]
+        return ok_response(metric=metric, results=results, drained=drained)
+
+    def _op_stats(self) -> dict:
+        drained = self._wait_drained(self.flush_timeout)
+        with self._monitor_lock:
+            metrics = self.monitor.space_report()
+            seen = {
+                name: self.monitor._channels[name].seen
+                for name in self.monitor.metrics()
+            }
+            next_seqs = {
+                name: self._next_seq.get(name, 0)
+                for name in self.monitor.metrics()
+            }
+        for name, report in metrics.items():
+            report["seen"] = seen[name]
+            # Where this run's seq numbering stands: a sender joining a
+            # live server continues from here (LoadGenerator does).
+            report["next_seq"] = next_seqs[name]
+        checkpoint: Dict[str, object] = {"path": self.checkpoint_path}
+        if self.checkpoint_path is not None:
+            checkpoint["interval"] = self.checkpoint_interval
+            checkpoint["saves"] = self._checkpoint_saves
+            checkpoint["last_error"] = self._checkpoint_error
+        return ok_response(
+            drained=drained,
+            metrics=metrics,
+            ingest=self.ingest_queue.stats(),
+            pipeline=self._pipeline_stats(),
+            checkpoint=checkpoint,
+            uptime=(time.time() - self._started_at) if self._started_at else 0.0,
+        )
+
+    def _op_checkpoint(self) -> dict:
+        if self.checkpoint_path is None:
+            return error_response(
+                "server has no checkpoint path; start it with "
+                "checkpoint_path= (CLI: --checkpoint PATH)"
+            )
+        drained = self._wait_drained(self.flush_timeout)
+        if not self._save_checkpoint():
+            return error_response(
+                f"checkpoint save to {self.checkpoint_path!r} failed: "
+                f"{self._checkpoint_error}"
+            )
+        return ok_response(
+            path=self.checkpoint_path, drained=drained, saves=self._checkpoint_saves
+        )
+
+    # ------------------------------------------------------------------
+    # Consumer: queue → Monitor.observe_batch
+    # ------------------------------------------------------------------
+    def _consume_loop(self) -> None:
+        while True:
+            block = self.ingest_queue.get()
+            if block is None:
+                break
+            metric, seq, values, marker = block
+            with self._monitor_lock:
+                self._apply(metric, seq, values, marker)
+        # Shutdown: apply any parked out-of-order blocks rather than lose
+        # them (their sender died before filling the gap) — unless the
+        # shutdown is a crash simulation (stop(drain=False)).
+        with self._monitor_lock:
+            with self._pipeline:
+                orphaned = {
+                    metric: sorted(parked.items())
+                    for metric, parked in self._pending.items()
+                }
+                self._pending.clear()
+                self._pipeline.notify_all()
+            if self._abandon:
+                return
+            for metric in sorted(orphaned):
+                for seq, (values, marker) in orphaned[metric]:
+                    if marker:
+                        continue
+                    self.monitor.observe_batch(metric, values)
+                    with self._pipeline:
+                        self._applied_blocks += 1
+                        self._forced_blocks += 1
+                        self._applied_events += len(values)
+                        self._pipeline.notify_all()
+
+    def _apply(
+        self, metric: str, seq: Optional[int], values: np.ndarray, marker: bool
+    ) -> None:
+        """Apply one block, reordering on the per-metric sequence number."""
+        if seq is None:
+            self._apply_now(metric, values, marker)
+            return
+        next_seq = self._next_seq.setdefault(metric, 0)
+        if seq < next_seq:
+            # A replay of an already-applied block (e.g. a client retry);
+            # applying it twice would double-count, so drop and account.
+            with self._pipeline:
+                if not marker:
+                    self._applied_blocks += 1
+                    self._duplicate_blocks += 1
+                self._pipeline.notify_all()
+            return
+        if seq > next_seq:
+            with self._pipeline:
+                self._pending.setdefault(metric, {})[seq] = (values, marker)
+                self._pipeline.notify_all()
+            return
+        self._apply_now(metric, values, marker)
+        self._next_seq[metric] = next_seq + 1
+        while True:
+            with self._pipeline:
+                parked = self._pending.get(metric)
+                ready = parked.pop(self._next_seq[metric], None) if parked else None
+            if ready is None:
+                break
+            self._apply_now(metric, ready[0], ready[1])
+            self._next_seq[metric] += 1
+
+    def _apply_now(self, metric: str, values: np.ndarray, marker: bool) -> None:
+        if marker:
+            # A shed block's placeholder: advance the seq cursor only —
+            # the events were dropped at the queue boundary, by policy.
+            with self._pipeline:
+                self._pipeline.notify_all()
+            return
+        self.monitor.observe_batch(metric, values)
+        with self._pipeline:
+            self._applied_blocks += 1
+            self._applied_events += len(values)
+            self._pipeline.notify_all()
+
+    def _parked_blocks(self) -> int:
+        """Parked *data* blocks (markers excluded — they were never
+        'accepted', so counting them would skew every drain equation).
+        Callers hold ``self._pipeline``."""
+        return sum(
+            1
+            for parked in self._pending.values()
+            for _, marker in parked.values()
+            if not marker
+        )
+
+    def _pipeline_stats(self) -> Dict[str, int]:
+        with self._pipeline:
+            return {
+                "applied_blocks": self._applied_blocks,
+                "applied_events": self._applied_events,
+                "parked_blocks": self._parked_blocks(),
+                "forced_blocks": self._forced_blocks,
+                "duplicate_blocks": self._duplicate_blocks,
+            }
+
+    def _wait_drained(self, timeout: float, ignore_parked: bool = False) -> bool:
+        """Wait until every accepted block is applied (or parked-free).
+
+        Drained means: nothing in the queue, nothing mid-apply, and no
+        reorder gaps — the monitor reflects every acked event.  Under
+        sustained concurrent ingest this may time out; the caller then
+        answers with the state as of the deadline.  ``ignore_parked``
+        relaxes the gap condition (shutdown force-applies parked blocks
+        itself, so it only needs the queue quiescent).
+        """
+        deadline = time.monotonic() + timeout
+
+        def drained() -> bool:
+            # Every accepted block is either applied (counted, duplicates
+            # included), parked behind a reorder gap, or still queued.
+            stats = self.ingest_queue.stats()
+            parked = self._parked_blocks()
+            if ignore_parked:
+                return (
+                    stats["depth"] == 0
+                    and stats["accepted_blocks"] == self._applied_blocks + parked
+                )
+            return (
+                stats["depth"] == 0
+                and parked == 0
+                and stats["accepted_blocks"] == self._applied_blocks
+            )
+
+        with self._pipeline:
+            while not drained():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._pipeline.wait(timeout=min(remaining, 0.5))
+        return True
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _checkpoint_loop(self) -> None:
+        assert self.checkpoint_interval is not None
+        while not self._stopping.wait(timeout=self.checkpoint_interval):
+            self._save_checkpoint()
+
+    def _save_checkpoint(self) -> bool:
+        """Save the monitor; never raises (a transient disk error must
+        not kill the periodic thread or turn shutdown into a traceback —
+        it is recorded and surfaced via stats / the checkpoint op)."""
+        assert self.checkpoint_path is not None
+        try:
+            with self._monitor_lock:
+                self.monitor.save(self.checkpoint_path)
+        except Exception as exc:  # disk errors, serde failures — record all
+            self._checkpoint_error = str(exc)
+            return False
+        self._checkpoint_error = None
+        self._checkpoint_saves += 1
+        return True

@@ -1,0 +1,311 @@
+"""The serving CLI end to end: real processes, real sockets, real kills.
+
+Mirrors the CI serving smoke job: ``python -m repro serve`` in a child
+process, driven by ``python -m repro loadgen``, with the served final
+snapshot diffed against an offline ``python -m repro monitor`` run — and
+a SIGKILL mid-stream recovered through the checkpoint file.
+
+Also pins the actionable-error contract: a missing or malformed spec
+file makes ``monitor``/``serve`` exit with status 2 and a one-line
+``error:`` message, never a traceback.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+SPECS = {
+    "metrics": [
+        {
+            "name": "rtt",
+            "quantiles": [0.5, 0.99],
+            "window": {"size": 2000, "period": 500},
+            "policy": "qlove",
+            "policy_params": {"fewk": {"samplek_fraction": 0.01}},
+        },
+        {
+            "name": "rtt.exact",
+            "quantiles": [0.5, 0.9],
+            "window": {"size": 1500, "period": 500},
+            "policy": "exact",
+        },
+    ]
+}
+
+EVENTS = 8_000
+BLOCK = 700
+COMMON = ["--dataset", "netmon", "--seed", "0"]
+
+
+def cli_env():
+    env = dict(os.environ)
+    src = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_cli(subcommand, args, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", subcommand, *args],
+        capture_output=True,
+        text=True,
+        env=cli_env(),
+        check=False,
+        **kwargs,
+    )
+
+
+def spawn_server(args):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=cli_env(),
+    )
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def final_snapshot(stdout: str) -> list:
+    lines = stdout.splitlines()
+    start = lines.index("final snapshot:")
+    return lines[start : start + 1 + len(SPECS["metrics"]) * 2]
+
+
+@pytest.fixture()
+def specs_path(tmp_path):
+    path = tmp_path / "specs.json"
+    path.write_text(json.dumps(SPECS), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def offline_snapshot(specs_path):
+    offline = run_cli(
+        "monitor",
+        [specs_path, *COMMON, "--events", str(EVENTS), "--chunk-size", str(BLOCK)],
+    )
+    assert offline.returncode == 0, offline.stderr
+    return final_snapshot(offline.stdout)
+
+
+def wait_and_terminate(server, timeout=30):
+    try:
+        output, _ = server.communicate(timeout=timeout)
+        return output
+    except subprocess.TimeoutExpired:
+        server.kill()
+        output, _ = server.communicate()
+        raise AssertionError(f"server did not exit cleanly; output:\n{output}")
+
+
+class TestServeLoadgenRoundTrip:
+    def test_served_snapshot_matches_offline_monitor(
+        self, specs_path, offline_snapshot
+    ):
+        port = free_port()
+        server = spawn_server([specs_path, "--port", str(port)])
+        try:
+            driven = run_cli(
+                "loadgen",
+                [
+                    "--port", str(port), *COMMON,
+                    "--events", str(EVENTS), "--block-size", str(BLOCK),
+                    "--connections", "3", "--wait-server", "30",
+                    "--snapshot", "--shutdown",
+                ],
+                timeout=120,
+            )
+            assert driven.returncode == 0, driven.stderr
+            assert final_snapshot(driven.stdout) == offline_snapshot
+        finally:
+            output = wait_and_terminate(server)
+        assert server.returncode == 0, output
+        assert f"served {EVENTS * 2:,} events" in output
+
+    def test_sigkill_then_resume_matches_offline_monitor(
+        self, specs_path, offline_snapshot, tmp_path
+    ):
+        checkpoint = str(tmp_path / "serve-ckpt.json")
+        port = free_port()
+        server = spawn_server(
+            [specs_path, "--port", str(port), "--checkpoint", checkpoint]
+        )
+        try:
+            # Stream the head, force a checkpoint, then SIGKILL the server.
+            head = run_cli(
+                "loadgen",
+                [
+                    "--port", str(port), *COMMON,
+                    "--events", str(EVENTS), "--block-size", str(BLOCK),
+                    "--connections", "3", "--wait-server", "30",
+                    "--stop-after", "4900", "--checkpoint-request",
+                ],
+                timeout=120,
+            )
+            assert head.returncode == 0, head.stderr
+            assert f"checkpoint saved to {checkpoint!r}" in head.stdout
+        finally:
+            server.send_signal(signal.SIGKILL)
+            server.communicate()
+        assert os.path.exists(checkpoint)
+
+        # A brand-new process resumes from the file and finishes the stream.
+        port = free_port()
+        server = spawn_server(
+            [
+                specs_path, "--port", str(port),
+                "--checkpoint", checkpoint, "--resume", checkpoint,
+            ]
+        )
+        try:
+            resumed = run_cli(
+                "loadgen",
+                [
+                    "--port", str(port), *COMMON,
+                    "--events", str(EVENTS), "--block-size", str(BLOCK),
+                    "--connections", "3", "--wait-server", "30",
+                    "--resume", "--snapshot", "--shutdown",
+                ],
+                timeout=120,
+            )
+            assert resumed.returncode == 0, resumed.stderr
+            assert "resuming from element 4,900" in resumed.stdout
+            assert final_snapshot(resumed.stdout) == offline_snapshot
+        finally:
+            output = wait_and_terminate(server)
+        assert server.returncode == 0, output
+        assert "resumed 2 metric(s)" in output
+
+    def test_loadgen_checkpoint_request_without_server_checkpoint(
+        self, specs_path
+    ):
+        """A server-side op error reaches the user as a one-line error:,
+        not a traceback."""
+        port = free_port()
+        server = spawn_server([specs_path, "--port", str(port)])
+        try:
+            result = run_cli(
+                "loadgen",
+                ["--port", str(port), "--events", "1000", "--block-size", "500",
+                 "--wait-server", "30", "--checkpoint-request"],
+                timeout=60,
+            )
+            assert result.returncode == 2
+            assert "Traceback" not in result.stderr
+            assert result.stderr.startswith("error: ")
+            assert "no checkpoint path" in result.stderr
+        finally:
+            server.kill()
+            server.communicate()
+
+    def test_serve_rejects_invalid_queue_configuration(self, specs_path):
+        result = run_cli("serve", [specs_path, "--queue-blocks", "0"], timeout=60)
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+        assert "queue capacity" in result.stderr
+
+    def test_serve_rejects_interval_without_checkpoint(self, specs_path):
+        result = run_cli(
+            "serve", [specs_path, "--checkpoint-interval", "5"], timeout=60
+        )
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+        assert "requires --checkpoint" in result.stderr
+
+    def test_loadgen_fails_fast_when_no_server(self):
+        result = run_cli(
+            "loadgen",
+            ["--port", str(free_port()), "--wait-server", "0.5",
+             "--events", "100"],
+            timeout=60,
+        )
+        assert result.returncode == 2
+        assert result.stderr.startswith("error: ")
+        assert "Traceback" not in result.stderr
+
+
+class TestSpecFileErrors:
+    """Missing/malformed spec files: exit 2, one actionable line, no
+    traceback — for both the offline and the serving front door."""
+
+    @pytest.mark.parametrize("subcommand", ["monitor", "serve"])
+    def test_missing_spec_file(self, subcommand, tmp_path):
+        missing = str(tmp_path / "nope.json")
+        result = run_cli(subcommand, [missing], timeout=60)
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+        lines = [line for line in result.stderr.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("error: ")
+        assert "does not exist" in lines[0]
+
+    @pytest.mark.parametrize("subcommand", ["monitor", "serve"])
+    def test_malformed_spec_file(self, subcommand, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        result = run_cli(subcommand, [str(path)], timeout=60)
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+        lines = [line for line in result.stderr.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("error: ")
+        assert "not valid JSON" in lines[0]
+
+    @pytest.mark.parametrize("subcommand", ["monitor", "serve"])
+    def test_invalid_spec_contents(self, subcommand, tmp_path):
+        path = tmp_path / "badspec.json"
+        path.write_text(
+            json.dumps({"metrics": [{"name": "x", "quantiles": [2.0],
+                                     "window": {"size": 10, "period": 5}}]}),
+            encoding="utf-8",
+        )
+        result = run_cli(subcommand, [str(path)], timeout=60)
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+        assert "outside (0, 1)" in result.stderr
+
+    def test_serve_missing_resume_checkpoint(self, specs_path, tmp_path):
+        result = run_cli(
+            "serve",
+            [specs_path, "--resume", str(tmp_path / "nope-ckpt.json")],
+            timeout=60,
+        )
+        assert result.returncode == 2
+        assert "Traceback" not in result.stderr
+        assert result.stderr.startswith("error: ")
+
+    def test_serve_mismatched_resume_checkpoint(self, specs_path, tmp_path):
+        # Checkpoint written under a different metric roster.
+        import sys as _sys
+
+        _sys.path.insert(
+            0,
+            os.path.abspath(
+                os.path.join(os.path.dirname(__file__), "..", "..", "src")
+            ),
+        )
+        from repro.service import Monitor
+
+        other = Monitor()
+        other.register(
+            {"name": "other", "quantiles": [0.5],
+             "window": {"size": 100, "period": 50}, "policy": "exact"}
+        )
+        checkpoint = str(tmp_path / "other-ckpt.json")
+        other.save(checkpoint)
+        result = run_cli("serve", [specs_path, "--resume", checkpoint], timeout=60)
+        assert result.returncode == 2
+        assert "spec/state mismatch" in result.stderr
+        assert "Traceback" not in result.stderr

@@ -1,0 +1,102 @@
+"""LoadGenerator determinism: reproducible events and partitioning.
+
+The pinned contract: the event sequence and the block plan (boundaries
+and sequence numbers) are pure functions of ``(dataset, events, seed,
+block_size)`` — the connection count only re-routes blocks.  Same seed →
+byte-identical event sequence across any connection count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.service import LoadGenerator
+from repro.workloads.registry import get_dataset
+
+
+def generator(**overrides) -> LoadGenerator:
+    params = dict(
+        dataset="netmon",
+        events=10_000,
+        seed=42,
+        connections=1,
+        block_size=700,
+    )
+    params.update(overrides)
+    # host/port are never dialled by plan()/event_sequence().
+    return LoadGenerator("127.0.0.1", 1, **params)
+
+
+class TestEventSequenceDeterminism:
+    def test_same_seed_byte_identical_across_connection_counts(self):
+        sequences = [
+            generator(connections=n).event_sequence().tobytes()
+            for n in (1, 2, 4, 7)
+        ]
+        assert len(set(sequences)) == 1
+
+    def test_same_seed_byte_identical_across_runs(self):
+        assert (
+            generator().event_sequence().tobytes()
+            == generator().event_sequence().tobytes()
+        )
+
+    def test_matches_the_offline_dataset_exactly(self):
+        # The offline 'monitor' CLI streams get_dataset(...); the load
+        # generator must feed the very same array.
+        offline = get_dataset("netmon", 10_000, seed=42)
+        assert np.array_equal(generator().event_sequence(), offline)
+
+    def test_different_seeds_differ(self):
+        assert (
+            generator(seed=1).event_sequence().tobytes()
+            != generator(seed=2).event_sequence().tobytes()
+        )
+
+
+class TestPlanDeterminism:
+    def test_block_boundaries_and_seqs_independent_of_connections(self):
+        plans = [generator(connections=n).plan() for n in (1, 3, 5)]
+        for plan in plans:
+            assert [(a.seq, a.start, a.stop) for a in plan] == [
+                (a.seq, a.start, a.stop) for a in plans[0]
+            ]
+
+    def test_round_robin_routing(self):
+        plan = generator(connections=3).plan()
+        for assignment in plan:
+            assert assignment.connection == assignment.seq % 3
+
+    def test_plan_covers_the_stream_exactly_once(self):
+        plan = generator().plan()
+        assert plan[0].start == 0
+        assert plan[-1].stop == 10_000
+        for previous, current in zip(plan, plan[1:]):
+            assert current.start == previous.stop
+            assert current.seq == previous.seq + 1
+
+    def test_offset_plan_renumbers_from_zero(self):
+        plan = generator().plan(start_offset=2100)
+        assert plan[0].seq == 0
+        assert plan[0].start == 2100
+        assert plan[-1].stop == 10_000
+
+    def test_stop_after_truncates(self):
+        plan = generator().plan(stop_after=1500)
+        assert plan[-1].stop == 1500
+        assert sum(a.stop - a.start for a in plan) == 1500
+
+    def test_out_of_range_offset_rejected(self):
+        with pytest.raises(ValueError, match="start_offset"):
+            generator().plan(start_offset=20_000)
+        with pytest.raises(ValueError, match="start_offset"):
+            generator().plan(start_offset=-1)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="connections"):
+            generator(connections=0)
+        with pytest.raises(ValueError, match="block_size"):
+            generator(block_size=0)
+        with pytest.raises(ValueError, match="events"):
+            generator(events=-1)

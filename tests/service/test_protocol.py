@@ -1,0 +1,75 @@
+"""Wire-protocol framing: newline-delimited JSON, errors, limits."""
+
+import io
+import json
+
+import pytest
+
+from repro.service import protocol
+
+
+class TestEncode:
+    def test_one_compact_json_line(self):
+        frame = protocol.encode_message({"op": "ping", "n": 1})
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1
+        assert json.loads(frame) == {"op": "ping", "n": 1}
+
+    def test_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError, match="JSON objects"):
+            protocol.encode_message(["not", "an", "object"])
+
+    def test_round_trips_through_recv(self):
+        message = {"op": "observe", "metric": "rtt", "values": [1.5, 2.25], "seq": 3}
+        stream = io.BytesIO(protocol.encode_message(message))
+        assert protocol.recv_message(stream) == message
+
+    def test_float_values_round_trip_exactly(self):
+        values = [0.1, 1e-300, 12345.6789, 2.0**53 - 1]
+        stream = io.BytesIO(
+            protocol.encode_message({"op": "observe", "values": values})
+        )
+        assert protocol.recv_message(stream)["values"] == values
+
+
+class TestRecv:
+    def test_clean_eof_returns_none(self):
+        assert protocol.recv_message(io.BytesIO(b"")) is None
+
+    def test_eof_mid_line_raises_connection_closed(self):
+        stream = io.BytesIO(b'{"op": "ping"')  # no trailing newline
+        with pytest.raises(protocol.ConnectionClosed, match="mid-message"):
+            protocol.recv_message(stream)
+
+    def test_invalid_json_raises_protocol_error(self):
+        stream = io.BytesIO(b"{nope}\n")
+        with pytest.raises(protocol.ProtocolError, match="not valid JSON"):
+            protocol.recv_message(stream)
+
+    def test_non_object_frame_raises_protocol_error(self):
+        stream = io.BytesIO(b"[1, 2]\n")
+        with pytest.raises(protocol.ProtocolError, match="JSON object"):
+            protocol.recv_message(stream)
+
+    def test_oversized_frame_raises_protocol_error(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_MESSAGE_BYTES", 64)
+        stream = io.BytesIO(b"x" * 200 + b"\n")
+        with pytest.raises(protocol.ProtocolError, match="exceeds 64 bytes"):
+            protocol.recv_message(stream)
+
+    def test_multiple_messages_read_in_order(self):
+        stream = io.BytesIO(
+            protocol.encode_message({"op": "ping"})
+            + protocol.encode_message({"op": "stats"})
+        )
+        assert protocol.recv_message(stream) == {"op": "ping"}
+        assert protocol.recv_message(stream) == {"op": "stats"}
+        assert protocol.recv_message(stream) is None
+
+
+class TestResponses:
+    def test_ok_response_merges_payload(self):
+        assert protocol.ok_response(pong=True) == {"ok": True, "pong": True}
+
+    def test_error_response_shape(self):
+        assert protocol.error_response("nope") == {"ok": False, "error": "nope"}

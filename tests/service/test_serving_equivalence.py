@@ -1,0 +1,192 @@
+"""Served-vs-offline equivalence: the acceptance battery for serving.
+
+For **every registered policy**, the snapshot and per-period results a
+:class:`TelemetryServer` answers over the wire — fed by a
+multi-connection :class:`LoadGenerator` — must be **bit-identical** to
+an offline :class:`Monitor` ingesting the same stream.  And a server
+killed mid-stream must resume from its checkpoint to the identical
+final report.
+
+Two mechanisms carry the guarantee end to end:
+
+- floats survive the JSON wire exactly (``repr`` round-trip);
+- the load generator's global per-metric sequence numbers let the
+  server's consumer reorder concurrent connections back into the exact
+  offline stream order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.service import LoadGenerator, Monitor, TelemetryClient, TelemetryServer
+from repro.sketches.registry import available_policies
+
+EVENTS = 12_000
+BLOCK_SIZE = 800
+WINDOW = {"size": 4000, "period": 1000}
+SEED = 7
+
+#: One metric per registered policy, all served by a single monitor.
+POLICY_SPECS = [
+    {
+        "name": f"rtt.{policy}",
+        "quantiles": [0.5, 0.9, 0.99],
+        "window": WINDOW,
+        "policy": policy,
+    }
+    for policy in available_policies()
+]
+
+
+def build_monitor() -> Monitor:
+    monitor = Monitor()
+    for spec in POLICY_SPECS:
+        monitor.register(spec)
+    return monitor
+
+
+def offline_reference(values: np.ndarray, block_size: int = BLOCK_SIZE) -> Monitor:
+    """The stream fed offline with the load generator's exact blocks."""
+    monitor = build_monitor()
+    for start in range(0, len(values), block_size):
+        block = values[start : start + block_size]
+        for name in monitor.metrics():
+            monitor.observe_batch(name, block)
+    return monitor
+
+
+def test_all_six_policies_are_registered():
+    """The battery really covers the paper's full policy roster."""
+    assert available_policies() == ["am", "cmqs", "exact", "moment", "qlove", "random"]
+
+
+@pytest.mark.parametrize("connections", [1, 3])
+def test_served_snapshot_and_results_bit_identical(connections):
+    with TelemetryServer(build_monitor()) as server:
+        host, port = server.address
+        generator = LoadGenerator(
+            host,
+            port,
+            dataset="netmon",
+            events=EVENTS,
+            seed=SEED,
+            connections=connections,
+            block_size=BLOCK_SIZE,
+        )
+        summary = generator.run()
+        assert summary["drained"] is True
+        assert summary["events"] == EVENTS
+        with TelemetryClient(host, port) as client:
+            served_snapshot = client.snapshot()
+            served_results = {
+                spec["name"]: client.results(spec["name"]) for spec in POLICY_SPECS
+            }
+
+    offline = offline_reference(generator.event_sequence())
+    assert served_snapshot == offline.snapshot()
+    for spec in POLICY_SPECS:
+        name = spec["name"]
+        assert served_results[name] == offline.results(name), (
+            f"served results diverge from offline for policy "
+            f"{spec['policy']!r} ({name})"
+        )
+
+
+def test_kill_and_resume_reaches_identical_final_report(tmp_path):
+    """Server killed mid-stream → restart from checkpoint → resume the
+    stream → final snapshot and results equal the uninterrupted run,
+    for every policy at once."""
+    checkpoint = str(tmp_path / "server-ckpt.json")
+    crash_at = 6_400  # a block boundary: 8 whole blocks of 800
+
+    # First server: ingest the stream head, checkpoint, then "crash"
+    # (abandoned without a final save or drain).
+    first = TelemetryServer(build_monitor(), checkpoint_path=checkpoint)
+    first.start()
+    host, port = first.address
+    generator = LoadGenerator(
+        host,
+        port,
+        dataset="netmon",
+        events=EVENTS,
+        seed=SEED,
+        connections=3,
+        block_size=BLOCK_SIZE,
+    )
+    generator.run(stop_after=crash_at)
+    with TelemetryClient(host, port) as client:
+        client.checkpoint()
+    first.stop(drain=False)  # crash: no final checkpoint, no clean drain
+
+    # Second server: restore from the checkpoint file, resume the stream
+    # from the server's own recorded position.
+    restored = Monitor.load(checkpoint)
+    with TelemetryServer(restored, checkpoint_path=checkpoint) as second:
+        host, port = second.address
+        resume_generator = LoadGenerator(
+            host,
+            port,
+            dataset="netmon",
+            events=EVENTS,
+            seed=SEED,
+            connections=3,
+            block_size=BLOCK_SIZE,
+        )
+        offset = resume_generator.resume_offset()
+        assert offset == crash_at
+        resume_generator.run(start_offset=offset)
+        with TelemetryClient(host, port) as client:
+            resumed_snapshot = client.snapshot()
+            resumed_results = {
+                spec["name"]: client.results(spec["name"]) for spec in POLICY_SPECS
+            }
+
+    offline = offline_reference(generator.event_sequence())
+    assert resumed_snapshot == offline.snapshot()
+    for spec in POLICY_SPECS:
+        name = spec["name"]
+        assert resumed_results[name] == offline.results(name), (
+            f"resumed stream diverges from the uninterrupted run for "
+            f"policy {spec['policy']!r} ({name})"
+        )
+
+
+def test_reconnecting_sender_against_live_server_stays_bit_identical():
+    """A sender that stops and a *new* generator that continues against
+    the same live server: the new run picks up the server's seq
+    position (instead of restarting at 0 and being replay-dropped), so
+    the final answers still equal the offline run."""
+    half = (EVENTS // 2 // BLOCK_SIZE) * BLOCK_SIZE
+    with TelemetryServer(build_monitor()) as server:
+        host, port = server.address
+        first = LoadGenerator(
+            host, port, dataset="netmon", events=EVENTS, seed=SEED,
+            connections=2, block_size=BLOCK_SIZE,
+        )
+        first.run(stop_after=half)
+        second = LoadGenerator(
+            host, port, dataset="netmon", events=EVENTS, seed=SEED,
+            connections=3, block_size=BLOCK_SIZE,
+        )
+        assert second.resume_offset() == half
+        second.run(start_offset=half)
+        with TelemetryClient(host, port) as client:
+            served_snapshot = client.snapshot()
+            served_results = {
+                spec["name"]: client.results(spec["name"]) for spec in POLICY_SPECS
+            }
+
+    offline = offline_reference(first.event_sequence())
+    assert served_snapshot == offline.snapshot()
+    for spec in POLICY_SPECS:
+        assert served_results[spec["name"]] == offline.results(spec["name"])
+
+
+def test_resume_offset_rejects_non_uniform_server_state():
+    monitor = build_monitor()
+    monitor.observe_batch("rtt.exact", np.ones(500))  # others stay at 0
+    with TelemetryServer(monitor) as server:
+        host, port = server.address
+        generator = LoadGenerator(host, port, events=EVENTS, seed=SEED)
+        with pytest.raises(ValueError, match="different element counts"):
+            generator.resume_offset()
