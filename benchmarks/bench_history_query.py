@@ -1,0 +1,187 @@
+"""Historical range-query performance over the segment store (PR 7).
+
+Measures the two costs a dashboard pays when it asks the store instead of
+the live monitor: segment *merge throughput* (how many per-period sketch
+deltas fold per second) and end-to-end *range-query latency* as the
+queried range widens.  Also quantifies what compaction buys: the same
+wide range answered from 8-period rollups instead of fine segments.
+
+Emits a ``history_query`` section into the shared ``--bench-json``
+artifact (events/s-style schema 1), which CI uploads and
+``BENCH_trajectory.json`` pins a sample of.
+"""
+
+import time
+
+import pytest
+
+from repro.service.monitor import Monitor
+from repro.service.spec import MetricSpec
+from repro.store import HistoryWriter, SegmentStore, query_range
+from repro.workloads import generate_netmon
+
+PERIOD = 1_000
+PERIODS = 64
+PHIS = [0.5, 0.9, 0.99]
+
+#: Range widths (in periods) the latency sweep queries.
+WIDTHS = [1, 4, 16, 64]
+
+#: Policies to time: the paper's sketch and the dense baseline.
+POLICIES = ["qlove", "exact"]
+
+
+@pytest.fixture(scope="module")
+def history(tmp_path_factory):
+    """A 64-period store per policy, written once for the whole module."""
+    values = generate_netmon(PERIODS * PERIOD, seed=0)
+    directory = str(tmp_path_factory.mktemp("bench") / "hist")
+    monitor = Monitor()
+    for policy in POLICIES:
+        monitor.register(
+            MetricSpec(
+                name=policy,
+                quantiles=PHIS,
+                window={"size": 4 * PERIOD, "period": PERIOD},
+                policy=policy,
+            )
+        )
+    writer = HistoryWriter(directory)
+    writer.attach(monitor)
+    for policy in POLICIES:
+        monitor.observe_batch(policy, values)
+    writer.close()
+    return directory
+
+
+def _time_queries(store, metric, width, *, repeat=5):
+    """Best-of-``repeat`` latency for a width-period range query."""
+    best = float("inf")
+    for index in range(repeat):
+        start = (index * 3) % (PERIODS - width + 1)
+        t0 = time.perf_counter()
+        query_range(store, metric, start, start + width)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_history_range_query_latency(benchmark, history, bench_json_sink):
+    """Table: latency vs range width, merge rate, and the rollup win."""
+
+    def run():
+        results = {}
+        store = SegmentStore(history)
+        for policy in POLICIES:
+            widths = {w: _time_queries(store, policy, w) for w in WIDTHS}
+            full = widths[PERIODS]
+            results[policy] = {
+                "latency_s_by_width": widths,
+                "segments_merged_per_s": PERIODS / full,
+            }
+        store.close()
+
+        # What compaction buys: the same full-range query over rollups.
+        store = SegmentStore(history)
+        store.compact(rollup_periods=8, min_age=0)
+        for policy in POLICIES:
+            compacted = _time_queries(store, policy, PERIODS)
+            results[policy]["latency_s_full_range_compacted"] = compacted
+            results[policy]["compaction_speedup"] = (
+                results[policy]["latency_s_by_width"][PERIODS] / compacted
+            )
+        store.close()
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    bench_json_sink(
+        "history_query",
+        {
+            "workload": "netmon",
+            "periods": PERIODS,
+            "period_events": PERIOD,
+            "widths": WIDTHS,
+            "policies": {
+                policy: {
+                    "segments_merged_per_s": stats["segments_merged_per_s"],
+                    "latency_ms_by_width": {
+                        str(width): latency * 1e3
+                        for width, latency in stats["latency_s_by_width"].items()
+                    },
+                    "full_range_compacted_ms": stats[
+                        "latency_s_full_range_compacted"
+                    ]
+                    * 1e3,
+                    "compaction_speedup": stats["compaction_speedup"],
+                }
+                for policy, stats in results.items()
+            },
+        },
+    )
+
+    print()
+    print(f"history range-query latency, {PERIODS} periods x {PERIOD:,} events")
+    for policy, stats in results.items():
+        row = "  ".join(
+            f"w={width}: {stats['latency_s_by_width'][width] * 1e3:.2f}ms"
+            for width in WIDTHS
+        )
+        print(
+            f"  {policy:<6} {row}  "
+            f"merge={stats['segments_merged_per_s']:,.0f} seg/s  "
+            f"rollup-x{stats['compaction_speedup']:.1f}"
+        )
+
+    for policy, stats in results.items():
+        # Latency must grow with range width (more segments to merge)...
+        assert (
+            stats["latency_s_by_width"][64] > stats["latency_s_by_width"][1]
+        ), policy
+        # ...and rollups must not make the full-range query slower.
+        assert stats["compaction_speedup"] > 0.8, policy
+        # The store must fold at least hundreds of segments per second.
+        assert stats["segments_merged_per_s"] > 100, policy
+
+
+def test_history_write_throughput(benchmark, history, bench_json_sink):
+    """Recorder overhead: periods/s the writer sustains at ingest time."""
+    values = generate_netmon(PERIODS * PERIOD, seed=1)
+
+    def run(tmp=[0]):
+        tmp[0] += 1
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as scratch:
+            monitor = Monitor()
+            monitor.register(
+                MetricSpec(
+                    name="rtt",
+                    quantiles=PHIS,
+                    window={"size": 4 * PERIOD, "period": PERIOD},
+                    policy="qlove",
+                )
+            )
+            writer = HistoryWriter(scratch + "/hist")
+            writer.attach(monitor)
+            t0 = time.perf_counter()
+            monitor.observe_batch("rtt", values)
+            elapsed = time.perf_counter() - t0
+            assert writer.segments_written == PERIODS
+            writer.close()
+        return elapsed
+
+    elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    events_per_s = (PERIODS * PERIOD) / elapsed
+
+    bench_json_sink(
+        "history_write",
+        {
+            "workload": "netmon",
+            "periods": PERIODS,
+            "period_events": PERIOD,
+            "events_per_s": events_per_s,
+            "periods_per_s": PERIODS / elapsed,
+        },
+    )
+    print(f"\nhistory write path: {events_per_s:,.0f} ev/s with recording on")
+    assert events_per_s > 10_000

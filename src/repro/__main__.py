@@ -6,7 +6,9 @@
 ``python -m repro serve specs.json`` exposes a monitor over TCP
 (newline-delimited JSON, bounded-queue backpressure, periodic
 checkpoints); ``python -m repro loadgen`` drives such a server with a
-deterministic seeded workload.  See ``<subcommand> --help``.
+deterministic seeded workload; ``python -m repro query`` answers
+historical quantile questions from a ``--history`` segment store or a
+live server's ``history`` op.  See ``<subcommand> --help``.
 """
 
 import sys

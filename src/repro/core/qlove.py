@@ -107,6 +107,22 @@ class QLOVEPolicy(QuantilePolicy):
             merger.merge_from(other._mergers[phi])
         self._builder.merge_from(other._builder)
 
+    def composable_over_time(self) -> bool:
+        """Composable unless a stateful burst detector is active.
+
+        The default configuration (no few-k merging) composes bit-exactly:
+        merging per-period deltas re-accumulates each summary into Level 2
+        in time order — the same floating-point addition order a
+        sequential run performs.  With few-k sample-k *and* burst
+        detection enabled, each delta runs a fresh
+        :class:`~repro.core.burst.BurstDetector` whose EWMA baseline never
+        saw earlier periods, so burst flags (and hence tail estimates) can
+        diverge from a sequential detector's.
+        """
+        return not any(
+            merger._detector is not None for merger in self._mergers.values()
+        )
+
     def reset(self) -> None:
         self._builder.reset()
         self._level2 = Level2Aggregator(self.phis)

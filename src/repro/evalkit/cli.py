@@ -8,6 +8,7 @@ Usage::
     python -m repro monitor specs.json --dataset netmon --events 200000
     python -m repro serve specs.json --port 7733 --checkpoint ckpt.json
     python -m repro loadgen --port 7733 --events 200000 --connections 4
+    python -m repro query history/ --metric rtt --range 40:80
     qlove-bench table4            # console-script alias ('repro' also works)
 
 ``--scale`` multiplies the paper's window/period sizes (1.0 = paper
@@ -25,6 +26,13 @@ seeded, multi-connection workload and can print the served final
 snapshot in exactly the ``monitor`` subcommand's format, so the two are
 directly diffable.
 
+``monitor`` and ``serve`` both take ``--history DIR`` to persist every
+period's per-metric sketch state into a durable segment store
+(``docs/history.md``); ``query`` answers point-in-time, range and
+group-over-time quantile questions against such a store — or against a
+live server's ``history`` op via ``--server HOST:PORT``, with
+byte-identical output.
+
 A missing or malformed spec/checkpoint file exits with status 2 and a
 one-line actionable ``error:`` message — never a traceback.
 """
@@ -32,6 +40,7 @@ one-line actionable ``error:`` message — never a traceback.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -54,6 +63,43 @@ def _load_specs_or_fail(path: str):
         return load_specs(path)
     except (FileNotFoundError, ValueError) as exc:
         raise _fail(exc) from None
+
+
+def _prepare_write_path(path: str, flag: str) -> None:
+    """Make a write path usable: create missing parent directories.
+
+    A ``--checkpoint runs/today/ckpt.json`` whose ``runs/today`` does not
+    exist yet used to surface only at save time as a raw
+    ``FileNotFoundError``; create the parents up front and turn any
+    filesystem refusal (parent is a file, permissions) into the standard
+    exit-2 actionable error.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        os.makedirs(parent, exist_ok=True)
+    except (NotADirectoryError, FileExistsError):
+        raise _fail(
+            f"{flag} {path!r}: parent {parent!r} exists but is not a "
+            "directory; pass a path whose directory components are "
+            "directories"
+        ) from None
+    except OSError as exc:
+        raise _fail(
+            f"{flag} {path!r}: cannot create parent directory {parent!r} "
+            f"({exc}); pass a writable location"
+        ) from None
+
+
+def _open_history_or_fail(directory: str, monitor) -> "object":
+    """Open a segment store at ``directory`` and attach it to ``monitor``."""
+    from repro.store import HistoryWriter, StoreError
+
+    try:
+        writer = HistoryWriter(directory)
+        writer.attach(monitor)
+    except (StoreError, ValueError, OSError) as exc:
+        raise _fail(f"--history {directory!r}: {exc}") from None
+    return writer
 
 
 def _load_monitor_or_fail(path: str, specs):
@@ -200,6 +246,16 @@ def build_monitor_parser() -> argparse.ArgumentParser:
             "--resume with the same --events to finish the identical stream"
         ),
     )
+    parser.add_argument(
+        "--history",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist every period's per-metric sketch state into a segment "
+            "store at DIR (created when missing); query it later with "
+            "'python -m repro query DIR ...'"
+        ),
+    )
     return parser
 
 
@@ -210,6 +266,8 @@ def run_monitor(argv: List[str]) -> int:
 
     args = build_monitor_parser().parse_args(argv)
     specs = _load_specs_or_fail(args.specs)
+    if args.checkpoint is not None:
+        _prepare_write_path(args.checkpoint, "--checkpoint")
 
     def report(name: str, result) -> None:
         quantiles = "  ".join(
@@ -247,6 +305,11 @@ def run_monitor(argv: List[str]) -> int:
                 f"quantiles={list(spec.quantiles)}"
             )
 
+    writer = None
+    if args.history is not None:
+        writer = _open_history_or_fail(args.history, monitor)
+        print(f"recording period history to {args.history!r}")
+
     values = get_dataset(args.dataset, args.events, seed=args.seed)
     if args.stop_after is not None:
         if args.stop_after < skip:
@@ -266,8 +329,14 @@ def run_monitor(argv: List[str]) -> int:
         for name in monitor.metrics():
             monitor.observe_batch(name, block)
     elapsed = time.perf_counter() - started
+    if writer is not None:
+        writer.close()
+        print(f"history: {writer.segments_written:,} segment(s) written")
     if args.checkpoint is not None:
-        monitor.save(args.checkpoint)
+        try:
+            monitor.save(args.checkpoint)
+        except OSError as exc:
+            raise _fail(f"--checkpoint {args.checkpoint!r}: {exc}") from None
         print(f"checkpoint saved to {args.checkpoint!r}")
 
     _print_final_snapshot(monitor.snapshot(), monitor.space_report())
@@ -342,6 +411,17 @@ def build_serve_parser() -> argparse.ArgumentParser:
             "spec file must match the checkpointed metrics"
         ),
     )
+    parser.add_argument(
+        "--history",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persist every period's per-metric sketch state into a segment "
+            "store at DIR and answer 'history' ops from it (query with "
+            "'python -m repro query --server HOST:PORT ...' or against DIR "
+            "directly)"
+        ),
+    )
     return parser
 
 
@@ -359,6 +439,8 @@ def run_serve(argv: List[str]) -> int:
         )
     if args.checkpoint is not None and args.checkpoint_interval is None:
         args.checkpoint_interval = 30.0
+    if args.checkpoint is not None:
+        _prepare_write_path(args.checkpoint, "--checkpoint")
     specs = _load_specs_or_fail(args.specs)
     if args.resume is not None:
         monitor = _load_monitor_or_fail(args.resume, specs)
@@ -378,6 +460,10 @@ def run_serve(argv: List[str]) -> int:
                 f"window={spec.window.size:,}/{spec.window.period:,} "
                 f"quantiles={list(spec.quantiles)}"
             )
+    writer = None
+    if args.history is not None:
+        writer = _open_history_or_fail(args.history, monitor)
+        print(f"recording period history to {args.history!r}")
     try:
         server = TelemetryServer(
             monitor,
@@ -389,6 +475,7 @@ def run_serve(argv: List[str]) -> int:
             checkpoint_interval=(
                 args.checkpoint_interval if args.checkpoint is not None else None
             ),
+            history_writer=writer,
         )
     except ValueError as exc:
         raise _fail(exc) from None
@@ -422,6 +509,8 @@ def run_serve(argv: List[str]) -> int:
         f"{stats['accepted_blocks']:,} blocks "
         f"({stats['shed_blocks']:,} blocks shed)"
     )
+    if writer is not None:
+        print(f"history: {writer.segments_written:,} segment(s) written")
     return 0
 
 
@@ -585,6 +674,163 @@ def run_loadgen(argv: List[str]) -> int:
     return 0
 
 
+def build_query_parser() -> argparse.ArgumentParser:
+    """The ``query`` subcommand's argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="qlove-bench query",
+        description=(
+            "Answer historical quantile questions from a segment store "
+            "written by 'monitor --history' / 'serve --history': one period "
+            "(--at), an arbitrary period range (--range T0:T1), or a "
+            "group-over-time series (--range with --step).  With --server "
+            "the same question goes to a live server's 'history' op and "
+            "prints byte-identical output."
+        ),
+    )
+    parser.add_argument(
+        "store",
+        nargs="?",
+        default=None,
+        help=(
+            "history store directory (the --history DIR of a monitor/serve "
+            "run); omit when querying a live server via --server"
+        ),
+    )
+    parser.add_argument(
+        "--server",
+        metavar="HOST:PORT",
+        default=None,
+        help="query a live server's history op instead of a local store",
+    )
+    parser.add_argument(
+        "--metric", required=True, help="metric name to query"
+    )
+    parser.add_argument(
+        "--at",
+        type=int,
+        metavar="P",
+        default=None,
+        help="point-in-time: quantiles of period P's events alone",
+    )
+    parser.add_argument(
+        "--range",
+        dest="range_",
+        metavar="T0:T1",
+        default=None,
+        help="quantiles over periods [T0, T1) (end-exclusive)",
+    )
+    parser.add_argument(
+        "--step",
+        type=int,
+        metavar="K",
+        default=None,
+        help="with --range: one answer per K-period bucket (group-over-time)",
+    )
+    parser.add_argument(
+        "--quantiles",
+        metavar="PHI[,PHI...]",
+        default=None,
+        help=(
+            "comma-separated subset of the metric's tracked quantiles "
+            "(default: all of them)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw result as JSON instead of the text rendering",
+    )
+    return parser
+
+
+def run_query(argv: List[str]) -> int:
+    """Execute the ``query`` subcommand."""
+    import json
+
+    args = build_query_parser().parse_args(argv)
+    if (args.store is None) == (args.server is None):
+        raise _fail(
+            "pass either a store directory or --server HOST:PORT, not "
+            "both / neither"
+        )
+    if (args.at is None) == (args.range_ is None):
+        raise _fail("pass either --at P or --range T0:T1, not both / neither")
+    if args.step is not None and args.range_ is None:
+        raise _fail("--step needs --range T0:T1")
+    start = end = None
+    if args.range_ is not None:
+        try:
+            start_text, end_text = args.range_.split(":", 1)
+            start, end = int(start_text), int(end_text)
+        except ValueError:
+            raise _fail(
+                f"--range {args.range_!r} is not T0:T1 (two integer period "
+                "indices, end-exclusive, e.g. --range 40:80)"
+            ) from None
+    quantiles = None
+    if args.quantiles is not None:
+        try:
+            quantiles = [float(part) for part in args.quantiles.split(",")]
+        except ValueError:
+            raise _fail(
+                f"--quantiles {args.quantiles!r} is not a comma-separated "
+                "list of numbers (e.g. --quantiles 0.5,0.99)"
+            ) from None
+
+    if args.server is not None:
+        from repro.service import ServerError, TelemetryClient
+
+        host, _, port_text = args.server.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise _fail(
+                f"--server {args.server!r} is not HOST:PORT (e.g. "
+                "--server 127.0.0.1:7733)"
+            ) from None
+        try:
+            with TelemetryClient(host or "127.0.0.1", port) as client:
+                result = client.history(
+                    args.metric,
+                    at=args.at,
+                    start=start,
+                    end=end,
+                    step=args.step,
+                    quantiles=quantiles,
+                )
+        except (ServerError, ConnectionError, OSError) as exc:
+            raise _fail(exc) from None
+    else:
+        from repro.store import SegmentStore, StoreError
+        from repro.store.query import query_at, query_range, query_series
+
+        if not os.path.isdir(args.store):
+            raise _fail(
+                f"history store directory {args.store!r} does not exist; "
+                "pass the --history DIR of a 'monitor' or 'serve' run"
+            )
+        try:
+            store = SegmentStore(args.store)
+            if args.at is not None:
+                result = query_at(store, args.metric, args.at, quantiles)
+            elif args.step is not None:
+                result = query_series(
+                    store, args.metric, start, end, args.step, quantiles
+                )
+            else:
+                result = query_range(store, args.metric, start, end, quantiles)
+        except StoreError as exc:
+            raise _fail(exc) from None
+
+    if args.json:
+        print(json.dumps(result, separators=(",", ":"), sort_keys=True))
+    else:
+        from repro.store.query import render_result
+
+        print(render_result(result), end="")
+    return 0
+
+
 def run_one(name: str, scale: float, seed: int, markdown: bool) -> None:
     """Execute one experiment and print its report."""
     runner = get_experiment(name)
@@ -608,7 +854,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
-    subcommands = {"monitor": run_monitor, "serve": run_serve, "loadgen": run_loadgen}
+    subcommands = {
+        "monitor": run_monitor,
+        "serve": run_serve,
+        "loadgen": run_loadgen,
+        "query": run_query,
+    }
     if argv and argv[0] in subcommands:
         return subcommands[argv[0]](argv[1:])
     args = build_parser().parse_args(argv)

@@ -24,6 +24,7 @@ instead of deserialising garbage.
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
 
 import numpy as np
@@ -35,6 +36,17 @@ NATIVE_TYPES = (dict, list, str, int, float, bool, type(None))
 
 class StateError(ValueError):
     """A state dict cannot be deserialised (wrong kind/version/shape)."""
+
+
+class StateCompatWarning(UserWarning):
+    """A state dict carries fields this build does not know.
+
+    Emitted (not raised) when a loader meets extra fields on a *known*
+    version: a newer minor release may annotate states with additional
+    fields, and ignoring them loses nothing the current build could use.
+    Unknown *versions* still raise :class:`StateError` — a version bump
+    signals a layout change that cannot be read safely.
+    """
 
 
 def as_native(obj: Any) -> Any:
@@ -98,6 +110,28 @@ def check_state(state: Any, kind: str, version: int, context: str) -> Mapping:
             "is corrupted"
         )
     return state
+
+
+def warn_unknown_fields(
+    state: Mapping, fields: Sequence[str], context: str
+) -> List[str]:
+    """Warn about (and report) state fields this build does not know.
+
+    The forward-compat half of the loader contract: a state written by a
+    newer *minor* release may carry extra fields; loaders that call this
+    ignore them loudly (one :class:`StateCompatWarning`) instead of
+    failing.  The ``kind``/``version`` header keys are always known.
+    Returns the unknown field names, sorted.
+    """
+    unknown = sorted(set(state) - set(fields) - {"kind", "version"})
+    if unknown:
+        warnings.warn(
+            f"{context}: ignoring unknown field(s) {unknown} (written by a "
+            "newer release; upgrade this installation to use them)",
+            StateCompatWarning,
+            stacklevel=2,
+        )
+    return unknown
 
 
 def require_fields(state: Mapping, fields: Sequence[str], context: str) -> None:

@@ -146,6 +146,37 @@ class TelemetryClient:
         """Force a drain + checkpoint save now."""
         return self.request({"op": "checkpoint"})
 
+    def history(
+        self,
+        metric: str,
+        *,
+        at: Optional[int] = None,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+        step: Optional[int] = None,
+        quantiles: Optional[Sequence[float]] = None,
+    ) -> dict:
+        """A historical quantile query over the server's segment store.
+
+        Pass either ``at`` (one period) or ``start``+``end`` (a period
+        range, optionally bucketed by ``step``).  Returns the same result
+        dict :func:`repro.store.query.query_range` (or ``query_at`` /
+        ``query_series``) produces locally, so server and CLI answers
+        render to identical bytes.
+        """
+        message: dict = {"op": "history", "metric": metric}
+        if at is not None:
+            message["at"] = int(at)
+        if start is not None:
+            message["start"] = int(start)
+        if end is not None:
+            message["end"] = int(end)
+        if step is not None:
+            message["step"] = int(step)
+        if quantiles is not None:
+            message["quantiles"] = [float(phi) for phi in quantiles]
+        return self.request(message)["result"]
+
     def shutdown(self) -> dict:
         """Ask the server to stop (it drains and saves before exiting)."""
         return self.request({"op": "shutdown"})

@@ -42,6 +42,11 @@ from repro.streaming.engine import WindowResult
 #: Per-period callback: ``callback(metric_name, window_result)``.
 ResultCallback = Callable[[str, WindowResult], None]
 
+#: History sink: ``sink(metric_name, period_index, count, policy_state)``
+#: invoked at every period boundary with the sealed period's delta state
+#: (what :class:`~repro.store.writer.HistoryWriter` persists as a segment).
+HistorySink = Callable[[str, int, int, dict], None]
+
 #: State-format versions written by the persistence layer.
 CHANNEL_STATE_VERSION = 1
 MONITOR_STATE_VERSION = 1
@@ -102,6 +107,13 @@ class MetricChannel:
         self._in_flight = 0
         self._seen = 0
         self._index = 0
+        #: Period boundaries crossed so far (the next period's index).
+        self._periods = 0
+        #: History recording (attach_recorder): a fresh shadow policy per
+        #: period whose sealed state becomes that period's stored segment.
+        self._recorder = None
+        self._history_sink: Optional[HistorySink] = None
+        self._staged_recorder: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -109,6 +121,8 @@ class MetricChannel:
     def observe(self, value: float) -> None:
         """Fold one element into the in-flight sub-window."""
         self.policy.accumulate(float(value))
+        if self._recorder is not None:
+            self._recorder.accumulate(float(value))
         self._in_flight += 1
         self._seen += 1
         if self._in_flight >= self.spec.window.period:
@@ -128,6 +142,8 @@ class MetricChannel:
         while position < n:
             take = min(period - self._in_flight, n - position)
             self.policy.accumulate_batch(array[position : position + take])
+            if self._recorder is not None:
+                self._recorder.accumulate_batch(array[position : position + take])
             self._in_flight += take
             self._seen += take
             position += take
@@ -141,7 +157,20 @@ class MetricChannel:
         """Period boundary: seal, expire beyond the window span, emit."""
         window = self.spec.window
         self.policy.seal_subwindow()
+        if self._recorder is not None:
+            # The recorder saw exactly this period's events; seal it, hand
+            # its state to the history sink as the period's delta segment,
+            # and start a fresh recorder for the next period.
+            self._recorder.seal_subwindow()
+            self._history_sink(
+                self.spec.name,
+                self._periods,
+                self._in_flight,
+                self._recorder.to_state(),
+            )
+            self._recorder = self.spec.build_policy()
         self._counts.append(self._in_flight)
+        self._periods += 1
         self._in_flight = 0
         if len(self._counts) > window.subwindow_count:
             self.policy.expire_subwindow()
@@ -157,6 +186,51 @@ class MetricChannel:
             self.results.append(result)
             for callback in self._callbacks:
                 callback(self.spec.name, result)
+
+    # ------------------------------------------------------------------
+    # History recording
+    # ------------------------------------------------------------------
+    def attach_recorder(self, sink: HistorySink) -> None:
+        """Start recording per-period delta states into ``sink``.
+
+        From the next period boundary on, ``sink(name, period_index,
+        count, policy_state)`` receives the sealed state of a fresh shadow
+        policy that ingested exactly that period's events — the durable
+        segment the historical store persists.  Attach either on a fresh
+        channel (before any ingestion of the current period) or on one
+        restored from a checkpoint whose state was saved with a recorder
+        attached (the recorder's mid-period state rides in the
+        checkpoint, so resume loses no events).
+        """
+        if self._recorder is not None:
+            raise ValueError(
+                f"metric {self.spec.name!r} already has a history recorder "
+                "attached; one recorder per channel"
+            )
+        staged = self._staged_recorder
+        if staged is not None:
+            from repro.sketches.registry import policy_from_state
+
+            recorder = policy_from_state(staged)
+            _require_matching_policy(self.spec, self.spec.build_policy(), recorder)
+            self._staged_recorder = None
+        elif self._in_flight:
+            raise ValueError(
+                f"metric {self.spec.name!r}: cannot attach a history "
+                f"recorder mid-period ({self._in_flight} in-flight events "
+                "were never seen by a recorder and their period's segment "
+                "would be incomplete); attach before ingesting, or resume "
+                "from a checkpoint saved while history recording was active"
+            )
+        else:
+            recorder = self.spec.build_policy()
+        self._recorder = recorder
+        self._history_sink = sink
+
+    @property
+    def periods(self) -> int:
+        """Period boundaries crossed so far (next period's index)."""
+        return self._periods
 
     # ------------------------------------------------------------------
     # Merging / reset (the sharded-monitor contract)
@@ -177,6 +251,16 @@ class MetricChannel:
                 f"cannot merge metric {other.spec.name!r} into "
                 f"{self.spec.name!r}: specs differ"
             )
+        if self._recorder is not None and (
+            other._seen or other._counts or other._in_flight
+        ):
+            raise ValueError(
+                f"metric {self.spec.name!r}: cannot merge shard state into a "
+                "channel with history recording attached (the donor's events "
+                "were never seen by this channel's recorder, so the period's "
+                "segment would be incomplete); merge shards first, then "
+                "attach the HistoryWriter to the merged monitor"
+            )
         self.policy.merge(other.policy)
         window = self.spec.window
         self._counts.extend(other._counts)
@@ -189,13 +273,22 @@ class MetricChannel:
             self._seal()
 
     def reset(self) -> None:
-        """Discard all accumulated state and results, keep the spec."""
+        """Discard all accumulated state and results, keep the spec.
+
+        An attached history recorder restarts fresh too (the sink keeps
+        receiving segments from period index 0 — reset a channel only
+        against a fresh store, or history becomes a replay the store
+        skips as duplicates).
+        """
         self.policy.reset()
         self.results.clear()
         self._counts.clear()
         self._in_flight = 0
         self._seen = 0
         self._index = 0
+        self._periods = 0
+        if self._recorder is not None:
+            self._recorder = self.spec.build_policy()
 
     # ------------------------------------------------------------------
     # Durable state
@@ -209,6 +302,12 @@ class MetricChannel:
         state["in_flight"] = int(self._in_flight)
         state["seen"] = int(self._seen)
         state["index"] = int(self._index)
+        state["periods"] = int(self._periods)
+        if self._recorder is not None:
+            # Mid-period recorder state rides in the checkpoint so a
+            # resumed channel re-attaches its recorder without losing the
+            # current period's partially-ingested events.
+            state["history"] = self._recorder.to_state()
         state["results"] = [
             {
                 "index": int(result.index),
@@ -231,10 +330,10 @@ class MetricChannel:
         serde.check_state(
             state, "metric_channel", CHANNEL_STATE_VERSION, "metric channel"
         )
-        serde.require_fields(
-            state,
-            ("spec", "policy", "counts", "in_flight", "seen", "index", "results"),
-            "metric channel",
+        required = ("spec", "policy", "counts", "in_flight", "seen", "index", "results")
+        serde.require_fields(state, required, "metric channel")
+        serde.warn_unknown_fields(
+            state, required + ("periods", "history"), "metric channel"
         )
         try:
             spec = MetricSpec.from_dict(state["spec"])
@@ -252,6 +351,19 @@ class MetricChannel:
         channel._in_flight = int(state["in_flight"])
         channel._seen = int(state["seen"])
         channel._index = int(state["index"])
+        # Pre-history checkpoints carry no 'periods'; complete periods can
+        # be recovered from the element count for period-aligned streams.
+        channel._periods = int(
+            state.get("periods", channel._seen // spec.window.period)
+        )
+        history = state.get("history")
+        if history is not None:
+            if not isinstance(history, dict):
+                raise serde.StateError(
+                    "metric channel: 'history' must be the recorder policy's "
+                    f"state dict, got {type(history).__name__}"
+                )
+            channel._staged_recorder = dict(history)
         channel.results = [
             WindowResult(
                 index=int(entry["index"]),
@@ -346,6 +458,15 @@ class Monitor:
         """Subscribe ``callback(name, result)`` to a metric's evaluations."""
         self._channel(name)._callbacks.append(callback)
 
+    def attach_recorder(self, name: str, sink: HistorySink) -> None:
+        """Record metric ``name``'s per-period delta states into ``sink``.
+
+        The plumbing beneath :meth:`HistoryWriter.attach
+        <repro.store.writer.HistoryWriter.attach>` — see
+        :meth:`MetricChannel.attach_recorder` for the contract.
+        """
+        self._channel(name).attach_recorder(sink)
+
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
@@ -428,6 +549,7 @@ class Monitor:
         """Rebuild a monitor (specs, policies, counters, results)."""
         serde.check_state(state, "monitor", MONITOR_STATE_VERSION, "monitor")
         serde.require_fields(state, ("metrics",), "monitor")
+        serde.warn_unknown_fields(state, ("metrics", "format"), "monitor")
         if not isinstance(state["metrics"], list):
             raise serde.StateError(
                 "monitor: 'metrics' must be a list of metric-channel states, "

@@ -180,6 +180,11 @@ class TelemetryServer:
         Upper bound on how long ``flush``/``snapshot``/``results``/
         ``stats``/``checkpoint`` wait for the ingest pipeline to drain
         before answering with whatever has been applied.
+    history_writer:
+        A :class:`~repro.store.writer.HistoryWriter` already attached to
+        ``monitor``; enables the ``history`` op (time-range quantile
+        queries over the durable segment store, answering with the same
+        result dicts ``python -m repro query`` renders).
     """
 
     def __init__(
@@ -193,6 +198,7 @@ class TelemetryServer:
         checkpoint_path: Optional[str] = None,
         checkpoint_interval: Optional[float] = None,
         flush_timeout: float = 30.0,
+        history_writer=None,
     ) -> None:
         if checkpoint_interval is not None and checkpoint_interval <= 0:
             raise ValueError(
@@ -210,6 +216,7 @@ class TelemetryServer:
         self.checkpoint_path = checkpoint_path
         self.checkpoint_interval = checkpoint_interval
         self.flush_timeout = flush_timeout
+        self.history_writer = history_writer
 
         #: Guards every read/write of the monitor (consumer applies,
         #: control ops read, checkpoint thread saves).
@@ -317,6 +324,9 @@ class TelemetryServer:
             self._listener.close()
         if drain and self.checkpoint_path is not None:
             self._save_checkpoint()
+        if self.history_writer is not None:
+            # Appends are flushed per segment; this just closes handles.
+            self.history_writer.close()
 
     def wait_shutdown(self, timeout: Optional[float] = None) -> bool:
         """Block until a client sends the ``shutdown`` op (True) or timeout."""
@@ -411,12 +421,14 @@ class TelemetryServer:
             return self._op_stats()
         if op == "checkpoint":
             return self._op_checkpoint()
+        if op == "history":
+            return self._op_history(request)
         if op == "shutdown":
             self._shutdown_requested.set()
             return ok_response(stopping=True)
         return error_response(
             f"unknown op {op!r}; supported: observe, snapshot, results, "
-            "flush, stats, checkpoint, shutdown, ping"
+            "flush, stats, checkpoint, history, shutdown, ping"
         )
 
     def _op_observe(self, request: dict) -> dict:
@@ -545,6 +557,62 @@ class TelemetryServer:
         return ok_response(
             path=self.checkpoint_path, drained=drained, saves=self._checkpoint_saves
         )
+
+    def _op_history(self, request: dict) -> dict:
+        """Answer a historical quantile query from the segment store.
+
+        Drains ingest first, so the answer covers every period sealed by
+        blocks acked before this request — then runs the same query
+        functions the ``python -m repro query`` CLI uses, returning the
+        identical result dict (the CLI renders server and local answers
+        through one renderer, so the bytes match).
+        """
+        if self.history_writer is None:
+            return error_response(
+                "server has no history store; start it with a history "
+                "writer (CLI: --history DIR)"
+            )
+        from repro.store.query import query_at, query_range, query_series
+        from repro.store.store import StoreError
+
+        metric = request.get("metric")
+        if not isinstance(metric, str):
+            return error_response(
+                f"'metric' must be a metric name string, got "
+                f"{type(metric).__name__}"
+            )
+        at = request.get("at")
+        start = request.get("start")
+        end = request.get("end")
+        step = request.get("step")
+        quantiles = request.get("quantiles")
+        if quantiles is not None and (
+            not isinstance(quantiles, list)
+            or not all(isinstance(phi, (int, float)) for phi in quantiles)
+        ):
+            return error_response("'quantiles' must be a JSON array of numbers")
+        if (at is None) == (start is None and end is None):
+            return error_response(
+                "pass either 'at' (one period) or 'start'+'end' (a period "
+                "range), not both / neither"
+            )
+        drained = self._wait_drained(self.flush_timeout)
+        store = self.history_writer.store
+        try:
+            with self._monitor_lock:
+                if at is not None:
+                    if step is not None:
+                        return error_response("'step' needs a 'start'+'end' range")
+                    result = query_at(store, metric, at, quantiles)
+                elif step is not None:
+                    result = query_series(store, metric, start, end, step, quantiles)
+                else:
+                    result = query_range(store, metric, start, end, quantiles)
+        except StoreError as exc:
+            return error_response(str(exc))
+        except (TypeError, ValueError) as exc:
+            return error_response(f"bad history query: {exc}")
+        return ok_response(result=result, drained=drained)
 
     # ------------------------------------------------------------------
     # Consumer: queue → Monitor.observe_batch

@@ -119,6 +119,27 @@ class QuantilePolicy(ABC):
         :meth:`_require_compatible` to validate.
         """
 
+    def composable_over_time(self) -> bool:
+        """Whether per-period deltas merge back bit-identically in time.
+
+        The historical store splits a stream into per-period **delta**
+        policies (each a fresh instance that ingested exactly one period's
+        events and sealed them).  A policy is *time-composable* when
+        merging those deltas in time order reproduces, bit for bit, the
+        state a single sequential instance would hold over the same
+        periods — the property the range-query equivalence battery
+        asserts (``tests/store/test_range_equivalence.py``).
+
+        Deterministic policies are composable by construction; override
+        to return ``False`` when per-instance mutable state breaks it
+        (a shared RNG whose position differs between fresh-per-period and
+        sequential runs, or cross-period detectors such as burst EWMA).
+        Non-composable policies still answer historical queries within
+        their error bounds — they just are not bit-reproducible against a
+        sequential run.
+        """
+        return True
+
     @abstractmethod
     def reset(self) -> None:
         """Discard all accumulated state, keeping the configuration.

@@ -88,6 +88,16 @@ class RandomPolicy(QuantilePolicy):
         if other._in_flight.n:
             self._in_flight.merge(other._in_flight)
 
+    def composable_over_time(self) -> bool:
+        """Never bit-composable: all sketches share one RNG stream.
+
+        A fresh per-period delta restarts ``random.Random(seed)`` at the
+        seed, while a sequential run's RNG has advanced through every
+        earlier period's compaction coin flips — the sketches diverge
+        bitwise (though both stay inside the rank-error guarantee).
+        """
+        return False
+
     def reset(self) -> None:
         self._in_flight = KLLSketch(self._k, rng=self._rng)
         self._sealed.clear()

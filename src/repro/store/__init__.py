@@ -1,0 +1,57 @@
+"""Historical quantile store: durable segments + time-range queries.
+
+The layer that answers "p99 of latency between periods 840 and 900"
+after the fact: per-period sketch states persist as CRC-framed segments
+(:mod:`~repro.store.segment`) in append-only per-metric logs
+(:mod:`~repro.store.store`), written at period boundaries by a
+:class:`~repro.store.writer.HistoryWriter` and merged back at read time
+by the range-query engine (:mod:`~repro.store.query`) — bit-identically
+to a sequential run for time-composable policies.  See
+``docs/history.md`` for the format and semantics.
+"""
+
+from repro.store.query import (
+    merge_segments,
+    query_at,
+    query_range,
+    query_series,
+    rebuild_policy,
+    render_result,
+)
+from repro.store.segment import (
+    SEGMENT_KINDS,
+    SEGMENT_VERSION,
+    Segment,
+    TornRecord,
+    decode_line,
+    encode_line,
+)
+from repro.store.store import (
+    STORE_FORMAT,
+    STORE_VERSION,
+    RetentionPolicy,
+    SegmentStore,
+    StoreError,
+)
+from repro.store.writer import HistoryWriter
+
+__all__ = [
+    "SEGMENT_KINDS",
+    "SEGMENT_VERSION",
+    "STORE_FORMAT",
+    "STORE_VERSION",
+    "HistoryWriter",
+    "RetentionPolicy",
+    "Segment",
+    "SegmentStore",
+    "StoreError",
+    "TornRecord",
+    "decode_line",
+    "encode_line",
+    "merge_segments",
+    "query_at",
+    "query_range",
+    "query_series",
+    "rebuild_policy",
+    "render_result",
+]

@@ -1,0 +1,202 @@
+"""Time-range queries over a :class:`~repro.store.store.SegmentStore`.
+
+The read side of the historical layer: given a period range ``[t0, t1)``,
+load the covering segments, rebuild their delta policies from state, fold
+them together in time order through the universal merge contract, and ask
+the merged policy for quantiles.  For time-composable policies (see
+:meth:`~repro.sketches.base.QuantilePolicy.composable_over_time`) the
+answer is bit-identical to a sequential run over exactly those periods'
+events — before and after compaction, since a rollup's state is itself
+the in-order merge of its children.
+
+Merging never expires: the merged "query master" holds one sealed
+sub-window per covered period regardless of the metric's live window
+``subwindow_count`` — expiry is externally driven in this codebase, so a
+query over 500 periods of a 8-sub-window metric is well-defined (it is
+the quantile over all 500 periods' events).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.sketches.base import QuantilePolicy
+from repro.sketches.registry import policy_from_state
+from repro.store.segment import Segment
+from repro.store.store import SegmentStore, StoreError
+
+
+def rebuild_policy(segment: Segment) -> QuantilePolicy:
+    """A segment's delta policy, rebuilt from its stored state."""
+    return policy_from_state(segment.state)
+
+
+def merge_segments(segments: Sequence[Segment], *, kind: str = "rollup") -> Segment:
+    """Fold adjacent segments (time order) into one combined segment.
+
+    Used by compaction to build rollups and by tests; the combined state
+    is the in-order merge of the children's delta policies, so for
+    time-composable policies the rollup answers queries bit-identically
+    to its children.
+    """
+    if not segments:
+        raise StoreError("merge_segments() needs at least one segment")
+    for earlier, later in zip(segments, segments[1:]):
+        if later.metric != earlier.metric:
+            raise StoreError(
+                f"cannot merge segments of different metrics "
+                f"({earlier.metric!r}, {later.metric!r})"
+            )
+        if later.start_period != earlier.end_period:
+            raise StoreError(
+                f"metric {earlier.metric!r}: segments "
+                f"[{earlier.start_period}, {earlier.end_period}) and "
+                f"[{later.start_period}, {later.end_period}) are not "
+                "adjacent; merge covers contiguous period runs only"
+            )
+    master = rebuild_policy(segments[0])
+    for segment in segments[1:]:
+        master.merge(rebuild_policy(segment))
+    return Segment(
+        metric=segments[0].metric,
+        start_period=segments[0].start_period,
+        end_period=segments[-1].end_period,
+        count=sum(segment.count for segment in segments),
+        state=master.to_state(),
+        kind=kind,
+    )
+
+
+def _select_phis(
+    answer: Dict[float, float],
+    quantiles: Optional[Sequence[float]],
+    metric: str,
+) -> Dict[float, float]:
+    """Restrict a full query answer to the requested quantiles."""
+    if quantiles is None:
+        return dict(answer)
+    selected: Dict[float, float] = {}
+    for phi in quantiles:
+        key = float(phi)
+        if key not in answer:
+            raise StoreError(
+                f"metric {metric!r}: quantile {key} is not tracked; the "
+                f"stored sketch answers {sorted(answer)} — historical "
+                "queries can only read quantiles the metric was configured "
+                "with"
+            )
+        selected[key] = answer[key]
+    return selected
+
+
+def query_range(
+    store: SegmentStore,
+    metric: str,
+    start: int,
+    end: int,
+    quantiles: Optional[Sequence[float]] = None,
+) -> Dict[str, Any]:
+    """Quantiles of one metric over periods ``[start, end)``.
+
+    Returns a JSON-safe result dict::
+
+        {"metric": ..., "start_period": t0, "end_period": t1,
+         "count": events, "segments_merged": n,
+         "quantiles": {"0.99": 41.5, ...}}
+
+    Raises :class:`~repro.store.store.StoreError` with an actionable
+    message when the range is uncovered or misaligned with compaction
+    boundaries (the error names the nearest achievable boundaries).
+    """
+    segments = store.covering(metric, start, end)
+    master = rebuild_policy(segments[0])
+    for segment in segments[1:]:
+        master.merge(rebuild_policy(segment))
+    answer = _select_phis(master.query(), quantiles, metric)
+    return {
+        "metric": metric,
+        "start_period": start,
+        "end_period": end,
+        "count": sum(segment.count for segment in segments),
+        "segments_merged": len(segments),
+        "quantiles": {repr(phi): float(value) for phi, value in sorted(answer.items())},
+    }
+
+
+def query_at(
+    store: SegmentStore,
+    metric: str,
+    period: int,
+    quantiles: Optional[Sequence[float]] = None,
+) -> Dict[str, Any]:
+    """Point-in-time quantiles: one period's events (``[P, P+1)``)."""
+    return query_range(store, metric, period, period + 1, quantiles)
+
+
+def query_series(
+    store: SegmentStore,
+    metric: str,
+    start: int,
+    end: int,
+    step: int,
+    quantiles: Optional[Sequence[float]] = None,
+) -> Dict[str, Any]:
+    """Group-over-time: one answer per ``step``-period bucket of a range.
+
+    Buckets are ``[start, start+step), [start+step, start+2*step), ...``;
+    the final bucket is clipped at ``end``.  Each bucket is an independent
+    :func:`query_range`, so every bucket must align with stored segment
+    boundaries (fine history always does; compacted history constrains
+    steps to rollup multiples — the per-bucket error says which).
+    """
+    if not isinstance(step, int) or isinstance(step, bool) or step < 1:
+        raise StoreError(f"series step must be a positive int, got {step!r}")
+    if end <= start:
+        raise StoreError(
+            f"period range [{start}, {end}) is empty; end must exceed start"
+        )
+    buckets: List[Dict[str, Any]] = []
+    cursor = start
+    while cursor < end:
+        bucket_end = min(cursor + step, end)
+        buckets.append(query_range(store, metric, cursor, bucket_end, quantiles))
+        cursor = bucket_end
+    return {
+        "metric": metric,
+        "start_period": start,
+        "end_period": end,
+        "step": step,
+        "buckets": buckets,
+    }
+
+
+def render_result(result: Dict[str, Any]) -> str:
+    """One query answer as the CLI's stable, byte-diffable text form.
+
+    The same renderer backs ``python -m repro query`` against a local
+    store and against a live server's ``history`` op, so the acceptance
+    check "server bytes == CLI bytes" is a straight diff.
+    """
+    lines: List[str] = []
+    if "buckets" in result:
+        header = (
+            f"{result['metric']} periods [{result['start_period']}, "
+            f"{result['end_period']}) step {result['step']}"
+        )
+        lines.append(header)
+        for bucket in result["buckets"]:
+            lines.extend("  " + line for line in _render_single(bucket))
+    else:
+        lines.extend(_render_single(result))
+    return "\n".join(lines) + "\n"
+
+
+def _render_single(result: Dict[str, Any]) -> List[str]:
+    lines = [
+        f"{result['metric']} periods [{result['start_period']}, "
+        f"{result['end_period']}) count={result['count']} "
+        f"segments={result['segments_merged']}"
+    ]
+    for phi, value in result["quantiles"].items():
+        lines.append(f"  p{phi}: {value!r}")
+    return lines

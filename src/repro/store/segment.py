@@ -1,0 +1,216 @@
+"""Segment records: the on-disk unit of the historical quantile store.
+
+A **segment** is one time-slice of one metric's sketch state: the
+versioned ``to_state()`` dict of a policy that ingested *exactly* the
+events of periods ``[start_period, end_period)`` and sealed them.  Fine
+segments written by the :class:`~repro.store.writer.HistoryWriter` cover
+one period each (``end_period == start_period + 1``); compaction rolls
+runs of them into coarser ``rollup`` segments whose state is the merge of
+their children — for time-composable policies, query-equivalent bit for
+bit (see ``docs/history.md``).
+
+On disk a segment is one **framed record line**::
+
+    <crc32 of body, 8 lowercase hex chars> <body JSON, one line>\\n
+
+The CRC plus the trailing newline make torn writes detectable: a record
+interrupted by a crash (``kill -9`` mid-append) fails the checksum or
+lacks its newline, and :class:`~repro.store.store.SegmentStore` truncates
+the log back to the last intact record on reopen — committed history is
+never lost, and no torn segment is ever served.
+
+Forward compatibility is two-tier, matching the serde contract:
+
+- an unknown *version* raises :class:`~repro.serde.StateError` (the dump
+  was written by a newer release — upgrading is the only safe move);
+- an unknown *field* on a known version warns
+  (:class:`~repro.serde.StateCompatWarning`) and is ignored — a newer
+  minor release may annotate records with extra fields without breaking
+  older readers.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro import serde
+
+#: State-format version written by :meth:`Segment.to_record`.
+SEGMENT_VERSION = 1
+
+#: State-format version of the per-metric spec record heading each log.
+SPEC_RECORD_VERSION = 1
+
+#: Segment kinds: one period ("period") or a compacted run ("rollup").
+SEGMENT_KINDS = ("period", "rollup")
+
+#: Fields a version-1 segment record is known to carry.
+_SEGMENT_FIELDS = ("metric", "segment_kind", "start_period", "end_period", "count", "state")
+
+#: Fields a version-1 spec record is known to carry.
+_SPEC_FIELDS = ("metric", "spec")
+
+
+class TornRecord(ValueError):
+    """A framed record line that fails CRC/framing checks (torn write)."""
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One durable time-slice of one metric's sketch state.
+
+    ``state`` is the ``to_state()`` dict of a policy holding exactly the
+    sealed sub-windows of periods ``[start_period, end_period)`` (one
+    sealed sub-window per period, empty in-flight state).
+    """
+
+    metric: str
+    start_period: int
+    end_period: int
+    count: int
+    state: Dict[str, Any]
+    kind: str = "period"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.metric, str) or not self.metric:
+            raise ValueError(f"segment metric must be a non-empty string, got {self.metric!r}")
+        if self.kind not in SEGMENT_KINDS:
+            raise ValueError(
+                f"segment kind must be one of {list(SEGMENT_KINDS)}, got {self.kind!r}"
+            )
+        for name in ("start_period", "end_period", "count"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ValueError(
+                    f"segment {name} must be a non-negative int, got {value!r}"
+                )
+        if self.end_period <= self.start_period:
+            raise ValueError(
+                f"segment period range [{self.start_period}, {self.end_period}) "
+                "is empty; end_period must exceed start_period"
+            )
+        if not isinstance(self.state, dict):
+            raise ValueError(
+                f"segment state must be a policy to_state() dict, got "
+                f"{type(self.state).__name__}"
+            )
+
+    @property
+    def periods(self) -> int:
+        """Number of periods this segment covers."""
+        return self.end_period - self.start_period
+
+    # ------------------------------------------------------------------
+    # Record (de)serialisation
+    # ------------------------------------------------------------------
+    def to_record(self) -> Dict[str, Any]:
+        """The JSON-safe record dict framed into one log line."""
+        record = serde.header("segment", SEGMENT_VERSION)
+        record["metric"] = self.metric
+        record["segment_kind"] = self.kind
+        record["start_period"] = int(self.start_period)
+        record["end_period"] = int(self.end_period)
+        record["count"] = int(self.count)
+        record["state"] = serde.as_native(self.state)
+        return record
+
+    @classmethod
+    def from_record(cls, record: Any) -> "Segment":
+        """Rebuild a segment from its record dict.
+
+        Unknown versions raise :class:`~repro.serde.StateError`; unknown
+        extra fields on a known version warn and are ignored (see the
+        module docstring's forward-compatibility contract).
+        """
+        serde.check_state(record, "segment", SEGMENT_VERSION, "segment record")
+        serde.require_fields(record, _SEGMENT_FIELDS, "segment record")
+        serde.warn_unknown_fields(record, _SEGMENT_FIELDS, "segment record")
+        state = record["state"]
+        if not isinstance(state, dict):
+            raise serde.StateError(
+                "segment record: 'state' must be a policy to_state() dict, "
+                f"got {type(state).__name__}"
+            )
+        try:
+            return cls(
+                metric=record["metric"],
+                start_period=int(record["start_period"]),
+                end_period=int(record["end_period"]),
+                count=int(record["count"]),
+                state=dict(state),
+                kind=record["segment_kind"],
+            )
+        except (TypeError, ValueError) as exc:
+            raise serde.StateError(f"segment record: {exc}") from None
+
+
+def spec_record(metric: str, spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """The log-heading record carrying a metric's canonical spec dict."""
+    record = serde.header("metric_spec_record", SPEC_RECORD_VERSION)
+    record["metric"] = metric
+    record["spec"] = serde.as_native(spec_dict)
+    return record
+
+
+def read_spec_record(record: Any) -> Dict[str, Any]:
+    """Validate a spec record; returns its spec dict.
+
+    Same two-tier compatibility as :meth:`Segment.from_record`.
+    """
+    serde.check_state(record, "metric_spec_record", SPEC_RECORD_VERSION, "spec record")
+    serde.require_fields(record, _SPEC_FIELDS, "spec record")
+    serde.warn_unknown_fields(record, _SPEC_FIELDS, "spec record")
+    spec = record["spec"]
+    if not isinstance(spec, dict):
+        raise serde.StateError(
+            f"spec record: 'spec' must be a MetricSpec dict, got {type(spec).__name__}"
+        )
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Framed record lines (CRC + newline = torn-write detection)
+# ----------------------------------------------------------------------
+def encode_line(record: Dict[str, Any]) -> bytes:
+    """Frame one record dict into a CRC-prefixed log line."""
+    body = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return b"%08x " % crc + body + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Unframe one log line back into its record dict.
+
+    Raises :class:`TornRecord` on any framing defect — missing trailing
+    newline (the classic torn tail), malformed CRC prefix, checksum
+    mismatch, or a body that is not a JSON object.  The store treats a
+    torn record and everything after it as never written.
+    """
+    if not line.endswith(b"\n"):
+        raise TornRecord("record has no trailing newline (torn tail)")
+    payload = line[:-1]
+    if len(payload) < 10 or payload[8:9] != b" ":
+        raise TornRecord("record is too short to carry a CRC frame")
+    try:
+        expected = int(payload[:8], 16)
+    except ValueError:
+        raise TornRecord(f"malformed CRC prefix {payload[:8]!r}") from None
+    body = payload[9:]
+    actual = zlib.crc32(body) & 0xFFFFFFFF
+    if actual != expected:
+        raise TornRecord(
+            f"CRC mismatch (expected {expected:08x}, got {actual:08x}); "
+            "the record was torn or corrupted"
+        )
+    try:
+        record = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise TornRecord(f"record body is not valid JSON ({exc})") from None
+    if not isinstance(record, dict):
+        raise TornRecord(
+            f"record body must be a JSON object, got {type(record).__name__}"
+        )
+    return record

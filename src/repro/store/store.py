@@ -1,0 +1,676 @@
+"""``SegmentStore``: an append-only, time-indexed store of sketch segments.
+
+The durable half of the historical quantile layer (see
+``docs/history.md``).  One directory holds:
+
+- ``MANIFEST.json`` — store format tag and version (atomic write);
+- one ``<metric>.seg`` log per metric — a spec record followed by
+  segment records, each a CRC-framed line (:mod:`repro.store.segment`).
+
+**Append-only discipline.**  Normal operation only ever appends whole
+framed lines and flushes them; the bytes of committed records are never
+rewritten in place.  The two mutating maintenance operations —
+:meth:`compact` and :meth:`prune` — rewrite a metric's log into a temp
+file and ``os.replace`` it (the same atomic idiom ``Monitor.save`` uses),
+so a crash at any instant leaves either the old or the new log, both
+intact.
+
+**Crash safety.**  On open, every log is scanned record by record; the
+first torn record (bad CRC, missing newline, undecodable body) marks the
+end of committed history — the in-memory index stops there and the file
+is truncated back to the last intact byte before new appends.  There is
+no separate index file to desync: the index is always rebuilt from the
+data, which is what makes ``kill -9`` mid-append recoverable.
+
+**Idempotent re-append.**  A writer resuming from a checkpoint may replay
+periods whose segments were already committed (the store outlived the
+crash; the checkpoint is older).  ``append`` skips a segment whose period
+range is already covered, counting it in ``duplicates_skipped`` — replay
+is safe by construction.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+import tempfile
+import urllib.parse
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro import serde
+from repro.store.segment import (
+    Segment,
+    TornRecord,
+    decode_line,
+    encode_line,
+    read_spec_record,
+    spec_record,
+)
+
+#: File-format tag written into ``MANIFEST.json``.
+STORE_FORMAT = "repro-history-store"
+
+#: Store layout version (directory structure + record framing).
+STORE_VERSION = 1
+
+#: Suffix of per-metric segment logs.
+LOG_SUFFIX = ".seg"
+
+
+class StoreError(ValueError):
+    """A store operation that cannot proceed (bad directory, bad query)."""
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """How much history to keep and how to coarsen it.
+
+    Parameters
+    ----------
+    max_periods:
+        Keep at most this many trailing periods per metric; segments
+        falling entirely before ``newest_end - max_periods`` are dropped
+        by :meth:`SegmentStore.prune`.  ``None`` keeps everything.
+    rollup_periods:
+        Target width (in periods) of compacted rollup segments; runs of
+        adjacent fine segments compact into rollups of this many periods.
+        ``None`` disables compaction.
+    rollup_min_age:
+        Only periods at least this far behind the newest committed period
+        are eligible for compaction — the recent tail stays fine-grained
+        so point-in-time queries over fresh history keep period
+        resolution.
+    """
+
+    max_periods: Optional[int] = None
+    rollup_periods: Optional[int] = None
+    rollup_min_age: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("max_periods", "rollup_periods"):
+            value = getattr(self, name)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool) or value < 1
+            ):
+                raise ValueError(
+                    f"retention {name} must be a positive int or None, got {value!r}"
+                )
+        age = self.rollup_min_age
+        if not isinstance(age, int) or isinstance(age, bool) or age < 0:
+            raise ValueError(
+                f"retention rollup_min_age must be a non-negative int, got {age!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RetentionPolicy":
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"a retention policy must be a mapping, got {type(data).__name__}"
+            )
+        known = ("max_periods", "rollup_periods", "rollup_min_age")
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise ValueError(
+                f"unknown retention key(s) {unknown}; accepted: {list(known)}"
+            )
+        return cls(
+            max_periods=data.get("max_periods"),
+            rollup_periods=data.get("rollup_periods"),
+            rollup_min_age=data.get("rollup_min_age", 0),
+        )
+
+
+def _metric_filename(metric: str) -> str:
+    """A filesystem-safe log name for a metric (percent-encoded)."""
+    return urllib.parse.quote(metric, safe="") + LOG_SUFFIX
+
+
+def _metric_from_filename(filename: str) -> str:
+    return urllib.parse.unquote(filename[: -len(LOG_SUFFIX)])
+
+
+class _MetricLog:
+    """In-memory index of one metric's segment log."""
+
+    __slots__ = ("spec_dict", "segments", "starts", "valid_bytes")
+
+    def __init__(self, spec_dict: Dict[str, Any]) -> None:
+        self.spec_dict = spec_dict
+        self.segments: List[Segment] = []
+        #: Sorted start_period of each indexed segment (bisect key).
+        self.starts: List[int] = []
+        self.valid_bytes = 0
+
+    @property
+    def next_period(self) -> int:
+        """First period not yet covered by a committed segment."""
+        return self.segments[-1].end_period if self.segments else 0
+
+
+class SegmentStore:
+    """A directory of per-metric, time-indexed segment logs.
+
+    Parameters
+    ----------
+    directory:
+        The store directory; created (parents included) when missing.
+    retention:
+        Default :class:`RetentionPolicy` (or its dict form) applied by
+        :meth:`maintain`; ``None`` keeps all history at full resolution.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        retention: Optional[RetentionPolicy] = None,
+    ) -> None:
+        if isinstance(retention, Mapping):
+            retention = RetentionPolicy.from_dict(retention)
+        if retention is not None and not isinstance(retention, RetentionPolicy):
+            raise StoreError(
+                f"retention must be a RetentionPolicy or its dict form, got "
+                f"{type(retention).__name__}"
+            )
+        self.directory = os.path.abspath(directory)
+        self.retention = retention
+        self.duplicates_skipped = 0
+        self.torn_records_dropped = 0
+        self._logs: Dict[str, _MetricLog] = {}
+        self._handles: Dict[str, Any] = {}
+        self._open_directory()
+
+    # ------------------------------------------------------------------
+    # Opening / recovery
+    # ------------------------------------------------------------------
+    def _open_directory(self) -> None:
+        manifest_path = os.path.join(self.directory, "MANIFEST.json")
+        if os.path.isfile(self.directory):
+            raise StoreError(
+                f"history store path {self.directory!r} is a file, not a "
+                "directory; pass a directory path"
+            )
+        os.makedirs(self.directory, exist_ok=True)
+        if os.path.exists(manifest_path):
+            try:
+                with open(manifest_path, "r", encoding="utf-8") as handle:
+                    manifest = json.load(handle)
+            except (OSError, json.JSONDecodeError) as exc:
+                raise StoreError(
+                    f"{manifest_path}: unreadable store manifest ({exc}); the "
+                    "directory is not a history store or its manifest is corrupted"
+                ) from None
+            if not isinstance(manifest, dict) or manifest.get("format") != STORE_FORMAT:
+                raise StoreError(
+                    f"{manifest_path}: not a history-store manifest (expected "
+                    f"format {STORE_FORMAT!r}); pass a directory created by "
+                    "SegmentStore or an empty/new path"
+                )
+            version = manifest.get("version")
+            if not isinstance(version, int) or version < 1 or version > STORE_VERSION:
+                raise StoreError(
+                    f"{manifest_path}: unknown store version {version!r}; this "
+                    f"build reads versions 1..{STORE_VERSION} — the store was "
+                    "written by a newer release (upgrade this installation)"
+                )
+        else:
+            if any(name.endswith(LOG_SUFFIX) for name in os.listdir(self.directory)):
+                raise StoreError(
+                    f"{self.directory}: contains segment logs but no manifest; "
+                    "the store was only partially created or the manifest was "
+                    "deleted — restore MANIFEST.json or move the logs aside"
+                )
+            self._write_atomic(
+                manifest_path,
+                json.dumps(
+                    {"format": STORE_FORMAT, "version": STORE_VERSION},
+                    separators=(",", ":"),
+                )
+                + "\n",
+            )
+        for name in sorted(os.listdir(self.directory)):
+            if name.endswith(LOG_SUFFIX):
+                self._load_log(_metric_from_filename(name))
+
+    def _load_log(self, metric: str) -> None:
+        """Scan one log, rebuild its index, truncate any torn tail."""
+        path = self._log_path(metric)
+        log: Optional[_MetricLog] = None
+        valid_bytes = 0
+        with open(path, "rb") as handle:
+            while True:
+                line = handle.readline()
+                if not line:
+                    break
+                try:
+                    record = decode_line(line)
+                    kind = record.get("kind") if isinstance(record, dict) else None
+                    if log is None:
+                        log = _MetricLog(read_spec_record(record))
+                    elif kind == "segment":
+                        segment = Segment.from_record(record)
+                        if segment.metric != metric:
+                            raise serde.StateError(
+                                f"segment for metric {segment.metric!r} found in "
+                                f"{metric!r}'s log"
+                            )
+                        self._index_segment(log, segment)
+                    else:
+                        raise serde.StateError(
+                            f"unexpected record kind {kind!r} in segment log"
+                        )
+                except (TornRecord, serde.StateError):
+                    # Committed history ends at the last intact record; the
+                    # torn/foreign tail is dropped (and truncated below).
+                    self.torn_records_dropped += 1
+                    break
+                valid_bytes += len(line)
+        if log is None:
+            # Even the spec record is torn: nothing of this metric was
+            # durably committed. Drop the file entirely.
+            os.unlink(path)
+            return
+        log.valid_bytes = valid_bytes
+        actual = os.path.getsize(path)
+        if actual > valid_bytes:
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+        self._logs[metric] = log
+
+    @staticmethod
+    def _index_segment(log: _MetricLog, segment: Segment) -> None:
+        if log.segments and segment.start_period < log.segments[-1].end_period:
+            # Replayed history after a checkpoint resume: already covered.
+            raise _Duplicate()
+        log.segments.append(segment)
+        log.starts.append(segment.start_period)
+
+    # ------------------------------------------------------------------
+    # Registration / append
+    # ------------------------------------------------------------------
+    def register(self, spec: Any) -> None:
+        """Ensure a metric's log exists and its spec matches ``spec``.
+
+        ``spec`` is a :class:`~repro.service.spec.MetricSpec` or its dict
+        form.  Registering an existing metric verifies spec equality — a
+        store must not silently mix segments of differently-configured
+        metrics under one name.
+        """
+        from repro.service.spec import MetricSpec
+
+        if isinstance(spec, Mapping):
+            spec = MetricSpec.from_dict(spec)
+        if not isinstance(spec, MetricSpec):
+            raise StoreError(
+                f"register() takes a MetricSpec or its dict form, got "
+                f"{type(spec).__name__}"
+            )
+        spec_dict = spec.to_dict()
+        existing = self._logs.get(spec.name)
+        if existing is not None:
+            if existing.spec_dict != spec_dict:
+                raise StoreError(
+                    f"metric {spec.name!r} is already stored with a different "
+                    "configuration; open a fresh store directory or use the "
+                    "spec the store was created with (spec/store mismatch)"
+                )
+            return
+        log = _MetricLog(spec_dict)
+        line = encode_line(spec_record(spec.name, spec_dict))
+        handle = self._handle(spec.name)
+        handle.write(line)
+        handle.flush()
+        log.valid_bytes = len(line)
+        self._logs[spec.name] = log
+
+    def append(self, segment: Segment) -> bool:
+        """Durably append one segment; returns whether it was new.
+
+        Segments must arrive in time order per metric (``start_period ==``
+        the log's next period).  A segment that is already covered is
+        skipped idempotently (checkpoint-replay discipline, see the module
+        docstring); a gap or overlap that is *not* a clean replay raises.
+        """
+        log = self._require_metric(segment.metric)
+        if not log.segments:
+            # An empty log accepts any starting period: a recorder attached
+            # mid-life (e.g. after resuming a pre-history checkpoint) begins
+            # committed history wherever it first observes a full period.
+            line = encode_line(segment.to_record())
+            handle = self._handle(segment.metric)
+            handle.write(line)
+            handle.flush()
+            log.valid_bytes += len(line)
+            self._index_segment(log, segment)
+            return True
+        next_period = log.next_period
+        if segment.end_period <= next_period:
+            self.duplicates_skipped += 1
+            return False
+        if segment.start_period != next_period:
+            if segment.start_period < next_period:
+                raise StoreError(
+                    f"metric {segment.metric!r}: segment "
+                    f"[{segment.start_period}, {segment.end_period}) overlaps "
+                    f"committed history (next period is {next_period}); "
+                    "segments must replay exactly or continue the log"
+                )
+            raise StoreError(
+                f"metric {segment.metric!r}: segment starts at period "
+                f"{segment.start_period} but the log's next period is "
+                f"{next_period}; history must be gap-free — replay the "
+                "missing periods first"
+            )
+        line = encode_line(segment.to_record())
+        handle = self._handle(segment.metric)
+        handle.write(line)
+        handle.flush()
+        log.valid_bytes += len(line)
+        self._index_segment(log, segment)
+        return True
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def metrics(self) -> List[str]:
+        """Stored metric names, sorted."""
+        return sorted(self._logs)
+
+    def spec_dict(self, metric: str) -> Dict[str, Any]:
+        """The canonical spec dict the metric's log was created with."""
+        return dict(self._require_metric(metric).spec_dict)
+
+    def spec(self, metric: str):
+        """The metric's :class:`~repro.service.spec.MetricSpec`."""
+        from repro.service.spec import MetricSpec
+
+        return MetricSpec.from_dict(self.spec_dict(metric))
+
+    def segments(self, metric: str) -> List[Segment]:
+        """All committed segments of a metric, in time order."""
+        return list(self._require_metric(metric).segments)
+
+    def coverage(self, metric: str) -> Tuple[int, int]:
+        """The committed period range ``[first, next)`` of a metric."""
+        log = self._require_metric(metric)
+        if not log.segments:
+            return (0, 0)
+        return (log.segments[0].start_period, log.next_period)
+
+    def covering(self, metric: str, start: int, end: int) -> List[Segment]:
+        """The segments whose union is exactly periods ``[start, end)``.
+
+        Raises :class:`StoreError` with an actionable message when the
+        range is outside committed history, spans a retention gap, or cuts
+        through a rollup segment (compaction coarsened those periods; the
+        error names the achievable boundaries).
+        """
+        log = self._require_metric(metric)
+        if not isinstance(start, int) or not isinstance(end, int) or isinstance(
+            start, bool
+        ) or isinstance(end, bool):
+            raise StoreError(
+                f"period range bounds must be ints, got [{start!r}, {end!r})"
+            )
+        if end <= start:
+            raise StoreError(
+                f"period range [{start}, {end}) is empty; end must exceed start"
+            )
+        first, nxt = self.coverage(metric)
+        if not log.segments or start < first or end > nxt:
+            raise StoreError(
+                f"metric {metric!r}: periods [{start}, {end}) are outside "
+                f"committed history [{first}, {nxt}); older periods may have "
+                "been dropped by retention"
+            )
+        index = bisect.bisect_right(log.starts, start) - 1
+        chosen: List[Segment] = []
+        cursor = start
+        while cursor < end:
+            segment = log.segments[index]
+            if segment.start_period != cursor:
+                boundaries = self._boundaries_near(log, start, end)
+                raise StoreError(
+                    f"metric {metric!r}: period {cursor} falls inside the "
+                    f"compacted segment [{segment.start_period}, "
+                    f"{segment.end_period}); ranges must align with segment "
+                    f"boundaries — nearest achievable: {boundaries}"
+                )
+            if segment.end_period > end:
+                boundaries = self._boundaries_near(log, start, end)
+                raise StoreError(
+                    f"metric {metric!r}: period range [{start}, {end}) ends "
+                    f"inside the compacted segment [{segment.start_period}, "
+                    f"{segment.end_period}); ranges must align with segment "
+                    f"boundaries — nearest achievable: {boundaries}"
+                )
+            chosen.append(segment)
+            cursor = segment.end_period
+            index += 1
+        return chosen
+
+    @staticmethod
+    def _boundaries_near(log: _MetricLog, start: int, end: int) -> List[int]:
+        """A handful of valid segment boundaries around a failed range."""
+        boundaries = sorted(
+            {log.segments[0].start_period}
+            | {segment.end_period for segment in log.segments}
+        )
+        lo = bisect.bisect_left(boundaries, start) - 2
+        hi = bisect.bisect_right(boundaries, end) + 2
+        return boundaries[max(0, lo) : hi]
+
+    # ------------------------------------------------------------------
+    # Retention + compaction
+    # ------------------------------------------------------------------
+    def compact(
+        self,
+        metric: Optional[str] = None,
+        *,
+        rollup_periods: Optional[int] = None,
+        min_age: Optional[int] = None,
+    ) -> int:
+        """Roll fine segments into coarser rollups; returns rollups built.
+
+        Runs of adjacent segments older than ``min_age`` periods behind
+        the newest committed period merge into rollup segments covering
+        ``rollup_periods`` periods each (runs shorter than a full rollup
+        stay as they are — compaction never changes committed coverage,
+        only its granularity).  Defaults come from the store's
+        :class:`RetentionPolicy`.
+        """
+        policy = self.retention or RetentionPolicy()
+        rollup = rollup_periods if rollup_periods is not None else policy.rollup_periods
+        age = min_age if min_age is not None else policy.rollup_min_age
+        if rollup is None:
+            return 0
+        if not isinstance(rollup, int) or isinstance(rollup, bool) or rollup < 2:
+            raise StoreError(
+                f"rollup_periods must be an int >= 2, got {rollup!r}"
+            )
+        names = [metric] if metric is not None else self.metrics()
+        built = 0
+        for name in names:
+            built += self._compact_metric(name, rollup, age)
+        return built
+
+    def _compact_metric(self, metric: str, rollup: int, min_age: int) -> int:
+        from repro.store.query import merge_segments
+
+        log = self._require_metric(metric)
+        if not log.segments:
+            return 0
+        horizon = log.next_period - min_age
+        rewritten: List[Segment] = []
+        run: List[Segment] = []
+        built = 0
+
+        def flush_run() -> None:
+            nonlocal built
+            while len(run) and run[0].periods >= rollup:
+                rewritten.append(run.pop(0))
+            while run:
+                batch: List[Segment] = []
+                width = 0
+                while run and width + run[0].periods <= rollup:
+                    width += run[0].periods
+                    batch.append(run.pop(0))
+                if not batch:
+                    # A single segment wider than the target: keep as-is.
+                    rewritten.append(run.pop(0))
+                    continue
+                if width < rollup or len(batch) == 1:
+                    # A remnant shorter than a full rollup (or already one
+                    # segment): leave fine-grained for a later pass.
+                    rewritten.extend(batch)
+                    continue
+                rewritten.append(merge_segments(batch, kind="rollup"))
+                built += 1
+
+        for segment in log.segments:
+            if segment.end_period <= horizon:
+                run.append(segment)
+            else:
+                flush_run()
+                rewritten.append(segment)
+        flush_run()
+        if built:
+            self._rewrite_log(metric, rewritten)
+        return built
+
+    def prune(self, metric: Optional[str] = None, *, max_periods: Optional[int] = None) -> int:
+        """Drop segments outside the retention horizon; returns drops.
+
+        A segment is dropped only when it lies *entirely* before
+        ``newest_end - max_periods`` — retention never truncates inside a
+        segment, so surviving history stays queryable at its boundaries.
+        """
+        policy = self.retention or RetentionPolicy()
+        keep = max_periods if max_periods is not None else policy.max_periods
+        if keep is None:
+            return 0
+        if not isinstance(keep, int) or isinstance(keep, bool) or keep < 1:
+            raise StoreError(f"max_periods must be a positive int, got {keep!r}")
+        names = [metric] if metric is not None else self.metrics()
+        dropped = 0
+        for name in names:
+            log = self._require_metric(name)
+            horizon = log.next_period - keep
+            kept = [s for s in log.segments if s.end_period > horizon]
+            if len(kept) != len(log.segments):
+                dropped += len(log.segments) - len(kept)
+                self._rewrite_log(name, kept)
+        return dropped
+
+    def maintain(self) -> Dict[str, int]:
+        """One retention pass: compact then prune, per the store policy."""
+        return {"rollups_built": self.compact(), "segments_dropped": self.prune()}
+
+    def _rewrite_log(self, metric: str, segments: List[Segment]) -> None:
+        """Atomically replace a metric's log with the given segments."""
+        log = self._logs[metric]
+        path = self._log_path(metric)
+        handle = self._handles.pop(metric, None)
+        if handle is not None:
+            handle.close()
+        lines = [encode_line(spec_record(metric, log.spec_dict))]
+        lines.extend(encode_line(segment.to_record()) for segment in segments)
+        payload = b"".join(lines)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as tmp:
+                tmp.write(payload)
+                tmp.flush()
+                os.fsync(tmp.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        log.segments = list(segments)
+        log.starts = [segment.start_period for segment in segments]
+        log.valid_bytes = len(payload)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / plumbing
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and close every open log handle (the store stays usable;
+        handles reopen lazily on the next append)."""
+        for handle in self._handles.values():
+            try:
+                handle.close()
+            except OSError:
+                pass
+        self._handles.clear()
+
+    def __enter__(self) -> "SegmentStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, Any]:
+        """Store-level accounting (per-metric segment/period counts)."""
+        metrics = {}
+        for name, log in self._logs.items():
+            first, nxt = self.coverage(name)
+            metrics[name] = {
+                "segments": len(log.segments),
+                "rollups": sum(1 for s in log.segments if s.kind == "rollup"),
+                "first_period": first,
+                "next_period": nxt,
+                "events": sum(s.count for s in log.segments),
+                "bytes": log.valid_bytes,
+            }
+        return {
+            "directory": self.directory,
+            "metrics": metrics,
+            "duplicates_skipped": self.duplicates_skipped,
+            "torn_records_dropped": self.torn_records_dropped,
+        }
+
+    def _log_path(self, metric: str) -> str:
+        return os.path.join(self.directory, _metric_filename(metric))
+
+    def _handle(self, metric: str):
+        handle = self._handles.get(metric)
+        if handle is None:
+            handle = open(self._log_path(metric), "ab")
+            self._handles[metric] = handle
+        return handle
+
+    def _require_metric(self, metric: str) -> _MetricLog:
+        try:
+            return self._logs[metric]
+        except KeyError:
+            raise StoreError(
+                f"metric {metric!r} is not in this store; stored: "
+                f"{self.metrics() or '(none)'}"
+            ) from None
+
+    @staticmethod
+    def _write_atomic(path: str, payload: str) -> None:
+        directory = os.path.dirname(path)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+
+class _Duplicate(Exception):
+    """Internal: an indexed segment that replays committed coverage."""

@@ -1,0 +1,77 @@
+"""Shared fixtures/helpers for the historical-store test battery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service.monitor import Monitor
+from repro.service.spec import MetricSpec
+from repro.store import HistoryWriter, SegmentStore
+
+#: The window shape most battery cases use: 4 sub-windows of 250 events.
+WINDOW = {"size": 1000, "period": 250}
+
+#: Quantiles tracked by battery metrics.
+PHIS = [0.5, 0.9, 0.99]
+
+
+def make_spec(policy: str, name: str | None = None, **params) -> MetricSpec:
+    """A battery MetricSpec for one policy (standard window/quantiles)."""
+    return MetricSpec(
+        name=name or f"m_{policy}",
+        quantiles=PHIS,
+        window=dict(WINDOW),
+        policy=policy,
+        policy_params=params,
+    )
+
+
+def stream_values(seed: int, periods: int, period: int = WINDOW["period"]) -> np.ndarray:
+    """A deterministic heavy-tailed stream covering ``periods`` periods."""
+    rng = np.random.default_rng(seed)
+    return rng.lognormal(mean=3.0, sigma=1.2, size=periods * period)
+
+
+def write_history(tmp_path, specs, values, subdir: str = "hist") -> SegmentStore:
+    """Ingest ``values`` into every spec's metric, recording history.
+
+    Returns the (still-open) store; each metric receives the full stream
+    through ``Monitor.observe_batch``, so segments are exactly the
+    per-period deltas of the shared stream.
+    """
+    monitor = Monitor()
+    for spec in specs:
+        monitor.register(spec)
+    writer = HistoryWriter(str(tmp_path / subdir))
+    writer.attach(monitor)
+    for spec in specs:
+        monitor.observe_batch(spec.name, values)
+    return writer.store
+
+
+def offline_reference(spec: MetricSpec, values: np.ndarray, start: int, end: int):
+    """The offline ground truth for a range query over ``[start, end)``.
+
+    A fresh policy ingests exactly periods ``[start, end)`` of the
+    stream, sealing at every boundary, then answers — the sequential run
+    the stored-segment query must reproduce (bit-identically for
+    time-composable policies).
+    """
+    period = spec.window.period
+    policy = spec.build_policy()
+    for p in range(start, end):
+        policy.accumulate_batch(values[p * period : (p + 1) * period])
+        policy.seal_subwindow()
+    return policy.query()
+
+
+def as_wire(answer) -> dict:
+    """A policy ``query()`` answer in the result-dict quantile encoding."""
+    return {repr(phi): float(value) for phi, value in sorted(answer.items())}
+
+
+@pytest.fixture()
+def battery_values() -> np.ndarray:
+    """16 periods of the default battery stream (seed 0)."""
+    return stream_values(0, 16)

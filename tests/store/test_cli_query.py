@@ -1,0 +1,239 @@
+"""CLI surface: ``query`` subcommand, ``--history``, checkpoint parents.
+
+In-process ``main(argv)`` invocations — exit codes and printed bytes are
+the contract under test, including the acceptance criterion that a query
+against a server (``--server``) renders the same bytes as one against
+the store directory the server writes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.evalkit.cli import main
+
+from tests.store.conftest import PHIS, WINDOW
+
+SPECS = {
+    "metrics": [
+        {
+            "name": "rtt",
+            "quantiles": PHIS,
+            "window": dict(WINDOW),
+            "policy": "exact",
+        }
+    ]
+}
+
+
+@pytest.fixture()
+def specs_path(tmp_path):
+    path = tmp_path / "specs.json"
+    path.write_text(json.dumps(SPECS), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture()
+def history_dir(tmp_path, specs_path):
+    """A history store written by the offline monitor CLI."""
+    directory = str(tmp_path / "hist")
+    code = main(
+        [
+            "monitor",
+            specs_path,
+            "--dataset",
+            "uniform",
+            "--seed",
+            "0",
+            "--events",
+            "4000",
+            "--history",
+            directory,
+        ]
+    )
+    assert code == 0
+    return directory
+
+
+class TestQuerySubcommand:
+    def test_range_query_renders(self, history_dir, capsys):
+        assert main(["query", history_dir, "--metric", "rtt", "--range", "0:16"]) == 0
+        out = capsys.readouterr().out
+        assert "rtt periods [0, 16)" in out
+        assert "p0.5:" in out and "p0.99" in out
+
+    def test_at_query(self, history_dir, capsys):
+        assert main(["query", history_dir, "--metric", "rtt", "--at", "3"]) == 0
+        assert "periods [3, 4)" in capsys.readouterr().out
+
+    def test_series_query(self, history_dir, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    history_dir,
+                    "--metric",
+                    "rtt",
+                    "--range",
+                    "0:16",
+                    "--step",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("periods [") == 3  # header + 2 buckets
+
+    def test_json_output_is_stable(self, history_dir, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    history_dir,
+                    "--metric",
+                    "rtt",
+                    "--range",
+                    "0:16",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        first = capsys.readouterr().out
+        main(["query", history_dir, "--metric", "rtt", "--range", "0:16", "--json"])
+        assert capsys.readouterr().out == first
+        payload = json.loads(first)
+        assert payload["metric"] == "rtt"
+        assert payload["segments_merged"] == 16
+
+    def test_quantile_subset_flag(self, history_dir, capsys):
+        assert (
+            main(
+                [
+                    "query",
+                    history_dir,
+                    "--metric",
+                    "rtt",
+                    "--range",
+                    "0:4",
+                    "--quantiles",
+                    "0.9",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "p0.9:" in out and "p0.5:" not in out
+
+    def test_missing_store_dir_is_actionable(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", missing, "--metric", "rtt", "--at", "0"])
+        assert excinfo.value.code == 2
+        assert "does not exist" in capsys.readouterr().err
+        assert not os.path.exists(missing)  # the query never creates a store
+
+    def test_requires_exactly_one_selector(self, history_dir, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", history_dir, "--metric", "rtt"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    history_dir,
+                    "--metric",
+                    "rtt",
+                    "--at",
+                    "0",
+                    "--range",
+                    "0:4",
+                ]
+            )
+
+    def test_step_without_range_rejected(self, history_dir):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", history_dir, "--metric", "rtt", "--at", "0", "--step", "2"])
+        assert excinfo.value.code == 2
+
+    def test_bad_range_syntax_rejected(self, history_dir, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", history_dir, "--metric", "rtt", "--range", "5"])
+        assert excinfo.value.code == 2
+
+    def test_out_of_history_range_is_exit_2(self, history_dir, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["query", history_dir, "--metric", "rtt", "--range", "0:9999"])
+        assert excinfo.value.code == 2
+        assert "outside committed history" in capsys.readouterr().err
+
+
+class TestCheckpointParentDirs:
+    """Satellite: ``--checkpoint`` creates missing parent directories."""
+
+    def test_monitor_checkpoint_deep_path(self, specs_path, tmp_path):
+        checkpoint = str(tmp_path / "runs" / "deep" / "nest" / "ckpt.json")
+        code = main(
+            [
+                "monitor",
+                specs_path,
+                "--dataset",
+                "uniform",
+                "--seed",
+                "0",
+                "--events",
+                "1000",
+                "--checkpoint",
+                checkpoint,
+            ]
+        )
+        assert code == 0
+        assert os.path.exists(checkpoint)
+
+    def test_parent_is_file_exits_2(self, specs_path, tmp_path, capsys):
+        blocker = tmp_path / "runs"
+        blocker.write_text("not a directory")
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "monitor",
+                    specs_path,
+                    "--dataset",
+                    "uniform",
+                    "--seed",
+                    "0",
+                    "--events",
+                    "1000",
+                    "--checkpoint",
+                    str(blocker / "ckpt.json"),
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_failure_happens_before_ingest(self, specs_path, tmp_path, capsys):
+        """The parent check runs up front — a bad path fails fast, not
+        after minutes of streaming."""
+        blocker = tmp_path / "runs"
+        blocker.write_text("x")
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "monitor",
+                    specs_path,
+                    "--dataset",
+                    "uniform",
+                    "--seed",
+                    "0",
+                    "--events",
+                    "100000000",
+                    "--checkpoint",
+                    str(blocker / "ckpt.json"),
+                ]
+            )
+        out = capsys.readouterr().out
+        assert "eval=" not in out  # no window ever ran

@@ -1,0 +1,140 @@
+"""Compaction mechanics: rollup shapes, horizons, durability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import SegmentStore, StoreError, query_range
+
+from tests.store.conftest import make_spec, stream_values, write_history
+
+
+@pytest.fixture()
+def populated(tmp_path):
+    """A 16-period exact-policy history plus its backing directory."""
+    spec = make_spec("exact")
+    values = stream_values(3, 16)
+    store = write_history(tmp_path, [spec], values)
+    return spec, store, tmp_path / "hist"
+
+
+class TestRollupShapes:
+    def test_rollup_width_and_kind(self, populated):
+        spec, store, _ = populated
+        built = store.compact(rollup_periods=4, min_age=0)
+        assert built == 4
+        segments = store.segments(spec.name)
+        assert [(s.kind, s.start_period, s.end_period) for s in segments] == [
+            ("rollup", 0, 4),
+            ("rollup", 4, 8),
+            ("rollup", 8, 12),
+            ("rollup", 12, 16),
+        ]
+
+    def test_rollup_counts_sum_children(self, populated):
+        spec, store, _ = populated
+        store.compact(rollup_periods=4, min_age=0)
+        assert all(s.count == 4 * 250 for s in store.segments(spec.name))
+
+    def test_coverage_unchanged_by_compaction(self, populated):
+        spec, store, _ = populated
+        before = store.coverage(spec.name)
+        store.compact(rollup_periods=4, min_age=0)
+        assert store.coverage(spec.name) == before
+
+    def test_min_age_keeps_recent_tail_fine(self, populated):
+        spec, store, _ = populated
+        store.compact(rollup_periods=4, min_age=6)
+        segments = store.segments(spec.name)
+        # Periods within min_age of the write head stay un-compacted.
+        tail = [s for s in segments if s.start_period >= 10]
+        assert all(s.kind == "period" for s in tail)
+        head = [s for s in segments if s.end_period <= 8]
+        assert all(s.kind == "rollup" for s in head)
+
+    def test_remnant_short_run_stays_fine(self, tmp_path):
+        spec = make_spec("exact")
+        store = write_history(tmp_path, [spec], stream_values(1, 6))
+        built = store.compact(rollup_periods=4, min_age=0)
+        assert built == 1
+        kinds = [s.kind for s in store.segments(spec.name)]
+        assert kinds == ["rollup", "period", "period"]
+
+    def test_noop_when_nothing_old_enough(self, populated):
+        spec, store, _ = populated
+        assert store.compact(rollup_periods=4, min_age=100) == 0
+        assert all(s.kind == "period" for s in store.segments(spec.name))
+
+    def test_idempotent_second_pass(self, populated):
+        _, store, _ = populated
+        assert store.compact(rollup_periods=4, min_age=0) == 4
+        assert store.compact(rollup_periods=4, min_age=0) == 0
+
+    def test_wider_repack_of_existing_rollups(self, populated):
+        spec, store, _ = populated
+        store.compact(rollup_periods=2, min_age=0)
+        assert store.compact(rollup_periods=8, min_age=0) == 2
+        assert [s.periods for s in store.segments(spec.name)] == [8, 8]
+
+
+class TestCompactionArgs:
+    def test_noop_without_width_or_policy(self, populated):
+        """No configured width means maintain()-style calls are a no-op."""
+        spec, store, _ = populated
+        assert store.compact() == 0
+        assert all(s.kind == "period" for s in store.segments(spec.name))
+
+    def test_rejects_width_one(self, populated):
+        _, store, _ = populated
+        with pytest.raises((StoreError, ValueError), match="rollup_periods"):
+            store.compact(rollup_periods=1)
+
+    def test_unknown_metric(self, populated):
+        _, store, _ = populated
+        with pytest.raises(StoreError):
+            store.compact(metric="nope", rollup_periods=4)
+
+
+class TestDurability:
+    def test_compaction_survives_reopen(self, populated):
+        spec, store, directory = populated
+        before = query_range(store, spec.name, 0, 16)
+        store.compact(rollup_periods=4, min_age=0)
+        store.close()
+        reopened = SegmentStore(str(directory))
+        segments = reopened.segments(spec.name)
+        assert [s.kind for s in segments] == ["rollup"] * 4
+        after = query_range(reopened, spec.name, 0, 16)
+        assert after["quantiles"] == before["quantiles"]
+        assert after["count"] == before["count"]
+        assert after["segments_merged"] == 4
+
+    def test_log_shrinks_on_disk(self, populated):
+        spec, store, directory = populated
+        path = directory / f"{spec.name}.seg"
+        fine_size = path.stat().st_size
+        store.compact(rollup_periods=16, min_age=0)
+        assert path.stat().st_size < fine_size
+
+    def test_append_continues_after_compaction(self, populated, tmp_path):
+        spec, store, _ = populated
+        store.compact(rollup_periods=4, min_age=0)
+        from repro.service.monitor import Monitor
+        from repro.store import HistoryWriter
+
+        # A resumed writer over the same store keeps appending period 16+.
+        monitor = Monitor()
+        monitor.register(spec)
+        writer = HistoryWriter(store)
+        writer.attach(monitor)
+        values = stream_values(9, 17)
+        monitor.observe_batch(spec.name, values)
+        # Replay of periods 0..15 is duplicate-skipped; period 16 lands.
+        assert store.coverage(spec.name) == (0, 17)
+        assert store.duplicates_skipped == 16
+
+    def test_misaligned_query_names_boundaries(self, populated):
+        spec, store, _ = populated
+        store.compact(rollup_periods=4, min_age=0)
+        with pytest.raises(StoreError, match=r"\[0, 4, 8, 12, 16\]"):
+            query_range(store, spec.name, 2, 10)

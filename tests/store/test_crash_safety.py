@@ -1,0 +1,167 @@
+"""Crash safety: SIGKILL mid-append never corrupts committed history.
+
+A child process appends segments in a tight loop and is killed with
+SIGKILL at a random point.  Reopening the store must (a) never serve a
+torn segment, (b) keep every period the child reported as committed
+queryable, and (c) leave the log physically truncated to intact records
+so subsequent appends continue cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.store import SegmentStore, query_range
+
+from tests.store.conftest import make_spec
+
+#: Child: append period segments forever, reporting each committed
+#: period on stdout so the parent knows the durable lower bound.
+_WRITER_SCRIPT = r"""
+import sys
+from repro.service.spec import MetricSpec
+from repro.store import Segment, SegmentStore
+
+directory = sys.argv[1]
+spec = MetricSpec(
+    name="rtt",
+    quantiles=[0.5, 0.9, 0.99],
+    window={"size": 1000, "period": 250},
+    policy="exact",
+)
+policy = spec.build_policy()
+policy.accumulate_batch([float(v) for v in range(250)])
+policy.seal_subwindow()
+state = policy.to_state()
+
+store = SegmentStore(directory)
+store.register(spec)
+period = store.coverage("rtt")[1] if store.metrics() else 0
+while True:
+    store.append(
+        Segment(
+            metric="rtt",
+            start_period=period,
+            end_period=period + 1,
+            count=250,
+            state=state,
+        )
+    )
+    sys.stdout.write("%d\n" % period)
+    sys.stdout.flush()
+    period += 1
+"""
+
+
+def _run_writer_and_kill(directory: str, *, min_committed: int, grace: float = 10.0):
+    """Start the writer child, SIGKILL it mid-stream, return committed periods."""
+    child = subprocess.Popen(
+        [sys.executable, "-c", _WRITER_SCRIPT, directory],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env={**os.environ, "PYTHONPATH": "src"},
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    )
+    committed = []
+    deadline = time.monotonic() + grace
+    try:
+        while len(committed) < min_committed:
+            line = child.stdout.readline()
+            if not line:
+                raise AssertionError(
+                    f"writer child exited early: {child.stderr.read().decode()}"
+                )
+            committed.append(int(line))
+            if time.monotonic() > deadline:
+                raise AssertionError("writer child too slow")
+        # Kill while the child is actively appending — no flush, no atexit.
+        child.send_signal(signal.SIGKILL)
+        child.wait(timeout=10)
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(timeout=10)
+        child.stdout.close()
+        child.stderr.close()
+    return committed
+
+
+@pytest.fixture(scope="module")
+def killed_store(tmp_path_factory):
+    """A store directory left behind by a SIGKILLed writer."""
+    directory = str(tmp_path_factory.mktemp("crash") / "hist")
+    committed = _run_writer_and_kill(directory, min_committed=20)
+    return directory, committed
+
+
+class TestKillMidAppend:
+    def test_reopen_never_serves_torn_segments(self, killed_store):
+        directory, committed = killed_store
+        store = SegmentStore(directory)
+        for segment in store.segments("rtt"):
+            assert segment.count == 250
+            assert segment.state["kind"] == "policy"
+
+    def test_all_reported_periods_survive(self, killed_store):
+        """Everything the child observed as committed must be queryable."""
+        directory, committed = killed_store
+        store = SegmentStore(directory)
+        start, end = store.coverage("rtt")
+        assert start == 0
+        assert end >= committed[-1] + 1
+        result = query_range(store, "rtt", 0, committed[-1] + 1)
+        assert result["count"] == (committed[-1] + 1) * 250
+
+    def test_log_truncated_to_intact_records(self, killed_store):
+        directory, committed = killed_store
+        size_before = os.path.getsize(os.path.join(directory, "rtt.seg"))
+        store = SegmentStore(directory)
+        size_after = os.path.getsize(os.path.join(directory, "rtt.seg"))
+        assert size_after <= size_before
+        # Whatever recovery dropped, the file now ends on a record boundary.
+        with open(os.path.join(directory, "rtt.seg"), "rb") as handle:
+            data = handle.read()
+        assert data.endswith(b"\n")
+
+    def test_writer_resumes_after_crash(self, killed_store):
+        directory, committed = killed_store
+        store = SegmentStore(directory)
+        next_period = store.coverage("rtt")[1]
+        store.close()
+        # A resumed writer (same script) continues from the committed head.
+        more = _run_writer_and_kill(directory, min_committed=5)
+        assert more[0] == next_period
+        reopened = SegmentStore(directory)
+        assert reopened.coverage("rtt")[1] >= next_period + 5
+
+    def test_index_rebuilt_purely_from_data_files(self, killed_store):
+        """No sidecar index: delete the manifest stats, reopen, identical view."""
+        directory, committed = killed_store
+        first = SegmentStore(directory)
+        view = [(s.start_period, s.end_period, s.count) for s in first.segments("rtt")]
+        first.close()
+        second = SegmentStore(directory)
+        assert [
+            (s.start_period, s.end_period, s.count) for s in second.segments("rtt")
+        ] == view
+
+
+class TestRepeatedCrashes:
+    def test_three_kill_cycles_accumulate_cleanly(self, tmp_path):
+        directory = str(tmp_path / "hist")
+        total = []
+        for _ in range(3):
+            total.extend(_run_writer_and_kill(directory, min_committed=5))
+        store = SegmentStore(directory)
+        start, end = store.coverage("rtt")
+        assert start == 0
+        assert end >= total[-1] + 1
+        # Periods are contiguous across all three crash generations.
+        periods = [s.start_period for s in store.segments("rtt")]
+        assert periods == list(range(len(periods)))

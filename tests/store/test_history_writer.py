@@ -1,0 +1,297 @@
+"""HistoryWriter: monitor attachment, checkpoint/resume, server wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service.client import ServerError, TelemetryClient
+from repro.service.monitor import Monitor
+from repro.service.server import TelemetryServer
+from repro.store import (
+    HistoryWriter,
+    RetentionPolicy,
+    SegmentStore,
+    StoreError,
+    query_range,
+    query_series,
+    render_result,
+)
+
+from tests.store.conftest import (
+    PHIS,
+    as_wire,
+    make_spec,
+    offline_reference,
+    stream_values,
+)
+
+
+def fresh_monitor(*specs) -> Monitor:
+    monitor = Monitor()
+    for spec in specs:
+        monitor.register(spec)
+    return monitor
+
+
+class TestAttachment:
+    def test_attach_registers_every_metric(self, tmp_path):
+        specs = [make_spec("exact"), make_spec("cmqs")]
+        monitor = fresh_monitor(*specs)
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(monitor)
+        assert sorted(writer.store.metrics()) == sorted(s.name for s in specs)
+
+    def test_sink_fires_once_per_period(self, tmp_path, battery_values):
+        spec = make_spec("exact")
+        monitor = fresh_monitor(spec)
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(monitor)
+        monitor.observe_batch(spec.name, battery_values)
+        assert writer.segments_written == 16
+        assert writer.store.coverage(spec.name) == (0, 16)
+
+    def test_partial_period_not_written(self, tmp_path):
+        spec = make_spec("exact")
+        monitor = fresh_monitor(spec)
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(monitor)
+        monitor.observe_batch(spec.name, stream_values(0, 1)[:200])
+        assert writer.segments_written == 0
+        remainder = stream_values(0, 1)[200:250]
+        monitor.observe_batch(spec.name, remainder)
+        assert writer.segments_written == 1
+
+    def test_attach_mid_period_rejected(self, tmp_path):
+        spec = make_spec("exact")
+        monitor = fresh_monitor(spec)
+        monitor.observe(spec.name, 1.0)
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        with pytest.raises(ValueError, match="mid-period"):
+            writer.attach(monitor)
+
+    def test_double_attach_rejected(self, tmp_path):
+        spec = make_spec("exact")
+        monitor = fresh_monitor(spec)
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(monitor)
+        with pytest.raises(ValueError, match="already"):
+            writer.attach(monitor)
+
+    def test_merge_into_recording_channel_rejected(self, tmp_path):
+        spec = make_spec("exact")
+        monitor = fresh_monitor(spec)
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(monitor)
+        shard = fresh_monitor(spec)
+        shard.observe_batch(spec.name, stream_values(1, 2))
+        with pytest.raises(ValueError, match="merge shards first"):
+            monitor.merge(shard)
+
+    def test_retention_maintenance_every_n_appends(self, tmp_path, battery_values):
+        spec = make_spec("exact")
+        monitor = fresh_monitor(spec)
+        writer = HistoryWriter(
+            str(tmp_path / "hist"),
+            retention=RetentionPolicy(max_periods=4),
+            maintain_every=4,
+        )
+        writer.attach(monitor)
+        monitor.observe_batch(spec.name, battery_values)
+        start, end = writer.store.coverage(spec.name)
+        assert end == 16
+        assert start >= 8  # old periods pruned as ingest progressed
+
+    def test_writer_observe_path_matches_batch_path(self, tmp_path):
+        """Scalar observe() and observe_batch() produce identical segments."""
+        spec_a, spec_b = make_spec("exact", name="a"), make_spec("exact", name="b")
+        monitor = fresh_monitor(spec_a, spec_b)
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(monitor)
+        values = stream_values(5, 2)
+        monitor.observe_batch("a", values)
+        for value in values:
+            monitor.observe("b", float(value))
+        seg_a = writer.store.segments("a")
+        seg_b = writer.store.segments("b")
+        assert [s.state for s in seg_a] == [s.state for s in seg_b]
+
+
+class TestCheckpointResume:
+    def test_mid_period_recorder_rides_checkpoint(self, tmp_path, battery_values):
+        """Kill after 5.5 periods, resume, finish: segments bit-identical
+        to an uninterrupted run."""
+        spec = make_spec("qlove")
+        ckpt = str(tmp_path / "ckpt.json")
+        cut = 5 * 250 + 125  # mid-period 5
+
+        monitor = fresh_monitor(spec)
+        writer = HistoryWriter(str(tmp_path / "a"))
+        writer.attach(monitor)
+        monitor.observe_batch(spec.name, battery_values[:cut])
+        monitor.save(ckpt)
+        writer.close()
+
+        resumed = Monitor.load(ckpt)
+        writer2 = HistoryWriter(str(tmp_path / "a"))
+        writer2.attach(resumed)
+        resumed.observe_batch(spec.name, battery_values[cut:])
+
+        reference_store = SegmentStore(str(tmp_path / "b"))
+        uninterrupted = fresh_monitor(spec)
+        ref_writer = HistoryWriter(reference_store)
+        ref_writer.attach(uninterrupted)
+        uninterrupted.observe_batch(spec.name, battery_values)
+
+        resumed_segments = writer2.store.segments(spec.name)
+        reference_segments = reference_store.segments(spec.name)
+        assert [s.state for s in resumed_segments] == [
+            s.state for s in reference_segments
+        ]
+
+    def test_replay_from_checkpoint_is_duplicate_skipped(self, tmp_path, battery_values):
+        """Re-ingesting pre-checkpoint periods after resume lands no
+        duplicate segments (the at-least-once replay contract)."""
+        spec = make_spec("exact")
+        ckpt = str(tmp_path / "ckpt.json")
+        monitor = fresh_monitor(spec)
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(monitor)
+        monitor.observe_batch(spec.name, battery_values[: 8 * 250])
+        monitor.save(ckpt)
+        writer.close()
+
+        # Resume from an *older* state and replay the last 4 periods.
+        resumed = Monitor.load(ckpt)
+        resumed.reset()
+        writer2 = HistoryWriter(str(tmp_path / "hist"))
+        writer2.attach(resumed)
+        resumed.observe_batch(spec.name, battery_values[: 8 * 250])
+        assert writer2.store.coverage(spec.name) == (0, 8)
+        assert writer2.store.duplicates_skipped == 8
+
+    def test_checkpoint_without_history_still_loads(self, tmp_path, battery_values):
+        """Pre-history checkpoints (no 'periods'/'history' fields) resume."""
+        spec = make_spec("exact")
+        monitor = fresh_monitor(spec)
+        monitor.observe_batch(spec.name, battery_values[: 4 * 250])
+        ckpt = str(tmp_path / "ckpt.json")
+        monitor.save(ckpt)
+        resumed = Monitor.load(ckpt)
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(resumed)
+        resumed.observe_batch(spec.name, battery_values[4 * 250 :])
+        # Periods 0-3 predate the writer; 4-15 are recorded.
+        assert writer.store.coverage(spec.name) == (4, 16)
+
+
+class TestServerHistoryOp:
+    @pytest.fixture()
+    def serving(self, tmp_path, battery_values):
+        spec = make_spec("exact", name="rtt")
+        monitor = fresh_monitor(spec)
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(monitor)
+        server = TelemetryServer(monitor, history_writer=writer).start()
+        host, port = server.address
+        client = TelemetryClient(host, port)
+        payload = battery_values.tolist()
+        for p in range(16):
+            client.observe("rtt", payload[p * 250 : (p + 1) * 250])
+        try:
+            yield spec, server, client, writer
+        finally:
+            client.close()
+            server.stop()
+
+    def test_history_op_matches_local_query_bytes(self, serving, battery_values):
+        spec, _, client, writer = serving
+        remote = client.history("rtt", start=2, end=14)
+        local = query_range(writer.store, "rtt", 2, 14)
+        assert render_result(remote) == render_result(local)
+        assert remote == local
+        expected = as_wire(offline_reference(spec, battery_values, 2, 14))
+        assert remote["quantiles"] == expected
+
+    def test_history_op_point_and_series(self, serving):
+        _, _, client, writer = serving
+        at = client.history("rtt", at=7)
+        assert at["start_period"] == 7 and at["end_period"] == 8
+        series = client.history("rtt", start=0, end=16, step=4, quantiles=[0.9])
+        local = query_series(writer.store, "rtt", 0, 16, 4, [0.9])
+        assert series == local
+
+    def test_history_op_unknown_metric(self, serving):
+        _, _, client, _ = serving
+        with pytest.raises(ServerError, match="rtt"):
+            client.history("nope", at=0)
+
+    def test_history_op_range_outside_history(self, serving):
+        _, _, client, _ = serving
+        with pytest.raises(ServerError, match="outside committed history"):
+            client.history("rtt", start=0, end=999)
+
+    def test_history_op_requires_exactly_one_selector(self, serving):
+        _, _, client, _ = serving
+        with pytest.raises(ServerError, match="not both|neither"):
+            client.request({"op": "history", "metric": "rtt", "at": 0, "start": 0, "end": 1})
+        with pytest.raises(ServerError, match="not both|neither"):
+            client.request({"op": "history", "metric": "rtt"})
+
+    def test_history_op_without_writer_is_actionable(self, battery_values):
+        spec = make_spec("exact", name="rtt")
+        server = TelemetryServer(fresh_monitor(spec)).start()
+        host, port = server.address
+        client = TelemetryClient(host, port)
+        try:
+            with pytest.raises(ServerError, match="--history"):
+                client.history("rtt", at=0)
+        finally:
+            client.close()
+            server.stop()
+
+    def test_stop_flushes_writer(self, tmp_path, battery_values):
+        spec = make_spec("exact", name="rtt")
+        monitor = fresh_monitor(spec)
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(monitor)
+        server = TelemetryServer(monitor, history_writer=writer).start()
+        host, port = server.address
+        client = TelemetryClient(host, port)
+        client.observe("rtt", battery_values[: 2 * 250].tolist())
+        client.close()
+        server.stop()
+        # stop() closed the writer: no open log handles, data durable.
+        assert writer.store._handles == {}
+        reopened = SegmentStore(str(tmp_path / "hist"))
+        assert reopened.coverage("rtt") == (0, 2)
+
+
+class TestWriterLifecycle:
+    def test_context_manager_closes_store(self, tmp_path):
+        spec = make_spec("exact")
+        monitor = fresh_monitor(spec)
+        with HistoryWriter(str(tmp_path / "hist")) as writer:
+            writer.attach(monitor)
+            monitor.observe_batch(spec.name, stream_values(0, 2))
+        reopened = SegmentStore(str(tmp_path / "hist"))
+        assert reopened.coverage(spec.name) == (0, 2)
+
+    def test_stats_shape(self, tmp_path, battery_values):
+        spec = make_spec("exact")
+        monitor = fresh_monitor(spec)
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(monitor)
+        monitor.observe_batch(spec.name, battery_values)
+        stats = writer.stats()
+        assert stats["segments_written"] == 16
+        assert stats["metrics"][spec.name]["segments"] == 16
+
+    def test_retention_requires_owned_store(self, tmp_path):
+        store = SegmentStore(str(tmp_path / "hist"))
+        with pytest.raises(ValueError, match="retention"):
+            HistoryWriter(store, retention=RetentionPolicy(max_periods=4))
+
+    def test_maintain_every_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="maintain_every"):
+            HistoryWriter(str(tmp_path / "hist"), maintain_every=0)

@@ -1,0 +1,111 @@
+"""Merge associativity over sealed per-period deltas (property-based).
+
+For every registered policy, merging a time-ordered run of per-period
+delta states must give the same queried answer no matter how the run is
+parenthesised — the algebraic fact rollup compaction and range queries
+both lean on.  Deltas are rebuilt from serialized state for every fold
+shape because ``merge`` mutates its receiver.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.registry import available_policies, policy_from_state
+
+from tests.store.conftest import PHIS, make_spec, stream_values
+
+PERIODS = 8
+PERIOD = 250
+
+#: Serialized per-period delta states, one tuple per policy (JSON-frozen
+#: so no fold shape can mutate another's inputs).
+_DELTAS: dict = {}
+
+
+def delta_states(policy: str) -> list:
+    if policy not in _DELTAS:
+        spec = make_spec(policy)
+        values = stream_values(42, PERIODS)
+        states = []
+        for p in range(PERIODS):
+            delta = spec.build_policy()
+            delta.accumulate_batch(values[p * PERIOD : (p + 1) * PERIOD])
+            delta.seal_subwindow()
+            states.append(json.dumps(delta.to_state()))
+        _DELTAS[policy] = states
+    return _DELTAS[policy]
+
+
+def fold(policy: str, groups: list) -> dict:
+    """Merge each group of periods, then merge the group results in order."""
+    states = delta_states(policy)
+    partials = []
+    for group in groups:
+        head = policy_from_state(json.loads(states[group[0]]))
+        for index in group[1:]:
+            head.merge(policy_from_state(json.loads(states[index])))
+        partials.append(head)
+    combined = partials[0]
+    for other in partials[1:]:
+        combined.merge(other)
+    return {phi: float(v) for phi, v in combined.query().items()}
+
+
+def _partitions(n: int):
+    """Hypothesis strategy: ordered partitions of range(n) into runs."""
+    return st.sets(st.integers(1, n - 1), max_size=n - 1).map(
+        lambda cuts: [
+            list(range(a, b))
+            for a, b in zip([0] + sorted(cuts), sorted(cuts) + [n])
+        ]
+    )
+
+
+@pytest.mark.parametrize("policy", sorted(available_policies()))
+class TestMergeAssociativity:
+    def test_flat_fold_is_reference(self, policy):
+        """The single-group fold equals itself — guards the harness."""
+        reference = fold(policy, [list(range(PERIODS))])
+        assert set(reference) == set(PHIS)
+        assert all(np.isfinite(v) for v in reference.values())
+
+    @settings(max_examples=40, deadline=None)
+    @given(groups=_partitions(PERIODS))
+    def test_any_partition_matches_flat_fold(self, policy, groups):
+        reference = fold(policy, [list(range(PERIODS))])
+        assert fold(policy, groups) == reference
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        left=st.sets(st.integers(1, PERIODS - 1), max_size=PERIODS - 1),
+        right=st.sets(st.integers(1, PERIODS - 1), max_size=PERIODS - 1),
+    )
+    def test_two_arbitrary_partitions_agree(self, policy, left, right):
+        def groups(cuts):
+            edges = [0] + sorted(cuts) + [PERIODS]
+            return [list(range(a, b)) for a, b in zip(edges, edges[1:])]
+
+        assert fold(policy, groups(left)) == fold(policy, groups(right))
+
+    def test_nested_rollup_of_rollups(self, policy):
+        """Pairwise, then pair-of-pairs — the repeated-compaction shape."""
+        flat = fold(policy, [list(range(PERIODS))])
+        pairs = fold(policy, [[0, 1], [2, 3], [4, 5], [6, 7]])
+        quads = fold(policy, [[0, 1, 2, 3], [4, 5, 6, 7]])
+        assert pairs == flat
+        assert quads == flat
+
+
+def test_battery_covers_every_registered_policy():
+    """Mirrors the range battery's completeness pin: the parametrize list
+    above is ``available_policies()`` itself, so this asserts the deltas
+    build for each — a new policy that cannot produce sealed delta
+    states fails here, loudly."""
+    for policy in available_policies():
+        assert len(delta_states(policy)) == PERIODS

@@ -1,0 +1,206 @@
+"""The range-query equivalence battery.
+
+For every registered mergeable policy, a quantile query answered from
+stored per-period segments must be *bit-identical* to a fresh offline
+run over the same periods — across seeds, range boundaries, and
+compaction states.  Policies whose answers depend on global stream
+position (``random``) are validated within rank-error tolerance
+instead, and a classification test pins which side of the line every
+registered policy falls on so a new policy cannot silently dodge the
+battery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.registry import available_policies
+from repro.store import SegmentStore, query_at, query_range, query_series
+
+from tests.store.conftest import (
+    PHIS,
+    as_wire,
+    make_spec,
+    offline_reference,
+    stream_values,
+    write_history,
+)
+
+#: Policies whose stored-segment answers are bit-identical to a fresh
+#: sequential run (time-composable merge).  ``random`` is excluded: its
+#: reservoir positions advance with the *global* stream, so per-period
+#: deltas legitimately diverge and it is held to tolerance instead.
+COMPOSABLE = ("am", "cmqs", "exact", "moment", "qlove")
+
+SEEDS = (0, 7, 1234)
+
+#: Range endpoints exercised against a 16-period history — interior
+#: ranges, prefix/suffix, single periods, and full coverage, chosen to
+#: cross every window boundary shape (aligned, straddling, sub-window).
+RANGES = ((0, 16), (0, 1), (15, 16), (3, 11), (4, 8), (7, 9), (0, 4), (12, 16))
+
+PERIODS = 16
+
+
+def _store_for(tmp_path, policy, values, **params):
+    spec = make_spec(policy, **params)
+    store = write_history(tmp_path, [spec], values)
+    return spec, store
+
+
+class TestRangeEquivalence:
+    """Stored-segment query == offline sequential run, bit for bit."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("policy", COMPOSABLE)
+    def test_all_ranges_bit_identical(self, tmp_path, policy, seed):
+        values = stream_values(seed, PERIODS)
+        spec, store = _store_for(tmp_path, policy, values)
+        for start, end in RANGES:
+            result = query_range(store, spec.name, start, end)
+            expected = as_wire(offline_reference(spec, values, start, end))
+            assert result["quantiles"] == expected, (policy, seed, start, end)
+            assert result["count"] == (end - start) * spec.window.period
+            assert result["segments_merged"] == end - start
+
+    @pytest.mark.parametrize("policy", COMPOSABLE)
+    def test_point_in_time_matches_single_period_run(self, tmp_path, policy, battery_values):
+        spec, store = _store_for(tmp_path, policy, battery_values)
+        for period in (0, 5, PERIODS - 1):
+            result = query_at(store, spec.name, period)
+            expected = as_wire(offline_reference(spec, battery_values, period, period + 1))
+            assert result["quantiles"] == expected
+
+    @pytest.mark.parametrize("policy", COMPOSABLE)
+    def test_series_buckets_each_match_offline(self, tmp_path, policy, battery_values):
+        spec, store = _store_for(tmp_path, policy, battery_values)
+        series = query_series(store, spec.name, 0, PERIODS, 4, PHIS)
+        assert len(series["buckets"]) == 4
+        for bucket in series["buckets"]:
+            start, end = bucket["start_period"], bucket["end_period"]
+            expected = as_wire(offline_reference(spec, battery_values, start, end))
+            assert bucket["quantiles"] == expected
+
+    @pytest.mark.parametrize("policy", COMPOSABLE)
+    def test_reopened_store_answers_identically(self, tmp_path, policy, battery_values):
+        spec, store = _store_for(tmp_path, policy, battery_values)
+        before = query_range(store, spec.name, 2, 14)
+        store.close()
+        reopened = SegmentStore(str(tmp_path / "hist"))
+        assert query_range(reopened, spec.name, 2, 14) == before
+
+    def test_multiple_metrics_share_one_store(self, tmp_path, battery_values):
+        specs = [make_spec(policy) for policy in COMPOSABLE]
+        store = write_history(tmp_path, specs, battery_values)
+        for spec in specs:
+            result = query_range(store, spec.name, 5, 12)
+            expected = as_wire(offline_reference(spec, battery_values, 5, 12))
+            assert result["quantiles"] == expected
+
+    @pytest.mark.parametrize("policy", COMPOSABLE)
+    def test_requested_quantile_subset(self, tmp_path, policy, battery_values):
+        spec, store = _store_for(tmp_path, policy, battery_values)
+        result = query_range(store, spec.name, 0, 8, quantiles=[0.9])
+        full = as_wire(offline_reference(spec, battery_values, 0, 8))
+        assert result["quantiles"] == {"0.9": full["0.9"]}
+
+
+class TestCompactionEquivalence:
+    """Compaction must be answer-preserving for fully-covered ranges."""
+
+    #: Rollup-aligned ranges for rollup_periods=4 over 16 periods.
+    ALIGNED = ((0, 16), (0, 4), (4, 12), (8, 16), (12, 16))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("policy", COMPOSABLE)
+    def test_rollups_bit_identical_to_fine_segments(self, tmp_path, policy, seed):
+        values = stream_values(seed, PERIODS)
+        spec, store = _store_for(tmp_path, policy, values)
+        fine = {
+            (start, end): query_range(store, spec.name, start, end)
+            for start, end in self.ALIGNED
+        }
+        built = store.compact(rollup_periods=4, min_age=0)
+        assert built == 4
+        for (start, end), before in fine.items():
+            after = query_range(store, spec.name, start, end)
+            assert after["quantiles"] == before["quantiles"], (policy, seed, start, end)
+            assert after["count"] == before["count"]
+            expected = as_wire(offline_reference(spec, values, start, end))
+            assert after["quantiles"] == expected
+
+    @pytest.mark.parametrize("policy", COMPOSABLE)
+    def test_mixed_fine_and_rollup_cover(self, tmp_path, policy, battery_values):
+        """min_age keeps the recent tail fine; queries spanning the rollup
+        boundary merge rollups with fine segments and stay exact."""
+        spec, store = _store_for(tmp_path, policy, battery_values)
+        store.compact(rollup_periods=4, min_age=8)
+        kinds = {s.kind for s in store.segments(spec.name)}
+        assert kinds == {"period", "rollup"}
+        result = query_range(store, spec.name, 4, 15)
+        expected = as_wire(offline_reference(spec, battery_values, 4, 15))
+        assert result["quantiles"] == expected
+
+    @pytest.mark.parametrize("policy", COMPOSABLE)
+    def test_repeated_compaction_stable(self, tmp_path, policy, battery_values):
+        spec, store = _store_for(tmp_path, policy, battery_values)
+        store.compact(rollup_periods=2, min_age=0)
+        store.compact(rollup_periods=8, min_age=0)
+        result = query_range(store, spec.name, 0, PERIODS)
+        expected = as_wire(offline_reference(spec, battery_values, 0, PERIODS))
+        assert result["quantiles"] == expected
+        assert result["segments_merged"] == 2
+
+
+class TestToleranceBattery:
+    """Non-composable policies: stored answers stay within sketch error."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_within_rank_tolerance(self, tmp_path, seed):
+        values = stream_values(seed, PERIODS)
+        spec, store = _store_for(tmp_path, "random", values)
+        for start, end in ((0, 16), (4, 12)):
+            result = query_range(store, spec.name, start, end)
+            window = np.sort(values[start * 250 : end * 250])
+            n = len(window)
+            for phi in PHIS:
+                estimate = result["quantiles"][repr(phi)]
+                rank = np.searchsorted(window, estimate) / n
+                assert abs(rank - phi) < 0.08, (seed, start, end, phi)
+
+    def test_random_segments_still_merge_and_count(self, tmp_path, battery_values):
+        spec, store = _store_for(tmp_path, "random", battery_values)
+        result = query_range(store, spec.name, 0, PERIODS)
+        assert result["count"] == PERIODS * 250
+        assert result["segments_merged"] == PERIODS
+
+
+class TestBatteryCompleteness:
+    """Every registered policy is classified and covered — no silent gaps."""
+
+    def test_battery_covers_every_registered_policy(self):
+        covered = set(COMPOSABLE) | {"random"}
+        assert covered == set(available_policies()), (
+            "a policy was registered without being added to the range-"
+            "equivalence battery; classify it as composable or tolerance"
+        )
+
+    @pytest.mark.parametrize("policy", sorted(COMPOSABLE))
+    def test_composable_flag_matches_battery_class(self, policy):
+        assert make_spec(policy).build_policy().composable_over_time() is True
+
+    def test_random_flagged_non_composable(self):
+        assert make_spec("random").build_policy().composable_over_time() is False
+
+    def test_qlove_samplek_burst_flagged_non_composable(self):
+        policy = make_spec(
+            "qlove", fewk={"samplek_fraction": 0.05, "burst_detection": True}
+        ).build_policy()
+        assert policy.composable_over_time() is False
+
+    def test_qlove_samplek_without_burst_stays_composable(self):
+        policy = make_spec(
+            "qlove", fewk={"samplek_fraction": 0.05, "burst_detection": False}
+        ).build_policy()
+        assert policy.composable_over_time() is True

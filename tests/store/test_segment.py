@@ -1,0 +1,278 @@
+"""Segment records: framing, round-trips, and forward compatibility.
+
+Covers the on-disk unit of the historical store — CRC-framed record
+lines — including hypothesis round-trip properties for encode/decode and
+the two-tier compatibility contract (unknown minor field warns and is
+ignored; unknown version raises)."""
+
+from __future__ import annotations
+
+import json
+import warnings
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import serde
+from repro.store.segment import (
+    SEGMENT_VERSION,
+    SPEC_RECORD_VERSION,
+    Segment,
+    TornRecord,
+    decode_line,
+    encode_line,
+    read_spec_record,
+    spec_record,
+)
+
+
+def sample_segment(**overrides) -> Segment:
+    fields = dict(
+        metric="rtt",
+        start_period=3,
+        end_period=4,
+        count=250,
+        state={"kind": "policy", "version": 1, "policy": "exact"},
+    )
+    fields.update(overrides)
+    return Segment(**fields)
+
+
+class TestSegmentValidation:
+    def test_round_trip_through_record(self):
+        segment = sample_segment()
+        clone = Segment.from_record(segment.to_record())
+        assert clone == segment
+
+    def test_rollup_round_trip(self):
+        segment = sample_segment(kind="rollup", start_period=0, end_period=8)
+        clone = Segment.from_record(segment.to_record())
+        assert clone.kind == "rollup"
+        assert clone.periods == 8
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            sample_segment(end_period=3)
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            sample_segment(start_period=-1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            sample_segment(kind="hourly")
+
+    def test_empty_metric_rejected(self):
+        with pytest.raises(ValueError, match="metric"):
+            sample_segment(metric="")
+
+    def test_non_dict_state_rejected(self):
+        with pytest.raises(ValueError, match="state"):
+            sample_segment(state=[1, 2, 3])
+
+    def test_periods_property(self):
+        assert sample_segment(start_period=5, end_period=9).periods == 4
+
+
+class TestRecordCompat:
+    """Satellite: two-tier forward compatibility, pinned by regression."""
+
+    def test_unknown_minor_field_warns_and_ignores(self):
+        record = sample_segment().to_record()
+        record["annotations"] = {"added_by": "a newer minor release"}
+        with pytest.warns(serde.StateCompatWarning, match="annotations"):
+            clone = Segment.from_record(record)
+        assert clone == sample_segment()
+
+    def test_known_fields_do_not_warn(self):
+        record = sample_segment().to_record()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            Segment.from_record(record)
+
+    def test_unknown_version_still_raises(self):
+        """Regression pin: version bumps stay strict (StateError, not a warn)."""
+        record = sample_segment().to_record()
+        record["version"] = SEGMENT_VERSION + 1
+        with pytest.raises(serde.StateError, match="newer release"):
+            Segment.from_record(record)
+
+    def test_version_zero_raises(self):
+        record = sample_segment().to_record()
+        record["version"] = 0
+        with pytest.raises(serde.StateError):
+            Segment.from_record(record)
+
+    def test_wrong_kind_raises(self):
+        record = sample_segment().to_record()
+        record["kind"] = "metric_spec_record"
+        with pytest.raises(serde.StateError, match="kind"):
+            Segment.from_record(record)
+
+    def test_missing_field_raises(self):
+        record = sample_segment().to_record()
+        del record["count"]
+        with pytest.raises(serde.StateError, match="count"):
+            Segment.from_record(record)
+
+    def test_spec_record_round_trip(self):
+        spec = {"name": "rtt", "quantiles": [0.5]}
+        assert read_spec_record(spec_record("rtt", spec)) == spec
+
+    def test_spec_record_unknown_field_warns(self):
+        record = spec_record("rtt", {"name": "rtt"})
+        record["labels"] = ["dc1"]
+        with pytest.warns(serde.StateCompatWarning, match="labels"):
+            assert read_spec_record(record) == {"name": "rtt"}
+
+    def test_spec_record_unknown_version_raises(self):
+        record = spec_record("rtt", {"name": "rtt"})
+        record["version"] = SPEC_RECORD_VERSION + 1
+        with pytest.raises(serde.StateError, match="newer release"):
+            read_spec_record(record)
+
+    def test_warn_unknown_fields_returns_sorted_names(self):
+        state = {"kind": "x", "version": 1, "b": 1, "a": 2, "known": 3}
+        with pytest.warns(serde.StateCompatWarning):
+            assert serde.warn_unknown_fields(state, ("known",), "test") == ["a", "b"]
+
+    def test_warn_unknown_fields_silent_when_all_known(self):
+        state = {"kind": "x", "version": 1, "known": 3}
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert serde.warn_unknown_fields(state, ("known",), "test") == []
+
+
+class TestLineFraming:
+    def test_encode_decode_round_trip(self):
+        record = sample_segment().to_record()
+        assert decode_line(encode_line(record)) == record
+
+    def test_missing_newline_is_torn(self):
+        line = encode_line({"kind": "segment", "version": 1})
+        with pytest.raises(TornRecord, match="newline"):
+            decode_line(line[:-1])
+
+    def test_truncated_body_is_torn(self):
+        line = encode_line(sample_segment().to_record())
+        with pytest.raises(TornRecord):
+            decode_line(line[: len(line) // 2] + b"\n")
+
+    def test_flipped_byte_is_torn(self):
+        line = bytearray(encode_line(sample_segment().to_record()))
+        line[len(line) // 2] ^= 0xFF
+        with pytest.raises(TornRecord, match="CRC|JSON"):
+            decode_line(bytes(line))
+
+    def test_bad_crc_prefix_is_torn(self):
+        with pytest.raises(TornRecord):
+            decode_line(b"zzzzzzzz {}\n")
+
+    def test_too_short_line_is_torn(self):
+        with pytest.raises(TornRecord, match="short"):
+            decode_line(b"ab\n")
+
+    def test_non_object_body_is_torn(self):
+        body = b"[1,2,3]"
+        line = b"%08x " % (zlib.crc32(body) & 0xFFFFFFFF) + body + b"\n"
+        with pytest.raises(TornRecord, match="object"):
+            decode_line(line)
+
+    def test_crc_is_of_exact_body_bytes(self):
+        record = {"kind": "segment", "version": 1, "metric": "a"}
+        line = encode_line(record)
+        body = line[9:-1]
+        assert int(line[:8], 16) == zlib.crc32(body) & 0xFFFFFFFF
+        assert json.loads(body) == record
+
+
+#: JSON-safe scalars for hypothesis-generated record bodies.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=40),
+)
+
+_json_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+_records = st.fixed_dictionaries(
+    {"kind": st.text(min_size=1, max_size=10), "version": st.integers(1, 5)},
+    optional={
+        "metric": st.text(max_size=20),
+        "state": _json_values,
+        "count": st.integers(0, 2**40),
+    },
+)
+
+
+class TestFramingProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(record=_records)
+    def test_any_record_round_trips(self, record):
+        assert decode_line(encode_line(record)) == record
+
+    @settings(max_examples=150, deadline=None)
+    @given(record=_records, cut=st.integers(min_value=1, max_value=200))
+    def test_any_truncation_is_torn_or_absent(self, record, cut):
+        """No prefix of a framed line ever decodes as a (different) record."""
+        line = encode_line(record)
+        prefix = line[: min(cut, len(line) - 1)]
+        with pytest.raises(TornRecord):
+            decode_line(prefix)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        record=_records,
+        position=st.integers(min_value=0, max_value=10_000),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    def test_any_corruption_is_detected(self, record, position, flip):
+        """Flipping any body/CRC byte never yields a silently-wrong record."""
+        line = bytearray(encode_line(record))
+        index = position % (len(line) - 1)  # keep the trailing newline
+        line[index] ^= flip
+        try:
+            decoded = decode_line(bytes(line))
+        except TornRecord:
+            return
+        # A flip inside a JSON string may still checksum differently —
+        # decode success requires the CRC to have been re-satisfied, which
+        # a single XOR flip of CRC-32 cannot do while changing the body.
+        assert decoded == record
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        segments=st.lists(
+            st.tuples(
+                st.integers(0, 100),
+                st.integers(1, 10),
+                st.integers(0, 10_000),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_segment_records_round_trip(self, segments):
+        for start, width, count in segments:
+            segment = Segment(
+                metric="m",
+                start_period=start,
+                end_period=start + width,
+                count=count,
+                state={"kind": "policy", "version": 1, "policy": "exact"},
+                kind="rollup" if width > 1 else "period",
+            )
+            assert Segment.from_record(
+                json.loads(encode_line(segment.to_record())[9:-1])
+            ) == segment

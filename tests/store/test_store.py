@@ -1,0 +1,312 @@
+"""SegmentStore: append discipline, recovery, retention, introspection."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import RetentionPolicy, Segment, SegmentStore, StoreError, encode_line
+from repro.store.segment import spec_record
+
+from tests.store.conftest import make_spec
+
+
+def period_segment(metric: str, period: int, count: int = 250) -> Segment:
+    return Segment(
+        metric=metric,
+        start_period=period,
+        end_period=period + 1,
+        count=count,
+        state={"kind": "policy", "version": 1, "policy": "exact"},
+    )
+
+
+def real_segment(metric: str, period: int, count: int = 250) -> Segment:
+    """A period segment whose state is a genuine sealed policy delta
+    (required by tests that exercise compaction, which rebuilds policies)."""
+    policy = make_spec("exact", name=metric).build_policy()
+    policy.accumulate_batch(np.full(count, float(period + 1)))
+    policy.seal_subwindow()
+    return Segment(
+        metric=metric,
+        start_period=period,
+        end_period=period + 1,
+        count=count,
+        state=policy.to_state(),
+    )
+
+
+@pytest.fixture()
+def store(tmp_path) -> SegmentStore:
+    store = SegmentStore(str(tmp_path / "hist"))
+    store.register(make_spec("exact", name="rtt"))
+    return store
+
+
+class TestAppend:
+    def test_append_and_read_back(self, store):
+        for p in range(5):
+            assert store.append(period_segment("rtt", p)) is True
+        assert [s.start_period for s in store.segments("rtt")] == list(range(5))
+        assert store.coverage("rtt") == (0, 5)
+
+    def test_duplicate_replay_skipped(self, store):
+        store.append(period_segment("rtt", 0))
+        store.append(period_segment("rtt", 1))
+        assert store.append(period_segment("rtt", 0)) is False
+        assert store.append(period_segment("rtt", 1)) is False
+        assert store.duplicates_skipped == 2
+        assert store.coverage("rtt") == (0, 2)
+
+    def test_gap_rejected(self, store):
+        store.append(period_segment("rtt", 0))
+        with pytest.raises(StoreError, match="gap-free"):
+            store.append(period_segment("rtt", 2))
+
+    def test_partial_overlap_rejected(self, store):
+        store.append(period_segment("rtt", 0))
+        store.append(period_segment("rtt", 1))
+        with pytest.raises(StoreError, match="overlaps"):
+            store.append(
+                Segment(
+                    metric="rtt",
+                    start_period=1,
+                    end_period=3,
+                    count=500,
+                    state={"kind": "policy", "version": 1, "policy": "exact"},
+                )
+            )
+
+    def test_unregistered_metric_rejected(self, store):
+        with pytest.raises(StoreError, match="not in this store"):
+            store.append(period_segment("nope", 0))
+
+    def test_register_same_spec_idempotent(self, store):
+        store.register(make_spec("exact", name="rtt"))
+        assert store.metrics() == ["rtt"]
+
+    def test_register_conflicting_spec_rejected(self, store):
+        with pytest.raises(StoreError, match="different configuration"):
+            store.register(make_spec("cmqs", name="rtt"))
+
+    def test_metric_names_percent_encoded_on_disk(self, tmp_path):
+        store = SegmentStore(str(tmp_path / "hist"))
+        store.register(make_spec("exact", name="dc1/rtt p99"))
+        store.append(period_segment("dc1/rtt p99", 0))
+        store.close()
+        assert "dc1%2Frtt%20p99.seg" in os.listdir(tmp_path / "hist")
+        reopened = SegmentStore(str(tmp_path / "hist"))
+        assert reopened.metrics() == ["dc1/rtt p99"]
+
+
+class TestReopen:
+    def test_index_rebuilt_from_data_files(self, store, tmp_path):
+        for p in range(7):
+            store.append(period_segment("rtt", p, count=100 + p))
+        store.close()
+        reopened = SegmentStore(str(tmp_path / "hist"))
+        assert reopened.coverage("rtt") == (0, 7)
+        assert [s.count for s in reopened.segments("rtt")] == [
+            100 + p for p in range(7)
+        ]
+        assert reopened.spec_dict("rtt") == make_spec("exact", name="rtt").to_dict()
+
+    def test_append_continues_after_reopen(self, store, tmp_path):
+        store.append(period_segment("rtt", 0))
+        store.close()
+        reopened = SegmentStore(str(tmp_path / "hist"))
+        assert reopened.append(period_segment("rtt", 1)) is True
+        assert reopened.coverage("rtt") == (0, 2)
+
+    def test_torn_tail_truncated(self, store, tmp_path):
+        for p in range(4):
+            store.append(period_segment("rtt", p))
+        store.close()
+        path = tmp_path / "hist" / "rtt.seg"
+        intact = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b"1234abcd {\"kind\": \"segment\", \"trunc")
+        reopened = SegmentStore(str(tmp_path / "hist"))
+        assert reopened.coverage("rtt") == (0, 4)
+        assert reopened.torn_records_dropped == 1
+        assert path.stat().st_size == intact
+
+    def test_corrupt_mid_file_drops_tail(self, store, tmp_path):
+        for p in range(6):
+            store.append(period_segment("rtt", p))
+        store.close()
+        path = tmp_path / "hist" / "rtt.seg"
+        lines = path.read_bytes().splitlines(keepends=True)
+        corrupted = bytearray(lines[3])
+        corrupted[12] ^= 0xFF
+        path.write_bytes(b"".join(lines[:3]) + bytes(corrupted) + b"".join(lines[4:]))
+        reopened = SegmentStore(str(tmp_path / "hist"))
+        # Committed history ends at the last intact prefix record.
+        assert reopened.coverage("rtt") == (0, 2)
+
+    def test_torn_spec_record_drops_file(self, tmp_path):
+        directory = tmp_path / "hist"
+        directory.mkdir()
+        SegmentStore(str(directory)).close()  # writes the manifest
+        (directory / "rtt.seg").write_bytes(b"00000000 {\"kind\": ")
+        store = SegmentStore(str(directory))
+        assert store.metrics() == []
+        assert not (directory / "rtt.seg").exists()
+
+    def test_foreign_metric_record_treated_as_torn(self, store, tmp_path):
+        store.append(period_segment("rtt", 0))
+        store.close()
+        with open(tmp_path / "hist" / "rtt.seg", "ab") as handle:
+            handle.write(encode_line(period_segment("other", 1).to_record()))
+        reopened = SegmentStore(str(tmp_path / "hist"))
+        assert reopened.coverage("rtt") == (0, 1)
+
+
+class TestDirectoryValidation:
+    def test_fresh_directory_created_with_manifest(self, tmp_path):
+        SegmentStore(str(tmp_path / "a" / "b"))
+        assert (tmp_path / "a" / "b" / "MANIFEST.json").exists()
+
+    def test_path_is_file_rejected(self, tmp_path):
+        path = tmp_path / "file"
+        path.write_text("x")
+        with pytest.raises(StoreError, match="file, not a"):
+            SegmentStore(str(path))
+
+    def test_foreign_manifest_rejected(self, tmp_path):
+        directory = tmp_path / "hist"
+        directory.mkdir()
+        (directory / "MANIFEST.json").write_text('{"format": "something-else"}')
+        with pytest.raises(StoreError, match="not a history-store manifest"):
+            SegmentStore(str(directory))
+
+    def test_newer_store_version_rejected(self, tmp_path):
+        directory = tmp_path / "hist"
+        directory.mkdir()
+        (directory / "MANIFEST.json").write_text(
+            '{"format": "repro-history-store", "version": 999}'
+        )
+        with pytest.raises(StoreError, match="newer release"):
+            SegmentStore(str(directory))
+
+    def test_logs_without_manifest_rejected(self, tmp_path):
+        directory = tmp_path / "hist"
+        directory.mkdir()
+        (directory / "rtt.seg").write_bytes(
+            encode_line(spec_record("rtt", {"name": "rtt"}))
+        )
+        with pytest.raises(StoreError, match="no manifest"):
+            SegmentStore(str(directory))
+
+    def test_unknown_metric_query_actionable(self, store):
+        with pytest.raises(StoreError, match="registered|not in this store"):
+            store.segments("nope")
+
+
+class TestRetention:
+    def test_prune_drops_old_segments(self, store):
+        for p in range(10):
+            store.append(period_segment("rtt", p))
+        dropped = store.prune(max_periods=4)
+        assert dropped == 6
+        assert store.coverage("rtt") == (6, 10)
+
+    def test_prune_never_cuts_inside_a_segment(self, tmp_path):
+        store = SegmentStore(str(tmp_path / "hist"))
+        store.register(make_spec("exact", name="rtt"))
+        for p in range(8):
+            store.append(real_segment("rtt", p))
+        store.compact(rollup_periods=4, min_age=0)
+        # Horizon falls inside the second rollup: it must survive whole.
+        assert store.prune(max_periods=2) == 1
+        assert store.coverage("rtt") == (4, 8)
+
+    def test_prune_persists_across_reopen(self, store, tmp_path):
+        for p in range(6):
+            store.append(period_segment("rtt", p))
+        store.prune(max_periods=2)
+        store.close()
+        reopened = SegmentStore(str(tmp_path / "hist"))
+        assert reopened.coverage("rtt") == (4, 6)
+
+    def test_append_continues_after_prune(self, store):
+        for p in range(6):
+            store.append(period_segment("rtt", p))
+        store.prune(max_periods=2)
+        assert store.append(period_segment("rtt", 6)) is True
+        assert store.coverage("rtt") == (4, 7)
+
+    def test_pruned_range_query_actionable(self, store):
+        for p in range(6):
+            store.append(period_segment("rtt", p))
+        store.prune(max_periods=2)
+        with pytest.raises(StoreError, match="retention"):
+            store.covering("rtt", 0, 2)
+
+    def test_maintain_runs_policy(self, tmp_path):
+        store = SegmentStore(
+            str(tmp_path / "hist"),
+            retention=RetentionPolicy(max_periods=4, rollup_periods=2),
+        )
+        store.register(make_spec("exact", name="rtt"))
+        for p in range(10):
+            store.append(real_segment("rtt", p))
+        report = store.maintain()
+        assert report["rollups_built"] > 0
+        assert report["segments_dropped"] > 0
+        assert store.coverage("rtt") == (6, 10)
+
+    def test_retention_from_dict(self):
+        policy = RetentionPolicy.from_dict(
+            {"max_periods": 100, "rollup_periods": 10, "rollup_min_age": 5}
+        )
+        assert policy == RetentionPolicy(100, 10, 5)
+
+    def test_retention_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown retention key"):
+            RetentionPolicy.from_dict({"keep": 5})
+
+    def test_retention_bad_values_rejected(self):
+        with pytest.raises(ValueError, match="max_periods"):
+            RetentionPolicy(max_periods=0)
+        with pytest.raises(ValueError, match="rollup_min_age"):
+            RetentionPolicy(rollup_min_age=-1)
+
+
+class TestCovering:
+    def test_exact_cover_returned_in_order(self, store):
+        for p in range(8):
+            store.append(period_segment("rtt", p))
+        segments = store.covering("rtt", 2, 6)
+        assert [(s.start_period, s.end_period) for s in segments] == [
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+        ]
+
+    def test_empty_range_rejected(self, store):
+        store.append(period_segment("rtt", 0))
+        with pytest.raises(StoreError, match="empty"):
+            store.covering("rtt", 3, 3)
+
+    def test_beyond_history_actionable(self, store):
+        store.append(period_segment("rtt", 0))
+        with pytest.raises(StoreError, match="outside committed history"):
+            store.covering("rtt", 0, 5)
+
+    def test_non_int_bounds_rejected(self, store):
+        store.append(period_segment("rtt", 0))
+        with pytest.raises(StoreError, match="ints"):
+            store.covering("rtt", 0.0, 1)
+
+    def test_stats_shape(self, store):
+        for p in range(3):
+            store.append(period_segment("rtt", p))
+        stats = store.stats()
+        assert stats["metrics"]["rtt"]["segments"] == 3
+        assert stats["metrics"]["rtt"]["events"] == 750
+        assert stats["metrics"]["rtt"]["next_period"] == 3
+        assert stats["duplicates_skipped"] == 0
