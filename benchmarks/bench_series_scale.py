@@ -1,0 +1,220 @@
+"""High-cardinality labeled-series scaling (PR 8).
+
+Stresses the :class:`~repro.series.index.SeriesIndex` at datacenter
+cardinality: 100k distinct label combinations ingested through one
+labeled metric with the LRU cap far below the series count, so the
+index spends the whole run thrashing — evicting sealed series and
+resurrecting them on their next observation.  Measures what the
+subsystem costs (ingest events/s under thrash, group-by latency over
+the full roster, resurrection rate) and proves what it must preserve:
+the group-by answer equals the offline per-group concatenated run, and
+an evict → resurrect → re-query cycle changes nothing.
+
+Emits a ``series_scale`` section into the shared ``--bench-json``
+artifact (schema 1), which CI uploads and ``BENCH_trajectory.json``
+pins a sample of.
+"""
+
+import time
+
+import pytest
+
+from repro.series.labels import (
+    canonical_labelset,
+    deterministic_labelsets,
+    series_key,
+    series_slice,
+)
+from repro.service.monitor import Monitor
+from repro.service.spec import MetricSpec
+from repro.workloads import generate_netmon
+
+N_SERIES = 100_000
+FANOUT = 20
+MAX_ACTIVE = 10_000
+SHARDS = 64
+PHIS = [0.5, 0.99]
+SCHEMA = ["region", "host"]
+
+#: Two events per series = one sealed period each: every series carries
+#: mergeable state, yet the run stays seconds, not minutes.
+PERIOD = 2
+EVENTS = N_SERIES * PERIOD
+
+WINDOW = {"size": 1_000_000, "period": PERIOD}
+
+
+def labeled_spec(series=None) -> MetricSpec:
+    return MetricSpec(
+        name="lat",
+        quantiles=PHIS,
+        window=dict(WINDOW),
+        policy="qlove",
+        labels=list(SCHEMA),
+        series=series,
+    )
+
+
+@pytest.fixture(scope="module")
+def labelsets():
+    return deterministic_labelsets(SCHEMA, N_SERIES, FANOUT)
+
+
+def ingest(monitor: Monitor, values, labelsets) -> float:
+    """Batch one round of ``values`` per-series; returns elapsed seconds."""
+    t0 = time.perf_counter()
+    for j, labels in enumerate(labelsets):
+        monitor.observe_batch(
+            "lat", series_slice(values, 0, N_SERIES, j), labels=labels
+        )
+    return time.perf_counter() - t0
+
+
+def offline_group_reference(spec, rounds, labelsets, by):
+    """Per-group ground truth: member streams (all rounds, period-sealed)
+    concatenated in canonical series-key order into a fresh plain policy."""
+    plain = MetricSpec(
+        name=spec.name, quantiles=spec.quantiles,
+        window={"size": spec.window.size, "period": spec.window.period},
+        policy=spec.policy, policy_params=spec.policy_params,
+    )
+    members = sorted(
+        range(len(labelsets)),
+        key=lambda j: series_key(
+            spec.name,
+            canonical_labelset(labelsets[j], spec.labels, spec.name),
+        ),
+    )
+    grouped = {}
+    for j in members:
+        grouped.setdefault(labelsets[j][by], []).append(j)
+    reference = {}
+    for value, indices in grouped.items():
+        policy = plain.build_policy()
+        for j in indices:
+            for values in rounds:
+                policy.accumulate_batch(
+                    series_slice(values, 0, N_SERIES, j)
+                )
+                policy.seal_subwindow()
+        reference[value] = {
+            repr(phi): float(est) for phi, est in sorted(policy.query().items())
+        }
+    return reference
+
+
+def test_hundred_thousand_series_under_eviction(
+    benchmark, labelsets, bench_json_sink
+):
+    """The scaling row: ingest, group-by and resurrection under thrash."""
+    values = generate_netmon(EVENTS, seed=0)
+
+    def run():
+        monitor = Monitor()
+        monitor.register(
+            labeled_spec(series={"shards": SHARDS, "max_active": MAX_ACTIVE})
+        )
+        ingest_s = ingest(monitor, values, labelsets)
+
+        t0 = time.perf_counter()
+        result = monitor.group_by("lat", "host")
+        groupby_s = time.perf_counter() - t0
+        stats = monitor.series_stats("lat")
+
+        # Resurrection cost: touch evicted series (the roster was filled
+        # in order, so the head has long since been evicted).
+        touches = 1_000
+        t0 = time.perf_counter()
+        for labels in labelsets[:touches]:
+            monitor.observe("lat", 1.0, labels=labels)
+        resurrect_s = time.perf_counter() - t0
+        after = monitor.series_stats("lat")
+        return {
+            "ingest_s": ingest_s,
+            "groupby_s": groupby_s,
+            "resurrect_s": resurrect_s,
+            "touches": touches,
+            "result": result,
+            "stats": stats,
+            "after": after,
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    result, stats = out["result"], out["stats"]
+
+    assert stats["created"] == N_SERIES
+    assert stats["active"] <= MAX_ACTIVE
+    assert stats["evictions"] >= N_SERIES - MAX_ACTIVE
+    assert stats["memory_estimate_bytes"] > 0
+    assert len(result["groups"]) == FANOUT
+    assert sum(g["count"] for g in result["groups"]) == EVENTS
+    assert out["after"]["resurrections"] >= out["touches"]
+
+    events_per_s = EVENTS / out["ingest_s"]
+    series_per_s = N_SERIES / out["groupby_s"]
+    resurrections_per_s = out["touches"] / out["resurrect_s"]
+    bench_json_sink(
+        "series_scale",
+        {
+            "workload": "netmon",
+            "n_series": N_SERIES,
+            "fanout": FANOUT,
+            "max_active": MAX_ACTIVE,
+            "shards": SHARDS,
+            "events": EVENTS,
+            "ingest_events_per_s": events_per_s,
+            "evictions": stats["evictions"],
+            "group_by_s": out["groupby_s"],
+            "group_by_series_per_s": series_per_s,
+            "resurrections_per_s": resurrections_per_s,
+            "memory_estimate_bytes": stats["memory_estimate_bytes"],
+        },
+    )
+    print()
+    print(
+        f"series scale: {N_SERIES:,} series, cap {MAX_ACTIVE:,} "
+        f"({stats['evictions']:,} evictions)"
+    )
+    print(
+        f"  ingest  {events_per_s:,.0f} ev/s under thrash\n"
+        f"  group-by {out['groupby_s'] * 1e3:,.0f}ms over the full roster "
+        f"({series_per_s:,.0f} series/s)\n"
+        f"  resurrect {resurrections_per_s:,.0f}/s\n"
+        f"  index estimate {stats['memory_estimate_bytes'] / 1e6:,.1f} MB"
+    )
+
+    # Conservative floors: an order of magnitude below current numbers,
+    # so only a real regression trips them on shared CI runners.
+    assert events_per_s > 400
+    assert series_per_s > 1_000
+
+
+def test_group_answers_survive_eviction_and_resurrection(labelsets):
+    """The 100k-series equivalence smoke: group-by vs offline, then an
+    evict → resurrect → re-query cycle that must not change a byte."""
+    spec = labeled_spec(series={"shards": SHARDS, "max_active": MAX_ACTIVE})
+    monitor = Monitor()
+    monitor.register(spec)
+
+    first = generate_netmon(EVENTS, seed=1)
+    ingest(monitor, first, labelsets)
+    result = monitor.group_by("lat", "host")
+    reference = offline_group_reference(spec, [first], labelsets, "host")
+    for group in result["groups"]:
+        host = group["key"]["host"]
+        assert group["quantiles"] == reference[host], host
+        assert group["series"] == N_SERIES // FANOUT
+    assert monitor.series_stats("lat")["evictions"] > 0
+
+    # Round two resurrects every evicted series in the roster; the new
+    # answer must equal the offline run over both rounds.
+    second = generate_netmon(EVENTS, seed=2)
+    ingest(monitor, second, labelsets)
+    assert monitor.series_stats("lat")["resurrections"] > 0
+    requeried = monitor.group_by("lat", "host")
+    reference = offline_group_reference(
+        spec, [first, second], labelsets, "host"
+    )
+    for group in requeried["groups"]:
+        assert group["quantiles"] == reference[group["key"]["host"]]
+        assert group["count"] == 2 * EVENTS // FANOUT

@@ -90,6 +90,28 @@ def _prepare_write_path(path: str, flag: str) -> None:
         ) from None
 
 
+def _prepare_history_dir(directory: str) -> None:
+    """Create a ``--history DIR`` (parents included) up front.
+
+    Mirrors :func:`_prepare_write_path` for ``--checkpoint``: a missing
+    grandparent or a file squatting on a path component fails here, as
+    one actionable exit-2 line, instead of surfacing mid-stream from the
+    store's first append.
+    """
+    try:
+        os.makedirs(directory, exist_ok=True)
+    except (NotADirectoryError, FileExistsError):
+        raise _fail(
+            f"--history {directory!r}: a path component exists but is not "
+            "a directory; pass a path whose components are directories"
+        ) from None
+    except OSError as exc:
+        raise _fail(
+            f"--history {directory!r}: cannot create the store directory "
+            f"({exc}); pass a writable location"
+        ) from None
+
+
 def _open_history_or_fail(directory: str, monitor) -> "object":
     """Open a segment store at ``directory`` and attach it to ``monitor``."""
     from repro.store import HistoryWriter, StoreError
@@ -132,17 +154,29 @@ def _print_final_snapshot(snapshot, reports) -> None:
     Both ``monitor`` (offline) and ``loadgen --snapshot`` (served) print
     through this one function — CI byte-diffs their outputs, so a
     formatting tweak must land in both or the equivalence gate would
-    fail on a spurious diff.
+    fail on a spurious diff.  Labeled metrics arrive nested
+    (``{series_key: {phi: estimate} | None}``) and render one indented
+    line per series, in canonical key order.
     """
+
+    def line(estimates) -> str:
+        if estimates is None:
+            return "(no full window yet)"
+        return "  ".join(
+            f"Q{phi:g}={estimate:,.1f}" for phi, estimate in estimates.items()
+        )
+
     print("\nfinal snapshot:")
     for name, estimates in snapshot.items():
-        if estimates is None:
-            print(f"  {name}: (no full window yet)")
+        labeled = isinstance(estimates, dict) and (
+            not estimates or isinstance(next(iter(estimates)), str)
+        )
+        if labeled:
+            print(f"  {name}: {len(estimates)} series")
+            for key in sorted(estimates):
+                print(f"    {key}: {line(estimates[key])}")
         else:
-            rendered = "  ".join(
-                f"Q{phi:g}={estimate:,.1f}" for phi, estimate in estimates.items()
-            )
-            print(f"  {name}: {rendered}")
+            print(f"  {name}: {line(estimates)}")
     for name, accounting in reports.items():
         print(
             f"  {name}: {accounting['evaluations']} evaluations, "
@@ -256,6 +290,24 @@ def build_monitor_parser() -> argparse.ArgumentParser:
             "'python -m repro query DIR ...'"
         ),
     )
+    parser.add_argument(
+        "--series",
+        type=int,
+        default=8,
+        help=(
+            "for labeled metrics: number of deterministic series the "
+            "stream splits into (event i goes to series i %% N; default 8)"
+        ),
+    )
+    parser.add_argument(
+        "--label-fanout",
+        type=int,
+        default=4,
+        help=(
+            "for labeled metrics: distinct values of the first schema "
+            "label (the group-by axis; default 4)"
+        ),
+    )
     return parser
 
 
@@ -278,10 +330,14 @@ def run_monitor(argv: List[str]) -> int:
             f"end={int(result.end):<10,} {quantiles}"
         )
 
+    if args.series < 1:
+        raise _fail(f"--series must be >= 1, got {args.series}")
+    if args.label_fanout < 1:
+        raise _fail(f"--label-fanout must be >= 1, got {args.label_fanout}")
     skip = 0
     if args.resume is not None:
         monitor = _load_monitor_or_fail(args.resume, specs)
-        seen = {name: monitor._channels[name].seen for name in monitor.metrics()}
+        seen = monitor.seen_counts()
         skip = min(seen.values()) if seen else 0
         if len(set(seen.values())) > 1:
             raise SystemExit(
@@ -289,8 +345,10 @@ def run_monitor(argv: List[str]) -> int:
                 f"counts ({seen}); this checkpoint was not produced by the "
                 "monitor CLI's uniform fan-out and cannot be resumed here"
             )
+        labeled = set(monitor.labeled_metrics())
         for name in monitor.metrics():
-            monitor.on_result(name, report)
+            if name not in labeled:  # families take no per-period callbacks
+                monitor.on_result(name, report)
         print(
             f"resumed {len(monitor)} metric(s) from {args.resume!r} "
             f"({skip:,} elements already ingested)"
@@ -298,17 +356,50 @@ def run_monitor(argv: List[str]) -> int:
     else:
         monitor = Monitor()
         for spec in specs:
-            monitor.register(spec, on_result=report)
-            print(
-                f"registered {spec.name!r}: policy={spec.policy} "
-                f"window={spec.window.size:,}/{spec.window.period:,} "
-                f"quantiles={list(spec.quantiles)}"
-            )
+            if spec.labels is not None:
+                monitor.register(spec)
+                print(
+                    f"registered {spec.name!r}: policy={spec.policy} "
+                    f"window={spec.window.size:,}/{spec.window.period:,} "
+                    f"quantiles={list(spec.quantiles)} "
+                    f"labels={list(spec.labels)}"
+                )
+            else:
+                monitor.register(spec, on_result=report)
+                print(
+                    f"registered {spec.name!r}: policy={spec.policy} "
+                    f"window={spec.window.size:,}/{spec.window.period:,} "
+                    f"quantiles={list(spec.quantiles)}"
+                )
 
     writer = None
     if args.history is not None:
+        _prepare_history_dir(args.history)
         writer = _open_history_or_fail(args.history, monitor)
         print(f"recording period history to {args.history!r}")
+
+    # Labeled metrics split the stream deterministically: event i of the
+    # dataset belongs to series i % N (the LoadGenerator's discipline),
+    # so served and offline labeled runs are byte-diffable.
+    labelsets = {}
+    if monitor.labeled_metrics():
+        from repro.series.labels import deterministic_labelsets
+
+        labelsets = {
+            name: [
+                dict(items)
+                for items in deterministic_labelsets(
+                    next(
+                        spec.labels
+                        for spec in monitor.specs()
+                        if spec.name == name
+                    ),
+                    args.series,
+                    args.label_fanout,
+                )
+            ]
+            for name in monitor.labeled_metrics()
+        }
 
     values = get_dataset(args.dataset, args.events, seed=args.seed)
     if args.stop_after is not None:
@@ -323,11 +414,20 @@ def run_monitor(argv: List[str]) -> int:
         f"\nstreaming {len(fresh):,} '{args.dataset}' elements "
         f"(seed {args.seed}) into {len(monitor)} metric(s)\n"
     )
+    from repro.series.labels import series_slice
+
     started = time.perf_counter()
     for offset in range(0, len(fresh), args.chunk_size):
         block = fresh[offset : offset + args.chunk_size]
+        absolute = skip + offset  # global index of block[0] in the dataset
         for name in monitor.metrics():
-            monitor.observe_batch(name, block)
+            if name in labelsets:
+                for j, labels in enumerate(labelsets[name]):
+                    sub = series_slice(block, absolute, args.series, j)
+                    if len(sub):
+                        monitor.observe_batch(name, sub, labels=labels)
+            else:
+                monitor.observe_batch(name, block)
     elapsed = time.perf_counter() - started
     if writer is not None:
         writer.close()
@@ -444,9 +544,7 @@ def run_serve(argv: List[str]) -> int:
     specs = _load_specs_or_fail(args.specs)
     if args.resume is not None:
         monitor = _load_monitor_or_fail(args.resume, specs)
-        restored = {
-            name: monitor._channels[name].seen for name in monitor.metrics()
-        }
+        restored = monitor.seen_counts()
         print(
             f"resumed {len(monitor)} metric(s) from {args.resume!r} "
             f"(seen: {restored})"
@@ -455,13 +553,17 @@ def run_serve(argv: List[str]) -> int:
         monitor = Monitor()
         for spec in specs:
             monitor.register(spec)
+            labeled = (
+                f" labels={list(spec.labels)}" if spec.labels is not None else ""
+            )
             print(
                 f"registered {spec.name!r}: policy={spec.policy} "
                 f"window={spec.window.size:,}/{spec.window.period:,} "
-                f"quantiles={list(spec.quantiles)}"
+                f"quantiles={list(spec.quantiles)}{labeled}"
             )
     writer = None
     if args.history is not None:
+        _prepare_history_dir(args.history)
         writer = _open_history_or_fail(args.history, monitor)
         print(f"recording period history to {args.history!r}")
     try:
@@ -559,6 +661,25 @@ def build_loadgen_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--series",
+        type=int,
+        default=8,
+        help=(
+            "for labeled metrics: number of deterministic series the "
+            "stream splits into (event i goes to series i %% N, matching "
+            "the monitor subcommand; default 8)"
+        ),
+    )
+    parser.add_argument(
+        "--label-fanout",
+        type=int,
+        default=4,
+        help=(
+            "for labeled metrics: distinct values of the first schema "
+            "label (default 4, matching the monitor subcommand)"
+        ),
+    )
+    parser.add_argument(
         "--wait-server",
         type=float,
         metavar="SECONDS",
@@ -614,15 +735,20 @@ def run_loadgen(argv: List[str]) -> int:
     except ConnectionError as exc:
         raise _fail(exc) from None
     client.close()
-    generator = LoadGenerator(
-        args.host,
-        args.port,
-        dataset=args.dataset,
-        events=args.events,
-        seed=args.seed,
-        connections=args.connections,
-        block_size=args.block_size,
-    )
+    try:
+        generator = LoadGenerator(
+            args.host,
+            args.port,
+            dataset=args.dataset,
+            events=args.events,
+            seed=args.seed,
+            connections=args.connections,
+            block_size=args.block_size,
+            series=args.series,
+            label_fanout=args.label_fanout,
+        )
+    except ValueError as exc:
+        raise _fail(exc) from None
     offset = 0
     if args.resume:
         try:
@@ -736,6 +862,18 @@ def build_query_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--group-by",
+        dest="group_by",
+        metavar="LABEL[,LABEL...]",
+        default=None,
+        help=(
+            "group a labeled metric's series by these labels and answer "
+            "merged quantiles per group: against a store, add --range "
+            "T0:T1 (historical); against --server, omit --at/--range "
+            "(the live current window)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="print the raw result as JSON instead of the text rendering",
@@ -753,7 +891,33 @@ def run_query(argv: List[str]) -> int:
             "pass either a store directory or --server HOST:PORT, not "
             "both / neither"
         )
-    if (args.at is None) == (args.range_ is None):
+    group_by = None
+    if args.group_by is not None:
+        group_by = [part for part in args.group_by.split(",") if part]
+        if not group_by:
+            raise _fail(
+                f"--group-by {args.group_by!r} names no labels; pass a "
+                "comma-separated list of the metric's label names "
+                "(e.g. --group-by region)"
+            )
+        if args.at is not None or args.step is not None:
+            raise _fail(
+                "--group-by answers a period range (--range T0:T1 against "
+                "a store) or the live current window (--server); it does "
+                "not combine with --at or --step"
+            )
+        if args.server is not None and args.range_ is not None:
+            raise _fail(
+                "--group-by against --server answers the live current "
+                "window; drop --range (historical group-by runs against "
+                "the store directory directly)"
+            )
+        if args.server is None and args.range_ is None:
+            raise _fail(
+                "--group-by against a store needs --range T0:T1 (the "
+                "period range to merge per group)"
+            )
+    elif (args.at is None) == (args.range_ is None):
         raise _fail("pass either --at P or --range T0:T1, not both / neither")
     if args.step is not None and args.range_ is None:
         raise _fail("--step needs --range T0:T1")
@@ -790,18 +954,21 @@ def run_query(argv: List[str]) -> int:
             ) from None
         try:
             with TelemetryClient(host or "127.0.0.1", port) as client:
-                result = client.history(
-                    args.metric,
-                    at=args.at,
-                    start=start,
-                    end=end,
-                    step=args.step,
-                    quantiles=quantiles,
-                )
+                if group_by is not None:
+                    result = client.group_by(args.metric, group_by, quantiles)
+                else:
+                    result = client.history(
+                        args.metric,
+                        at=args.at,
+                        start=start,
+                        end=end,
+                        step=args.step,
+                        quantiles=quantiles,
+                    )
         except (ServerError, ConnectionError, OSError) as exc:
             raise _fail(exc) from None
     else:
-        from repro.store import SegmentStore, StoreError
+        from repro.store import SegmentStore, StoreError, group_by_store
         from repro.store.query import query_at, query_range, query_series
 
         if not os.path.isdir(args.store):
@@ -811,7 +978,11 @@ def run_query(argv: List[str]) -> int:
             )
         try:
             store = SegmentStore(args.store)
-            if args.at is not None:
+            if group_by is not None:
+                result = group_by_store(
+                    store, args.metric, group_by, start, end, quantiles
+                )
+            elif args.at is not None:
                 result = query_at(store, args.metric, args.at, quantiles)
             elif args.step is not None:
                 result = query_series(
@@ -819,11 +990,15 @@ def run_query(argv: List[str]) -> int:
                 )
             else:
                 result = query_range(store, args.metric, start, end, quantiles)
-        except StoreError as exc:
+        except (StoreError, ValueError) as exc:
             raise _fail(exc) from None
 
     if args.json:
         print(json.dumps(result, separators=(",", ":"), sort_keys=True))
+    elif group_by is not None:
+        from repro.store import render_group_result
+
+        print(render_group_result(result), end="")
     else:
         from repro.store.query import render_result
 

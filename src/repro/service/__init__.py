@@ -20,6 +20,11 @@ paper pitches:
   multi-connection load for the server (the ``python -m repro loadgen``
   CLI).
 
+A spec with ``labels=[...]`` registers a *labeled* metric — a
+high-cardinality family of per-labelset series with group-by quantile
+queries; the machinery lives in :mod:`repro.series` (see
+``docs/labels.md``).
+
 Scaling work (sharding, batching, future async ingest and multi-backend
 storage) plugs in underneath via
 :class:`~repro.streaming.plan.ExecutionPlan` without touching this

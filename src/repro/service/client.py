@@ -82,14 +82,32 @@ class TelemetryClient:
         """Liveness probe; returns the server's registered metric names."""
         return list(self.request({"op": "ping"})["metrics"])
 
+    def ping_info(self) -> dict:
+        """The full ping payload: ``metrics`` plus ``labels`` (the label
+        schema of every labeled metric, ``{name: [label, ...]}``)."""
+        response = self.request({"op": "ping"})
+        return {
+            "metrics": list(response["metrics"]),
+            "labels": {
+                name: list(schema)
+                for name, schema in response.get("labels", {}).items()
+            },
+        }
+
     def observe(
-        self, metric: str, values: Sequence[float], seq: Optional[int] = None
+        self,
+        metric: str,
+        values: Sequence[float],
+        seq: Optional[int] = None,
+        labels: Optional[Dict[str, str]] = None,
     ) -> dict:
         """Send one block; returns the ack (``accepted`` may be False
         when the server sheds under overload).
 
         A plain list passes through unconverted, so senders fanning one
         block to several metrics can ``tolist()`` once and reuse it.
+        ``labels`` routes the block to one series of a labeled metric
+        (required for those; the ``seq`` space is then per-series).
         """
         if isinstance(values, list):
             payload = values
@@ -98,27 +116,69 @@ class TelemetryClient:
         message = {"op": "observe", "metric": metric, "values": payload}
         if seq is not None:
             message["seq"] = int(seq)
+        if labels is not None:
+            message["labels"] = dict(labels)
         return self.request(message)
 
     def flush(self) -> dict:
         """Wait (server-side) until every acked block is applied."""
         return self.request({"op": "flush"})
 
-    def snapshot(self) -> Dict[str, Optional[Dict[float, float]]]:
-        """Latest per-metric estimates, exactly as ``Monitor.snapshot``."""
-        raw = self.request({"op": "snapshot"})["snapshot"]
+    def snapshot(self) -> Dict[str, object]:
+        """Latest per-metric estimates, exactly as ``Monitor.snapshot``.
+
+        Labeled metrics come back nested (``{series_key: {phi: estimate}
+        | None}``), mirroring the monitor's shape.
+        """
+        response = self.request({"op": "snapshot"})
+        labeled = set(response.get("labeled", []))
+
+        def native(estimates):
+            if estimates is None:
+                return None
+            return {float(phi): value for phi, value in estimates.items()}
+
         return {
             name: (
-                None
-                if estimates is None
-                else {float(phi): value for phi, value in estimates.items()}
+                {key: native(latest) for key, latest in entry.items()}
+                if name in labeled
+                else native(entry)
             )
-            for name, estimates in raw.items()
+            for name, entry in response["snapshot"].items()
         }
 
-    def results(self, metric: str) -> List[WindowResult]:
-        """Every emitted evaluation, as ``Monitor.results`` returns them."""
-        raw = self.request({"op": "results", "metric": metric})["results"]
+    def group_by(
+        self,
+        metric: str,
+        by: Sequence[str],
+        quantiles: Optional[Sequence[float]] = None,
+    ) -> dict:
+        """A live group-by over a labeled metric's current window.
+
+        Returns the same result dict
+        :func:`repro.series.groupby.group_by_live` produces locally, so
+        server and CLI answers render to identical bytes.
+        """
+        message: dict = {
+            "op": "group_by",
+            "metric": metric,
+            "by": by if isinstance(by, str) else list(by),
+        }
+        if quantiles is not None:
+            message["quantiles"] = [float(phi) for phi in quantiles]
+        return self.request(message)["result"]
+
+    def results(
+        self, metric: str, labels: Optional[Dict[str, str]] = None
+    ) -> List[WindowResult]:
+        """Every emitted evaluation, as ``Monitor.results`` returns them.
+
+        For labeled metrics, ``labels`` picks the series to read.
+        """
+        message: dict = {"op": "results", "metric": metric}
+        if labels is not None:
+            message["labels"] = dict(labels)
+        raw = self.request(message)["results"]
         return [
             WindowResult(
                 index=entry["index"],
@@ -241,6 +301,15 @@ class LoadGenerator:
     metrics:
         Metric names to fan the stream into; ``None`` asks the server
         (every registered metric, the offline CLI's fan-out).
+    series, label_fanout:
+        The labeled-metric discipline: event ``i`` of the stream belongs
+        to series ``i % series``, whose labelset is
+        :func:`~repro.series.labels.deterministic_labelsets` entry ``i %
+        series`` (first schema label cycling through ``label_fanout``
+        values).  A pure function of ``(dataset, events, seed)`` — the
+        connection count and block size never change which event lands
+        in which series, so served labeled runs replay offline
+        byte-identically.
     """
 
     def __init__(
@@ -254,6 +323,8 @@ class LoadGenerator:
         connections: int = 1,
         block_size: int = 65_536,
         metrics: Optional[Sequence[str]] = None,
+        series: int = 8,
+        label_fanout: int = 4,
     ) -> None:
         if connections < 1:
             raise ValueError(f"connections must be >= 1, got {connections}")
@@ -261,6 +332,10 @@ class LoadGenerator:
             raise ValueError(f"block_size must be >= 1, got {block_size}")
         if events < 0:
             raise ValueError(f"events must be >= 0, got {events}")
+        if series < 1:
+            raise ValueError(f"series must be >= 1, got {series}")
+        if label_fanout < 1:
+            raise ValueError(f"label_fanout must be >= 1, got {label_fanout}")
         self.host = host
         self.port = port
         self.dataset = dataset
@@ -268,6 +343,8 @@ class LoadGenerator:
         self.seed = seed
         self.connections = connections
         self.block_size = block_size
+        self.series = series
+        self.label_fanout = label_fanout
         self._metrics = list(metrics) if metrics is not None else None
 
     # ------------------------------------------------------------------
@@ -315,6 +392,18 @@ class LoadGenerator:
         with TelemetryClient(self.host, self.port) as client:
             return client.ping()
 
+    def labelsets_for(self, schema: Sequence[str]) -> List[Dict[str, str]]:
+        """The deterministic labelsets this generator routes events to —
+        entry ``j`` receives every event ``i`` with ``i % series == j``."""
+        from repro.series.labels import deterministic_labelsets
+
+        return [
+            dict(items)
+            for items in deterministic_labelsets(
+                schema, self.series, self.label_fanout
+            )
+        ]
+
     def _seq_base(self, metrics: Sequence[str]) -> int:
         """Where the server's per-metric seq numbering currently stands.
 
@@ -350,6 +439,13 @@ class LoadGenerator:
         metrics = self.resolve_metrics()
         if not metrics:
             raise ValueError("server has no registered metrics to feed")
+        with TelemetryClient(self.host, self.port) as client:
+            schemas = client.ping_info()["labels"]
+        labelsets = {
+            name: self.labelsets_for(schema)
+            for name, schema in schemas.items()
+            if name in metrics
+        }
         seq_base = self._seq_base(metrics)
         values = self.event_sequence()
         assignments = self.plan(start_offset=start_offset, stop_after=stop_after)
@@ -363,6 +459,7 @@ class LoadGenerator:
         sent_events = [0] * self.connections
         errors: List[Exception] = []
         lock = threading.Lock()
+        from repro.series.labels import series_slice
 
         def sender(index: int, mine: List[BlockAssignment]) -> None:
             try:
@@ -371,6 +468,23 @@ class LoadGenerator:
                         block = values[assignment.start : assignment.stop]
                         payload = block.tolist()  # serialise once per block
                         for metric in metrics:
+                            if metric in labelsets:
+                                # Per-series strided sub-blocks, one per
+                                # labelset; empty ones still go out so
+                                # every series' seq space stays gap-free.
+                                for j, labels in enumerate(labelsets[metric]):
+                                    sub = series_slice(
+                                        block, assignment.start, self.series, j
+                                    )
+                                    ack = client.observe(
+                                        metric,
+                                        sub.tolist(),
+                                        seq=seq_base + assignment.seq,
+                                        labels=labels,
+                                    )
+                                    if not ack.get("accepted", False):
+                                        shed_blocks[index] += 1
+                                continue
                             ack = client.observe(
                                 metric, payload, seq=seq_base + assignment.seq
                             )

@@ -31,7 +31,10 @@ import json
 import os
 import tempfile
 from collections import deque
-from typing import Callable, Deque, Dict, List, Mapping, Optional, Union
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Mapping, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.series.index import HistoryBinder, SeriesIndex
 
 import numpy as np
 
@@ -49,7 +52,9 @@ HistorySink = Callable[[str, int, int, dict], None]
 
 #: State-format versions written by the persistence layer.
 CHANNEL_STATE_VERSION = 1
-MONITOR_STATE_VERSION = 1
+#: v2 adds labeled-metric families ('series_families' + 'order'); v1
+#: checkpoints still load (they simply carry no labeled metrics).
+MONITOR_STATE_VERSION = 2
 
 #: File-format tag written by :meth:`Monitor.save`.
 MONITOR_FORMAT = "repro-monitor-checkpoint"
@@ -421,6 +426,10 @@ class Monitor:
     def __init__(self, emit_partial: bool = False) -> None:
         self._emit_partial = emit_partial
         self._channels: Dict[str, MetricChannel] = {}
+        #: Labeled metrics: one series index (family) per label schema.
+        self._families: Dict[str, "SeriesIndex"] = {}
+        #: Registration order across both kinds.
+        self._order: List[str] = []
 
     # ------------------------------------------------------------------
     # Registration
@@ -435,6 +444,11 @@ class Monitor:
         ``spec`` may be a :class:`MetricSpec` or its dict form (validated
         through :meth:`MetricSpec.from_dict`).  ``on_result`` is invoked
         as ``on_result(name, window_result)`` at every emitted period.
+        A spec with a label schema registers a *labeled* metric — a
+        :class:`~repro.series.index.SeriesIndex` family whose series
+        materialise lazily per observed labelset; per-period callbacks
+        are not supported on families (query via :meth:`group_by` or
+        :meth:`results` with labels instead).
         """
         if isinstance(spec, Mapping):
             spec = MetricSpec.from_dict(spec)
@@ -443,19 +457,40 @@ class Monitor:
                 f"register() takes a MetricSpec or its dict form, got "
                 f"{type(spec).__name__}"
             )
-        if spec.name in self._channels:
+        if spec.name in self._channels or spec.name in self._families:
             raise ValueError(
                 f"metric {spec.name!r} is already registered; metric names "
                 "must be unique within a Monitor"
             )
+        if spec.labels is not None:
+            if on_result is not None:
+                raise ValueError(
+                    f"metric {spec.name!r}: per-period callbacks are not "
+                    "supported on labeled metrics (series materialise "
+                    "lazily); use group_by() or results(name, labels=...)"
+                )
+            from repro.series.index import SeriesIndex
+
+            self._families[spec.name] = SeriesIndex(
+                spec, emit_partial=self._emit_partial
+            )
+            self._order.append(spec.name)
+            return spec
         callbacks = [on_result] if on_result is not None else []
         self._channels[spec.name] = MetricChannel(
             spec, emit_partial=self._emit_partial, callbacks=callbacks
         )
+        self._order.append(spec.name)
         return spec
 
     def on_result(self, name: str, callback: ResultCallback) -> None:
         """Subscribe ``callback(name, result)`` to a metric's evaluations."""
+        if name in self._families:
+            raise ValueError(
+                f"metric {name!r} is labeled; per-period callbacks are not "
+                "supported on labeled metrics — use group_by() or "
+                "results(name, labels=...)"
+            )
         self._channel(name)._callbacks.append(callback)
 
     def attach_recorder(self, name: str, sink: HistorySink) -> None:
@@ -463,43 +498,169 @@ class Monitor:
 
         The plumbing beneath :meth:`HistoryWriter.attach
         <repro.store.writer.HistoryWriter.attach>` — see
-        :meth:`MetricChannel.attach_recorder` for the contract.
+        :meth:`MetricChannel.attach_recorder` for the contract.  Labeled
+        metrics need a per-series binder instead
+        (:meth:`attach_series_history`) — the HistoryWriter picks the
+        right one automatically.
         """
+        if name in self._families:
+            raise ValueError(
+                f"metric {name!r} is labeled; attach history with "
+                "attach_series_history(name, binder) (HistoryWriter does "
+                "this automatically)"
+            )
         self._channel(name).attach_recorder(sink)
+
+    def attach_series_history(self, name: str, binder: "HistoryBinder") -> None:
+        """Record a labeled family's per-series period deltas.
+
+        ``binder(series_key)`` is called once per materialised series —
+        see :meth:`SeriesIndex.attach_history
+        <repro.series.index.SeriesIndex.attach_history>`.
+        """
+        self._family(name).attach_history(binder)
 
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def observe(self, name: str, value: float, ts: Optional[float] = None) -> None:
+    def observe(
+        self,
+        name: str,
+        value: float,
+        ts: Optional[float] = None,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         """Fold one element of metric ``name`` into its window.
 
         ``ts`` is accepted for API symmetry with timestamped pipelines;
         registered metrics are count-windowed, so it does not influence
-        windowing.
+        windowing.  ``labels`` routes the element to one series of a
+        labeled metric and must match the metric's schema exactly.
         """
+        if name in self._families:
+            if labels is None:
+                raise ValueError(
+                    f"metric {name!r} is labeled "
+                    f"({list(self._families[name].spec.labels)}); pass "
+                    "labels={...} with every observation"
+                )
+            self._families[name].observe(labels, value)
+            return
+        if labels is not None:
+            raise ValueError(
+                f"metric {name!r} is not labeled; register it with "
+                "labels=[...] to observe labeled values"
+            )
         self._channel(name).observe(value)
 
-    def observe_batch(self, name: str, values: np.ndarray) -> None:
-        """Bulk-ingest a value array for metric ``name`` (batched path)."""
+    def observe_batch(
+        self,
+        name: str,
+        values: np.ndarray,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Bulk-ingest a value array for metric ``name`` (batched path).
+
+        For a labeled metric the whole batch belongs to the one series
+        ``labels`` names (per-series routing happens upstream).
+        """
+        if name in self._families:
+            if labels is None:
+                raise ValueError(
+                    f"metric {name!r} is labeled "
+                    f"({list(self._families[name].spec.labels)}); pass "
+                    "labels={...} with every batch"
+                )
+            self._families[name].observe_batch(labels, values)
+            return
+        if labels is not None:
+            raise ValueError(
+                f"metric {name!r} is not labeled; register it with "
+                "labels=[...] to observe labeled values"
+            )
         self._channel(name).observe_batch(values)
 
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
-    def results(self, name: str) -> List[WindowResult]:
-        """All evaluations emitted so far for metric ``name``."""
+    def results(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> List[WindowResult]:
+        """All evaluations emitted so far for metric ``name``.
+
+        A labeled metric requires ``labels`` naming one series (evicted
+        series answer from their sealed state).
+        """
+        if name in self._families:
+            if labels is None:
+                raise ValueError(
+                    f"metric {name!r} is labeled; pass labels={{...}} to "
+                    "read one series' results (or group_by() for merged "
+                    "answers)"
+                )
+            return list(self._families[name].results(labels))
+        if labels is not None:
+            raise ValueError(f"metric {name!r} is not labeled; drop labels=")
         return list(self._channel(name).results)
 
-    def snapshot(self) -> Dict[str, Optional[Dict[float, float]]]:
-        """Latest ``{phi: estimate}`` per metric (None before a window)."""
-        return {
-            name: (channel.latest.result if channel.latest else None)
-            for name, channel in self._channels.items()
-        }
+    def snapshot(self) -> Dict[str, object]:
+        """Latest ``{phi: estimate}`` per metric (None before a window).
+
+        Labeled metrics nest one more level: ``{series_key: {phi:
+        estimate} | None}``, ordered by canonical series key.
+        """
+        snapshot: Dict[str, object] = {}
+        for name in self._order:
+            if name in self._families:
+                snapshot[name] = self._families[name].snapshot()
+            else:
+                channel = self._channels[name]
+                snapshot[name] = channel.latest.result if channel.latest else None
+        return snapshot
+
+    def group_by(
+        self,
+        name: str,
+        by: Union[str, List[str]],
+        quantiles: Optional[List[float]] = None,
+    ) -> Dict[str, object]:
+        """Current-window group-by over a labeled metric's series — see
+        :func:`repro.series.groupby.group_by_live` for the result shape
+        and the bit-identity contract."""
+        return self._family(name).group_by(by, quantiles)
 
     def space_report(self) -> Dict[str, Dict[str, object]]:
-        """Per-metric space/element/evaluation accounting."""
-        return {name: ch.report() for name, ch in self._channels.items()}
+        """Per-metric space/element/evaluation accounting.
+
+        Labeled metrics report family totals plus a ``series`` block
+        (cardinality counters and the index memory estimate).
+        """
+        report: Dict[str, Dict[str, object]] = {}
+        for name in self._order:
+            if name in self._families:
+                report[name] = self._families[name].report()
+            else:
+                report[name] = self._channels[name].report()
+        return report
+
+    def seen_counts(self) -> Dict[str, int]:
+        """Elements ingested per metric (family totals for labeled ones)."""
+        counts: Dict[str, int] = {}
+        for name in self._order:
+            if name in self._families:
+                counts[name] = self._families[name].seen()
+            else:
+                counts[name] = self._channels[name].seen
+        return counts
+
+    def series_route(self, name: str, labels: Mapping[str, str]) -> str:
+        """The canonical series key an observation routes to (validates
+        the labelset against the schema) — the wire layer's per-series
+        sequence-space identifier."""
+        from repro.series.labels import canonical_labelset, series_key
+
+        spec = self._family(name).spec
+        return series_key(name, canonical_labelset(labels, spec.labels, name))
 
     # ------------------------------------------------------------------
     # Fleet composition
@@ -517,7 +678,10 @@ class Monitor:
         """
         if not isinstance(other, Monitor):
             raise TypeError(f"cannot merge {type(other).__name__} into Monitor")
-        missing = sorted(set(other._channels) - set(self._channels))
+        missing = sorted(
+            (set(other._channels) - set(self._channels))
+            | (set(other._families) - set(self._families))
+        )
         if missing:
             raise ValueError(
                 f"cannot merge: metric(s) {missing} are not registered in "
@@ -525,12 +689,16 @@ class Monitor:
             )
         for name, channel in other._channels.items():
             self._channels[name].merge_from(channel)
+        for name, family in other._families.items():
+            self._families[name].merge_from(family)
         return self
 
     def reset(self) -> None:
         """Reset every metric's state and results (specs stay registered)."""
         for channel in self._channels.values():
             channel.reset()
+        for family in self._families.values():
+            family.reset()
 
     # ------------------------------------------------------------------
     # Durable state (save / load)
@@ -542,18 +710,35 @@ class Monitor:
         state["metrics"] = [
             channel.to_state() for channel in self._channels.values()
         ]
+        state["series_families"] = [
+            family.to_state() for family in self._families.values()
+        ]
+        state["order"] = list(self._order)
         return state
 
     @classmethod
     def from_state(cls, state: dict, emit_partial: bool = False) -> "Monitor":
-        """Rebuild a monitor (specs, policies, counters, results)."""
+        """Rebuild a monitor (specs, policies, counters, results).
+
+        Accepts v1 states (pre-labels) as well: they carry no
+        ``series_families``/``order`` fields, so families come back empty
+        and registration order falls back to the channel list order.
+        """
         serde.check_state(state, "monitor", MONITOR_STATE_VERSION, "monitor")
         serde.require_fields(state, ("metrics",), "monitor")
-        serde.warn_unknown_fields(state, ("metrics", "format"), "monitor")
+        serde.warn_unknown_fields(
+            state, ("metrics", "format", "series_families", "order"), "monitor"
+        )
         if not isinstance(state["metrics"], list):
             raise serde.StateError(
                 "monitor: 'metrics' must be a list of metric-channel states, "
                 f"got {type(state['metrics']).__name__}"
+            )
+        families = state.get("series_families", [])
+        if not isinstance(families, list):
+            raise serde.StateError(
+                "monitor: 'series_families' must be a list of series-index "
+                f"states, got {type(families).__name__}"
             )
         monitor = cls(emit_partial=emit_partial)
         for entry in state["metrics"]:
@@ -563,6 +748,29 @@ class Monitor:
                     f"monitor: duplicate metric {channel.spec.name!r} in state"
                 )
             monitor._channels[channel.spec.name] = channel
+        from repro.series.index import SeriesIndex
+
+        for entry in families:
+            family = SeriesIndex.from_state(entry, emit_partial=emit_partial)
+            name = family.spec.name
+            if name in monitor._channels or name in monitor._families:
+                raise serde.StateError(
+                    f"monitor: duplicate metric {name!r} in state"
+                )
+            monitor._families[name] = family
+        order = state.get("order")
+        known = set(monitor._channels) | set(monitor._families)
+        if order is not None:
+            if not isinstance(order, list) or set(order) != known or len(
+                order
+            ) != len(known):
+                raise serde.StateError(
+                    "monitor: 'order' must list every registered metric name "
+                    f"exactly once; got {order!r} for metrics {sorted(known)}"
+                )
+            monitor._order = [str(name) for name in order]
+        else:
+            monitor._order = list(monitor._channels) + list(monitor._families)
         return monitor
 
     def save(self, path: str) -> None:
@@ -634,22 +842,50 @@ class Monitor:
     # ------------------------------------------------------------------
     def metrics(self) -> List[str]:
         """Registered metric names, in registration order."""
-        return list(self._channels)
+        return list(self._order)
+
+    def labeled_metrics(self) -> List[str]:
+        """Registered *labeled* metric names, in registration order."""
+        return [name for name in self._order if name in self._families]
 
     def specs(self) -> List[MetricSpec]:
         """The canonical specs of every registered metric."""
-        return [channel.spec for channel in self._channels.values()]
+        return [
+            (
+                self._families[name].spec
+                if name in self._families
+                else self._channels[name].spec
+            )
+            for name in self._order
+        ]
+
+    def series_stats(self, name: str) -> Dict[str, object]:
+        """Cardinality/eviction counters of a labeled metric's index."""
+        return self._family(name).stats()
 
     def __contains__(self, name: object) -> bool:
-        return name in self._channels
+        return name in self._channels or name in self._families
 
     def __len__(self) -> int:
-        return len(self._channels)
+        return len(self._order)
 
     def _channel(self, name: str) -> MetricChannel:
         try:
             return self._channels[name]
         except KeyError:
+            raise KeyError(
+                f"unknown metric {name!r}; registered: {self.metrics() or '(none)'}"
+            ) from None
+
+    def _family(self, name: str) -> "SeriesIndex":
+        try:
+            return self._families[name]
+        except KeyError:
+            if name in self._channels:
+                raise ValueError(
+                    f"metric {name!r} is not labeled; this operation needs a "
+                    "metric registered with labels=[...]"
+                ) from None
             raise KeyError(
                 f"unknown metric {name!r}; registered: {self.metrics() or '(none)'}"
             ) from None

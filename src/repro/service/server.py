@@ -34,7 +34,7 @@ import queue
 import socket
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -52,11 +52,22 @@ from repro.service.protocol import (
 #: Backpressure modes an :class:`IngestQueue` implements.
 BACKPRESSURE_MODES = ("block", "shed")
 
-#: One queued ingest item: metric, optional sequence number, values, and
+#: Where a block lands: a plain metric name, or — for labeled metrics —
+#: ``(metric, labels, series_key)``.  The series key is the reorder
+#: cursor's identity, so every series gets its own sequence space.
+Route = Union[str, Tuple[str, Mapping[str, str], str]]
+
+#: One queued ingest item: route, optional sequence number, values, and
 #: whether this is a shed *marker* — a zero-event placeholder a shedding
 #: server enqueues so the consumer can advance past the dropped block's
 #: seq instead of parking every later block behind a permanent gap.
-Block = Tuple[str, Optional[int], np.ndarray, bool]
+Block = Tuple[Route, Optional[int], np.ndarray, bool]
+
+
+def _route_key(route: Route) -> str:
+    """The reorder-buffer identity of a route (the series key when
+    labeled; for plain metrics, the metric name)."""
+    return route if isinstance(route, str) else route[2]
 
 
 class IngestQueue:
@@ -229,10 +240,11 @@ class TelemetryServer:
         self._applied_events = 0
         self._forced_blocks = 0
         self._duplicate_blocks = 0
-        #: Per-metric reorder buffers: seq -> (values, is_marker).
+        #: Per-route reorder buffers: route key (metric name, or series
+        #: key for labeled blocks) -> seq -> (route, values, is_marker).
         #: Written by the consumer thread, sized by control threads;
         #: every structural access holds ``self._pipeline``.
-        self._pending: Dict[str, Dict[int, Tuple[np.ndarray, bool]]] = {}
+        self._pending: Dict[str, Dict[int, Tuple["Route", np.ndarray, bool]]] = {}
         self._next_seq: Dict[str, int] = {}
 
         self._listener: Optional[socket.socket] = None
@@ -409,7 +421,15 @@ class TelemetryServer:
         if op == "observe":
             return self._op_observe(request)
         if op == "ping":
-            return ok_response(pong=True, metrics=self.monitor.metrics())
+            return ok_response(
+                pong=True,
+                metrics=self.monitor.metrics(),
+                labels={
+                    spec.name: list(spec.labels)
+                    for spec in self.monitor.specs()
+                    if spec.labels is not None
+                },
+            )
         if op == "flush":
             drained = self._wait_drained(self.flush_timeout)
             return ok_response(drained=drained, **self._pipeline_stats())
@@ -423,12 +443,14 @@ class TelemetryServer:
             return self._op_checkpoint()
         if op == "history":
             return self._op_history(request)
+        if op == "group_by":
+            return self._op_group_by(request)
         if op == "shutdown":
             self._shutdown_requested.set()
             return ok_response(stopping=True)
         return error_response(
             f"unknown op {op!r}; supported: observe, snapshot, results, "
-            "flush, stats, checkpoint, history, shutdown, ping"
+            "flush, stats, checkpoint, history, group_by, shutdown, ping"
         )
 
     def _op_observe(self, request: dict) -> dict:
@@ -436,6 +458,26 @@ class TelemetryServer:
         if not isinstance(metric, str) or metric not in self.monitor:
             return error_response(
                 f"unknown metric {metric!r}; registered: {self.monitor.metrics()}"
+            )
+        labels = request.get("labels")
+        labeled = metric in self.monitor.labeled_metrics()
+        route: Route = metric
+        if labeled:
+            if not isinstance(labels, dict):
+                return error_response(
+                    f"metric {metric!r} is labeled; send 'labels' as a "
+                    "{name: value} object with every observe block"
+                )
+            try:
+                # Validates against the schema and yields the canonical
+                # series key — the block's reorder-cursor identity.
+                route = (metric, labels, self.monitor.series_route(metric, labels))
+            except ValueError as exc:
+                return error_response(str(exc))
+        elif labels is not None:
+            return error_response(
+                f"metric {metric!r} is not labeled; drop 'labels' or "
+                "register the metric with a label schema"
             )
         values = request.get("values")
         if not isinstance(values, list):
@@ -462,33 +504,40 @@ class TelemetryServer:
         if len(array) == 0:
             if seq is not None:
                 # Zero events, but the seq cursor must still advance or
-                # every later block of this metric parks behind the gap.
+                # every later block of this route parks behind the gap.
                 self.ingest_queue.put_marker(
-                    (metric, seq, np.empty(0, dtype=np.float64), True)
+                    (route, seq, np.empty(0, dtype=np.float64), True)
                 )
             return ok_response(accepted=True, events=0)
-        accepted = self.ingest_queue.put((metric, seq, array, False))
+        accepted = self.ingest_queue.put((route, seq, array, False))
         if not accepted and seq is not None:
             # Keep the sequence space gap-free: a marker tells the
             # consumer "seq N was shed, advance past it" so later blocks
             # don't park forever behind the dropped one.
             self.ingest_queue.put_marker(
-                (metric, seq, np.empty(0, dtype=np.float64), True)
+                (route, seq, np.empty(0, dtype=np.float64), True)
             )
         return ok_response(accepted=accepted, events=int(len(array)))
 
     def _op_snapshot(self) -> dict:
         drained = self._wait_drained(self.flush_timeout)
+        labeled = self.monitor.labeled_metrics()
+
+        def wire(estimates):
+            if estimates is None:
+                return None
+            return {repr(phi): value for phi, value in estimates.items()}
+
         with self._monitor_lock:
             snapshot = {
                 name: (
-                    None
-                    if estimates is None
-                    else {repr(phi): value for phi, value in estimates.items()}
+                    {key: wire(latest) for key, latest in entry.items()}
+                    if name in labeled
+                    else wire(entry)
                 )
-                for name, estimates in self.monitor.snapshot().items()
+                for name, entry in self.monitor.snapshot().items()
             }
-        return ok_response(snapshot=snapshot, drained=drained)
+        return ok_response(snapshot=snapshot, drained=drained, labeled=labeled)
 
     def _op_results(self, request: dict) -> dict:
         metric = request.get("metric")
@@ -496,8 +545,16 @@ class TelemetryServer:
             return error_response(
                 f"unknown metric {metric!r}; registered: {self.monitor.metrics()}"
             )
+        labels = request.get("labels")
+        if labels is not None and not isinstance(labels, dict):
+            return error_response("'labels' must be a {name: value} object")
         drained = self._wait_drained(self.flush_timeout)
         with self._monitor_lock:
+            try:
+                emitted = self.monitor.results(metric, labels=labels)
+            except (KeyError, ValueError) as exc:
+                message = exc.args[0] if exc.args else str(exc)
+                return error_response(str(message))
             results = [
                 {
                     "index": result.index,
@@ -507,22 +564,62 @@ class TelemetryServer:
                         repr(phi): value for phi, value in result.result.items()
                     },
                 }
-                for result in self.monitor.results(metric)
+                for result in emitted
             ]
         return ok_response(metric=metric, results=results, drained=drained)
 
-    def _op_stats(self) -> dict:
+    def _op_group_by(self, request: dict) -> dict:
+        """Answer a live group-by over a labeled metric's current window."""
+        metric = request.get("metric")
+        if not isinstance(metric, str) or metric not in self.monitor:
+            return error_response(
+                f"unknown metric {metric!r}; registered: {self.monitor.metrics()}"
+            )
+        by = request.get("by")
+        if not isinstance(by, (str, list)) or not by:
+            return error_response(
+                "'by' must be a label name or a non-empty array of label names"
+            )
+        quantiles = request.get("quantiles")
+        if quantiles is not None and (
+            not isinstance(quantiles, list)
+            or not all(isinstance(phi, (int, float)) for phi in quantiles)
+        ):
+            return error_response("'quantiles' must be a JSON array of numbers")
         drained = self._wait_drained(self.flush_timeout)
         with self._monitor_lock:
+            try:
+                result = self.monitor.group_by(metric, by, quantiles)
+            except (KeyError, ValueError) as exc:
+                message = exc.args[0] if exc.args else str(exc)
+                return error_response(str(message))
+        return ok_response(result=result, drained=drained)
+
+    def _op_stats(self) -> dict:
+        drained = self._wait_drained(self.flush_timeout)
+        labeled = set(self.monitor.labeled_metrics())
+        with self._monitor_lock:
             metrics = self.monitor.space_report()
-            seen = {
-                name: self.monitor._channels[name].seen
-                for name in self.monitor.metrics()
-            }
-            next_seqs = {
-                name: self._next_seq.get(name, 0)
-                for name in self.monitor.metrics()
-            }
+            seen = self.monitor.seen_counts()
+            with self._pipeline:
+                next_seqs = {
+                    name: (
+                        # A labeled metric's seq spaces are per-series;
+                        # report the family's frontier (senders that fan
+                        # out uniformly resume from it — LoadGenerator).
+                        max(
+                            (
+                                cursor
+                                for key, cursor in self._next_seq.items()
+                                if key.startswith(name + "{")
+                            ),
+                            default=0,
+                        )
+                        if name in labeled
+                        else self._next_seq.get(name, 0)
+                    )
+                    for name in self.monitor.metrics()
+                }
         for name, report in metrics.items():
             report["seen"] = seen[name]
             # Where this run's seq numbering stands: a sender joining a
@@ -622,41 +719,54 @@ class TelemetryServer:
             block = self.ingest_queue.get()
             if block is None:
                 break
-            metric, seq, values, marker = block
+            route, seq, values, marker = block
             with self._monitor_lock:
-                self._apply(metric, seq, values, marker)
+                self._apply(route, seq, values, marker)
         # Shutdown: apply any parked out-of-order blocks rather than lose
         # them (their sender died before filling the gap) — unless the
         # shutdown is a crash simulation (stop(drain=False)).
         with self._monitor_lock:
             with self._pipeline:
                 orphaned = {
-                    metric: sorted(parked.items())
-                    for metric, parked in self._pending.items()
+                    key: sorted(parked.items())
+                    for key, parked in self._pending.items()
                 }
                 self._pending.clear()
                 self._pipeline.notify_all()
             if self._abandon:
                 return
-            for metric in sorted(orphaned):
-                for seq, (values, marker) in orphaned[metric]:
+            for key in sorted(orphaned):
+                for seq, (route, values, marker) in orphaned[key]:
                     if marker:
                         continue
-                    self.monitor.observe_batch(metric, values)
+                    self._ingest(route, values)
                     with self._pipeline:
                         self._applied_blocks += 1
                         self._forced_blocks += 1
                         self._applied_events += len(values)
                         self._pipeline.notify_all()
 
+    def _ingest(self, route: Route, values: np.ndarray) -> None:
+        """Hand one block's values to the monitor (per-series if labeled)."""
+        if isinstance(route, str):
+            self.monitor.observe_batch(route, values)
+        else:
+            self.monitor.observe_batch(route[0], values, labels=route[1])
+
     def _apply(
-        self, metric: str, seq: Optional[int], values: np.ndarray, marker: bool
+        self, route: Route, seq: Optional[int], values: np.ndarray, marker: bool
     ) -> None:
-        """Apply one block, reordering on the per-metric sequence number."""
+        """Apply one block, reordering on the route's sequence number.
+
+        The reorder cursor lives per *route key* — the metric name, or
+        the series key for labeled blocks — so every series has its own
+        independent sequence space.
+        """
         if seq is None:
-            self._apply_now(metric, values, marker)
+            self._apply_now(route, values, marker)
             return
-        next_seq = self._next_seq.setdefault(metric, 0)
+        key = _route_key(route)
+        next_seq = self._next_seq.setdefault(key, 0)
         if seq < next_seq:
             # A replay of an already-applied block (e.g. a client retry);
             # applying it twice would double-count, so drop and account.
@@ -668,28 +778,28 @@ class TelemetryServer:
             return
         if seq > next_seq:
             with self._pipeline:
-                self._pending.setdefault(metric, {})[seq] = (values, marker)
+                self._pending.setdefault(key, {})[seq] = (route, values, marker)
                 self._pipeline.notify_all()
             return
-        self._apply_now(metric, values, marker)
-        self._next_seq[metric] = next_seq + 1
+        self._apply_now(route, values, marker)
+        self._next_seq[key] = next_seq + 1
         while True:
             with self._pipeline:
-                parked = self._pending.get(metric)
-                ready = parked.pop(self._next_seq[metric], None) if parked else None
+                parked = self._pending.get(key)
+                ready = parked.pop(self._next_seq[key], None) if parked else None
             if ready is None:
                 break
-            self._apply_now(metric, ready[0], ready[1])
-            self._next_seq[metric] += 1
+            self._apply_now(ready[0], ready[1], ready[2])
+            self._next_seq[key] += 1
 
-    def _apply_now(self, metric: str, values: np.ndarray, marker: bool) -> None:
+    def _apply_now(self, route: Route, values: np.ndarray, marker: bool) -> None:
         if marker:
             # A shed block's placeholder: advance the seq cursor only —
             # the events were dropped at the queue boundary, by policy.
             with self._pipeline:
                 self._pipeline.notify_all()
             return
-        self.monitor.observe_batch(metric, values)
+        self._ingest(route, values)
         with self._pipeline:
             self._applied_blocks += 1
             self._applied_events += len(values)
@@ -702,7 +812,7 @@ class TelemetryServer:
         return sum(
             1
             for parked in self._pending.values()
-            for _, marker in parked.values()
+            for _, _, marker in parked.values()
             if not marker
         )
 

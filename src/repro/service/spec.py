@@ -38,7 +38,11 @@ if TYPE_CHECKING:
     from repro.streaming.query import Query
 
 #: Keys a serialised spec dict may carry.
-_SPEC_KEYS = ("name", "quantiles", "window", "policy", "policy_params")
+_SPEC_KEYS = ("name", "quantiles", "window", "policy", "policy_params", "labels", "series")
+
+#: Keys the per-metric ``series`` options mapping accepts (labeled
+#: metrics only): the :class:`~repro.series.index.SeriesIndex` knobs.
+_SERIES_KEYS = ("shards", "max_active", "idle_ttl")
 
 #: QLOVE parameters accepted flat in ``policy_params`` (assembled into a
 #: :class:`~repro.core.config.QLOVEConfig`); ``config`` is the alternative.
@@ -123,6 +127,19 @@ class MetricSpec:
         ``fewk`` (``fewk`` itself a
         :class:`~repro.core.config.FewKConfig`, its dict form, or
         ``true`` for defaults).
+    labels:
+        ``None`` for a plain single-series metric.  A list of label
+        names declares a *labeled* metric — a family of series, one per
+        observed labelset (``latency{region, host}``); observations must
+        then carry ``labels={...}`` matching this schema exactly.  See
+        :mod:`repro.series.labels` for name rules and the canonical
+        series-key encoding.
+    series:
+        Optional :class:`~repro.series.index.SeriesIndex` options for a
+        labeled metric: ``shards`` (internal hash-shard count),
+        ``max_active`` (LRU-evict beyond this many live series) and
+        ``idle_ttl`` (evict series idle for this many observation
+        ticks).  Only valid together with ``labels``.
     """
 
     name: str
@@ -130,6 +147,8 @@ class MetricSpec:
     window: Union[CountWindow, Mapping]
     policy: str = "qlove"
     policy_params: Mapping[str, object] = field(default_factory=dict)
+    labels: Optional[Sequence[str]] = None
+    series: Optional[Mapping[str, object]] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -179,9 +198,56 @@ class MetricSpec:
                 f"got {type(self.policy_params).__name__}"
             )
         object.__setattr__(self, "policy_params", dict(self.policy_params))
+        if self.labels is not None:
+            from repro.series.labels import validate_label_schema
+
+            object.__setattr__(
+                self, "labels", validate_label_schema(self.labels, self.name)
+            )
+        object.__setattr__(
+            self, "series", self._validated_series_options(self.series)
+        )
         # Fail fast on malformed parameters (never mid-stream): resolving
         # fully validates QLOVE configs and non-QLOVE parameter names.
         self.resolved_params()
+
+    def _validated_series_options(self, options: object) -> Optional[Dict[str, object]]:
+        """Validate the ``series`` options mapping (labeled metrics only)."""
+        if options is None:
+            return None
+        if self.labels is None:
+            raise ValueError(
+                f"metric {self.name!r}: 'series' options are only valid on "
+                "a labeled metric; declare a label schema with labels=[...]"
+            )
+        if not isinstance(options, Mapping):
+            raise ValueError(
+                f"metric {self.name!r}: 'series' must be a mapping of "
+                f"{list(_SERIES_KEYS)}, got {type(options).__name__}"
+            )
+        unknown = sorted(set(options) - set(_SERIES_KEYS))
+        if unknown:
+            raise ValueError(
+                f"metric {self.name!r}: unknown series option(s) {unknown}; "
+                f"accepted: {list(_SERIES_KEYS)}"
+            )
+        validated: Dict[str, object] = {}
+        for key in _SERIES_KEYS:
+            if key not in options:
+                continue
+            value = options[key]
+            if value is None and key in ("max_active", "idle_ttl"):
+                validated[key] = None
+                continue
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ValueError(
+                    f"metric {self.name!r}: series option {key!r} must be a "
+                    f"positive int"
+                    + (" or null" if key != "shards" else "")
+                    + f", got {value!r}"
+                )
+            validated[key] = value
+        return validated
 
     # ------------------------------------------------------------------
     # Parameter resolution
@@ -323,6 +389,8 @@ class MetricSpec:
             window=data["window"],  # type: ignore[arg-type]
             policy=data.get("policy", "qlove"),  # type: ignore[arg-type]
             policy_params=data.get("policy_params", {}),  # type: ignore[arg-type]
+            labels=data.get("labels"),  # type: ignore[arg-type]
+            series=data.get("series"),  # type: ignore[arg-type]
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -343,14 +411,38 @@ class MetricSpec:
         # as_native strips numpy scalars that rode in through policy_params
         # (e.g. an epsilon computed from an array), so the dict always
         # survives the stdlib json encoder.
-        return serde.as_native(
-            {
-                "name": self.name,
-                "quantiles": list(self.quantiles),
-                "window": {"size": self.window.size, "period": self.window.period},
-                "policy": self.policy,
-                "policy_params": dict(params),
-            }
+        data: Dict[str, object] = {
+            "name": self.name,
+            "quantiles": list(self.quantiles),
+            "window": {"size": self.window.size, "period": self.window.period},
+            "policy": self.policy,
+            "policy_params": dict(params),
+        }
+        # Labeled fields appear only when set, so unlabeled specs (and
+        # everything persisted under them) serialise exactly as before.
+        if self.labels is not None:
+            data["labels"] = list(self.labels)
+        if self.series is not None:
+            data["series"] = dict(self.series)
+        return serde.as_native(data)
+
+    def for_series(self, series_key: str) -> "MetricSpec":
+        """The derived single-series spec a labeled family's series
+        persists under: the series key becomes the metric name, the
+        label schema and series options drop (the labels are encoded in
+        the key).  This is what :class:`~repro.store.writer.HistoryWriter`
+        registers with the store for each lazily-created series."""
+        if self.labels is None:
+            raise ValueError(
+                f"metric {self.name!r} is not labeled; for_series() derives "
+                "per-series specs of a labeled family"
+            )
+        return MetricSpec(
+            name=series_key,
+            quantiles=self.quantiles,
+            window=self.window,
+            policy=self.policy,
+            policy_params=self.policy_params,
         )
 
 

@@ -8,8 +8,14 @@ after the fact: per-period sketch states persist as CRC-framed segments
 by the range-query engine (:mod:`~repro.store.query`) — bit-identically
 to a sequential run for time-composable policies.  See
 ``docs/history.md`` for the format and semantics.
+
+Labeled metrics persist one log per *series* (keyed by the canonical
+``metric{k=v,...}`` encoding), and :func:`~repro.series.groupby.
+group_by_store` — re-exported here — answers historical group-by
+queries over them.
 """
 
+from repro.series.groupby import group_by_store, render_group_result
 from repro.store.query import (
     merge_segments,
     query_at,
@@ -48,10 +54,12 @@ __all__ = [
     "TornRecord",
     "decode_line",
     "encode_line",
+    "group_by_store",
     "merge_segments",
     "query_at",
     "query_range",
     "query_series",
     "rebuild_policy",
+    "render_group_result",
     "render_result",
 ]

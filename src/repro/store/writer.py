@@ -93,15 +93,36 @@ class HistoryWriter:
             self.attach_metric(monitor, spec.name)
 
     def attach_metric(self, monitor, name: str) -> None:
-        """Record one of ``monitor``'s metrics into the store."""
+        """Record one of ``monitor``'s metrics into the store.
+
+        A labeled metric attaches per *series*: every labelset that
+        materialises (or resurrects) registers its derived per-series
+        spec with the store and records segments under its canonical
+        series key, so historical group-by queries can decode the
+        labels back out of the store.
+        """
         spec = next((s for s in monitor.specs() if s.name == name), None)
         if spec is None:
             raise KeyError(
                 f"metric {name!r} is not registered on the monitor; "
                 f"registered: {monitor.metrics() or '(none)'}"
             )
+        if spec.labels is not None:
+            monitor.attach_series_history(name, self._series_binder(spec))
+            return
         self.store.register(spec)
         monitor.attach_recorder(name, self._sink)
+
+    def _series_binder(self, spec):
+        """The per-series binder for one labeled family: registers the
+        series' derived spec on first touch and routes its segments to
+        the shared sink (keyed by series key)."""
+
+        def binder(series_key: str):
+            self.store.register(spec.for_series(series_key))
+            return self._sink
+
+        return binder
 
     # ------------------------------------------------------------------
     # The period-boundary sink

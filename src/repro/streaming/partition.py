@@ -35,6 +35,23 @@ def available_partitioners() -> list[str]:
     return ["hash", "round_robin"]
 
 
+def hash_shard_of_key(key: str, n_shards: int) -> int:
+    """Shard index of a string key under the same Fibonacci mix.
+
+    The series-index counterpart of :func:`hash_shard_of`: a stable
+    64-bit FNV-1a over the key's UTF-8 bytes, mixed with the Fibonacci
+    multiplier so sequentially-numbered series keys still spread evenly.
+    Deterministic across processes and platforms (no ``hash()`` salting).
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be at least 1, got {n_shards}")
+    acc = 0xCBF29CE484222325  # FNV-1a offset basis
+    for byte in key.encode("utf-8"):
+        acc = ((acc ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    mixed = (acc * int(_HASH_MULTIPLIER)) & 0xFFFFFFFFFFFFFFFF
+    return int((mixed >> 32) % n_shards)
+
+
 def hash_shard_of(values: np.ndarray, n_shards: int) -> np.ndarray:
     """Shard index per element under the hash strategy (vectorised).
 

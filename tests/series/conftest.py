@@ -1,0 +1,134 @@
+"""Shared fixtures/helpers for the labeled-series test battery."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.series.labels import canonical_labelset, series_key
+from repro.service.monitor import Monitor
+from repro.service.spec import MetricSpec
+
+#: Policies whose ``merge`` appends the donor's sealed sub-windows after
+#: the master's — the universal merge contract group-by builds on.  The
+#: equivalence battery runs every one of them.
+COMPOSABLE = ("am", "cmqs", "exact", "moment", "qlove")
+
+#: Battery seeds (matching the store battery's spread).
+SEEDS = (0, 7, 1234)
+
+#: The battery window.  The size is far above any per-group total the
+#: battery ingests, so nothing ever expires on either side of an
+#: equivalence check: expiring windows see *per-series* streams, which a
+#: concatenated per-group offline stream cannot reproduce — the
+#: bit-identity contract is scoped to the no-expiry regime, the same
+#: discipline the historical range-query battery uses.
+WINDOW = {"size": 100_000, "period": 20}
+
+#: Quantiles tracked by battery metrics.
+PHIS = [0.5, 0.9, 0.99]
+
+#: The battery schema; "region" (first in sorted order) is the group
+#: dimension deterministic_labelsets fans out.
+SCHEMA = ["region", "host"]
+
+
+def make_family_spec(
+    policy: str,
+    name: str | None = None,
+    labels=None,
+    series=None,
+    window=None,
+    **params,
+) -> MetricSpec:
+    """A labeled battery MetricSpec for one policy."""
+    return MetricSpec(
+        name=name or f"m_{policy}",
+        quantiles=PHIS,
+        window=dict(window or WINDOW),
+        policy=policy,
+        policy_params=params,
+        labels=list(labels) if labels is not None else list(SCHEMA),
+        series=series,
+    )
+
+
+def make_plain_spec(spec: MetricSpec) -> MetricSpec:
+    """The unlabeled twin of a labeled spec (offline references)."""
+    return MetricSpec(
+        name=spec.name,
+        quantiles=spec.quantiles,
+        window=spec.window,
+        policy=spec.policy,
+        policy_params=spec.policy_params,
+    )
+
+
+def stream_values(seed: int, n_events: int) -> np.ndarray:
+    """A deterministic heavy-tailed stream of ``n_events`` elements."""
+    rng = np.random.default_rng(seed)
+    return rng.lognormal(mean=3.0, sigma=1.2, size=n_events)
+
+
+def battery_labelsets(fanout: int = 3, hosts_per_region: int = 2):
+    """A small fixed labelset roster: ``fanout`` regions x hosts each."""
+    sets = []
+    for r in range(fanout):
+        for h in range(hosts_per_region):
+            sets.append({"region": f"r{r}", "host": f"h{r}{h}"})
+    return sets
+
+
+def ingest_round_robin(monitor: Monitor, name: str, values, labelsets) -> None:
+    """Event ``i`` goes to series ``i % n`` — the loadgen/CLI discipline."""
+    n = len(labelsets)
+    for i, value in enumerate(values):
+        monitor.observe(name, float(value), labels=labelsets[i % n])
+
+
+def member_stream(values: np.ndarray, labelsets, labelset) -> np.ndarray:
+    """One series' slice of a round-robin stream."""
+    return values[labelsets.index(labelset) :: len(labelsets)]
+
+
+def group_reference(
+    spec: MetricSpec, values, labelsets, by: str, start: int = 0, end=None
+):
+    """Offline ground truth for every group of a round-robin ingest.
+
+    For each distinct value of label ``by``, a fresh *unlabeled* policy
+    ingests periods ``[start, end)`` of every member stream, members
+    concatenated in canonical series-key order, sealing at every period
+    boundary — the sequential run a group-by answer (live for the full
+    range, historical for any sub-range) must reproduce bit-identically
+    (no-expiry regime, member streams period-aligned).  Returns
+    ``{by_value: {phi: est}}``.
+    """
+    period = spec.window.period
+    ordered = sorted(
+        labelsets,
+        key=lambda ls: series_key(
+            spec.name, canonical_labelset(ls, spec.labels, spec.name)
+        ),
+    )
+    groups: dict = {}
+    for labelset in ordered:
+        stream = member_stream(values, labelsets, labelset)
+        assert len(stream) % period == 0, "battery streams are period-aligned"
+        stop = len(stream) // period if end is None else end
+        groups.setdefault(labelset[by], []).append(
+            stream[start * period : stop * period]
+        )
+    reference = {}
+    for value, streams in groups.items():
+        policy = make_plain_spec(spec).build_policy()
+        for stream in streams:
+            for p in range(len(stream) // period):
+                policy.accumulate_batch(stream[p * period : (p + 1) * period])
+                policy.seal_subwindow()
+        reference[value] = policy.query()
+    return reference
+
+
+def as_wire(answer) -> dict:
+    """A policy ``query()`` answer in the group-result quantile encoding."""
+    return {repr(phi): float(value) for phi, value in sorted(answer.items())}

@@ -1,0 +1,267 @@
+"""The group-by equivalence battery: merged answers vs offline streams.
+
+The subsystem's acceptance property: for every composable policy, a
+group's merged quantile answer — live over a :class:`SeriesIndex`, or
+historical over per-series segment logs — is **bit-identical** to an
+offline run that ingested the group's member streams concatenated in
+canonical series-key order.  The battery crosses seeds, internal shard
+counts and eviction on/off (LRU thrash included), because none of those
+may influence a single answered byte.
+
+Scope note: the contract is pinned in the no-expiry regime (the battery
+window never fills).  An expiring window is inherently per-series — "the
+last W events of each member" is not "the last W events of the
+concatenation" — so equivalence there is not claimed, mirroring the
+historical range-query battery's discipline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.monitor import Monitor
+from repro.store import HistoryWriter, StoreError, group_by_store
+
+from tests.series.conftest import (
+    COMPOSABLE,
+    SEEDS,
+    as_wire,
+    battery_labelsets,
+    group_reference,
+    ingest_round_robin,
+    make_family_spec,
+    stream_values,
+)
+
+#: 3 regions x 2 hosts; 600 events round-robin = 100 events (5 periods
+#: of 20) per series — period-aligned, far below the no-expiry window.
+LABELSETS = battery_labelsets(fanout=3, hosts_per_region=2)
+EVENTS = 600
+PERIODS_PER_SERIES = EVENTS // len(LABELSETS) // 20
+
+#: Index configurations the answers must be invariant under.
+CONFIGS = [
+    pytest.param(None, id="shards-default"),
+    pytest.param({"shards": 1}, id="shards-1"),
+    pytest.param({"shards": 7, "max_active": 2}, id="sharded-lru-thrash"),
+]
+
+
+def ingested_monitor(policy: str, seed: int, series=None) -> Monitor:
+    monitor = Monitor()
+    monitor.register(make_family_spec(policy, name="lat", series=series))
+    ingest_round_robin(monitor, "lat", stream_values(seed, EVENTS), LABELSETS)
+    return monitor
+
+
+class TestLiveGroupByBitIdentity:
+    @pytest.mark.parametrize("config", CONFIGS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("policy", COMPOSABLE)
+    def test_group_answer_matches_concatenated_offline_stream(
+        self, policy, seed, config
+    ):
+        monitor = ingested_monitor(policy, seed, series=config)
+        spec = monitor.specs()[0]
+        result = monitor.group_by("lat", "region")
+        reference = group_reference(
+            spec, stream_values(seed, EVENTS), LABELSETS, "region"
+        )
+        assert result["by"] == ["region"]
+        assert [g["key"]["region"] for g in result["groups"]] == sorted(reference)
+        for group in result["groups"]:
+            region = group["key"]["region"]
+            assert group["quantiles"] == as_wire(reference[region]), (
+                f"{policy} seed={seed} config={config} group={region}"
+            )
+            assert group["series"] == 2
+            assert group["count"] == EVENTS // 3
+        if config and config.get("max_active"):
+            stats = monitor.series_stats("lat")
+            assert stats["evictions"] > 0, "the thrash config must thrash"
+
+    @pytest.mark.parametrize("policy", COMPOSABLE)
+    def test_full_schema_group_by_is_per_series(self, policy):
+        monitor = ingested_monitor(policy, 0)
+        spec = monitor.specs()[0]
+        result = monitor.group_by("lat", ["region", "host"])
+        assert len(result["groups"]) == len(LABELSETS)
+        reference = group_reference(
+            spec, stream_values(0, EVENTS), LABELSETS, "host"
+        )
+        for group in result["groups"]:
+            assert group["series"] == 1
+            assert group["quantiles"] == as_wire(reference[group["key"]["host"]])
+
+    def test_eviction_cannot_change_any_answered_byte(self):
+        # Non-period-aligned totals too: in-flight events ride along.
+        # Only the 'evicted' bookkeeping field may differ across configs.
+        values = stream_values(11, 613)
+        results = []
+        for series in (None, {"max_active": 1}, {"idle_ttl": 5, "shards": 3}):
+            monitor = Monitor()
+            monitor.register(
+                make_family_spec("qlove", name="lat", series=series)
+            )
+            ingest_round_robin(monitor, "lat", values, LABELSETS)
+            result = monitor.group_by("lat", "region")
+            for group in result["groups"]:
+                del group["evicted"]
+            results.append((result, monitor.snapshot()))
+        assert results[0] == results[1] == results[2]
+
+    def test_evicted_members_are_counted_per_group(self):
+        monitor = ingested_monitor("exact", 0, series={"max_active": 1})
+        result = monitor.group_by("lat", "region")
+        assert sum(g["evicted"] for g in result["groups"]) == len(LABELSETS) - 1
+
+    def test_query_is_a_pure_read(self):
+        monitor = ingested_monitor("qlove", 0)
+        first = monitor.group_by("lat", "region")
+        assert monitor.group_by("lat", "region") == first
+        assert monitor.snapshot() == monitor.snapshot()
+
+
+class TestQuantileSelection:
+    def test_subset_selection(self):
+        monitor = ingested_monitor("exact", 0)
+        full = monitor.group_by("lat", "region")
+        only99 = monitor.group_by("lat", "region", quantiles=[0.99])
+        for got, want in zip(only99["groups"], full["groups"]):
+            assert got["quantiles"] == {"0.99": want["quantiles"]["0.99"]}
+
+    def test_untracked_quantile_is_actionable(self):
+        monitor = ingested_monitor("exact", 0)
+        with pytest.raises(ValueError, match="not tracked"):
+            monitor.group_by("lat", "region", quantiles=[0.42])
+
+
+class TestGroupByValidation:
+    def test_unknown_label_names_the_schema(self):
+        monitor = ingested_monitor("exact", 0)
+        with pytest.raises(ValueError, match=r"unknown label\(s\) \['zone'\]"):
+            monitor.group_by("lat", "zone")
+
+    def test_empty_by_rejected(self):
+        monitor = ingested_monitor("exact", 0)
+        with pytest.raises(ValueError, match="non-empty list"):
+            monitor.group_by("lat", [])
+
+    def test_duplicate_by_rejected(self):
+        monitor = ingested_monitor("exact", 0)
+        with pytest.raises(ValueError, match="duplicate group-by"):
+            monitor.group_by("lat", ["region", "region"])
+
+
+class TestStoreGroupByBitIdentity:
+    def write_labeled_history(self, tmp_path, policy, seed, series=None):
+        monitor = Monitor()
+        spec = monitor.register(
+            make_family_spec(policy, name="lat", series=series)
+        )
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(monitor)
+        ingest_round_robin(
+            monitor, "lat", stream_values(seed, EVENTS), LABELSETS
+        )
+        return writer.store, spec
+
+    @pytest.mark.parametrize("policy", COMPOSABLE)
+    def test_full_range_matches_offline_reference(self, tmp_path, policy):
+        store, spec = self.write_labeled_history(tmp_path, policy, 0)
+        result = group_by_store(
+            store, "lat", "region", 0, PERIODS_PER_SERIES
+        )
+        reference = group_reference(
+            spec, stream_values(0, EVENTS), LABELSETS, "region"
+        )
+        for group in result["groups"]:
+            region = group["key"]["region"]
+            assert group["quantiles"] == as_wire(reference[region]), policy
+            assert group["series"] == 2
+            assert group["segments_merged"] == 2 * PERIODS_PER_SERIES
+
+    def test_sub_range_matches_offline_reference(self, tmp_path):
+        store, spec = self.write_labeled_history(tmp_path, "qlove", 7)
+        result = group_by_store(store, "lat", "region", 1, 4)
+        reference = group_reference(
+            spec, stream_values(7, EVENTS), LABELSETS, "region", start=1, end=4
+        )
+        for group in result["groups"]:
+            assert group["quantiles"] == as_wire(
+                reference[group["key"]["region"]]
+            )
+            assert group["segments_merged"] == 2 * 3
+
+    def test_eviction_thrash_writes_the_same_history(self, tmp_path):
+        calm, _ = self.write_labeled_history(
+            tmp_path, "exact", 3, series=None
+        )
+        thrash, _ = self.write_labeled_history(
+            (tmp_path / "t"), "exact", 3, series={"max_active": 1}
+        )
+
+        def segment_map(store):
+            return {
+                key: [
+                    (s.start_period, s.count, s.state)
+                    for s in store.covering(key, 0, PERIODS_PER_SERIES)
+                ]
+                for key in store.metrics()
+            }
+
+        assert segment_map(calm) == segment_map(thrash)
+
+    def test_store_group_by_answers_match_live(self, tmp_path):
+        # Full-range historical == current-window live, same bytes.
+        monitor = Monitor()
+        monitor.register(make_family_spec("qlove", name="lat"))
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(monitor)
+        ingest_round_robin(
+            monitor, "lat", stream_values(0, EVENTS), LABELSETS
+        )
+        live = monitor.group_by("lat", "region")
+        stored = group_by_store(
+            writer.store, "lat", "region", 0, PERIODS_PER_SERIES
+        )
+        for lg, sg in zip(live["groups"], stored["groups"]):
+            assert lg["key"] == sg["key"]
+            assert lg["quantiles"] == sg["quantiles"]
+            assert lg["count"] == sg["count"]
+
+    def test_unlabeled_store_is_actionable(self, tmp_path):
+        from tests.series.conftest import make_plain_spec
+        from repro.service.monitor import Monitor as M
+
+        monitor = M()
+        monitor.register(
+            make_plain_spec(make_family_spec("exact", name="lat"))
+        )
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(monitor)
+        monitor.observe_batch("lat", stream_values(0, 40))
+        with pytest.raises(StoreError, match="no labeled series"):
+            group_by_store(writer.store, "lat", "region", 0, 1)
+
+    def test_hashed_keys_cannot_group_and_say_so(self, tmp_path):
+        monitor = Monitor()
+        monitor.register(
+            make_family_spec(
+                "exact", name="lat", labels=["region"], window={"size": 40, "period": 10}
+            )
+        )
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(monitor)
+        long_labels = {"region": "x" * 400}
+        for value in stream_values(0, 10):
+            monitor.observe("lat", float(value), labels=long_labels)
+        with pytest.raises(StoreError, match="length-capped"):
+            group_by_store(writer.store, "lat", "region", 0, 1)
+
+    def test_untracked_quantile_is_a_store_error(self, tmp_path):
+        store, _ = self.write_labeled_history(tmp_path, "exact", 0)
+        with pytest.raises(StoreError, match="not tracked"):
+            group_by_store(
+                store, "lat", "region", 0, 1, quantiles=[0.123]
+            )

@@ -1,0 +1,144 @@
+"""Labeled history recording: per-series logs, derived specs, resume.
+
+The equivalence battery pins the group-by answers; this file pins the
+plumbing around them — the derived per-series spec each series persists
+under, lazy store registration as series materialise, and the
+checkpoint/resume composition for labeled families.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.monitor import Monitor
+from repro.store import HistoryWriter, SegmentStore
+
+from tests.series.conftest import (
+    battery_labelsets,
+    ingest_round_robin,
+    make_family_spec,
+    stream_values,
+)
+
+LS = battery_labelsets(fanout=2, hosts_per_region=1)
+
+
+def labeled_spec(**kwargs):
+    return make_family_spec(
+        "qlove", name="lat", window={"size": 40, "period": 10}, **kwargs
+    )
+
+
+class TestForSeries:
+    def test_derives_a_single_series_spec(self):
+        spec = labeled_spec(series={"max_active": 4})
+        derived = spec.for_series("lat{host=a,region=eu}")
+        assert derived.name == "lat{host=a,region=eu}"
+        assert derived.labels is None and derived.series is None
+        assert derived.quantiles == spec.quantiles
+        assert derived.window == spec.window
+        assert derived.policy == spec.policy
+
+    def test_rejected_on_unlabeled_specs(self):
+        from tests.series.conftest import make_plain_spec
+
+        with pytest.raises(ValueError, match="not labeled"):
+            make_plain_spec(labeled_spec()).for_series("x{a=b}")
+
+
+class TestLazyStoreRegistration:
+    def test_series_register_with_the_store_as_they_materialise(self, tmp_path):
+        monitor = Monitor()
+        monitor.register(labeled_spec())
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(monitor)
+        assert writer.store.metrics() == []
+        for value in stream_values(0, 10):
+            monitor.observe("lat", float(value), labels=LS[0])
+        assert writer.store.metrics() == ["lat{host=h00,region=r0}"]
+        for value in stream_values(1, 10):
+            monitor.observe("lat", float(value), labels=LS[1])
+        assert len(writer.store.metrics()) == 2
+
+    def test_attach_before_any_observation_then_segments_per_period(
+        self, tmp_path
+    ):
+        monitor = Monitor()
+        monitor.register(labeled_spec())
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        writer.attach(monitor)
+        ingest_round_robin(monitor, "lat", stream_values(0, 60), LS)
+        # 30 events per series = 3 sealed periods each.
+        assert writer.segments_written == 6
+        for key in writer.store.metrics():
+            segments = writer.store.covering(key, 0, 3)
+            assert [s.start_period for s in segments] == [0, 1, 2]
+            assert all(s.count == 10 for s in segments)
+
+    def test_reopened_store_accepts_the_same_series_specs(self, tmp_path):
+        monitor = Monitor()
+        monitor.register(labeled_spec())
+        with HistoryWriter(str(tmp_path / "hist")) as writer:
+            writer.attach(monitor)
+            ingest_round_robin(monitor, "lat", stream_values(0, 40), LS)
+        fresh = Monitor()
+        fresh.register(labeled_spec())
+        with HistoryWriter(str(tmp_path / "hist")) as writer:
+            writer.attach(fresh)  # same derived specs: equality enforced
+            ingest_round_robin(fresh, "lat", stream_values(0, 40), LS)
+
+    def test_attach_metric_unknown_name_is_actionable(self, tmp_path):
+        monitor = Monitor()
+        monitor.register(labeled_spec())
+        writer = HistoryWriter(str(tmp_path / "hist"))
+        with pytest.raises(KeyError, match="not registered"):
+            writer.attach_metric(monitor, "nope")
+
+
+class TestCheckpointResumeComposition:
+    @pytest.mark.parametrize("cut", [40, 53], ids=["boundary", "mid-period"])
+    def test_resumed_run_writes_the_same_store(self, tmp_path, cut):
+        values = stream_values(5, 120)
+
+        def run(subdir, interrupt=None):
+            monitor = Monitor()
+            monitor.register(labeled_spec(series={"max_active": 1}))
+            writer = HistoryWriter(str(tmp_path / subdir))
+            writer.attach(monitor)
+            if interrupt is None:
+                ingest_round_robin(monitor, "lat", values, LS)
+            else:
+                ingest_round_robin(monitor, "lat", values[:interrupt], LS)
+                ckpt = str(tmp_path / f"{subdir}.ckpt.json")
+                monitor.save(ckpt)
+                writer.close()
+                monitor = Monitor.load(ckpt)
+                writer = HistoryWriter(str(tmp_path / subdir))
+                writer.attach(monitor)
+                resume_from = monitor.seen_counts()["lat"]
+                for i, value in enumerate(values[resume_from:]):
+                    monitor.observe(
+                        "lat", float(value),
+                        labels=LS[(resume_from + i) % len(LS)],
+                    )
+            writer.store.close()
+            return monitor
+
+        straight = run("a")
+        resumed = run("b", interrupt=cut)
+        assert resumed.snapshot() == straight.snapshot()
+
+        def segment_map(directory):
+            store = SegmentStore(str(tmp_path / directory))
+            try:
+                return {
+                    key: [
+                        (s.start_period, s.count, s.state)
+                        for s in store.covering(key, 0, 6)
+                    ]
+                    for key in store.metrics()
+                }
+            finally:
+                store.close()
+
+        assert segment_map("a") == segment_map("b")

@@ -1,0 +1,287 @@
+"""The labeled wire path: per-series routing, group-by op, series stats.
+
+Extends the serving acceptance battery to labeled metrics: blocks carry
+``labels`` and flow into per-series sequence spaces, the ``group_by`` op
+answers exactly what a local :func:`group_by_live` would, the
+``LoadGenerator``'s labeled fan-out replays offline bit-identically, and
+the ``stats`` op reports the series index's cardinality counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.series.labels import deterministic_labelsets, series_slice
+from repro.service import (
+    LoadGenerator,
+    Monitor,
+    ServerError,
+    TelemetryClient,
+    TelemetryServer,
+)
+
+WINDOW = {"size": 2000, "period": 100}
+
+SPECS = [
+    {
+        "name": "rtt",
+        "quantiles": [0.5, 0.99],
+        "window": WINDOW,
+        "policy": "qlove",
+    },
+    {
+        "name": "lat",
+        "quantiles": [0.5, 0.99],
+        "window": WINDOW,
+        "policy": "qlove",
+        "labels": ["region", "host"],
+        "series": {"shards": 3, "max_active": 4},
+    },
+]
+
+SCHEMA = ["region", "host"]
+N_SERIES = 6
+FANOUT = 3
+LABELSETS = deterministic_labelsets(SCHEMA, N_SERIES, FANOUT)
+
+
+def make_monitor() -> Monitor:
+    monitor = Monitor()
+    for spec in SPECS:
+        monitor.register(spec)
+    return monitor
+
+
+def offline_labeled_reference(values: np.ndarray) -> Monitor:
+    """Offline twin of a labeled uniform fan-out ingest."""
+    monitor = make_monitor()
+    monitor.observe_batch("rtt", values)
+    for j, labels in enumerate(LABELSETS):
+        monitor.observe_batch(
+            "lat", series_slice(values, 0, N_SERIES, j), labels=labels
+        )
+    return monitor
+
+
+@pytest.fixture()
+def server():
+    with TelemetryServer(make_monitor(), flush_timeout=2.0) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.address
+    with TelemetryClient(host, port) as cli:
+        yield cli
+
+
+class TestLabeledIngest:
+    def test_ping_reports_label_schemas(self, client):
+        info = client.ping_info()
+        assert info["metrics"] == ["rtt", "lat"]
+        assert info["labels"] == {"lat": ["host", "region"]}
+
+    def test_labeled_metric_requires_labels_on_the_wire(self, client):
+        with pytest.raises(ServerError, match="labels"):
+            client.observe("lat", [1.0, 2.0])
+
+    def test_unlabeled_metric_rejects_labels(self, client):
+        with pytest.raises(ServerError, match="not labeled"):
+            client.observe("rtt", [1.0], labels=LABELSETS[0])
+
+    def test_invalid_labelset_rejected_before_enqueue(self, client):
+        with pytest.raises(ServerError, match="missing label"):
+            client.observe("lat", [1.0], labels={"region": "eu"})
+        with pytest.raises(ServerError, match="name: value"):
+            client.request(
+                {"op": "observe", "metric": "lat", "values": [1.0],
+                 "labels": ["region"]}
+            )
+
+    def test_labeled_blocks_apply_and_snapshot_nests(self, client):
+        values = np.linspace(1.0, 200.0, 200)
+        for j, labels in enumerate(LABELSETS):
+            client.observe(
+                "lat",
+                series_slice(values, 0, N_SERIES, j).tolist(),
+                labels=labels,
+            )
+        client.flush()
+        snapshot = client.snapshot()
+        assert snapshot["rtt"] is None
+        assert len(snapshot["lat"]) == N_SERIES
+        keys = list(snapshot["lat"])
+        assert keys == sorted(keys)
+
+    def test_per_series_seq_spaces_are_independent(self, server, client):
+        # seq 0 on two different series: both apply (different spaces);
+        # a duplicate seq 0 on the same series is replay-dropped.
+        client.observe("lat", [1.0, 2.0], seq=0, labels=LABELSETS[0])
+        client.observe("lat", [3.0], seq=0, labels=LABELSETS[1])
+        client.observe("lat", [9.0, 9.0], seq=0, labels=LABELSETS[0])
+        client.flush()
+        seen = client.seen()
+        assert seen["lat"] == 3
+
+    def test_results_with_labels_round_trip(self, client):
+        values = np.linspace(1.0, 100.0, 2000)
+        client.observe("lat", values.tolist(), labels=LABELSETS[0])
+        client.flush()
+        served = client.results("lat", labels=LABELSETS[0])
+        offline = Monitor()
+        offline.register(SPECS[1])
+        offline.observe_batch("lat", values, labels=LABELSETS[0])
+        assert served == offline.results("lat", labels=LABELSETS[0])
+
+    def test_results_error_paths_are_actionable(self, client):
+        with pytest.raises(ServerError, match="pass labels="):
+            client.results("lat")
+        with pytest.raises(ServerError, match="no series"):
+            client.results("lat", labels=LABELSETS[0])
+
+
+class TestGroupByOp:
+    def seed_series(self, client, events=1200):
+        values = np.asarray(
+            np.random.default_rng(3).lognormal(3.0, 1.2, events)
+        )
+        for j, labels in enumerate(LABELSETS):
+            client.observe(
+                "lat",
+                series_slice(values, 0, N_SERIES, j).tolist(),
+                labels=labels,
+            )
+        return values
+
+    def test_group_by_matches_local_engine(self, client):
+        values = self.seed_series(client)
+        # "host" is the first schema label in sorted order, so it is the
+        # dimension deterministic_labelsets fans out into FANOUT values.
+        served = client.group_by("lat", "host")
+        offline = offline_labeled_reference(values)
+        local = offline.group_by("lat", "host")
+        assert served == local
+        assert len(served["groups"]) == FANOUT
+
+    def test_group_by_quantile_selection(self, client):
+        self.seed_series(client)
+        served = client.group_by("lat", ["region"], quantiles=[0.99])
+        assert all(
+            list(group["quantiles"]) == ["0.99"]
+            for group in served["groups"]
+        )
+
+    def test_group_by_validation_over_the_wire(self, client):
+        self.seed_series(client, events=1200)
+        with pytest.raises(ServerError, match="unknown label"):
+            client.group_by("lat", "zone")
+        with pytest.raises(ServerError, match="non-empty"):
+            client.group_by("lat", [])
+        with pytest.raises(ServerError, match="not labeled"):
+            client.group_by("rtt", "region")
+        with pytest.raises(ServerError, match="unknown metric"):
+            client.group_by("nope", "region")
+        with pytest.raises(ServerError, match="not tracked"):
+            client.group_by("lat", "region", quantiles=[0.42])
+
+    def test_group_by_drains_pending_blocks_first(self, server, client):
+        values = self.seed_series(client, events=600)
+        served = client.group_by("lat", "region")
+        total = sum(group["count"] for group in served["groups"])
+        assert total == 600
+
+
+class TestSeriesStats:
+    def test_stats_report_series_counters_and_memory(self, client):
+        values = np.linspace(1.0, 50.0, 300)
+        for j, labels in enumerate(LABELSETS):
+            client.observe(
+                "lat",
+                series_slice(values, 0, N_SERIES, j).tolist(),
+                labels=labels,
+            )
+        stats = client.stats()
+        report = stats["metrics"]["lat"]
+        series = report["series"]
+        # max_active=4 over 6 observed series: 4 live, 2 sealed.
+        assert series["active"] == 4
+        assert series["evicted"] == 2
+        assert series["created"] == N_SERIES
+        assert series["evictions"] >= 2
+        assert series["resurrections"] == 0
+        assert series["memory_estimate_bytes"] > 0
+        assert report["seen"] == 300
+        assert "series" not in stats["metrics"]["rtt"]
+
+    def test_resurrections_are_counted(self, client):
+        # Touch 6 series twice in series-order so every second-round
+        # touch resurrects a sealed series (max_active=4).
+        for _round in range(2):
+            for labels in LABELSETS:
+                client.observe("lat", [1.0], labels=labels)
+        stats = client.stats()
+        assert stats["metrics"]["lat"]["series"]["resurrections"] > 0
+
+    def test_labeled_next_seq_is_the_family_frontier(self, client):
+        client.observe("lat", [1.0, 2.0], seq=0, labels=LABELSETS[0])
+        client.observe("lat", [3.0], seq=1, labels=LABELSETS[0])
+        client.observe("lat", [4.0], seq=0, labels=LABELSETS[1])
+        stats = client.stats()
+        assert stats["metrics"]["lat"]["next_seq"] == 2
+        assert stats["metrics"]["rtt"]["next_seq"] == 0
+
+
+class TestLabeledLoadGenerator:
+    def test_labelsets_are_a_pure_function(self):
+        generator = LoadGenerator(
+            "127.0.0.1", 1, events=100, series=6, label_fanout=3
+        )
+        assert generator.labelsets_for(SCHEMA) == LABELSETS
+
+    @pytest.mark.parametrize("connections", [1, 3])
+    def test_served_labeled_run_matches_offline_bit_identically(
+        self, connections
+    ):
+        events, block = 3_000, 256
+        with TelemetryServer(make_monitor()) as server:
+            host, port = server.address
+            generator = LoadGenerator(
+                host, port, dataset="netmon", events=events, seed=7,
+                connections=connections, block_size=block,
+                series=N_SERIES, label_fanout=FANOUT,
+            )
+            summary = generator.run()
+            assert summary["drained"] is True
+            with TelemetryClient(host, port) as client:
+                served_snapshot = client.snapshot()
+                served_group = client.group_by("lat", "region")
+
+        offline = offline_labeled_reference(generator.event_sequence())
+        assert served_snapshot == offline.snapshot()
+        assert served_group == offline.group_by("lat", "region")
+
+    def test_interrupted_labeled_run_resumes_bit_identically(self):
+        events, block = 3_000, 256
+        half = (events // 2 // block) * block
+        with TelemetryServer(make_monitor()) as server:
+            host, port = server.address
+            first = LoadGenerator(
+                host, port, dataset="netmon", events=events, seed=7,
+                connections=2, block_size=block,
+                series=N_SERIES, label_fanout=FANOUT,
+            )
+            first.run(stop_after=half)
+            second = LoadGenerator(
+                host, port, dataset="netmon", events=events, seed=7,
+                connections=3, block_size=block,
+                series=N_SERIES, label_fanout=FANOUT,
+            )
+            assert second.resume_offset() == half
+            second.run(start_offset=half)
+            with TelemetryClient(host, port) as client:
+                served_snapshot = client.snapshot()
+                served_group = client.group_by("lat", "region")
+
+        offline = offline_labeled_reference(first.event_sequence())
+        assert served_snapshot == offline.snapshot()
+        assert served_group == offline.group_by("lat", "region")
