@@ -10,6 +10,15 @@ Acceptance gate for the batch path: QLOVE must ingest at least 3x faster
 batched than per-event while producing bit-identical WindowResults (the
 equivalence is asserted here on the measured runs and, exhaustively, in
 tests/sketches/test_batch_equivalence.py).
+
+A second gate covers the fused batched kernel (``SubWindowBuilder.extend``:
+unique → vectorised quantize → regroup in C) against the pre-fusion
+per-distinct-value loop it replaced (kept as ``extend_reference``): on a
+low-redundancy stream, where nearly every element pays the quantizer, the
+fused path must be at least 3x faster; on the highly redundant netmon
+stream, where the old path was already mostly dict hits, it must not
+regress.  Bit-identity of the two paths is pinned in
+tests/sketches/test_fused_ingest.py.
 """
 
 import numpy as np
@@ -93,6 +102,101 @@ def test_batched_ingest_speedup(benchmark, netmon_values, bench_json_sink):
     # Both paths must have evaluated the same number of windows.
     for per_event, batched in results.values():
         assert per_event.evaluations == batched.evaluations
+
+
+def _fused_vs_reference(dataset_values):
+    """QLOVE batched throughput with the fused kernel vs the pre-fusion
+    reference loop (same engine, same chunks; only the builder's batched
+    entry point differs)."""
+
+    def fused_factory():
+        return make_policy("qlove", PHIS, WINDOW)
+
+    def reference_factory():
+        policy = make_policy("qlove", PHIS, WINDOW)
+        # The policy pre-binds accumulate_batch to the builder's fused
+        # extend at init; rebind to the preserved pre-fusion loop.
+        policy.accumulate_batch = policy._builder.extend_reference
+        return policy
+
+    reference = measure_throughput_batched(
+        reference_factory, dataset_values, WINDOW, chunk_size=CHUNK_SIZE
+    )
+    fused = measure_throughput_batched(
+        fused_factory, dataset_values, WINDOW, chunk_size=CHUNK_SIZE
+    )
+    return reference, fused
+
+
+def test_fused_kernel_speedup(benchmark, netmon_values, bench_json_sink):
+    """Gate the fused single-pass kernel against the reference loop on
+    both ends of the redundancy spectrum."""
+    from repro.workloads import generate_uniform
+
+    workloads = {
+        "uniform": generate_uniform(N, seed=0),
+        "netmon": netmon_values,
+    }
+
+    def run():
+        return {
+            name: _fused_vs_reference(values)
+            for name, values in workloads.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    bench_json_sink(
+        "fused",
+        {
+            "events": N,
+            "window": {"size": WINDOW.size, "period": WINDOW.period},
+            "chunk_size": CHUNK_SIZE,
+            "workloads": {
+                name: {
+                    "reference_events_per_s": reference.events_per_second,
+                    "fused_events_per_s": fused.events_per_second,
+                    "speedup": fused.events_per_second
+                    / reference.events_per_second,
+                }
+                for name, (reference, fused) in results.items()
+            },
+        },
+    )
+
+    table = Table(
+        f"Fused vs reference QLOVE ingest, {N:,} elements, "
+        f"window {WINDOW.size // 1000}K/{WINDOW.period // 1000}K",
+        ["workload", "reference M ev/s", "fused M ev/s", "speedup"],
+    )
+    for name, (reference, fused) in results.items():
+        table.add_row(
+            name,
+            f"{reference.million_events_per_second:.3f}",
+            f"{fused.million_events_per_second:.3f}",
+            f"{fused.events_per_second / reference.events_per_second:.1f}x",
+        )
+    print()
+    print(table.render())
+
+    uniform_reference, uniform_fused = results["uniform"]
+    ratio = uniform_fused.events_per_second / uniform_reference.events_per_second
+    assert ratio >= 3.0, (
+        f"fused kernel only {ratio:.1f}x faster on the low-redundancy "
+        f"stream (gate: 3x)"
+    )
+    netmon_reference, netmon_fused = results["netmon"]
+    netmon_ratio = (
+        netmon_fused.events_per_second / netmon_reference.events_per_second
+    )
+    # The redundant stream was already cheap; just don't regress it
+    # (0.8 leaves headroom for CI timer noise).
+    assert netmon_ratio >= 0.8, (
+        f"fused kernel regressed the redundant stream to "
+        f"{netmon_ratio:.2f}x of the reference path"
+    )
+    for reference, fused in results.values():
+        assert reference.evaluations == fused.evaluations
 
 
 def test_batched_results_identical(netmon_values):

@@ -24,18 +24,27 @@ def quantize_significant(value: float, digits: int = 3) -> float:
     Examples: ``quantize_significant(74265) == 74200``,
     ``quantize_significant(1247) == 1240``, values below ``10**digits``
     pass through unchanged (they already have few digits).
+
+    Delegates to the same arithmetic as :func:`quantize_array` so the
+    scalar and vectorised paths are bit-identical by construction — the
+    fused batched ingest path depends on that equivalence.
     """
     if digits < 1:
         raise ValueError("digits must be at least 1")
     if value == 0.0 or not math.isfinite(value):
         return value
-    magnitude = abs(value)
-    exponent = math.floor(math.log10(magnitude))
-    scale = 10.0 ** (exponent - digits + 1)
+    magnitude = _truncate_magnitudes(np.abs(np.array([value], dtype=np.float64)), digits)
+    return math.copysign(float(magnitude[0]), value)
+
+
+def _truncate_magnitudes(magnitude: np.ndarray, digits: int) -> np.ndarray:
+    """Truncate an array of finite, non-zero magnitudes to ``digits``."""
+    exponent = np.floor(np.log10(magnitude))
+    scale = np.power(10.0, exponent - digits + 1)
     # Round away ~1e-13 binary-representation fuzz before truncating so
     # values like 8.2 / 0.01 == 819.999... do not floor to the wrong digit.
-    ratio = round(magnitude / scale, 9)
-    return math.copysign(math.floor(ratio) * scale, value)
+    ratio = np.round(magnitude / scale, 9)
+    return np.floor(ratio) * scale
 
 
 def quantize_array(values: np.ndarray, digits: int = 3) -> np.ndarray:
@@ -48,10 +57,7 @@ def quantize_array(values: np.ndarray, digits: int = 3) -> np.ndarray:
     if not np.any(finite):
         return out
     magnitude = np.abs(values[finite])
-    exponent = np.floor(np.log10(magnitude))
-    scale = np.power(10.0, exponent - digits + 1)
-    ratio = np.round(magnitude / scale, 9)  # strip binary fuzz, as scalar does
-    out[finite] = np.sign(values[finite]) * np.floor(ratio) * scale
+    out[finite] = np.sign(values[finite]) * _truncate_magnitudes(magnitude, digits)
     return out
 
 

@@ -680,6 +680,18 @@ def build_loadgen_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--protocol",
+        default="json",
+        choices=("json", "binary", "mixed"),
+        help=(
+            "wire protocol the sender connections negotiate: 'json' "
+            "(default, debuggable text frames), 'binary' (length-prefixed "
+            "raw float64 frames, the hot path), or 'mixed' (even "
+            "connections JSON, odd binary — a heterogeneous fleet).  The "
+            "event sequence and block plan are protocol-independent"
+        ),
+    )
+    parser.add_argument(
         "--wait-server",
         type=float,
         metavar="SECONDS",
@@ -746,6 +758,7 @@ def run_loadgen(argv: List[str]) -> int:
             block_size=args.block_size,
             series=args.series,
             label_fanout=args.label_fanout,
+            protocol=args.protocol,
         )
     except ValueError as exc:
         raise _fail(exc) from None
@@ -768,8 +781,9 @@ def run_loadgen(argv: List[str]) -> int:
         print(
             f"streamed {summary['events']:,} '{args.dataset}' elements "
             f"(seed {args.seed}) in {summary['blocks']:,} blocks over "
-            f"{summary['connections']} connection(s) into "
-            f"{len(summary['metrics'])} metric(s); drained={summary['drained']}"
+            f"{summary['connections']} {summary['protocol']} connection(s) "
+            f"into {len(summary['metrics'])} metric(s); "
+            f"drained={summary['drained']}"
             + (
                 f", {summary['shed_blocks']:,} blocks shed"
                 if summary["shed_blocks"]

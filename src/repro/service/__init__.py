@@ -13,9 +13,12 @@ paper pitches:
   combine like the sketches they host.
 - :class:`~repro.service.server.TelemetryServer` /
   :class:`~repro.service.client.TelemetryClient` — the network front
-  door: stdlib-only newline-delimited-JSON serving of a monitor, with
-  bounded-queue backpressure, seq-ordered multi-connection ingest and
-  periodic checkpoints (see ``docs/serving.md``).
+  door: stdlib-only serving of a monitor with bounded-queue
+  backpressure, seq-ordered multi-connection ingest and periodic
+  checkpoints.  Connections speak newline-delimited JSON by default and
+  can negotiate the length-prefixed binary framing of
+  :mod:`repro.service.binary` — raw float64 observe payloads and
+  opaque serialized-state frames (see ``docs/serving.md``).
 - :class:`~repro.service.client.LoadGenerator` — deterministic seeded
   multi-connection load for the server (the ``python -m repro loadgen``
   CLI).

@@ -1,0 +1,404 @@
+"""Length-prefixed binary framing for the serving hot path.
+
+The JSON wire (``repro.service.protocol``) renders every observe block
+as decimal text — ~20 bytes and a float parse per value.  This module is
+the negotiated alternative: fixed eight-byte headers, raw little-endian
+IEEE-754 float64 observe payloads (``ndarray.tobytes`` on the way out,
+``np.frombuffer`` on the way in, no per-value python objects), and
+opaque serialized-sketch frames for checkpoint/merge shipping — the
+datasketches ``serialize()/deserialize()`` idiom of moving sketch bytes
+between nodes and merging on arrival.
+
+Frame layout (all integers little-endian)::
+
+    offset  size  field
+    0       2     magic ``b"QW"``
+    2       1     protocol version (currently 1)
+    3       1     opcode
+    4       4     payload length ``n`` (u32)
+    8       n     payload
+
+Opcodes:
+
+``OP_JSON``
+    Payload is one compact UTF-8 JSON object — any request or response
+    that has no specialised encoding rides inside the binary framing
+    unchanged, so the binary protocol speaks the full op vocabulary.
+``OP_OBSERVE``
+    An observe request: flags, metric name, optional sequence number and
+    labels, then the raw float64 block.  Non-finite values survive the
+    trip bit-for-bit (the server still rejects them at ingest, with the
+    same error on both protocols).
+``OP_ACK``
+    The observe response: accepted flag plus the server's applied-events
+    counter.
+``OP_ERROR``
+    Any failure response: a UTF-8 message.
+``OP_STATE``
+    An opaque serialized-monitor blob plus a short tag: tag ``b"merge"``
+    as a request ships state to fold into the server's monitor; tag
+    ``b"state"`` as a response answers a ``state`` pull.
+
+A connection starts on the JSON protocol; the client sends
+``{"op": "hello", "protocol": "binary"}`` (still as JSON), and on an
+``ok`` response both sides switch to these frames.  Servers keep
+speaking JSON to clients that never negotiate.
+
+Unlike the newline framing, an oversized binary frame is recoverable:
+the declared length lets the receiver drain the payload and stay
+synchronised, so :func:`recv_frame` raises :class:`FrameTooLarge` with
+``recoverable=True`` and the connection survives.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO, Optional, Tuple
+
+import numpy as np
+
+from repro.service.protocol import (
+    MAX_MESSAGE_BYTES,
+    ConnectionClosed,
+    FrameTooLarge,
+    ProtocolError,
+)
+
+#: First two bytes of every binary frame.
+MAGIC = b"QW"
+
+#: Binary protocol version carried in every frame header.
+BINARY_VERSION = 1
+
+#: ``<`` pins little-endian with no padding: magic, version, opcode, length.
+_HEADER = struct.Struct("<2sBBI")
+HEADER_BYTES = _HEADER.size
+
+OP_JSON = 0
+OP_OBSERVE = 1
+OP_ACK = 2
+OP_ERROR = 3
+OP_STATE = 4
+
+_OPCODES = frozenset({OP_JSON, OP_OBSERVE, OP_ACK, OP_ERROR, OP_STATE})
+
+_FLAG_SEQ = 0x01
+_FLAG_LABELS = 0x02
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_ACK = struct.Struct("<BQ")
+
+#: Little-endian float64, the one payload dtype on the wire.
+WIRE_DTYPE = np.dtype("<f8")
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(opcode: int, payload: bytes) -> bytes:
+    """One binary frame: header plus payload."""
+    if opcode not in _OPCODES:
+        raise ProtocolError(f"unknown binary opcode {opcode}")
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise FrameTooLarge(
+            f"frame payload of {len(payload)} bytes exceeds "
+            f"{MAX_MESSAGE_BYTES}; split observe batches into smaller blocks"
+        )
+    return _HEADER.pack(MAGIC, BINARY_VERSION, opcode, len(payload)) + payload
+
+
+def _read_exact(stream: BinaryIO, n: int, what: str) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise ConnectionClosed(f"connection closed mid-{what}")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if len(chunks) != 1 else chunks[0]
+
+
+def recv_frame(stream: BinaryIO) -> Optional[Tuple[int, bytes]]:
+    """Read one frame; ``None`` on clean EOF between frames.
+
+    Raises :class:`ConnectionClosed` on EOF mid-frame,
+    :class:`ProtocolError` on a bad magic/version/opcode, and
+    :class:`FrameTooLarge` — with ``recoverable=True`` and the oversized
+    payload already drained — on a frame above the cap.
+    """
+    first = stream.read(1)
+    if not first:
+        return None
+    header = first + _read_exact(stream, HEADER_BYTES - 1, "frame header")
+    magic, version, opcode, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r}); is the peer "
+            "speaking the JSON protocol without negotiating?"
+        )
+    if version != BINARY_VERSION:
+        raise ProtocolError(
+            f"unsupported binary protocol version {version} "
+            f"(this side speaks {BINARY_VERSION})"
+        )
+    if opcode not in _OPCODES:
+        raise ProtocolError(f"unknown binary opcode {opcode}")
+    if length > MAX_MESSAGE_BYTES:
+        # The length prefix tells us exactly how much to skip, so the
+        # stream stays synchronised — drain and let the connection live.
+        remaining = length
+        while remaining:
+            chunk = stream.read(min(remaining, 1 << 20))
+            if not chunk:
+                raise ConnectionClosed("connection closed mid-oversized-frame")
+            remaining -= len(chunk)
+        exc = FrameTooLarge(
+            f"frame payload of {length} bytes exceeds {MAX_MESSAGE_BYTES}; "
+            "split observe batches into smaller blocks (the frame was "
+            "drained; the connection remains usable)"
+        )
+        exc.recoverable = True
+        raise exc
+    payload = _read_exact(stream, length, "frame payload") if length else b""
+    return opcode, payload
+
+
+# ----------------------------------------------------------------------
+# JSON-in-binary (the fallback carrier for non-specialised ops)
+# ----------------------------------------------------------------------
+def encode_json_frame(message: dict) -> bytes:
+    """Wrap any request/response object in an :data:`OP_JSON` frame."""
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"protocol messages are JSON objects, got {type(message).__name__}"
+        )
+    try:
+        payload = json.dumps(message, separators=(",", ":"), allow_nan=False)
+    except ValueError as exc:
+        raise ProtocolError(
+            f"message is not JSON-encodable ({exc}); only observe and "
+            "state payloads carry raw IEEE-754 values on the binary wire"
+        ) from None
+    return encode_frame(OP_JSON, payload.encode("utf-8"))
+
+
+def decode_json_payload(payload: bytes) -> dict:
+    """The inverse of :func:`encode_json_frame`."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"OP_JSON payload is not valid JSON ({exc})") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"OP_JSON payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+# ----------------------------------------------------------------------
+# Observe / ack / error
+# ----------------------------------------------------------------------
+def _pack_str(text: str, what: str) -> bytes:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ProtocolError(f"{what} of {len(raw)} bytes exceeds the u16 field")
+    return _U16.pack(len(raw)) + raw
+
+
+def encode_observe(
+    metric: str,
+    values: "np.ndarray",
+    seq: Optional[int] = None,
+    labels: Optional[dict] = None,
+) -> bytes:
+    """An observe request as one :data:`OP_OBSERVE` frame.
+
+    ``values`` is any array-like; it is shipped as raw little-endian
+    float64 via ``tobytes`` — no per-value text, no per-value python
+    objects, non-finite values preserved bit-for-bit.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise ProtocolError("observe values must be one-dimensional")
+    flags = 0
+    parts = [b"", _pack_str(metric, "metric name")]
+    if seq is not None:
+        flags |= _FLAG_SEQ
+        parts.append(_U64.pack(seq))
+    if labels:
+        flags |= _FLAG_LABELS
+        if len(labels) > 0xFFFF:
+            raise ProtocolError("too many labels for the u16 pair-count field")
+        pairs = [_U16.pack(len(labels))]
+        for key, value in labels.items():
+            pairs.append(_pack_str(str(key), "label key"))
+            pairs.append(_pack_str(str(value), "label value"))
+        parts.append(b"".join(pairs))
+    parts[0] = _U8.pack(flags)
+    parts.append(_U32.pack(array.size))
+    parts.append(array.astype(WIRE_DTYPE, copy=False).tobytes())
+    return encode_frame(OP_OBSERVE, b"".join(parts))
+
+
+def _unpack_str(payload: bytes, offset: int, what: str) -> Tuple[str, int]:
+    if offset + 2 > len(payload):
+        raise ProtocolError(f"truncated observe payload ({what} length)")
+    (length,) = _U16.unpack_from(payload, offset)
+    offset += 2
+    if offset + length > len(payload):
+        raise ProtocolError(f"truncated observe payload ({what})")
+    try:
+        text = payload[offset : offset + length].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"observe {what} is not valid UTF-8 ({exc})") from None
+    return text, offset + length
+
+
+def decode_observe(payload: bytes) -> dict:
+    """An :data:`OP_OBSERVE` payload as the dispatcher's request shape.
+
+    ``values`` comes back as a float64 ndarray viewing the payload bytes
+    — the server's ingest path consumes it without ever materialising a
+    python list.
+    """
+    if len(payload) < 1:
+        raise ProtocolError("truncated observe payload (flags)")
+    (flags,) = _U8.unpack_from(payload, 0)
+    metric, offset = _unpack_str(payload, 1, "metric name")
+    request: dict = {"op": "observe", "metric": metric}
+    if flags & _FLAG_SEQ:
+        if offset + 8 > len(payload):
+            raise ProtocolError("truncated observe payload (seq)")
+        (request["seq"],) = _U64.unpack_from(payload, offset)
+        offset += 8
+    if flags & _FLAG_LABELS:
+        if offset + 2 > len(payload):
+            raise ProtocolError("truncated observe payload (label count)")
+        (n_pairs,) = _U16.unpack_from(payload, offset)
+        offset += 2
+        labels = {}
+        for _ in range(n_pairs):
+            key, offset = _unpack_str(payload, offset, "label key")
+            value, offset = _unpack_str(payload, offset, "label value")
+            labels[key] = value
+        request["labels"] = labels
+    if offset + 4 > len(payload):
+        raise ProtocolError("truncated observe payload (value count)")
+    (count,) = _U32.unpack_from(payload, offset)
+    offset += 4
+    if offset + 8 * count != len(payload):
+        raise ProtocolError(
+            f"observe payload declares {count} values but carries "
+            f"{len(payload) - offset} bytes"
+        )
+    request["values"] = np.frombuffer(payload, dtype=WIRE_DTYPE, count=count, offset=offset)
+    return request
+
+
+def encode_ack(accepted: bool, events: int) -> bytes:
+    """The observe response as one :data:`OP_ACK` frame."""
+    return encode_frame(OP_ACK, _ACK.pack(1 if accepted else 0, events))
+
+
+def decode_ack(payload: bytes) -> dict:
+    if len(payload) != _ACK.size:
+        raise ProtocolError(f"OP_ACK payload must be {_ACK.size} bytes")
+    accepted, events = _ACK.unpack(payload)
+    return {"ok": True, "accepted": bool(accepted), "events": events}
+
+
+def encode_error(message: str) -> bytes:
+    """A failure response as one :data:`OP_ERROR` frame."""
+    return encode_frame(OP_ERROR, message.encode("utf-8"))
+
+
+def decode_error(payload: bytes) -> dict:
+    return {"ok": False, "error": payload.decode("utf-8", errors="replace")}
+
+
+# ----------------------------------------------------------------------
+# Serialized-state shipping
+# ----------------------------------------------------------------------
+def encode_state(tag: str, state: dict) -> bytes:
+    """A serialized-monitor blob as one :data:`OP_STATE` frame.
+
+    The blob is opaque to the framing layer: compact JSON of the
+    versioned ``to_state()`` tree today, whatever the state format says
+    tomorrow — peers round-trip the bytes, only monitors interpret them.
+    """
+    blob = json.dumps(state, separators=(",", ":")).encode("utf-8")
+    return encode_frame(OP_STATE, _pack_str(tag, "state tag") + blob)
+
+
+def decode_state(payload: bytes) -> Tuple[str, dict]:
+    """The inverse of :func:`encode_state`: ``(tag, state)``."""
+    tag, offset = _unpack_str(payload, 0, "state tag")
+    try:
+        state = json.loads(payload[offset:].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"OP_STATE blob is not valid JSON ({exc})") from None
+    if not isinstance(state, dict):
+        raise ProtocolError(
+            f"OP_STATE blob must be a JSON object, got {type(state).__name__}"
+        )
+    return tag, state
+
+
+# ----------------------------------------------------------------------
+# Message <-> frame dispatch (shared by client and server loops)
+# ----------------------------------------------------------------------
+def encode_request(message: dict) -> bytes:
+    """A request dict as its preferred binary frame."""
+    op = message.get("op")
+    if op == "observe":
+        return encode_observe(
+            str(message.get("metric", "")),
+            message.get("values", ()),
+            seq=message.get("seq"),
+            labels=message.get("labels"),
+        )
+    if op == "merge" and isinstance(message.get("state"), dict):
+        return encode_state("merge", message["state"])
+    return encode_json_frame(message)
+
+
+def decode_request(opcode: int, payload: bytes) -> dict:
+    """An incoming frame as the request shape the server dispatches on."""
+    if opcode == OP_OBSERVE:
+        return decode_observe(payload)
+    if opcode == OP_STATE:
+        tag, state = decode_state(payload)
+        return {"op": tag, "state": state}
+    if opcode == OP_JSON:
+        return decode_json_payload(payload)
+    raise ProtocolError(f"opcode {opcode} is not a request frame")
+
+
+def encode_response(message: dict, request_op: Optional[str] = None) -> bytes:
+    """A response dict as its preferred binary frame."""
+    if not message.get("ok", False):
+        return encode_error(str(message.get("error", "unknown error")))
+    if request_op == "observe" and "accepted" in message:
+        return encode_ack(bool(message["accepted"]), int(message.get("events", 0)))
+    if request_op == "state" and isinstance(message.get("state"), dict):
+        return encode_state("state", message["state"])
+    return encode_json_frame(message)
+
+
+def decode_response(opcode: int, payload: bytes) -> dict:
+    """An incoming frame as the response dict the client returns."""
+    if opcode == OP_ACK:
+        return decode_ack(payload)
+    if opcode == OP_ERROR:
+        return decode_error(payload)
+    if opcode == OP_STATE:
+        tag, state = decode_state(payload)
+        return {"ok": True, "tag": tag, "state": state}
+    if opcode == OP_JSON:
+        return decode_json_payload(payload)
+    raise ProtocolError(f"opcode {opcode} is not a response frame")

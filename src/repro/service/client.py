@@ -3,7 +3,10 @@
 Two layers:
 
 - :class:`TelemetryClient` — one connection, synchronous
-  request/response over the newline-delimited JSON protocol.  Every
+  request/response.  It speaks the newline-delimited JSON protocol by
+  default and can negotiate the length-prefixed binary framing
+  (``protocol="binary"`` or an explicit :meth:`~TelemetryClient.hello`),
+  after which observe blocks travel as raw float64 payloads.  Every
   call returns the decoded payload or raises :class:`ServerError` with
   the server's one-line error.
 - :class:`LoadGenerator` — a deterministic, seeded, multi-connection
@@ -28,8 +31,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.service import binary
 from repro.service.protocol import ConnectionClosed, recv_message, send_message
 from repro.streaming.engine import WindowResult
+
+#: Wire protocols a :class:`TelemetryClient` can speak.
+CLIENT_PROTOCOLS = ("json", "binary")
 
 
 class ServerError(RuntimeError):
@@ -42,25 +49,70 @@ class TelemetryClient:
     Usable as a context manager; every request method blocks until the
     server's response arrives (which is how ingest backpressure reaches
     the sender: a full ``"block"``-mode queue withholds the ack).
+
+    ``protocol="binary"`` negotiates the length-prefixed binary framing
+    at connect time (a ``hello`` handshake); the default keeps the
+    human-readable JSON wire.
     """
 
-    def __init__(self, host: str, port: int, timeout: Optional[float] = 60.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 60.0,
+        protocol: str = "json",
+    ) -> None:
+        if protocol not in CLIENT_PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {protocol!r}; choose from {CLIENT_PROTOCOLS}"
+            )
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._stream = self._sock.makefile("rb")
+        self._protocol = "json"
+        if protocol == "binary":
+            try:
+                self.hello("binary")
+            except BaseException:
+                self.close()
+                raise
+
+    @property
+    def protocol(self) -> str:
+        """The connection's negotiated wire protocol."""
+        return self._protocol
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
     def request(self, message: dict) -> dict:
         """Send one request and return the decoded success payload."""
-        send_message(self._sock, message)
-        response = recv_message(self._stream)
+        if self._protocol == "json":
+            send_message(self._sock, message)
+            response = recv_message(self._stream)
+        else:
+            self._sock.sendall(binary.encode_request(message))
+            frame = binary.recv_frame(self._stream)
+            response = None if frame is None else binary.decode_response(*frame)
         if response is None:
             raise ConnectionClosed(
                 "server closed the connection before responding"
             )
         if not response.get("ok"):
             raise ServerError(response.get("error", "unspecified server error"))
+        return response
+
+    def hello(self, protocol: str, version: int = binary.BINARY_VERSION) -> dict:
+        """Negotiate the connection's wire protocol.
+
+        The request (and its response) travel on the current framing;
+        on success every subsequent frame uses the negotiated one.  A
+        rejected negotiation raises :class:`ServerError` and leaves the
+        connection's protocol unchanged.
+        """
+        response = self.request(
+            {"op": "hello", "protocol": protocol, "version": version}
+        )
+        self._protocol = protocol
         return response
 
     def close(self) -> None:
@@ -106,10 +158,12 @@ class TelemetryClient:
 
         A plain list passes through unconverted, so senders fanning one
         block to several metrics can ``tolist()`` once and reuse it.
-        ``labels`` routes the block to one series of a labeled metric
-        (required for those; the ``seq`` space is then per-series).
+        On the binary protocol arrays are never listified — they ship as
+        raw float64 bytes.  ``labels`` routes the block to one series of
+        a labeled metric (required for those; the ``seq`` space is then
+        per-series).
         """
-        if isinstance(values, list):
+        if self._protocol == "binary" or isinstance(values, list):
             payload = values
         else:
             payload = np.asarray(values, dtype=np.float64).tolist()
@@ -205,6 +259,23 @@ class TelemetryClient:
     def checkpoint(self) -> dict:
         """Force a drain + checkpoint save now."""
         return self.request({"op": "checkpoint"})
+
+    def pull_state(self) -> dict:
+        """The server monitor's full serialized state (drained first).
+
+        ``Monitor.from_state`` rebuilds an identical monitor from it; on
+        the binary protocol the state arrives as one opaque ``OP_STATE``
+        frame instead of inline JSON.
+        """
+        return self.request({"op": "state"})["state"]
+
+    def push_merge(self, state: dict) -> dict:
+        """Ship a serialized monitor state for the server to fold in.
+
+        The push side of checkpoint shipping: merging per-shard monitors
+        at period boundaries reproduces the unsplit stream bit-for-bit.
+        """
+        return self.request({"op": "merge", "state": state})
 
     def history(
         self,
@@ -310,6 +381,13 @@ class LoadGenerator:
         connection count and block size never change which event lands
         in which series, so served labeled runs replay offline
         byte-identically.
+    protocol:
+        The wire protocol the sender connections speak: ``"json"``
+        (default), ``"binary"``, or ``"mixed"`` — connection ``i`` uses
+        JSON when ``i`` is even and binary when odd, exercising a fleet
+        of heterogeneous clients against one server.  Like the
+        connection count, the protocol never changes the event
+        sequence, block boundaries, or sequence numbers.
     """
 
     def __init__(
@@ -325,7 +403,13 @@ class LoadGenerator:
         metrics: Optional[Sequence[str]] = None,
         series: int = 8,
         label_fanout: int = 4,
+        protocol: str = "json",
     ) -> None:
+        if protocol not in (*CLIENT_PROTOCOLS, "mixed"):
+            raise ValueError(
+                f"unknown protocol {protocol!r}; choose from "
+                f"{(*CLIENT_PROTOCOLS, 'mixed')}"
+            )
         if connections < 1:
             raise ValueError(f"connections must be >= 1, got {connections}")
         if block_size < 1:
@@ -345,7 +429,14 @@ class LoadGenerator:
         self.block_size = block_size
         self.series = series
         self.label_fanout = label_fanout
+        self.protocol = protocol
         self._metrics = list(metrics) if metrics is not None else None
+
+    def connection_protocol(self, index: int) -> str:
+        """The wire protocol sender connection ``index`` speaks."""
+        if self.protocol == "mixed":
+            return "json" if index % 2 == 0 else "binary"
+        return self.protocol
 
     # ------------------------------------------------------------------
     # The deterministic plan
@@ -463,10 +554,14 @@ class LoadGenerator:
 
         def sender(index: int, mine: List[BlockAssignment]) -> None:
             try:
-                with TelemetryClient(self.host, self.port) as client:
+                proto = self.connection_protocol(index)
+                with TelemetryClient(self.host, self.port, protocol=proto) as client:
+                    text_wire = client.protocol == "json"
                     for assignment in mine:
                         block = values[assignment.start : assignment.stop]
-                        payload = block.tolist()  # serialise once per block
+                        # JSON serialises once per block; the binary wire
+                        # ships the array's bytes without listifying.
+                        payload = block.tolist() if text_wire else block
                         for metric in metrics:
                             if metric in labelsets:
                                 # Per-series strided sub-blocks, one per
@@ -478,7 +573,7 @@ class LoadGenerator:
                                     )
                                     ack = client.observe(
                                         metric,
-                                        sub.tolist(),
+                                        sub.tolist() if text_wire else sub,
                                         seq=seq_base + assignment.seq,
                                         labels=labels,
                                     )
@@ -512,6 +607,7 @@ class LoadGenerator:
         return {
             "metrics": metrics,
             "connections": self.connections,
+            "protocol": self.protocol,
             "blocks": len(assignments),
             "events": int(sum(sent_events)),
             "shed_blocks": int(sum(shed_blocks)),

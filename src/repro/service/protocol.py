@@ -9,10 +9,17 @@ Requests are objects with an ``"op"`` key; every request receives exactly
 one response object with an ``"ok"`` boolean (``true`` plus op-specific
 payload, or ``false`` plus a one-line ``"error"``).  The full op
 vocabulary — ``observe``, ``snapshot``, ``results``, ``flush``,
-``stats``, ``checkpoint``, ``shutdown``, ``ping`` — is documented in
-``docs/serving.md``; both :class:`~repro.service.server.TelemetryServer`
-and :class:`~repro.service.client.TelemetryClient` speak only through
-the helpers here, so the framing lives in one place.
+``stats``, ``checkpoint``, ``shutdown``, ``ping``, ``hello``, ``state``,
+``merge`` — is documented in ``docs/serving.md``; both
+:class:`~repro.service.server.TelemetryServer` and
+:class:`~repro.service.client.TelemetryClient` speak only through the
+helpers here, so the framing lives in one place.
+
+JSON is the connect-time default and the debugging dialect.  A client may
+send ``{"op": "hello", "protocol": "binary"}`` to switch the connection
+to the length-prefixed binary framing in :mod:`repro.service.binary` —
+raw float64 observe payloads and opaque serialized-sketch frames —
+which exists for the hot ingest path.
 """
 
 from __future__ import annotations
@@ -34,10 +41,17 @@ class ProtocolError(ValueError):
 class FrameTooLarge(ProtocolError):
     """A frame above :data:`MAX_MESSAGE_BYTES`.
 
-    Unlike an unparsable-but-complete line, an oversized frame leaves
-    its unread tail in the stream — the receiver must close the
-    connection, or the tail bytes would be misread as later frames.
+    On the JSON wire an oversized frame leaves its unread tail in the
+    stream — the receiver must close the connection, or the tail bytes
+    would be misread as later frames (``recoverable`` is ``False``).
+    The length-prefixed binary framing can instead drain the payload and
+    keep the connection; :func:`repro.service.binary.recv_frame` raises
+    with ``recoverable=True`` after re-synchronising the stream.
     """
+
+    #: Whether the receiver re-synchronised the stream past the oversized
+    #: frame, making it safe to keep reading from the connection.
+    recoverable: bool = False
 
 
 class ConnectionClosed(ConnectionError):
@@ -45,12 +59,26 @@ class ConnectionClosed(ConnectionError):
 
 
 def encode_message(message: dict) -> bytes:
-    """One protocol frame: compact JSON plus the terminating newline."""
+    """One protocol frame: compact JSON plus the terminating newline.
+
+    Non-finite floats are rejected: ``json.dumps`` would emit the
+    ``NaN``/``Infinity`` tokens, which are not valid JSON and break any
+    non-python peer.  The binary protocol carries them natively.
+    """
     if not isinstance(message, dict):
         raise ProtocolError(
             f"protocol messages are JSON objects, got {type(message).__name__}"
         )
-    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+    try:
+        payload = json.dumps(message, separators=(",", ":"), allow_nan=False)
+    except ValueError as exc:
+        raise ProtocolError(
+            f"message is not JSON-encodable ({exc}); non-finite floats "
+            "(NaN/Infinity) have no valid JSON representation — drop or "
+            "canonicalise them before sending, or negotiate the binary "
+            "protocol, which carries IEEE-754 payloads natively"
+        ) from None
+    return payload.encode("utf-8") + b"\n"
 
 
 def send_message(sock: socket.socket, message: dict) -> None:
@@ -75,6 +103,16 @@ def recv_message(stream: BinaryIO) -> Optional[dict]:
             "rest of the oversized line cannot be re-synchronised)"
         )
     if not line.endswith(b"\n"):
+        # A line of exactly MAX_MESSAGE_BYTES with no newline is ambiguous:
+        # either the peer died mid-message, or the line is oversized and a
+        # short read stopped at the cap.  One probe byte disambiguates —
+        # more data means the frame is too large, EOF means the peer closed.
+        if len(line) == MAX_MESSAGE_BYTES and stream.read(1):
+            raise FrameTooLarge(
+                f"message exceeds {MAX_MESSAGE_BYTES} bytes; split observe "
+                "batches into smaller blocks (closing the connection: the "
+                "rest of the oversized line cannot be re-synchronised)"
+            )
         raise ConnectionClosed("connection closed mid-message")
     try:
         message = json.loads(line)

@@ -38,8 +38,10 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.service import binary
 from repro.service.monitor import Monitor
 from repro.service.protocol import (
+    MAX_MESSAGE_BYTES,
     ConnectionClosed,
     FrameTooLarge,
     ProtocolError,
@@ -369,23 +371,44 @@ class TelemetryServer:
             )
             thread.start()
 
+    def _send(
+        self, conn: socket.socket, response: dict, protocol: str, request_op: object
+    ) -> None:
+        """Write one response in the connection's negotiated framing."""
+        if protocol == "json":
+            send_message(conn, response)
+        else:
+            conn.sendall(binary.encode_response(response, request_op))
+
     def _serve_connection(self, conn: socket.socket) -> None:
         stream = conn.makefile("rb")
+        # Every connection starts on the JSON wire; a ``hello`` op may
+        # switch it to the binary framing for all subsequent frames.
+        protocol = "json"
         try:
             while not self._stopping.is_set():
+                request_op: object = None
                 try:
-                    request = recv_message(stream)
+                    if protocol == "json":
+                        request = recv_message(stream)
+                    else:
+                        frame = binary.recv_frame(stream)
+                        request = None if frame is None else binary.decode_request(*frame)
                 except FrameTooLarge as exc:
-                    # The oversized line's unread tail would be misread
-                    # as later frames: answer, then drop the connection.
+                    # The binary framing's length prefix lets the receiver
+                    # drain an oversized payload and stay synchronised; an
+                    # oversized JSON line leaves an unreadable tail, so the
+                    # connection must drop after answering.
                     try:
-                        send_message(conn, error_response(str(exc)))
+                        self._send(conn, error_response(str(exc)), protocol, None)
                     except OSError:
-                        pass
+                        break
+                    if exc.recoverable:
+                        continue
                     break
                 except ProtocolError as exc:
                     try:
-                        send_message(conn, error_response(str(exc)))
+                        self._send(conn, error_response(str(exc)), protocol, None)
                     except OSError:
                         break  # peer sent garbage and hung up
                     continue
@@ -393,16 +416,31 @@ class TelemetryServer:
                     break
                 if request is None:
                     break
+                request_op = request.get("op")
+                next_protocol = protocol
                 try:
-                    response = self._handle(request)
+                    if request_op == "hello":
+                        # The hello response itself still travels on the
+                        # current framing; the switch starts at the next frame.
+                        response, next_protocol = self._op_hello(request, protocol)
+                    else:
+                        response = self._handle(request)
                 except Exception as exc:  # keep the connection alive
                     response = error_response(
-                        f"internal error handling {request.get('op')!r}: {exc}"
+                        f"internal error handling {request_op!r}: {exc}"
                     )
                 try:
-                    send_message(conn, response)
+                    self._send(conn, response, protocol, request_op)
+                except ProtocolError as exc:
+                    # e.g. a response that cannot ride the JSON wire
+                    # (non-finite floats): report instead of going silent.
+                    try:
+                        self._send(conn, error_response(str(exc)), protocol, None)
+                    except (ProtocolError, OSError):
+                        break
                 except OSError:
                     break
+                protocol = next_protocol
         finally:
             stream.close()
             try:
@@ -445,12 +483,55 @@ class TelemetryServer:
             return self._op_history(request)
         if op == "group_by":
             return self._op_group_by(request)
+        if op == "state":
+            return self._op_state()
+        if op == "merge":
+            return self._op_merge(request)
+        if op == "hello":
+            # Reached only through direct _handle calls (tests, embedding);
+            # the connection loop intercepts hello to switch its framing.
+            return self._op_hello(request, "json")[0]
         if op == "shutdown":
             self._shutdown_requested.set()
             return ok_response(stopping=True)
         return error_response(
             f"unknown op {op!r}; supported: observe, snapshot, results, "
-            "flush, stats, checkpoint, history, group_by, shutdown, ping"
+            "flush, stats, checkpoint, history, group_by, state, merge, "
+            "shutdown, ping, hello"
+        )
+
+    def _op_hello(self, request: dict, protocol: str) -> Tuple[dict, str]:
+        """Negotiate the connection's wire protocol.
+
+        Returns ``(response, next_protocol)``.  A failed negotiation
+        leaves the connection on its current protocol — servers keep
+        speaking JSON to clients that never (successfully) negotiate.
+        """
+        requested = request.get("protocol", "json")
+        if requested not in ("json", "binary"):
+            return (
+                error_response(
+                    f"unknown protocol {requested!r}; this server speaks "
+                    "'json' and 'binary'"
+                ),
+                protocol,
+            )
+        version = request.get("version", binary.BINARY_VERSION)
+        if requested == "binary" and version != binary.BINARY_VERSION:
+            return (
+                error_response(
+                    f"unsupported binary protocol version {version!r}; this "
+                    f"server speaks version {binary.BINARY_VERSION}"
+                ),
+                protocol,
+            )
+        return (
+            ok_response(
+                protocol=requested,
+                version=binary.BINARY_VERSION,
+                max_message_bytes=MAX_MESSAGE_BYTES,
+            ),
+            requested,
         )
 
     def _op_observe(self, request: dict) -> dict:
@@ -480,7 +561,16 @@ class TelemetryServer:
                 "register the metric with a label schema"
             )
         values = request.get("values")
-        if not isinstance(values, list):
+        if isinstance(values, np.ndarray):
+            # A binary-protocol observe: the decoded frame hands over the
+            # float64 array directly — no python list ever materialises.
+            array = np.asarray(values, dtype=np.float64)
+        elif isinstance(values, list):
+            try:
+                array = np.asarray(values, dtype=np.float64)
+            except (TypeError, ValueError):
+                return error_response("'values' must contain only finite numbers")
+        else:
             return error_response(
                 f"'values' must be a JSON array of numbers, got "
                 f"{type(values).__name__}"
@@ -488,10 +578,6 @@ class TelemetryServer:
         seq = request.get("seq")
         if seq is not None and (not isinstance(seq, int) or seq < 0):
             return error_response(f"'seq' must be a non-negative integer, got {seq!r}")
-        try:
-            array = np.asarray(values, dtype=np.float64)
-        except (TypeError, ValueError):
-            return error_response("'values' must contain only finite numbers")
         if array.ndim != 1:
             return error_response("'values' must be a flat array of numbers")
         if len(array) and not np.isfinite(array).all():
@@ -654,6 +740,46 @@ class TelemetryServer:
         return ok_response(
             path=self.checkpoint_path, drained=drained, saves=self._checkpoint_saves
         )
+
+    def _op_state(self) -> dict:
+        """Ship the monitor's full serialized state to the caller.
+
+        The checkpoint-shipping pull: a peer rebuilds an identical
+        monitor with ``Monitor.from_state`` (a warm standby, an offline
+        analyser) or folds it into its own via the ``merge`` op.  On the
+        binary protocol the state travels as one opaque ``OP_STATE``
+        frame rather than inline JSON.
+        """
+        drained = self._wait_drained(self.flush_timeout)
+        with self._monitor_lock:
+            state = self.monitor.to_state()
+        return ok_response(state=state, drained=drained)
+
+    def _op_merge(self, request: dict) -> dict:
+        """Fold a shipped monitor state into the served monitor.
+
+        The push side of checkpoint shipping: per-shard monitors merged
+        at period boundaries reproduce the unsplit stream bit-for-bit
+        (the ``Monitor.merge`` guarantee).  Every metric in the shipped
+        state must be registered here with an equal spec.
+        """
+        state = request.get("state")
+        if not isinstance(state, dict):
+            return error_response(
+                "'merge' needs 'state': a serialized monitor state object "
+                "(the 'state' op or Monitor.to_state() produces one)"
+            )
+        try:
+            other = Monitor.from_state(state)
+        except (KeyError, TypeError, ValueError) as exc:
+            return error_response(f"bad monitor state: {exc}")
+        drained = self._wait_drained(self.flush_timeout)
+        with self._monitor_lock:
+            try:
+                self.monitor.merge(other)
+            except (TypeError, ValueError) as exc:
+                return error_response(str(exc))
+        return ok_response(merged=True, metrics=other.metrics(), drained=drained)
 
     def _op_history(self, request: dict) -> dict:
         """Answer a historical quantile query from the segment store.

@@ -1,0 +1,444 @@
+"""The length-prefixed binary wire: framing, codecs, negotiation.
+
+Unit coverage for ``repro.service.binary`` — header round-trips, raw
+float64 observe payloads carrying every IEEE-754 bit pattern, the
+recoverable oversized-frame semantics — plus live-server negotiation:
+the ``hello`` handshake, JSON fallback for clients that never (or
+unsuccessfully) negotiate, and heterogeneous JSON + binary connections
+sharing one server.
+"""
+
+import io
+import math
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.service import Monitor, TelemetryClient, TelemetryServer, binary
+from repro.service.protocol import (
+    ConnectionClosed,
+    FrameTooLarge,
+    ProtocolError,
+    encode_message,
+    recv_message,
+)
+
+SPEC = {
+    "name": "rtt",
+    "quantiles": [0.5, 0.99],
+    "window": {"size": 2000, "period": 500},
+    "policy": "qlove",
+}
+
+
+def make_monitor() -> Monitor:
+    monitor = Monitor()
+    monitor.register(SPEC)
+    return monitor
+
+
+@pytest.fixture
+def server():
+    with TelemetryServer(make_monitor()) as srv:
+        yield srv
+
+
+class TestFraming:
+    @pytest.mark.parametrize(
+        "opcode",
+        [binary.OP_JSON, binary.OP_OBSERVE, binary.OP_ACK, binary.OP_ERROR,
+         binary.OP_STATE],
+    )
+    def test_frame_round_trip(self, opcode):
+        payload = b"\x00\x01payload\xff"
+        stream = io.BytesIO(binary.encode_frame(opcode, payload))
+        assert binary.recv_frame(stream) == (opcode, payload)
+
+    def test_empty_payload_round_trip(self):
+        stream = io.BytesIO(binary.encode_frame(binary.OP_JSON, b""))
+        assert binary.recv_frame(stream) == (binary.OP_JSON, b"")
+
+    def test_multiple_frames_read_in_order(self):
+        stream = io.BytesIO(
+            binary.encode_frame(binary.OP_ERROR, b"one")
+            + binary.encode_frame(binary.OP_ERROR, b"two")
+        )
+        assert binary.recv_frame(stream) == (binary.OP_ERROR, b"one")
+        assert binary.recv_frame(stream) == (binary.OP_ERROR, b"two")
+        assert binary.recv_frame(stream) is None
+
+    def test_clean_eof_returns_none(self):
+        assert binary.recv_frame(io.BytesIO(b"")) is None
+
+    def test_eof_mid_header_raises_connection_closed(self):
+        with pytest.raises(ConnectionClosed, match="mid-frame header"):
+            binary.recv_frame(io.BytesIO(b"QW\x01"))
+
+    def test_eof_mid_payload_raises_connection_closed(self):
+        frame = binary.encode_frame(binary.OP_ERROR, b"truncated away")
+        with pytest.raises(ConnectionClosed, match="mid-frame payload"):
+            binary.recv_frame(io.BytesIO(frame[:-4]))
+
+    def test_bad_magic_raises_protocol_error(self):
+        # A JSON peer that never negotiated is the expected offender.
+        with pytest.raises(ProtocolError, match="bad frame magic"):
+            binary.recv_frame(io.BytesIO(b'{"op":"ping"}\n'))
+
+    def test_unknown_version_raises_protocol_error(self):
+        frame = binary._HEADER.pack(binary.MAGIC, 99, binary.OP_JSON, 0)
+        with pytest.raises(ProtocolError, match="version 99"):
+            binary.recv_frame(io.BytesIO(frame))
+
+    def test_unknown_opcode_raises_protocol_error(self):
+        frame = binary._HEADER.pack(binary.MAGIC, binary.BINARY_VERSION, 200, 0)
+        with pytest.raises(ProtocolError, match="opcode 200"):
+            binary.recv_frame(io.BytesIO(frame))
+
+    def test_oversized_frame_is_drained_and_recoverable(self, monkeypatch):
+        """The length prefix lets the receiver skip an oversized payload
+        and keep the connection — unlike the JSON wire, which must close."""
+        monkeypatch.setattr(binary, "MAX_MESSAGE_BYTES", 64)
+        oversized = binary._HEADER.pack(
+            binary.MAGIC, binary.BINARY_VERSION, binary.OP_JSON, 200
+        ) + b"x" * 200
+        follower = binary.encode_frame(binary.OP_ERROR, b"still in sync")
+        stream = io.BytesIO(oversized + follower)
+        with pytest.raises(FrameTooLarge, match="exceeds 64") as excinfo:
+            binary.recv_frame(stream)
+        assert excinfo.value.recoverable is True
+        # The stream re-synchronised: the next frame parses cleanly.
+        assert binary.recv_frame(stream) == (binary.OP_ERROR, b"still in sync")
+
+    def test_oversized_frame_truncated_mid_drain_is_connection_closed(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(binary, "MAX_MESSAGE_BYTES", 64)
+        header = binary._HEADER.pack(
+            binary.MAGIC, binary.BINARY_VERSION, binary.OP_JSON, 500
+        )
+        with pytest.raises(ConnectionClosed, match="mid-oversized-frame"):
+            binary.recv_frame(io.BytesIO(header + b"x" * 100))
+
+    def test_send_side_cap_enforced(self, monkeypatch):
+        monkeypatch.setattr(binary, "MAX_MESSAGE_BYTES", 64)
+        with pytest.raises(FrameTooLarge, match="smaller blocks"):
+            binary.encode_frame(binary.OP_JSON, b"x" * 65)
+
+
+class TestObserveCodec:
+    def test_full_round_trip(self):
+        values = np.array([1.5, -2.25, 1e-300, 2.0**53 - 1])
+        frame = binary.encode_observe(
+            "rtt", values, seq=7, labels={"host": "a", "region": "eu"}
+        )
+        opcode, payload = binary.recv_frame(io.BytesIO(frame))
+        assert opcode == binary.OP_OBSERVE
+        request = binary.decode_observe(payload)
+        assert request["op"] == "observe"
+        assert request["metric"] == "rtt"
+        assert request["seq"] == 7
+        assert request["labels"] == {"host": "a", "region": "eu"}
+        assert request["values"].dtype == binary.WIRE_DTYPE
+        assert request["values"].tobytes() == values.tobytes()
+
+    def test_minimal_round_trip_without_seq_or_labels(self):
+        request = binary.decode_observe(
+            binary.recv_frame(
+                io.BytesIO(binary.encode_observe("m", [3.0]))
+            )[1]
+        )
+        assert request == {
+            "op": "observe",
+            "metric": "m",
+            "values": request["values"],
+        }
+        assert request["values"].tolist() == [3.0]
+
+    def test_empty_block_round_trips(self):
+        request = binary.decode_observe(
+            binary.recv_frame(
+                io.BytesIO(binary.encode_observe("m", np.empty(0), seq=4))
+            )[1]
+        )
+        assert request["seq"] == 4
+        assert request["values"].size == 0
+
+    def test_non_finite_and_signed_zero_survive_bit_for_bit(self):
+        """The binary wire's reason to exist for NaN/Inf: IEEE-754
+        payloads travel untouched, where JSON has no representation."""
+        values = np.array(
+            [float("nan"), float("inf"), float("-inf"), -0.0, 5e-324]
+        )
+        request = binary.decode_observe(
+            binary.recv_frame(io.BytesIO(binary.encode_observe("m", values)))[1]
+        )
+        assert request["values"].tobytes() == values.tobytes()
+        assert math.isnan(request["values"][0])
+        assert np.signbit(request["values"][3])
+
+    def test_declared_count_must_match_payload(self):
+        frame = binary.encode_observe("m", [1.0, 2.0])
+        opcode, payload = binary.recv_frame(io.BytesIO(frame))
+        with pytest.raises(ProtocolError, match="declares"):
+            binary.decode_observe(payload[:-8])
+
+    def test_truncated_metric_name_rejected(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            binary.decode_observe(b"\x00\xff\xff")
+
+    def test_ack_round_trip(self):
+        opcode, payload = binary.recv_frame(
+            io.BytesIO(binary.encode_ack(True, 12345))
+        )
+        assert opcode == binary.OP_ACK
+        assert binary.decode_ack(payload) == {
+            "ok": True,
+            "accepted": True,
+            "events": 12345,
+        }
+
+    def test_error_round_trip(self):
+        opcode, payload = binary.recv_frame(
+            io.BytesIO(binary.encode_error("unknown metric 'x'"))
+        )
+        assert opcode == binary.OP_ERROR
+        assert binary.decode_error(payload) == {
+            "ok": False,
+            "error": "unknown metric 'x'",
+        }
+
+    def test_state_round_trip(self):
+        state = {"type": "monitor", "version": 2, "metrics": [{"seen": 9}]}
+        opcode, payload = binary.recv_frame(
+            io.BytesIO(binary.encode_state("merge", state))
+        )
+        assert opcode == binary.OP_STATE
+        assert binary.decode_state(payload) == ("merge", state)
+
+
+class TestDispatch:
+    def test_observe_request_uses_observe_frame(self):
+        frame = binary.encode_request(
+            {"op": "observe", "metric": "rtt", "values": [1.0], "seq": 0}
+        )
+        opcode, payload = binary.recv_frame(io.BytesIO(frame))
+        assert opcode == binary.OP_OBSERVE
+        assert binary.decode_request(opcode, payload)["metric"] == "rtt"
+
+    def test_merge_request_uses_state_frame(self):
+        frame = binary.encode_request({"op": "merge", "state": {"a": 1}})
+        opcode, payload = binary.recv_frame(io.BytesIO(frame))
+        assert opcode == binary.OP_STATE
+        assert binary.decode_request(opcode, payload) == {
+            "op": "merge",
+            "state": {"a": 1},
+        }
+
+    def test_other_requests_ride_json_frames(self):
+        frame = binary.encode_request({"op": "snapshot"})
+        opcode, payload = binary.recv_frame(io.BytesIO(frame))
+        assert opcode == binary.OP_JSON
+        assert binary.decode_request(opcode, payload) == {"op": "snapshot"}
+
+    def test_observe_response_uses_ack_frame(self):
+        frame = binary.encode_response(
+            {"ok": True, "accepted": True, "events": 3}, "observe"
+        )
+        opcode, payload = binary.recv_frame(io.BytesIO(frame))
+        assert opcode == binary.OP_ACK
+        assert binary.decode_response(opcode, payload)["events"] == 3
+
+    def test_error_response_uses_error_frame(self):
+        frame = binary.encode_response({"ok": False, "error": "nope"}, "observe")
+        opcode, payload = binary.recv_frame(io.BytesIO(frame))
+        assert opcode == binary.OP_ERROR
+        assert binary.decode_response(opcode, payload) == {
+            "ok": False,
+            "error": "nope",
+        }
+
+    def test_state_response_uses_state_frame(self):
+        frame = binary.encode_response(
+            {"ok": True, "state": {"v": 2}, "drained": True}, "state"
+        )
+        opcode, payload = binary.recv_frame(io.BytesIO(frame))
+        assert opcode == binary.OP_STATE
+        assert binary.decode_response(opcode, payload)["state"] == {"v": 2}
+
+
+class TestNegotiation:
+    def test_hello_switches_connection_to_binary(self, server):
+        host, port = server.address
+        with TelemetryClient(host, port) as client:
+            assert client.protocol == "json"
+            response = client.hello("binary")
+            assert response["protocol"] == "binary"
+            assert response["version"] == binary.BINARY_VERSION
+            assert client.protocol == "binary"
+            # The whole op vocabulary works over the binary framing.
+            assert client.ping() == ["rtt"]
+            ack = client.observe("rtt", np.arange(2500.0), seq=0)
+            assert ack == {"ok": True, "accepted": True, "events": 2500}
+            assert client.snapshot()["rtt"] is not None
+
+    def test_protocol_kwarg_negotiates_at_connect(self, server):
+        host, port = server.address
+        with TelemetryClient(host, port, protocol="binary") as client:
+            assert client.protocol == "binary"
+            assert client.ping() == ["rtt"]
+
+    def test_unknown_protocol_keeps_connection_on_json(self, server):
+        host, port = server.address
+        with TelemetryClient(host, port) as client:
+            with pytest.raises(Exception, match="unknown protocol"):
+                client.hello("msgpack")
+            assert client.protocol == "json"
+            assert client.ping() == ["rtt"]  # still speaking JSON fine
+
+    def test_unknown_version_keeps_connection_on_json(self, server):
+        host, port = server.address
+        with TelemetryClient(host, port) as client:
+            with pytest.raises(Exception, match="version"):
+                client.hello("binary", version=99)
+            assert client.protocol == "json"
+            assert client.ping() == ["rtt"]
+
+    def test_negotiating_back_to_json_works(self, server):
+        host, port = server.address
+        with TelemetryClient(host, port, protocol="binary") as client:
+            client.hello("json")
+            assert client.protocol == "json"
+            assert client.ping() == ["rtt"]
+
+    def test_json_and_binary_clients_share_one_server(self, server):
+        host, port = server.address
+        values = np.linspace(1.0, 900.0, 1200)
+        with TelemetryClient(host, port) as text, TelemetryClient(
+            host, port, protocol="binary"
+        ) as raw:
+            text.observe("rtt", values[:600], seq=0)
+            raw.observe("rtt", values[600:], seq=1)
+            assert text.snapshot() == raw.snapshot()
+
+    def test_oversized_binary_frame_keeps_connection_alive(
+        self, server, monkeypatch
+    ):
+        """Server side of the recoverable-cap semantics: an oversized
+        binary frame is answered with an error and the connection keeps
+        serving (the JSON wire drops it instead)."""
+        monkeypatch.setattr(binary, "MAX_MESSAGE_BYTES", 1024)
+        host, port = server.address
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            stream = sock.makefile("rb")
+            sock.sendall(encode_message({"op": "hello", "protocol": "binary"}))
+            assert recv_message(stream)["ok"] is True
+            oversized = binary._HEADER.pack(
+                binary.MAGIC, binary.BINARY_VERSION, binary.OP_JSON, 4096
+            ) + b"x" * 4096
+            sock.sendall(oversized)
+            opcode, payload = binary.recv_frame(stream)
+            assert opcode == binary.OP_ERROR
+            assert "exceeds 1024" in binary.decode_error(payload)["error"]
+            # Same connection, next request still answered.
+            sock.sendall(binary.encode_request({"op": "ping"}))
+            opcode, payload = binary.recv_frame(stream)
+            assert binary.decode_response(opcode, payload)["pong"] is True
+        finally:
+            sock.close()
+
+    def test_json_clients_need_no_negotiation(self, server):
+        """The compatibility guarantee: a peer that never sends hello
+        keeps speaking JSON, byte-for-byte as before."""
+        host, port = server.address
+        sock = socket.create_connection((host, port), timeout=10)
+        try:
+            stream = sock.makefile("rb")
+            sock.sendall(b'{"op":"ping"}\n')
+            response = recv_message(stream)
+            assert response["ok"] is True and response["pong"] is True
+        finally:
+            sock.close()
+
+
+class TestStateOps:
+    def test_state_pull_matches_monitor_to_state(self, server):
+        host, port = server.address
+        with TelemetryClient(host, port, protocol="binary") as client:
+            client.observe("rtt", np.arange(700.0), seq=0)
+            client.flush()
+            pulled = client.pull_state()
+        with server._monitor_lock:
+            assert pulled == server.monitor.to_state()
+
+    def test_state_identical_across_protocols(self, server):
+        host, port = server.address
+        with TelemetryClient(host, port) as client:
+            client.observe("rtt", np.arange(700.0), seq=0)
+        with TelemetryClient(host, port) as text, TelemetryClient(
+            host, port, protocol="binary"
+        ) as raw:
+            assert text.pull_state() == raw.pull_state()
+
+    def test_merge_requires_state_object(self, server):
+        from repro.service import ServerError
+
+        host, port = server.address
+        with TelemetryClient(host, port) as client:
+            with pytest.raises(ServerError, match="'merge' needs 'state'"):
+                client.request({"op": "merge"})
+
+    def test_merge_rejects_garbage_state(self, server):
+        from repro.service import ServerError
+
+        host, port = server.address
+        with TelemetryClient(host, port, protocol="binary") as client:
+            with pytest.raises(ServerError, match="bad monitor state"):
+                client.push_merge({"type": "nonsense"})
+
+    def test_non_finite_state_needs_the_binary_wire(self):
+        """The moment policy's serialized state carries ±inf whenever its
+        in-flight sub-window is empty (its min/max sit at their
+        identities) — the strict JSON encoder refuses it with a pointer
+        at the binary protocol, which ships the same state as an opaque
+        frame."""
+        monitor = Monitor()
+        monitor.register(
+            {
+                "name": "m",
+                "quantiles": [0.5],
+                "window": {"size": 1000, "period": 500},
+                "policy": "moment",
+            }
+        )
+        # 1500 = 3 whole periods: the in-flight sub-window is empty, so
+        # its min/max are +inf/-inf in the serialized state.
+        monitor.observe_batch("m", np.arange(1.0, 1501.0))
+        with TelemetryServer(monitor) as srv:
+            host, port = srv.address
+            with TelemetryClient(host, port) as text:
+                with pytest.raises(Exception, match="binary"):
+                    text.pull_state()
+                assert text.ping() == ["m"]  # connection survived
+            with TelemetryClient(host, port, protocol="binary") as raw:
+                pulled = raw.pull_state()
+        assert Monitor.from_state(pulled).snapshot() == monitor.snapshot()
+
+    def test_merge_rejects_unregistered_metrics(self, server):
+        from repro.service import ServerError
+
+        other = Monitor()
+        other.register(
+            {
+                "name": "other.metric",
+                "quantiles": [0.5],
+                "window": {"size": 1000, "period": 500},
+                "policy": "exact",
+            }
+        )
+        host, port = server.address
+        with TelemetryClient(host, port) as client:
+            with pytest.raises(ServerError, match="not registered"):
+                client.push_merge(other.to_state())

@@ -1,0 +1,213 @@
+"""Cross-protocol equivalence: JSON wire, binary wire, mixed fleets.
+
+The served-vs-offline battery (``test_serving_equivalence``) runs over
+both transports; this file pins the properties that are specifically
+*cross*-protocol:
+
+- a heterogeneous fleet — JSON and binary senders interleaved on one
+  server — still applies in the exact offline order;
+- the answer a server gives is a property of the stream, not of the
+  wire: JSON-fed and binary-fed servers serialize to byte-identical
+  states;
+- the tentpole's equivalence gate: binary wire + the fused QLOVE ingest
+  path reproduces the JSON wire + pre-fusion reference path bit for
+  bit, for every registered policy;
+- serialized monitor state shipped over the ``state``/``merge`` ops
+  reproduces the unsplit stream (the ``Monitor.merge`` period-boundary
+  guarantee, now end to end over the wire).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.summary import SubWindowBuilder
+from repro.service import (
+    LoadGenerator,
+    Monitor,
+    TelemetryClient,
+    TelemetryServer,
+)
+from repro.sketches.registry import available_policies
+
+EVENTS = 12_000
+BLOCK_SIZE = 800
+WINDOW = {"size": 4000, "period": 1000}
+SEED = 7
+
+POLICY_SPECS = [
+    {
+        "name": f"rtt.{policy}",
+        "quantiles": [0.5, 0.9, 0.99],
+        "window": WINDOW,
+        "policy": policy,
+    }
+    for policy in available_policies()
+]
+
+
+def build_monitor() -> Monitor:
+    monitor = Monitor()
+    for spec in POLICY_SPECS:
+        monitor.register(spec)
+    return monitor
+
+
+def offline_reference(values: np.ndarray) -> Monitor:
+    monitor = build_monitor()
+    for start in range(0, len(values), BLOCK_SIZE):
+        block = values[start : start + BLOCK_SIZE]
+        for name in monitor.metrics():
+            monitor.observe_batch(name, block)
+    return monitor
+
+
+def serve_run(protocol: str, connections: int = 4):
+    """One served run; returns (snapshot, results, serialized state)."""
+    with TelemetryServer(build_monitor()) as server:
+        host, port = server.address
+        generator = LoadGenerator(
+            host,
+            port,
+            dataset="netmon",
+            events=EVENTS,
+            seed=SEED,
+            connections=connections,
+            block_size=BLOCK_SIZE,
+            protocol=protocol,
+        )
+        summary = generator.run()
+        assert summary["drained"] is True
+        # The state pull rides the binary wire: the moment policy's state
+        # carries ±inf, which the strict JSON encoder refuses (see
+        # test_binary_protocol for the pinned error).
+        with TelemetryClient(host, port, protocol="binary") as client:
+            return (
+                client.snapshot(),
+                {
+                    spec["name"]: client.results(spec["name"])
+                    for spec in POLICY_SPECS
+                },
+                client.pull_state(),
+                generator.event_sequence(),
+            )
+
+
+def test_mixed_fleet_applies_in_exact_offline_order():
+    """JSON and binary senders interleaved on one server: the consumer's
+    seq reordering restores the exact offline stream order regardless of
+    which wire each block arrived on."""
+    snapshot, results, state, values = serve_run("mixed", connections=4)
+    offline = offline_reference(values)
+    assert snapshot == offline.snapshot()
+    for spec in POLICY_SPECS:
+        name = spec["name"]
+        assert results[name] == offline.results(name), (
+            f"mixed-fleet results diverge from offline for policy "
+            f"{spec['policy']!r}"
+        )
+    assert json.dumps(state, sort_keys=True) == json.dumps(
+        offline.to_state(), sort_keys=True
+    )
+
+
+def test_mixed_fleet_alternates_protocols_per_connection():
+    generator = LoadGenerator("h", 1, protocol="mixed", connections=4)
+    assert [generator.connection_protocol(i) for i in range(4)] == [
+        "json",
+        "binary",
+        "json",
+        "binary",
+    ]
+
+
+def test_json_and_binary_fed_servers_serialize_byte_identically():
+    """The wire must be invisible in the answer: two servers fed the
+    same stream over different protocols serialize to the same bytes."""
+    snap_json, res_json, state_json, _ = serve_run("json")
+    snap_bin, res_bin, state_bin, _ = serve_run("binary")
+    assert snap_json == snap_bin
+    assert res_json == res_bin
+    assert json.dumps(state_json, sort_keys=True) == json.dumps(
+        state_bin, sort_keys=True
+    )
+
+
+def test_binary_fused_matches_json_reference_path(monkeypatch):
+    """The tentpole's equivalence gate: binary wire + fused QLOVE ingest
+    == JSON wire + the pre-fusion reference loop, for every registered
+    policy, down to the serialized state bytes."""
+    snap_fused, res_fused, state_fused, values = serve_run("binary")
+
+    # Pin the pre-fusion reference loop under every builder-based policy,
+    # then replay offline over the blocks the JSON sender would carry.
+    monkeypatch.setattr(
+        SubWindowBuilder, "extend", SubWindowBuilder.extend_reference
+    )
+    reference = offline_reference(values)
+
+    assert snap_fused == reference.snapshot()
+    for spec in POLICY_SPECS:
+        name = spec["name"]
+        assert res_fused[name] == reference.results(name), (
+            f"fused binary-served results diverge from the reference "
+            f"path for policy {spec['policy']!r}"
+        )
+    assert json.dumps(state_fused, sort_keys=True) == json.dumps(
+        reference.to_state(), sort_keys=True
+    )
+
+
+@pytest.mark.parametrize("protocol", ["json", "binary"])
+def test_wire_merge_shipping_reproduces_unsplit_stream(protocol):
+    """Per-shard monitors pushed over the ``merge`` op at period
+    boundaries reproduce the unsplit offline stream — checkpoint/merge
+    shipping as opaque state frames, end to end over either wire."""
+    from repro.workloads.registry import get_dataset
+
+    period = WINDOW["period"]
+    shards = 4
+    specs = [
+        spec for spec in POLICY_SPECS if spec["policy"] in ("qlove", "exact")
+    ]
+
+    def build():
+        monitor = Monitor()
+        for spec in specs:
+            monitor.register(spec)
+        return monitor
+
+    values = get_dataset("netmon", EVENTS, seed=SEED)
+    usable = len(values) - len(values) % period
+    stream = values[:usable]
+
+    single = build()
+    for spec in specs:
+        single.observe_batch(spec["name"], stream)
+
+    nodes = [build() for _ in range(shards)]
+    with TelemetryServer(build()) as server:
+        host, port = server.address
+        with TelemetryClient(host, port, protocol=protocol) as client:
+            for start in range(0, usable, period):
+                block = stream[start : start + period]
+                for k, node in enumerate(nodes):
+                    for spec in specs:
+                        node.observe_batch(spec["name"], block[k::shards])
+                for node in nodes:
+                    ack = client.push_merge(node.to_state())
+                    assert ack["merged"] is True
+                    node.reset()
+            served_results = {
+                spec["name"]: client.results(spec["name"]) for spec in specs
+            }
+
+    # Emitted results (the Monitor.merge bit-identity contract) — the
+    # serialized in-flight map may legally order its raw-value store
+    # differently under sharding, so state bytes are not compared here.
+    for spec in specs:
+        assert served_results[spec["name"]] == single.results(spec["name"]), (
+            f"wire-merged results diverge from the unsplit stream for "
+            f"policy {spec['policy']!r}"
+        )

@@ -31,6 +31,22 @@ class TestEncode:
         )
         assert protocol.recv_message(stream)["values"] == values
 
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_floats_rejected_with_actionable_error(self, bad):
+        """json.dumps defaults would emit NaN/Infinity — tokens that are
+        not valid JSON and break any non-python peer.  The encoder must
+        refuse them up front and point at the fix."""
+        with pytest.raises(protocol.ProtocolError, match="non-finite"):
+            protocol.encode_message({"op": "observe", "values": [1.0, bad]})
+        with pytest.raises(protocol.ProtocolError, match="binary"):
+            protocol.encode_message({"estimate": bad})
+
+    def test_finite_floats_still_encode(self):
+        frame = protocol.encode_message({"values": [0.0, -0.0, 1e308, 5e-324]})
+        assert json.loads(frame) == {"values": [0.0, -0.0, 1e308, 5e-324]}
+
 
 class TestRecv:
     def test_clean_eof_returns_none(self):
@@ -55,6 +71,54 @@ class TestRecv:
         monkeypatch.setattr(protocol, "MAX_MESSAGE_BYTES", 64)
         stream = io.BytesIO(b"x" * 200 + b"\n")
         with pytest.raises(protocol.ProtocolError, match="exceeds 64 bytes"):
+            protocol.recv_message(stream)
+
+    def test_exactly_at_cap_frame_is_valid(self, monkeypatch):
+        """A frame whose encoded length (newline included) equals the cap
+        is within the limit and must parse."""
+        monkeypatch.setattr(protocol, "MAX_MESSAGE_BYTES", 64)
+        frame = protocol.encode_message({"pad": "x" * 53})
+        assert len(frame) == 64
+        assert protocol.recv_message(io.BytesIO(frame)) == {"pad": "x" * 53}
+
+    def test_one_over_cap_raises_frame_too_large(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_MESSAGE_BYTES", 64)
+        stream = io.BytesIO(b"x" * 64 + b"\n")
+        with pytest.raises(protocol.FrameTooLarge, match="exceeds 64 bytes"):
+            protocol.recv_message(stream)
+
+    def test_short_read_stopping_at_cap_is_frame_too_large(self, monkeypatch):
+        """Regression: a raw stream whose readline() short-reads exactly
+        MAX_MESSAGE_BYTES of a longer line used to be misdiagnosed as
+        ConnectionClosed ("closed mid-message"), leaving the unread tail
+        to be misparsed as later frames."""
+
+        class ShortReadStream:
+            """readline() returns at most ``cap`` bytes per call, like a
+            raw (unbuffered) IO object can."""
+
+            def __init__(self, data: bytes, cap: int) -> None:
+                self._inner = io.BytesIO(data)
+                self._cap = cap
+
+            def readline(self, limit: int = -1) -> bytes:
+                capped = self._cap if limit < 0 else min(limit, self._cap)
+                return self._inner.readline(capped)
+
+            def read(self, n: int = -1) -> bytes:
+                return self._inner.read(n)
+
+        monkeypatch.setattr(protocol, "MAX_MESSAGE_BYTES", 64)
+        stream = ShortReadStream(b"y" * 200 + b"\n", cap=64)
+        with pytest.raises(protocol.FrameTooLarge, match="exceeds 64 bytes"):
+            protocol.recv_message(stream)
+
+    def test_exact_cap_then_eof_is_connection_closed(self, monkeypatch):
+        """The other arm of the ambiguity: exactly MAX bytes, no newline,
+        and nothing more — the peer really did die mid-message."""
+        monkeypatch.setattr(protocol, "MAX_MESSAGE_BYTES", 64)
+        stream = io.BytesIO(b"y" * 64)
+        with pytest.raises(protocol.ConnectionClosed, match="mid-message"):
             protocol.recv_message(stream)
 
     def test_multiple_messages_read_in_order(self):

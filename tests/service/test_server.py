@@ -148,17 +148,28 @@ class TestServerIngest:
             )
 
     def test_non_finite_values_rejected(self, client, server):
-        """NaN/inf would poison quantiles and write non-strict-JSON
-        checkpoints; the ack must refuse them."""
-        with pytest.raises(ServerError, match="NaN or infinity"):
+        """NaN/inf would poison quantiles and have no valid JSON encoding.
+
+        The client-side encoder now refuses to put them on the wire at
+        all (they would serialise as the invalid ``NaN``/``Infinity``
+        tokens); a peer that smuggles them through anyway — the bare
+        token, or a ``1e999`` literal that parses to inf — still gets
+        the server's ingest rejection.
+        """
+        from repro.service.protocol import ProtocolError, recv_message
+
+        with pytest.raises(ProtocolError, match="non-finite"):
             client.request(
                 {"op": "observe", "metric": "rtt", "values": [1.0, float("nan")]}
             )
-        # json.loads parses 1e999 to inf — also refused.
-        with pytest.raises(ServerError, match="NaN or infinity"):
-            client.request(
-                {"op": "observe", "metric": "rtt", "values": [1e999]}
-            )
+        for values_text in ("[1.0,NaN]", "[1e999]"):
+            raw = (
+                '{"op":"observe","metric":"rtt","values":' + values_text + "}\n"
+            ).encode("utf-8")
+            client._sock.sendall(raw)
+            response = recv_message(client._stream)
+            assert response["ok"] is False
+            assert "NaN or infinity" in response["error"]
         assert server.monitor._channels["rtt"].seen == 0
 
     def test_bad_seq_rejected(self, client):

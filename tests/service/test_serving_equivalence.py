@@ -9,7 +9,9 @@ final report.
 
 Two mechanisms carry the guarantee end to end:
 
-- floats survive the JSON wire exactly (``repr`` round-trip);
+- floats survive the wire exactly (``repr`` round-trip on the JSON
+  protocol, raw IEEE-754 bytes on the binary one — the battery runs
+  over both);
 - the load generator's global per-metric sequence numbers let the
   server's consumer reorder concurrent connections back into the exact
   offline stream order.
@@ -60,8 +62,9 @@ def test_all_six_policies_are_registered():
     assert available_policies() == ["am", "cmqs", "exact", "moment", "qlove", "random"]
 
 
+@pytest.mark.parametrize("protocol", ["json", "binary"])
 @pytest.mark.parametrize("connections", [1, 3])
-def test_served_snapshot_and_results_bit_identical(connections):
+def test_served_snapshot_and_results_bit_identical(connections, protocol):
     with TelemetryServer(build_monitor()) as server:
         host, port = server.address
         generator = LoadGenerator(
@@ -72,6 +75,7 @@ def test_served_snapshot_and_results_bit_identical(connections):
             seed=SEED,
             connections=connections,
             block_size=BLOCK_SIZE,
+            protocol=protocol,
         )
         summary = generator.run()
         assert summary["drained"] is True
@@ -92,10 +96,11 @@ def test_served_snapshot_and_results_bit_identical(connections):
         )
 
 
-def test_kill_and_resume_reaches_identical_final_report(tmp_path):
+@pytest.mark.parametrize("protocol", ["json", "binary"])
+def test_kill_and_resume_reaches_identical_final_report(tmp_path, protocol):
     """Server killed mid-stream → restart from checkpoint → resume the
     stream → final snapshot and results equal the uninterrupted run,
-    for every policy at once."""
+    for every policy at once — over either wire protocol."""
     checkpoint = str(tmp_path / "server-ckpt.json")
     crash_at = 6_400  # a block boundary: 8 whole blocks of 800
 
@@ -112,6 +117,7 @@ def test_kill_and_resume_reaches_identical_final_report(tmp_path):
         seed=SEED,
         connections=3,
         block_size=BLOCK_SIZE,
+        protocol=protocol,
     )
     generator.run(stop_after=crash_at)
     with TelemetryClient(host, port) as client:
@@ -131,6 +137,7 @@ def test_kill_and_resume_reaches_identical_final_report(tmp_path):
             seed=SEED,
             connections=3,
             block_size=BLOCK_SIZE,
+            protocol=protocol,
         )
         offset = resume_generator.resume_offset()
         assert offset == crash_at

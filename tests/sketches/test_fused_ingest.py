@@ -1,0 +1,126 @@
+"""The fused batched ingest kernel is a pure performance optimisation.
+
+``SubWindowBuilder.extend`` (one fused numpy pass: unique → vectorised
+quantize → regroup → short dict loop) must leave the Level-1 frequency
+map in the **bit-identical** state produced by
+
+- ``SubWindowBuilder.extend_reference`` — the pre-fusion per-distinct-
+  value scalar loop, kept as the equivalence oracle, and
+- ``SubWindowBuilder.add`` called once per element,
+
+across real workloads, significant-digit settings, both frequency-map
+backends, and with quantization disabled.  The kernel's correctness
+rests on scalar/vector quantization agreeing bit for bit, so that
+equivalence is pinned here too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compression import Quantizer, quantize_array, quantize_significant
+from repro.core.summary import SubWindowBuilder
+from repro.streaming import CountWindow
+from repro.workloads.registry import get_dataset
+
+PHIS = [0.5, 0.9, 0.99]
+WINDOW = CountWindow(size=8_000, period=2_000)
+EVENTS = 10_000
+SEED = 19
+
+#: Parameterless datasets spanning the redundancy spectrum: netmon is
+#: highly redundant (few distinct values), uniform/normal are nearly
+#: all-distinct, pareto and search sit between with heavy tails.
+DATASETS = ["netmon", "uniform", "pareto", "normal", "search"]
+
+
+def build(digits, backend="dict"):
+    return SubWindowBuilder(PHIS, WINDOW, Quantizer(digits), backend=backend)
+
+
+def map_state(builder):
+    return list(builder._map.items_sorted())
+
+
+def ingest_three_ways(values, digits, backend="dict"):
+    fused, reference, per_event = (build(digits, backend) for _ in range(3))
+    fused.extend(values)
+    reference.extend_reference(values)
+    for value in values.tolist():
+        per_event.add(value)
+    return fused, reference, per_event
+
+
+class TestFusedPathEquivalence:
+    @pytest.mark.parametrize("digits", [1, 3, 6])
+    @pytest.mark.parametrize("dataset", DATASETS)
+    def test_matches_reference_and_per_event(self, dataset, digits):
+        values = get_dataset(dataset, EVENTS, seed=SEED)
+        fused, reference, per_event = ingest_three_ways(values, digits)
+        assert fused.count == reference.count == per_event.count == EVENTS
+        assert map_state(fused) == map_state(reference) == map_state(per_event)
+
+    def test_quantization_disabled_is_a_pure_passthrough(self):
+        """digits=None: the fused path must skip the regroup entirely and
+        still match the raw per-event multiset."""
+        values = get_dataset("uniform", EVENTS, seed=SEED)
+        fused, reference, per_event = ingest_three_ways(values, digits=None)
+        assert map_state(fused) == map_state(reference) == map_state(per_event)
+
+    def test_tree_backend_reaches_the_same_state(self):
+        values = get_dataset("pareto", EVENTS, seed=SEED)
+        fused, reference, per_event = ingest_three_ways(
+            values, digits=3, backend="tree"
+        )
+        assert map_state(fused) == map_state(reference) == map_state(per_event)
+
+    def test_chunk_split_is_invisible(self):
+        """Feeding the same stream in ragged chunks lands on the same map
+        as one fused call — extend carries no cross-call state."""
+        values = get_dataset("search", EVENTS, seed=SEED)
+        whole, chunked = build(3), build(3)
+        whole.extend(values)
+        for start in [0, 1, 500, 2_277, 7_000]:
+            stop = {0: 1, 1: 500, 500: 2_277, 2_277: 7_000, 7_000: EVENTS}[start]
+            chunked.extend(values[start:stop])
+        chunked.extend(values[EVENTS:])  # empty tail chunk is a no-op
+        assert map_state(whole) == map_state(chunked)
+
+    def test_negative_and_mixed_sign_values(self):
+        rng = np.random.default_rng(SEED)
+        values = rng.normal(loc=0.0, scale=123.456, size=5_000)
+        fused, reference, per_event = ingest_three_ways(values, digits=3)
+        assert map_state(fused) == map_state(reference) == map_state(per_event)
+
+
+class TestScalarVectorQuantizeAgreement:
+    """The fused kernel quantizes distinct values with ``quantize_array``
+    while the per-event path goes through ``quantize_significant``; the
+    two must agree bit for bit or the paths silently diverge."""
+
+    @pytest.mark.parametrize("digits", [1, 2, 3, 6, 9])
+    def test_bitwise_agreement_across_decades(self, digits):
+        rng = np.random.default_rng(23)
+        mantissas = rng.uniform(1.0, 10.0, size=200)
+        exponents = rng.integers(-12, 13, size=200)
+        signs = rng.choice([-1.0, 1.0], size=200)
+        values = signs * mantissas * np.power(10.0, exponents.astype(np.float64))
+        vectorised = quantize_array(values, digits)
+        scalar = np.array(
+            [quantize_significant(v, digits) for v in values.tolist()]
+        )
+        assert vectorised.tobytes() == scalar.tobytes()
+
+    def test_edge_values_agree(self):
+        values = np.array(
+            [0.0, -0.0, 1.0, -1.0, 999.999, 1000.0, 0.1, 8.2, 1e-12, 1e12]
+        )
+        vectorised = quantize_array(values, 3)
+        scalar = np.array([quantize_significant(v, 3) for v in values.tolist()])
+        assert vectorised.tobytes() == scalar.tobytes()
+
+    def test_quantizer_apply_returns_input_object_when_disabled(self):
+        """The fused kernel's regroup-skip keys off object identity:
+        a disabled Quantizer must return the array it was handed."""
+        values = np.array([1.0, 2.0, 3.0])
+        assert Quantizer(None).apply(values) is values
+        assert Quantizer(3).apply(values) is not values
